@@ -1,0 +1,98 @@
+// Ablation (beyond the paper): middleware batching knobs that DESIGN.md
+// calls out.
+//
+//  1. SP deliver dedup: merging identical (key, callback) requests of one
+//     poll into a single proven entry — saves proof calldata on read bursts
+//     to one key. The paper's prototype serves each request individually.
+//  2. Operations per transaction: how the 21000-Gas transaction base
+//     amortizes across a batch (the experiments' ops_per_tx = 32).
+//  3. Merkle multiproofs: shipping ONE shared complement cover for a whole
+//     deliver batch instead of one audit path per record.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "ads/sp.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace grub;
+  using namespace grub::bench;
+
+  std::printf("=== Ablation 1: deliver dedup on a read burst (single key, "
+              "ratio 16) ===\n");
+  for (bool dedup : {false, true}) {
+    core::SystemOptions options;
+    options.dedup_deliver_batch = dedup;
+    auto trace = workload::FixedRatioTrace(16, 512, 32);
+    const double per_op = ConvergedGasPerOp(options, BL1(), {}, trace, 32);
+    std::printf("dedup=%-5s  BL1 Gas/op = %.0f\n", dedup ? "on" : "off",
+                per_op);
+  }
+  std::printf("(dedup shares one Merkle proof across a burst's deliver "
+              "entries; integrity is unchanged — the callback still fires "
+              "per request)\n");
+
+  std::printf("\n=== Ablation 2: transaction batch size (ratio 4, GRuB "
+              "memorizing) ===\n");
+  for (size_t ops_per_tx : {1, 4, 8, 16, 32, 64}) {
+    core::SystemOptions options;
+    options.ops_per_tx = ops_per_tx;
+    auto trace = workload::FixedRatioTrace(4, 512, 32);
+    const double per_op =
+        ConvergedGasPerOp(options, Memorizing(2, 1), {}, trace, 32);
+    std::printf("ops/tx=%-4zu Gas/op = %.0f\n", ops_per_tx, per_op);
+  }
+  std::printf("(the 21000-Gas transaction base dominates tiny batches; "
+              "beyond ~32 ops/tx the marginal saving flattens)\n");
+
+  std::printf("\n=== Ablation 3: multiproof vs per-record audit paths "
+              "(proof calldata words per batch) ===\n");
+  for (size_t store : {size_t{1} << 10, size_t{1} << 16}) {
+    ads::AdsSp sp;
+    for (uint64_t i = 0; i < store; ++i) {
+      (void)sp.ApplyPut(
+          ads::FeedRecord{workload::MakeKey(i), Bytes(32, 0x42),
+                          ads::ReplState::kNR});
+    }
+    std::printf("store 2^%zu:\n",
+                static_cast<size_t>(std::log2(static_cast<double>(store))));
+    Rng rng(1);
+    for (size_t batch : {2, 8, 32, 128}) {
+      std::vector<size_t> indices;
+      while (indices.size() < batch) {
+        size_t candidate = rng.NextBounded(store);
+        if (std::find(indices.begin(), indices.end(), candidate) ==
+            indices.end()) {
+          indices.push_back(candidate);
+        }
+      }
+      std::sort(indices.begin(), indices.end());
+      size_t individual = 0;
+      for (size_t i : indices) {
+        individual += sp.GetByIndex(i)->path.siblings.size();
+      }
+      // Rebuild a tree view via the SP's proofs' capacity: use MerkleTree on
+      // the same leaves for the multiproof.
+      std::vector<Hash256> leaves;
+      leaves.reserve(store);
+      for (uint64_t i = 0; i < store; ++i) {
+        leaves.push_back(sp.GetByIndex(i)->record.LeafHash());
+      }
+      MerkleTree tree(std::move(leaves));
+      auto multi = tree.ProveLeaves(indices);
+      std::printf("  batch %4zu: individual paths = %6zu words, multiproof "
+                  "= %5zu words (%.1fx smaller -> %.0f Gas of calldata "
+                  "saved)\n",
+                  batch, individual, multi.complement.size(),
+                  static_cast<double>(individual) /
+                      static_cast<double>(multi.complement.size()),
+                  static_cast<double>(individual - multi.complement.size()) *
+                      2176.0);
+    }
+  }
+  std::printf("(integrating multiproof delivers end-to-end is mechanical — "
+              "the codec ships one MerkleMultiProof per batch — and saves "
+              "the above calldata on every multi-miss deliver)\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 11 (Appendix C.1): memoryless GRuB's Gas per operation as K varies
+// (1..64) for read-to-write ratios 2, 4 and 8.
+//
+// Paper shape: for each ratio the Gas first rises with K (the Gas paid for
+// data replication stops paying off as K approaches the read-run length),
+// peaks near K = ratio (every replication is made just before the write
+// kills it — pure waste), then falls and flattens once K exceeds the
+// longest read run (the policy never replicates: BL1 behavior, constant).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace grub;
+  using namespace grub::bench;
+
+  const std::vector<uint64_t> ks = {1, 2, 4, 8, 16, 32, 64};
+  const std::vector<double> ratios = {2, 4, 8};
+
+  std::vector<std::string> columns;
+  for (uint64_t k : ks) columns.push_back("K=" + std::to_string(k));
+  PrintHeader("Figure 11: memoryless GRuB, Gas per op vs K", columns);
+
+  core::SystemOptions options;
+  for (double ratio : ratios) {
+    std::vector<double> row;
+    for (uint64_t k : ks) {
+      auto trace = workload::FixedRatioTrace(ratio, 512, 32);
+      row.push_back(ConvergedGasPerOp(options, Memoryless(k), {}, trace, 32));
+    }
+    char label[48];
+    std::snprintf(label, sizeof(label), "Read to write ratio = %g", ratio);
+    PrintRow(label, row, "%12.0f");
+  }
+
+  std::printf("\nExpected (paper): rise to a peak near K = ratio, then fall "
+              "to the flat never-replicate cost; the peak K grows with the "
+              "ratio.\n");
+  return 0;
+}

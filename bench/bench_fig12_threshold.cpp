@@ -1,0 +1,89 @@
+// Figure 12 (Appendix C.1): the threshold read-write ratio — the ratio at
+// which BL1 and BL2 cost the same Gas (where the winning static placement
+// flips, bounding where dynamic replication can profit).
+//
+//  (a) vs record size 32..4096 bytes: grows markedly with the record size
+//      (storage writes cost more per word than transactions);
+//  (b) vs data size 256..2^20 records: shrinks as the store grows (deeper
+//      Merkle proofs make BL1's delivered reads dearer, so fewer reads
+//      justify a replica).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace grub;
+using namespace grub::bench;
+
+const std::vector<double> kRatioGrid = {0.125, 0.25, 0.5, 1, 2, 4, 8, 16};
+
+/// Converged Gas/op for one baseline across the whole ratio grid, reusing a
+/// single preloaded system (the store is static under both baselines).
+std::vector<double> CurveFor(const PolicyFactory& policy, size_t record_bytes,
+                             size_t store_records) {
+  core::GrubSystem system(core::SystemOptions{}, policy());
+  std::vector<std::pair<Bytes, Bytes>> records;
+  records.reserve(store_records);
+  for (uint64_t i = 0; i < store_records; ++i) {
+    records.emplace_back(workload::MakeKey(i + 1), Bytes(32, 0x55));
+  }
+  records.emplace_back(workload::MakeKey(0), Bytes(record_bytes, 0x66));
+  system.Preload(records);
+
+  std::vector<double> curve;
+  for (double ratio : kRatioGrid) {
+    auto trace = workload::FixedRatioTrace(ratio, 128, record_bytes);
+    system.Drive(trace);  // converge
+    system.Chain().ResetGasCounters();
+    auto epochs = system.Drive(trace);
+    size_t ops = 0;
+    for (const auto& e : epochs) ops += e.ops;
+    curve.push_back(static_cast<double>(system.TotalGas()) /
+                    static_cast<double>(ops));
+    system.Chain().ResetGasCounters();
+  }
+  return curve;
+}
+
+/// Log-interpolates the crossover ratio of the two cost curves.
+double Crossover(const std::vector<double>& bl1, const std::vector<double>& bl2) {
+  for (size_t i = 1; i < kRatioGrid.size(); ++i) {
+    const double d0 = bl1[i - 1] - bl2[i - 1];
+    const double d1 = bl1[i] - bl2[i];
+    if (d0 <= 0 && d1 > 0) {
+      const double t = d0 / (d0 - d1);
+      return std::exp(std::log(kRatioGrid[i - 1]) * (1 - t) +
+                      std::log(kRatioGrid[i]) * t);
+    }
+  }
+  return bl1.front() > bl2.front() ? kRatioGrid.front() : kRatioGrid.back();
+}
+
+double ThresholdRatio(size_t record_bytes, size_t store_records) {
+  return Crossover(CurveFor(BL1(), record_bytes, store_records),
+                   CurveFor(BL2(), record_bytes, store_records));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 12a: threshold read-write ratio vs record size "
+              "(store: 256 records) ===\n");
+  for (size_t bytes : {32, 128, 512, 1024, 4096}) {
+    std::printf("record %5zu B: threshold ratio = %.2f\n", bytes,
+                ThresholdRatio(bytes, 256));
+  }
+  std::printf("(paper: rises with record size, ~0.5 at 32B to ~3 at 4096B)\n");
+
+  std::printf("\n=== Figure 12b: threshold read-write ratio vs data size "
+              "(record: 32 B) ===\n");
+  for (size_t records : {256, 4096, 65536, 1048576}) {
+    std::printf("store %8zu records: threshold ratio = %.2f\n", records,
+                ThresholdRatio(32, records));
+  }
+  std::printf("(paper: falls as the store grows, ~3 at 256 to ~1 at 2^20 — "
+              "deeper proofs make off-chain reads dearer)\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 13b + Table 4 row "A,F" (§C.2): mixed YCSB Workloads A and F (50%
+// read-modify-write), 32-byte records.
+//
+// Paper: BL1 1746.9M (+54.1%), BL2 1252.0M (+10.4%), GRuB 1133.9M.
+#include "ycsb_bench.h"
+
+int main() {
+  grub::bench::YcsbRunConfig config;
+  config.workload_a = 'A';
+  config.workload_b = 'F';
+  config.record_bytes = 32;
+  grub::bench::RunAndPrintMix(config, /*k=*/1);
+  std::printf("\nPaper: BL1 1746,854,231 (+54.1%%); BL2 1252,009,322 "
+              "(+10.4%%); GRuB 1133,858,720.\n");
+  return 0;
+}

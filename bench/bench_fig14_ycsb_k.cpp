@@ -1,0 +1,49 @@
+// Figure 14 (Appendix C.2): memoryless GRuB's Gas under the mixed YCSB
+// A,B workload as K varies, against the static baselines.
+//
+// Paper shape: a U-curve — Gas falls with K, bottoms out (paper: K = 2 on
+// their geometry), then rises back toward (and past) the baselines as the
+// policy stops replicating hot records.
+#include <cstdio>
+
+#include "ycsb_bench.h"
+
+int main() {
+  using namespace grub;
+  using namespace grub::bench;
+
+  YcsbRunConfig config;
+  config.workload_a = 'A';
+  config.workload_b = 'B';
+  config.record_bytes = 1024;
+  config.record_count = 1 << 14;  // scaled for the sweep's runtime
+  config.ops_per_phase = 2048;
+
+  core::SystemOptions options;
+  options.ops_per_tx = 32;
+  options.txs_per_epoch = 4;
+
+  const std::vector<double> ks = {1, 2, 4, 8, 16, 32, 64};
+
+  auto gas_per_op = [&](const PolicyFactory& policy) {
+    auto result = RunYcsbMix(config, policy, options);
+    return result.total_ops
+               ? static_cast<double>(result.total_gas) /
+                     static_cast<double>(result.total_ops)
+               : 0.0;
+  };
+
+  const double bl1 = gas_per_op(BL1());
+  const double bl2 = gas_per_op(BL2());
+  std::printf("=== Figure 14: Gas/op under mixed YCSB A,B vs parameter K ===\n");
+  std::printf("%-28s %10.0f\n", "No replica (BL1)", bl1);
+  std::printf("%-28s %10.0f\n", "Always with replica (BL2)", bl2);
+  for (double k : ks) {
+    const double v = gas_per_op(Memoryless(static_cast<uint64_t>(k)));
+    std::printf("GRuB - memoryless K=%-8g %10.0f\n", k, v);
+  }
+  std::printf("\nExpected (paper): U-shape with the minimum at a small K "
+              "(K=2 on the paper's geometry), rising toward BL1 for large "
+              "K.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 3 (§2.3): per-operation Gas of the two static baselines under
+// fixed read-to-write ratios 0, 0.125, 0.5, 1, 4, 16, 64, 256 over a single
+// one-word KV record.
+//
+// Paper shape: BL1 flat-cheap at write-only and rising with the ratio;
+// BL2 the mirror; crossover around 1.5 reads per write; BL2 about 7x cheaper
+// at ratio 256 and BL1 far cheaper at write-only.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace grub;
+  using namespace grub::bench;
+
+  const std::vector<double> ratios = {0, 0.125, 0.5, 1, 4, 16, 64, 256};
+  core::SystemOptions options;  // 32 ops/tx, 1 tx per epoch
+
+  std::vector<std::string> columns;
+  for (double r : ratios) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%g", r);
+    columns.push_back(buf);
+  }
+  PrintHeader("Figure 3: static baselines, Gas per op (single 32B record)",
+              columns);
+
+  for (const auto& [label, policy] :
+       std::vector<std::pair<std::string, PolicyFactory>>{
+           {"No replica (BL1)", BL1()}, {"Always with replica (BL2)", BL2()}}) {
+    std::vector<double> row;
+    for (double ratio : ratios) {
+      auto trace = workload::FixedRatioTrace(ratio, 512, 32);
+      row.push_back(ConvergedGasPerOp(options, policy, {}, trace, 32));
+    }
+    PrintRow(label, row, "%12.0f");
+  }
+
+  std::printf(
+      "\nExpected (paper): crossover near ratio 1.5-2; BL1 cheapest when "
+      "write-only; BL2 ~7x cheaper at ratio 256.\n");
+  return 0;
+}

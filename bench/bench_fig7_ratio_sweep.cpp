@@ -1,0 +1,77 @@
+// Figure 7 (§5.1): converged Gas per operation under repeating workloads of
+// varying read-to-write ratio, for BL1, BL2, the two dynamic baselines that
+// keep the workload trace on chain (BL3), and GRuB (memoryless, K = Eq. 1).
+//
+// Paper shape: BL1/BL2 crossover near ratio 2; GRuB slightly above BL1 left
+// of the crossover and slightly above BL2 right of it (close to the
+// min(BL1,BL2) ideal); the on-chain-trace baselines cost up to an order of
+// magnitude more than GRuB in read-intensive workloads.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace grub;
+  using namespace grub::bench;
+
+  const std::vector<double> ratios = {0, 0.125, 0.5, 1, 4, 16, 64, 256};
+
+  std::vector<std::string> columns;
+  for (double r : ratios) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%g", r);
+    columns.push_back(buf);
+  }
+  PrintHeader("Figure 7: Gas per op vs read-to-write ratio", columns);
+
+  struct Variant {
+    std::string label;
+    PolicyFactory policy;
+    bool bl3_reads;
+    bool bl3_writes;
+  };
+  core::SystemOptions base;
+  const uint64_t k = static_cast<uint64_t>(core::BreakEvenK(
+      base.chain_params.gas) + 0.5);
+
+  // GRuB converges to min(BL1,BL2) under repeating workloads via the
+  // memorizing algorithm (K' = Eq. 1, D = 1); the BL3 baselines run the same
+  // decisions but keep the workload trace in contract storage.
+  const std::vector<Variant> variants = {
+      {"No replica (BL1)", BL1(), false, false},
+      {"Always with replica (BL2)", BL2(), false, false},
+      {"Dynamic, on-chain r/w trace (BL3)", Memorizing(k, 1), false, true},
+      {"Dynamic, on-chain read trace (BL3')", Memorizing(k, 1), true, false},
+      {"GRuB (memorizing, K'=" + std::to_string(k) + ",D=1)",
+       Memorizing(k, 1), false, false},
+  };
+
+  std::vector<std::vector<double>> table;
+  for (const auto& variant : variants) {
+    std::vector<double> row;
+    for (double ratio : ratios) {
+      core::SystemOptions options = base;
+      options.trace_reads_on_chain = variant.bl3_reads;
+      options.trace_writes_on_chain = variant.bl3_writes;
+      auto trace = workload::FixedRatioTrace(ratio, 512, 32);
+      row.push_back(
+          ConvergedGasPerOp(options, variant.policy, {}, trace, 32));
+    }
+    PrintRow(variant.label, row, "%12.0f");
+    table.push_back(row);
+  }
+
+  // GRuB's distance from the per-ratio optimum of the static baselines.
+  std::vector<double> optimal, ratio_to_opt;
+  for (size_t i = 0; i < ratios.size(); ++i) {
+    optimal.push_back(std::min(table[0][i], table[1][i]));
+    ratio_to_opt.push_back(table[4][i] / optimal.back());
+  }
+  PrintRow("min(BL1,BL2) [ideal]", optimal, "%12.0f");
+  PrintRow("GRuB / ideal", ratio_to_opt, "%12.2f");
+
+  std::printf(
+      "\nExpected (paper): BL1-BL2 crossover near ratio 2; GRuB close to the "
+      "ideal on both sides; BL3 up to ~10x GRuB at high ratios.\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 9 + Table 4 row "A,B" (§5.2): mixed YCSB Workloads A (50% reads)
+// and B (95% reads), 1024-byte records, four phases A,B,A,B.
+//
+// Paper: BL1 1438.1M (+31.6%), BL2 1588.7M (+45.4%), GRuB 1092.6M. BL1 wins
+// the A phases, BL2 the B phases, GRuB tracks the cheaper baseline with a
+// replication spike at the start of each B phase.
+#include "ycsb_bench.h"
+
+int main() {
+  grub::bench::YcsbRunConfig config;
+  config.workload_a = 'A';
+  config.workload_b = 'B';
+  config.record_bytes = 1024;
+  grub::bench::RunAndPrintMix(config);
+  std::printf("\nPaper: BL1 1438,130,508 (+31.6%%); BL2 1588,684,289 "
+              "(+45.4%%); GRuB 1092,576,982.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// §2.2's throughput claim: "the transaction throughput of a blockchain is
+// bounded by the total Gas a block can take ... reducing the Gas per
+// operation implies the application can submit more operations in a given
+// time." This bench makes the claim concrete: same workload, 10M-Gas
+// blocks, 14-second block interval — how many feed operations fit per
+// second under each placement?
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace grub;
+  using namespace grub::bench;
+
+  const double ratio = 4;  // moderately read-heavy feed
+  auto trace = workload::FixedRatioTrace(ratio, 2048, 32);
+
+  std::printf("=== Effective feed throughput under 10M-Gas blocks, B = 14s "
+              "(fixed ratio %.0f workload) ===\n", ratio);
+  std::printf("%-28s %14s %10s %14s %12s\n", "", "total Gas", "Gas/op",
+              "blocks@10M", "ops/sec");
+
+  double grub_ops_per_sec = 0;
+  for (const auto& [label, policy] :
+       std::vector<std::pair<std::string, PolicyFactory>>{
+           {"No replica (BL1)", BL1()},
+           {"Always with replica (BL2)", BL2()},
+           {"GRuB (memorizing)", Memorizing(2, 1)}}) {
+    core::SystemOptions options;
+    core::GrubSystem system(options, policy());
+    system.Preload({{workload::MakeKey(0), Bytes(32, 0x11)}});
+    system.Drive(trace);  // converge
+    system.Chain().ResetGasCounters();
+    auto epochs = system.Drive(trace);
+    size_t ops = 0;
+    for (const auto& e : epochs) ops += e.ops;
+
+    const double total = static_cast<double>(system.TotalGas());
+    const double per_op = total / static_cast<double>(ops);
+    // Gas-bound throughput: 10M Gas per 14-second block.
+    const double blocks = total / 10e6;
+    const double ops_per_sec =
+        static_cast<double>(ops) / (blocks * 14.0);
+    std::printf("%-28s %14.0f %10.0f %14.1f %12.1f\n", label.c_str(), total,
+                per_op, blocks, ops_per_sec);
+    if (label.rfind("GRuB", 0) == 0) grub_ops_per_sec = ops_per_sec;
+  }
+
+  std::printf("\nGas saving converts 1:1 into feed throughput: GRuB sustains "
+              "%.0f ops/sec where the dearer baseline saturates the chain "
+              "sooner.\n", grub_ops_per_sec);
+
+  // Sanity: the simulator's block-gas-limit machinery agrees with the
+  // arithmetic above.
+  core::SystemOptions limited;
+  limited.chain_params.block_gas_limit = 10'000'000;
+  core::GrubSystem system(limited, Memorizing(2, 1)());
+  system.Preload({{workload::MakeKey(0), Bytes(32, 0x11)}});
+  system.Drive(trace);
+  std::printf("\n(with the limit enforced in-simulator, the same run sealed "
+              "%llu blocks)\n",
+              static_cast<unsigned long long>(
+                  system.Chain().CurrentBlockNumber()));
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary prints the same rows/series the paper reports, as
+// aligned text tables (and the raw numbers, so EXPERIMENTS.md can quote
+// paper-vs-measured).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grub/system.h"
+#include "workload/synthetic.h"
+
+namespace grub::bench {
+
+using PolicyFactory =
+    std::function<std::unique_ptr<core::ReplicationPolicy>()>;
+
+inline PolicyFactory BL1() {
+  return [] { return core::MakeBL1(); };
+}
+inline PolicyFactory BL2() {
+  return [] { return core::MakeBL2(); };
+}
+inline PolicyFactory Memoryless(uint64_t k) {
+  return [k] { return std::make_unique<core::MemorylessPolicy>(k); };
+}
+inline PolicyFactory Memorizing(double k_prime, double d) {
+  return [k_prime, d] {
+    return std::make_unique<core::MemorizingPolicy>(k_prime, d);
+  };
+}
+
+/// Converged per-operation Gas (§5.1): warm-up pass, reset, measured pass.
+inline double ConvergedGasPerOp(const core::SystemOptions& options,
+                                const PolicyFactory& policy,
+                                const workload::Trace& preload_and_trace_key,
+                                const workload::Trace& trace,
+                                size_t record_bytes) {
+  (void)preload_and_trace_key;
+  core::GrubSystem system(options, policy());
+  system.Preload({{workload::MakeKey(0), Bytes(record_bytes, 0x11)}});
+  system.Drive(trace);
+  system.Chain().ResetGasCounters();
+  auto epochs = system.Drive(trace);
+  size_t ops = 0;
+  for (const auto& e : epochs) ops += e.ops;
+  return ops == 0 ? 0.0
+                  : static_cast<double>(system.TotalGas()) /
+                        static_cast<double>(ops);
+}
+
+/// Prints one table row of doubles.
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values, const char* fmt) {
+  std::printf("%-34s", label.c_str());
+  for (double v : values) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-34s", "");
+  for (const auto& c : columns) std::printf("%12s", c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace grub::bench

@@ -1,0 +1,107 @@
+#include "ads/do.h"
+
+#include <algorithm>
+
+#include "ads/verify.h"
+
+namespace grub::ads {
+
+size_t AdsDo::LowerBound(ByteSpan key) const {
+  auto it = std::lower_bound(
+      keys_.begin(), keys_.end(), key,
+      [](const Bytes& a, ByteSpan b) { return Compare(a, b) < 0; });
+  return static_cast<size_t>(it - keys_.begin());
+}
+
+void AdsDo::ApplyLocal(size_t pos, bool existed, const FeedRecord& record) {
+  const Hash256 leaf = record.LeafHash();
+  if (existed) {
+    mirror_.SetLeaf(pos, leaf);
+  } else if (pos == keys_.size()) {
+    keys_.push_back(record.key);
+    mirror_.Append(leaf);
+  } else {
+    keys_.insert(keys_.begin() + static_cast<long>(pos), record.key);
+    std::vector<Hash256> leaves;
+    leaves.reserve(keys_.size());
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (i == pos) {
+        leaves.push_back(leaf);
+      } else {
+        leaves.push_back(mirror_.Leaf(i < pos ? i : i - 1));
+      }
+    }
+    mirror_.Rebuild(std::move(leaves));
+  }
+}
+
+Status AdsDo::VerifiedPut(AdsSp& sp, const FeedRecord& record) {
+  const size_t pos = LowerBound(record.key);
+  const bool existed =
+      pos < keys_.size() && Compare(keys_[pos], record.key) == 0;
+
+  if (existed) {
+    // The SP must prove it still holds the record our root commits to.
+    auto proof = sp.Get(record.key);
+    if (!proof.ok()) {
+      return Status::IntegrityViolation("SP omitted an existing record");
+    }
+    if (proof->index != pos || !VerifyQuery(Root(), *proof)) {
+      return Status::IntegrityViolation("SP proof failed for existing record");
+    }
+  } else {
+    auto absence = sp.ProveAbsent(record.key);
+    if (!absence.ok()) {
+      return Status::IntegrityViolation(
+          "SP claims presence of a record the DO never wrote");
+    }
+    if (!VerifyAbsence(Root(), record.key, *absence)) {
+      return Status::IntegrityViolation("SP absence proof failed");
+    }
+  }
+
+  ApplyLocal(pos, existed, record);
+  auto sp_root = sp.ApplyPut(record);
+  if (!sp_root.ok()) return sp_root.status();
+  if (*sp_root != Root()) {
+    return Status::IntegrityViolation("SP root diverged after update");
+  }
+  return Status::Ok();
+}
+
+Status AdsDo::VerifiedDelete(AdsSp& sp, ByteSpan key) {
+  const size_t pos = LowerBound(key);
+  if (pos >= keys_.size() || Compare(keys_[pos], key) != 0) {
+    return Status::NotFound("VerifiedDelete: unknown key");
+  }
+  auto proof = sp.Get(key);
+  if (!proof.ok() || proof->index != pos || !VerifyQuery(Root(), *proof)) {
+    return Status::IntegrityViolation("SP proof failed before delete");
+  }
+
+  keys_.erase(keys_.begin() + static_cast<long>(pos));
+  std::vector<Hash256> leaves;
+  leaves.reserve(keys_.size());
+  for (size_t i = 0; i < keys_.size() + 1; ++i) {
+    if (i == pos) continue;
+    leaves.push_back(mirror_.Leaf(i));
+  }
+  mirror_.Rebuild(std::move(leaves));
+
+  Status s = sp.ApplyDelete(key);
+  if (!s.ok()) return s;
+  if (sp.Root() != Root()) {
+    return Status::IntegrityViolation("SP root diverged after delete");
+  }
+  return Status::Ok();
+}
+
+void AdsDo::UnverifiedPut(AdsSp& sp, const FeedRecord& record) {
+  const size_t pos = LowerBound(record.key);
+  const bool existed =
+      pos < keys_.size() && Compare(keys_[pos], record.key) == 0;
+  ApplyLocal(pos, existed, record);
+  (void)sp.ApplyPut(record);
+}
+
+}  // namespace grub::ads

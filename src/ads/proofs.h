@@ -1,0 +1,70 @@
+// Proof bundles exchanged between the SP and on-chain verifiers.
+//
+// All bundles expose SerializedBytes(): proofs ride in `deliver` transaction
+// calldata, so their byte size (per Table 2, charged per 32-byte word)
+// directly shapes the Gas results — notably Fig. 12b, where deeper trees mean
+// larger proofs and a lower BL1-favourable threshold.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ads/record.h"
+#include "crypto/merkle.h"
+
+namespace grub::ads {
+
+/// Proof that `record` is the leaf at `index` under the committed root.
+struct QueryProof {
+  FeedRecord record;
+  uint64_t index = 0;
+  uint64_t capacity = 0;
+  MerkleProof path;
+
+  uint64_t SerializedBytes() const {
+    return record.SerializedBytes() + 8 + 8 + path.siblings.size() * 32;
+  }
+};
+
+/// Proof that a key is absent: the adjacent key-sorted records straddling the
+/// key (and/or an empty padding leaf at the tail), proven as one contiguous
+/// window. Relies on the layout invariant maintained by the trusted DO that
+/// live records occupy indices [0, n) contiguously in key order.
+struct AbsenceProof {
+  std::vector<FeedRecord> boundary;  // 0 (empty store), 1 (ends) or 2 records
+  bool empty_tail = false;  // window includes one all-zero padding leaf
+  uint64_t lo = 0;          // index of the first window leaf
+  uint64_t capacity = 0;
+  MerkleRangeProof range;
+
+  uint64_t SerializedBytes() const {
+    uint64_t n = 1 + 8 + 8 + range.complement.size() * 32;
+    for (const auto& r : boundary) n += r.SerializedBytes();
+    return n;
+  }
+};
+
+/// Proof that `records` are exactly the leaves at [lo, lo+records.size()),
+/// plus boundary evidence that the key range [start_key, end_key) contains no
+/// other records (the neighbours just outside, when they exist, are included
+/// in the proven window).
+struct ScanProof {
+  std::vector<FeedRecord> records;  // matching records, key-sorted
+  std::optional<FeedRecord> left_neighbor;   // proves nothing below start
+  std::optional<FeedRecord> right_neighbor;  // proves nothing at/above end
+  bool empty_tail = false;  // window ends with one all-zero padding leaf
+  uint64_t lo = 0;          // index of the first proven leaf
+  uint64_t capacity = 0;
+  MerkleRangeProof range;
+
+  uint64_t SerializedBytes() const {
+    uint64_t n = 1 + 8 + 8 + range.complement.size() * 32;
+    for (const auto& r : records) n += r.SerializedBytes();
+    if (left_neighbor) n += left_neighbor->SerializedBytes();
+    if (right_neighbor) n += right_neighbor->SerializedBytes();
+    return n;
+  }
+};
+
+}  // namespace grub::ads

@@ -1,0 +1,63 @@
+#include "ads/record.h"
+
+namespace grub::ads {
+
+namespace {
+void PutU32(Bytes& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+}  // namespace
+
+Bytes FeedRecord::Serialize() const {
+  Bytes out;
+  out.reserve(SerializedBytes());
+  out.push_back(static_cast<uint8_t>(state));
+  PutU32(out, static_cast<uint32_t>(key.size()));
+  Append(out, key);
+  PutU32(out, static_cast<uint32_t>(value.size()));
+  Append(out, value);
+  return out;
+}
+
+Result<FeedRecord> FeedRecord::Deserialize(ByteSpan data) {
+  auto need = [&](size_t pos, size_t n) { return pos + n <= data.size(); };
+  auto get_u32 = [&](size_t& pos) {
+    uint32_t v = static_cast<uint32_t>(data[pos]) |
+                 (static_cast<uint32_t>(data[pos + 1]) << 8) |
+                 (static_cast<uint32_t>(data[pos + 2]) << 16) |
+                 (static_cast<uint32_t>(data[pos + 3]) << 24);
+    pos += 4;
+    return v;
+  };
+
+  if (data.empty()) return Status::InvalidArgument("FeedRecord: empty");
+  FeedRecord record;
+  size_t pos = 0;
+  const uint8_t state = data[pos++];
+  if (state > 1) return Status::InvalidArgument("FeedRecord: bad state byte");
+  record.state = static_cast<ReplState>(state);
+
+  if (!need(pos, 4)) return Status::InvalidArgument("FeedRecord: truncated");
+  const uint32_t key_len = get_u32(pos);
+  if (!need(pos, key_len)) return Status::InvalidArgument("FeedRecord: truncated key");
+  record.key.assign(data.begin() + static_cast<long>(pos),
+                    data.begin() + static_cast<long>(pos + key_len));
+  pos += key_len;
+
+  if (!need(pos, 4)) return Status::InvalidArgument("FeedRecord: truncated");
+  const uint32_t val_len = get_u32(pos);
+  if (!need(pos, val_len)) return Status::InvalidArgument("FeedRecord: truncated value");
+  record.value.assign(data.begin() + static_cast<long>(pos),
+                      data.begin() + static_cast<long>(pos + val_len));
+  pos += val_len;
+
+  if (pos != data.size()) {
+    return Status::InvalidArgument("FeedRecord: trailing bytes");
+  }
+  return record;
+}
+
+}  // namespace grub::ads

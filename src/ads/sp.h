@@ -1,0 +1,95 @@
+// ADS_SP: the untrusted storage provider's side of the ADS protocol.
+//
+// Holds the authoritative off-chain copy of the feed: a key-sorted record
+// array mirrored into (a) a Merkle tree for proofs and (b) an embedded
+// KVStore (the LevelDB stand-in) for persistence. Serves point queries,
+// absence proofs, and range scans with completeness proofs (§3.3, B.2.2).
+//
+// The SP is the adversary in the trust model; *ForTesting mutators simulate
+// forge/omit/fork attacks so tests can confirm verification catches them.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ads/proofs.h"
+#include "ads/record.h"
+#include "common/status.h"
+#include "crypto/merkle.h"
+#include "kvstore/db.h"
+
+namespace grub::ads {
+
+class AdsSp {
+ public:
+  /// `db_path` empty = in-memory backing store. With a path, the SP
+  /// persists every record through the embedded KVStore and REBUILDS its
+  /// in-memory authenticated state (record array + Merkle tree) from it on
+  /// construction — an SP process restart keeps serving the same root.
+  explicit AdsSp(const std::string& db_path = "");
+
+  /// Applies a DO-sent update: insert (new key) or overwrite (value and/or
+  /// replication state). Returns the new root.
+  Result<Hash256> ApplyPut(const FeedRecord& record);
+
+  /// Removes a key entirely (rare; the feeds overwrite rather than delete).
+  Status ApplyDelete(ByteSpan key);
+
+  Hash256 Root() const { return tree_.Root(); }
+  size_t RecordCount() const { return records_.size(); }
+  size_t Capacity() const { return tree_.Capacity(); }
+
+  /// Point query with membership proof, or kNotFound.
+  Result<QueryProof> Get(ByteSpan key) const;
+
+  /// Proof that `key` has no record.
+  Result<AbsenceProof> ProveAbsent(ByteSpan key) const;
+
+  /// All records with start <= key < end (end empty = unbounded), with a
+  /// completeness proof.
+  Result<ScanProof> Scan(ByteSpan start, ByteSpan end) const;
+
+  /// Audit path for the record at `index` (used by the DO update protocol).
+  Result<QueryProof> GetByIndex(size_t index) const;
+
+  /// Unproven read of a record (DO-side bootstrap / tests).
+  Result<FeedRecord> Peek(ByteSpan key) const;
+
+  /// Advisory replication state pushed by the DO's control plane between
+  /// root publications (§3.3, Listing 2: deliver's `replicate` flag is an
+  /// SP-supplied instruction, trusted only for Gas, never for integrity).
+  /// The authenticated state bit in the record syncs at the next update.
+  void SetAdvisoryState(ByteSpan key, ReplState state);
+  /// Effective replication instruction for deliver: the advisory state if
+  /// one is pending, else the record's authenticated state.
+  ReplState EffectiveState(ByteSpan key) const;
+
+  // --- adversarial mutators for security tests ---
+  /// Forges the stored value without touching the tree (proofs will not
+  /// verify — forge detection).
+  void TamperValueForTesting(ByteSpan key, ByteSpan forged_value);
+  /// Rebuilds the tree over forged data (fork attack — on-chain root pins
+  /// the honest version, so delivered proofs fail against it).
+  void ForkForTesting(ByteSpan key, ByteSpan forged_value);
+  /// Drops a record and rebuilds (omission attack).
+  void OmitForTesting(ByteSpan key);
+
+ private:
+  size_t LowerBound(ByteSpan key) const;
+  void RebuildTree();
+  void PersistRecord(const FeedRecord& record);
+
+  struct BytesLess {
+    bool operator()(const Bytes& a, const Bytes& b) const {
+      return Compare(a, b) < 0;
+    }
+  };
+
+  std::vector<FeedRecord> records_;  // key-sorted, indices = leaf indices
+  MerkleTree tree_;
+  std::unique_ptr<kv::KVStore> db_;
+  std::map<Bytes, ReplState, BytesLess> advisory_;
+};
+
+}  // namespace grub::ads

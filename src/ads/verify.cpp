@@ -1,0 +1,135 @@
+#include "ads/verify.h"
+
+namespace grub::ads {
+
+namespace {
+
+/// Leaf hash with cost accounting (1 prefix byte + record encoding).
+Hash256 CostedLeafHash(const FeedRecord& record, const HashCostFn& cost) {
+  Bytes encoded = record.Serialize();
+  cost(encoded.size() + 1);
+  return MerkleTree::HashLeafData(encoded);
+}
+
+/// Charges the inner-node hashes a range/audit verification performs.
+void ChargeInnerHashes(size_t count, const HashCostFn& cost) {
+  for (size_t i = 0; i < count; ++i) cost(65);  // 1 prefix + 2×32 bytes
+}
+
+}  // namespace
+
+bool VerifyQuery(const Hash256& root, const QueryProof& proof,
+                 const HashCostFn& cost) {
+  const Hash256 leaf = CostedLeafHash(proof.record, cost);
+  ChargeInnerHashes(proof.path.siblings.size(), cost);
+  return MerkleTree::VerifyLeaf(root, leaf, proof.index, proof.capacity,
+                                proof.path);
+}
+
+bool VerifyAbsence(const Hash256& root, ByteSpan key, const AbsenceProof& proof,
+                   const HashCostFn& cost) {
+  // Assemble the claimed window leaves.
+  std::vector<Hash256> leaves;
+  leaves.reserve(proof.boundary.size() + 1);
+  for (const auto& r : proof.boundary) {
+    leaves.push_back(CostedLeafHash(r, cost));
+  }
+  if (proof.empty_tail) leaves.push_back(MerkleTree::EmptyLeaf());
+  if (leaves.empty()) return false;
+
+  // Structural check against the committed root.
+  ChargeInnerHashes(proof.range.complement.size() + leaves.size(), cost);
+  if (!MerkleTree::VerifyRange(root, proof.capacity, proof.lo, leaves,
+                               proof.range)) {
+    return false;
+  }
+
+  // Ordering / straddle checks.
+  for (size_t i = 1; i < proof.boundary.size(); ++i) {
+    if (Compare(proof.boundary[i - 1].key, proof.boundary[i].key) >= 0) {
+      return false;
+    }
+  }
+  for (const auto& r : proof.boundary) {
+    if (Compare(r.key, key) == 0) return false;  // key exists!
+  }
+
+  if (proof.boundary.empty()) {
+    // Empty-store case: the window is the single padding leaf at index 0.
+    return proof.empty_tail && proof.lo == 0;
+  }
+
+  const auto& first = proof.boundary.front();
+  const auto& last = proof.boundary.back();
+
+  if (Compare(key, first.key) < 0) {
+    // Absent before the first record: window must start at index 0.
+    return proof.lo == 0 && proof.boundary.size() == 1;
+  }
+  if (Compare(key, last.key) > 0) {
+    // Absent after the last record: either the padding leaf right after it
+    // is in the window, or the window ends exactly at capacity (full tree).
+    if (proof.boundary.size() != 1 && proof.boundary.size() != 2) return false;
+    // The last boundary record must be the final live record.
+    const uint64_t window_end = proof.lo + leaves.size();
+    return proof.empty_tail || window_end == proof.capacity;
+  }
+  // Strictly between two adjacent records.
+  return proof.boundary.size() == 2 && Compare(first.key, key) < 0 &&
+         Compare(key, last.key) < 0;
+}
+
+bool VerifyScan(const Hash256& root, ByteSpan start, ByteSpan end,
+                const ScanProof& proof, const HashCostFn& cost) {
+  // Assemble window leaves: [left_neighbor] records... [right_neighbor|empty].
+  std::vector<Hash256> leaves;
+  std::vector<const FeedRecord*> window;
+  if (proof.left_neighbor) window.push_back(&*proof.left_neighbor);
+  for (const auto& r : proof.records) window.push_back(&r);
+  if (proof.right_neighbor) window.push_back(&*proof.right_neighbor);
+  for (const auto* r : window) leaves.push_back(CostedLeafHash(*r, cost));
+  if (proof.empty_tail) leaves.push_back(MerkleTree::EmptyLeaf());
+  if (leaves.empty()) return false;
+
+  ChargeInnerHashes(proof.range.complement.size() + leaves.size(), cost);
+  if (!MerkleTree::VerifyRange(root, proof.capacity, proof.lo, leaves,
+                               proof.range)) {
+    return false;
+  }
+
+  // Keys strictly ascending across the whole window.
+  for (size_t i = 1; i < window.size(); ++i) {
+    if (Compare(window[i - 1]->key, window[i]->key) >= 0) return false;
+  }
+
+  // Matching records all inside [start, end).
+  for (const auto& r : proof.records) {
+    if (Compare(r.key, start) < 0) return false;
+    if (!end.empty() && Compare(r.key, end) >= 0) return false;
+  }
+
+  // Left completeness: nothing below `start` is missing.
+  if (proof.left_neighbor) {
+    if (Compare(proof.left_neighbor->key, start) >= 0) return false;
+  } else if (proof.lo != 0) {
+    return false;
+  }
+
+  // Right completeness: nothing at/above the last match up to `end` missing.
+  if (proof.right_neighbor) {
+    if (!end.empty() && Compare(proof.right_neighbor->key, end) < 0) {
+      return false;  // a record in range was presented as the out-of-range
+                     // right neighbour -> omission
+    }
+    if (end.empty()) return false;  // unbounded scan cannot have a neighbour
+  } else {
+    // Window must run to the end of live records: next leaf is padding or
+    // the window hits capacity.
+    const uint64_t window_end = proof.lo + leaves.size();
+    if (!proof.empty_tail && window_end != proof.capacity) return false;
+  }
+
+  return true;
+}
+
+}  // namespace grub::ads

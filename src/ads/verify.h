@@ -1,0 +1,37 @@
+// Proof verification — the ADS_DU role (§3.3).
+//
+// These routines are pure functions of (root, claimed data, proof); the
+// storage-manager contract calls them on-chain through a gas-metering hash
+// counter, and the DO calls them off-chain during the update protocol.
+//
+// Every verifier recomputes leaf hashes from the claimed record bytes (never
+// trusting supplied hashes), so domain separation in MerkleTree makes node/
+// leaf confusion infeasible.
+#pragma once
+
+#include <functional>
+
+#include "ads/proofs.h"
+
+namespace grub::ads {
+
+/// Callback invoked once per SHA-256 computation with the hashed byte count;
+/// on-chain callers charge Chash, off-chain callers pass the no-op.
+using HashCostFn = std::function<void(size_t bytes_hashed)>;
+
+inline void NoHashCost(size_t) {}
+
+/// Membership: `proof.record` is the leaf at `proof.index` under `root`.
+bool VerifyQuery(const Hash256& root, const QueryProof& proof,
+                 const HashCostFn& cost = NoHashCost);
+
+/// Absence of `key` under `root`.
+bool VerifyAbsence(const Hash256& root, ByteSpan key, const AbsenceProof& proof,
+                   const HashCostFn& cost = NoHashCost);
+
+/// Completeness of a scan: proof.records are exactly the records with
+/// start <= key < end (end empty = unbounded) under `root`.
+bool VerifyScan(const Hash256& root, ByteSpan start, ByteSpan end,
+                const ScanProof& proof, const HashCostFn& cost = NoHashCost);
+
+}  // namespace grub::ads

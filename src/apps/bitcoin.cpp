@@ -1,0 +1,129 @@
+#include "apps/bitcoin.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace grub::apps {
+
+namespace {
+
+void PutU32LE(Bytes& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t GetU32LE(ByteSpan data, size_t pos) {
+  return static_cast<uint32_t>(data[pos]) |
+         (static_cast<uint32_t>(data[pos + 1]) << 8) |
+         (static_cast<uint32_t>(data[pos + 2]) << 16) |
+         (static_cast<uint32_t>(data[pos + 3]) << 24);
+}
+
+}  // namespace
+
+Bytes BitcoinHeader::Serialize() const {
+  Bytes out;
+  out.reserve(80);
+  PutU32LE(out, version);
+  Append(out, prev_block.Span());
+  Append(out, merkle_root.Span());
+  PutU32LE(out, timestamp);
+  PutU32LE(out, bits);
+  PutU32LE(out, nonce);
+  return out;
+}
+
+Result<BitcoinHeader> BitcoinHeader::Deserialize(ByteSpan data) {
+  if (data.size() != 80) {
+    return Status::InvalidArgument("BitcoinHeader: need exactly 80 bytes");
+  }
+  BitcoinHeader h;
+  h.version = GetU32LE(data, 0);
+  h.prev_block = Hash256::FromSpan(data.subspan(4, 32));
+  h.merkle_root = Hash256::FromSpan(data.subspan(36, 32));
+  h.timestamp = GetU32LE(data, 68);
+  h.bits = GetU32LE(data, 72);
+  h.nonce = GetU32LE(data, 76);
+  return h;
+}
+
+Hash256 BitcoinHeader::BlockHash() const {
+  const Bytes serialized = Serialize();
+  return Sha256::Digest(Sha256::Digest(serialized).Span());
+}
+
+bool VerifySpv(const BitcoinHeader& header, const SpvProof& proof,
+               const std::function<void(size_t)>& hash_cost) {
+  hash_cost(33);  // leaf hash of the txid
+  for (size_t i = 0; i < proof.path.siblings.size(); ++i) hash_cost(65);
+  const Hash256 leaf = MerkleTree::HashLeafData(proof.txid.Span());
+  return MerkleTree::VerifyLeaf(header.merkle_root, leaf, proof.index,
+                                proof.tree_capacity, proof.path);
+}
+
+BitcoinSimulator::BitcoinSimulator(uint64_t seed, size_t txs_per_block)
+    : rng_(seed), txs_per_block_(txs_per_block) {
+  if (txs_per_block == 0) {
+    throw std::invalid_argument("BitcoinSimulator: need >= 1 tx per block");
+  }
+}
+
+size_t BitcoinSimulator::MineBlock() {
+  std::vector<Hash256> txids;
+  txids.reserve(txs_per_block_);
+  std::vector<Hash256> leaves;
+  leaves.reserve(txs_per_block_);
+  for (size_t i = 0; i < txs_per_block_; ++i) {
+    Hash256 txid;
+    for (auto& b : txid.bytes) b = static_cast<uint8_t>(rng_.NextU64() & 0xFF);
+    leaves.push_back(MerkleTree::HashLeafData(txid.Span()));
+    txids.push_back(txid);
+  }
+  MerkleTree tree(std::move(leaves));
+
+  BitcoinHeader header;
+  header.prev_block =
+      headers_.empty() ? Hash256{} : headers_.back().BlockHash();
+  header.merkle_root = tree.Root();
+  header.timestamp = static_cast<uint32_t>(1231006505 + headers_.size() * 600);
+  header.nonce = static_cast<uint32_t>(rng_.NextU64());
+
+  headers_.push_back(header);
+  block_txids_.push_back(std::move(txids));
+  block_trees_.push_back(std::move(tree));
+  return headers_.size() - 1;
+}
+
+const BitcoinHeader& BitcoinSimulator::Header(size_t height) const {
+  if (height >= headers_.size()) {
+    throw std::out_of_range("BitcoinSimulator::Header");
+  }
+  return headers_[height];
+}
+
+const std::vector<Hash256>& BitcoinSimulator::TxIds(size_t height) const {
+  if (height >= block_txids_.size()) {
+    throw std::out_of_range("BitcoinSimulator::TxIds");
+  }
+  return block_txids_[height];
+}
+
+SpvProof BitcoinSimulator::ProveInclusion(size_t height,
+                                          size_t tx_index) const {
+  if (height >= headers_.size()) {
+    throw std::out_of_range("BitcoinSimulator::ProveInclusion: height");
+  }
+  if (tx_index >= block_txids_[height].size()) {
+    throw std::out_of_range("BitcoinSimulator::ProveInclusion: tx index");
+  }
+  SpvProof proof;
+  proof.txid = block_txids_[height][tx_index];
+  proof.index = tx_index;
+  proof.tree_capacity = block_trees_[height].Capacity();
+  proof.path = block_trees_[height].ProveLeaf(tx_index);
+  return proof;
+}
+
+}  // namespace grub::apps

@@ -1,0 +1,73 @@
+// Bitcoin substrate simulator for the BtcRelay case study (§4.2).
+//
+// The paper's DO "runs a trusted off-chain Bitcoin client that gets notified
+// every time a Bitcoin block is found". We simulate that client: a chain of
+// 80-byte block headers whose Merkle roots commit to synthetic transaction
+// ids, so SPV inclusion proofs can be produced and verified exactly as a
+// pegged-token contract does on Ethereum.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/hash256.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+
+namespace grub::apps {
+
+struct BitcoinHeader {
+  uint32_t version = 2;
+  Hash256 prev_block;
+  Hash256 merkle_root;
+  uint32_t timestamp = 0;
+  uint32_t bits = 0x1d00ffff;
+  uint32_t nonce = 0;
+
+  /// Canonical 80-byte serialization (Bitcoin wire layout).
+  Bytes Serialize() const;
+  static Result<BitcoinHeader> Deserialize(ByteSpan data);
+
+  /// Block hash: double SHA-256 of the serialized header.
+  Hash256 BlockHash() const;
+};
+
+/// An SPV proof: a transaction id plus its Merkle audit path inside a block.
+struct SpvProof {
+  Hash256 txid;
+  uint64_t index = 0;
+  uint64_t tree_capacity = 0;
+  MerkleProof path;
+};
+
+/// Verifies an SPV proof against a header's Merkle root. `hash_cost` is
+/// invoked per hash so on-chain verifiers can charge Gas.
+bool VerifySpv(const BitcoinHeader& header, const SpvProof& proof,
+               const std::function<void(size_t)>& hash_cost = [](size_t) {});
+
+class BitcoinSimulator {
+ public:
+  explicit BitcoinSimulator(uint64_t seed, size_t txs_per_block = 8);
+
+  /// Mines the next block; returns its height (0-based).
+  size_t MineBlock();
+
+  size_t Height() const { return headers_.size(); }
+  const BitcoinHeader& Header(size_t height) const;
+  const std::vector<Hash256>& TxIds(size_t height) const;
+
+  /// SPV proof for transaction `tx_index` of block `height`.
+  SpvProof ProveInclusion(size_t height, size_t tx_index) const;
+
+ private:
+  Rng rng_;
+  size_t txs_per_block_;
+  std::vector<BitcoinHeader> headers_;
+  std::vector<std::vector<Hash256>> block_txids_;
+  std::vector<MerkleTree> block_trees_;
+};
+
+}  // namespace grub::apps

@@ -1,0 +1,87 @@
+#include "apps/erc20.h"
+
+namespace grub::apps {
+
+Word Erc20Token::BalanceSlot(chain::Address account) {
+  Bytes payload = ToBytes("erc20.balance");
+  Append(payload, U64ToBytes(account));
+  return Sha256::Digest(payload);
+}
+
+Word Erc20Token::SupplySlot() {
+  static const Word slot = Sha256::Digest(ToBytes("erc20.supply"));
+  return slot;
+}
+
+Bytes Erc20Token::EncodeMint(chain::Address to, uint64_t amount) {
+  chain::AbiWriter w;
+  w.U64(to);
+  w.U64(amount);
+  return w.Take();
+}
+
+Bytes Erc20Token::EncodeBurn(chain::Address from, uint64_t amount) {
+  return EncodeMint(from, amount);
+}
+
+Bytes Erc20Token::EncodeTransfer(chain::Address to, uint64_t amount) {
+  return EncodeMint(to, amount);
+}
+
+Status Erc20Token::Call(chain::CallContext& ctx, const std::string& function,
+                        ByteSpan args) {
+  chain::AbiReader r(args);
+
+  if (function == kMintFn) {
+    if (ctx.Sender() != issuer_) {
+      return Status::FailedPrecondition("mint: caller is not the issuer");
+    }
+    const chain::Address to = r.U64();
+    const uint64_t amount = r.U64();
+    ctx.Meter().ChargeHash(1);  // mapping-slot derivation
+    const Word slot = BalanceSlot(to);
+    const uint64_t balance = ctx.Storage().SLoad(slot).ToU64();
+    ctx.Storage().SStore(slot, Word::FromU64(balance + amount));
+    const uint64_t supply = ctx.Storage().SLoad(SupplySlot()).ToU64();
+    ctx.Storage().SStore(SupplySlot(), Word::FromU64(supply + amount));
+    return Status::Ok();
+  }
+
+  if (function == kBurnFn) {
+    if (ctx.Sender() != issuer_) {
+      return Status::FailedPrecondition("burn: caller is not the issuer");
+    }
+    const chain::Address from = r.U64();
+    const uint64_t amount = r.U64();
+    ctx.Meter().ChargeHash(1);
+    const Word slot = BalanceSlot(from);
+    const uint64_t balance = ctx.Storage().SLoad(slot).ToU64();
+    if (balance < amount) {
+      return Status::FailedPrecondition("burn: insufficient balance");
+    }
+    ctx.Storage().SStore(slot, Word::FromU64(balance - amount));
+    const uint64_t supply = ctx.Storage().SLoad(SupplySlot()).ToU64();
+    ctx.Storage().SStore(SupplySlot(), Word::FromU64(supply - amount));
+    return Status::Ok();
+  }
+
+  if (function == kTransferFn) {
+    const chain::Address to = r.U64();
+    const uint64_t amount = r.U64();
+    ctx.Meter().ChargeHash(2);
+    const Word from_slot = BalanceSlot(ctx.Sender());
+    const Word to_slot = BalanceSlot(to);
+    const uint64_t from_balance = ctx.Storage().SLoad(from_slot).ToU64();
+    if (from_balance < amount) {
+      return Status::FailedPrecondition("transfer: insufficient balance");
+    }
+    const uint64_t to_balance = ctx.Storage().SLoad(to_slot).ToU64();
+    ctx.Storage().SStore(from_slot, Word::FromU64(from_balance - amount));
+    ctx.Storage().SStore(to_slot, Word::FromU64(to_balance + amount));
+    return Status::Ok();
+  }
+
+  return Status::NotFound("Erc20Token: unknown function " + function);
+}
+
+}  // namespace grub::apps

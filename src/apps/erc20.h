@@ -1,0 +1,38 @@
+// Minimal ERC20-style token contract (balances + supply in contract
+// storage, Gas-metered like any other storage).
+//
+// Used by both case studies: SCoin (the stablecoin, §4.1) and the
+// Bitcoin-pegged token (§4.2). Mint/burn are restricted to a designated
+// issuer contract.
+#pragma once
+
+#include "chain/abi.h"
+#include "chain/blockchain.h"
+#include "crypto/sha256.h"
+
+namespace grub::apps {
+
+class Erc20Token : public chain::Contract {
+ public:
+  explicit Erc20Token(chain::Address issuer) : issuer_(issuer) {}
+
+  Status Call(chain::CallContext& ctx, const std::string& function,
+              ByteSpan args) override;
+
+  /// Unmetered balance inspection for tests/examples.
+  static Word BalanceSlot(chain::Address account);
+  static Word SupplySlot();
+
+  static constexpr const char* kMintFn = "mint";
+  static constexpr const char* kBurnFn = "burn";
+  static constexpr const char* kTransferFn = "transfer";
+
+  static Bytes EncodeMint(chain::Address to, uint64_t amount);
+  static Bytes EncodeBurn(chain::Address from, uint64_t amount);
+  static Bytes EncodeTransfer(chain::Address to, uint64_t amount);
+
+ private:
+  chain::Address issuer_;
+};
+
+}  // namespace grub::apps

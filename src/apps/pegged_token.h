@@ -1,0 +1,76 @@
+// Bitcoin-pegged ERC20 token on a GRuB BtcRelay feed (§4.2).
+//
+// Mint/burn consume Bitcoin blocks from the feed: "a token-mint (token-burn)
+// operation requires verifying the inclusion of a Bitcoin-deposit
+// (Bitcoin-redeem) transaction against recent Bitcoin blocks from the feed",
+// reading six consecutive blocks (the confirmation depth).
+//
+// Protocol (two-phase, so asynchronous header delivery needs only O(words)
+// of on-chain state per request):
+//   1. `open(request_id, kind, start_height)` — issues six gGets for headers
+//      at heights h..h+5. Each `onHeader` callback checks prev-hash linkage
+//      against the rolling expectation stored on chain, records the first
+//      header's Merkle root, and bumps the confirmation counter.
+//   2. `finalize(request_id, spv_proof, account, amount)` — requires six
+//      confirmations; verifies the SPV proof against the stored root
+//      (metered hashes), then mints or burns and clears the request state.
+#pragma once
+
+#include "apps/bitcoin.h"
+#include "apps/erc20.h"
+#include "grub/storage_manager.h"
+
+namespace grub::apps {
+
+class PeggedToken : public chain::Contract {
+ public:
+  struct Config {
+    chain::Address storage_manager = chain::kNullAddress;
+    uint64_t confirmations = 6;
+  };
+
+  explicit PeggedToken(Config config) : config_(config) {}
+
+  void SetToken(chain::Address token) { token_ = token; }
+
+  Status Call(chain::CallContext& ctx, const std::string& function,
+              ByteSpan args) override;
+
+  enum class Kind : uint64_t { kMint = 1, kBurn = 2 };
+
+  static Bytes EncodeOpen(uint64_t request_id, Kind kind,
+                          uint64_t start_height);
+  static Bytes EncodeFinalize(uint64_t request_id, const SpvProof& proof,
+                              chain::Address account, uint64_t amount);
+  /// The feed key for a Bitcoin block height.
+  static Bytes HeightKey(uint64_t height);
+
+  static constexpr const char* kOpenFn = "open";
+  static constexpr const char* kFinalizeFn = "finalize";
+  static constexpr const char* kOnHeaderFn = "onHeader";
+
+  // Observability.
+  uint64_t mints_completed() const { return mints_completed_; }
+  uint64_t burns_completed() const { return burns_completed_; }
+  uint64_t linkage_failures() const { return linkage_failures_; }
+
+  // Storage slots (inspectable in tests).
+  static Word ProgressSlot(uint64_t request_id);
+  static Word RootSlot(uint64_t request_id);
+  static Word HeaderHashSlot(uint64_t request_id, uint64_t offset);
+  static Word HeaderPrevSlot(uint64_t request_id, uint64_t offset);
+
+ private:
+  Status HandleOpen(chain::CallContext& ctx, ByteSpan args);
+  Status HandleHeader(chain::CallContext& ctx, uint64_t request_id,
+                      ByteSpan args);
+  Status HandleFinalize(chain::CallContext& ctx, ByteSpan args);
+
+  Config config_;
+  chain::Address token_ = chain::kNullAddress;
+  uint64_t mints_completed_ = 0;
+  uint64_t burns_completed_ = 0;
+  uint64_t linkage_failures_ = 0;
+};
+
+}  // namespace grub::apps

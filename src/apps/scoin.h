@@ -1,0 +1,74 @@
+// SCoin: the paper's case-study stablecoin (§4.1) — "a minimalist MakerDAO".
+//
+// SCoinIssuer is a DU smart contract. Users request issuance (sending Ether)
+// or redemption (burning SCoin for Ether). Each request needs the current
+// Ether price, fetched through GRuB's gGet with a callback into the issuer:
+//
+//   issue(order)  -> gGet("ETH/USD", onPrice) -> mint  order.eth * price
+//   redeem(order) -> gGet("ETH/USD", onPrice) -> burn  order.scoin, release
+//                                               order.scoin / price Ether
+//
+// When the price record is replicated the callback runs synchronously inside
+// the user's transaction; otherwise it arrives with the SP's deliver
+// transaction — the issuer keeps an on-chain pending-order queue for that
+// case. Over-collateralization: minting locks `collateral_pct`% worth of
+// Ether (150% like DAI), enforced against the locked-Ether ledger.
+#pragma once
+
+#include <optional>
+
+#include "apps/erc20.h"
+#include "chain/blockchain.h"
+#include "grub/storage_manager.h"
+
+namespace grub::apps {
+
+class SCoinIssuer : public chain::Contract {
+ public:
+  struct Config {
+    chain::Address storage_manager = chain::kNullAddress;
+    Bytes price_key;              // the feed record holding the Ether price
+    uint64_t collateral_pct = 150;  // over-collateralization requirement
+  };
+
+  explicit SCoinIssuer(Config config) : config_(config) {}
+
+  /// The ERC20 the issuer controls; set after deploying the token.
+  void SetToken(chain::Address token) { token_ = token; }
+
+  Status Call(chain::CallContext& ctx, const std::string& function,
+              ByteSpan args) override;
+
+  static Bytes EncodeIssue(chain::Address buyer, uint64_t ether_amount);
+  static Bytes EncodeRedeem(chain::Address seller, uint64_t scoin_amount);
+
+  static constexpr const char* kIssueFn = "issue";
+  static constexpr const char* kRedeemFn = "redeem";
+  static constexpr const char* kOnPriceFn = "onPrice";
+
+  // Observability for tests/examples (not chain state).
+  uint64_t issues_completed() const { return issues_completed_; }
+  uint64_t redeems_completed() const { return redeems_completed_; }
+  uint64_t last_price_seen() const { return last_price_seen_; }
+
+  // Storage slots (inspectable in tests).
+  static Word LockedEtherSlot();
+  static Word PendingHeadSlot();
+  static Word PendingTailSlot();
+  static Word PendingOrderSlot(uint64_t index);
+
+ private:
+  Status StartOrder(chain::CallContext& ctx, bool is_issue,
+                    chain::Address account, uint64_t amount);
+  Status HandlePrice(chain::CallContext& ctx, ByteSpan args);
+  Status Settle(chain::CallContext& ctx, bool is_issue, chain::Address account,
+                uint64_t amount, uint64_t price);
+
+  Config config_;
+  chain::Address token_ = chain::kNullAddress;
+  uint64_t issues_completed_ = 0;
+  uint64_t redeems_completed_ = 0;
+  uint64_t last_price_seen_ = 0;
+};
+
+}  // namespace grub::apps

@@ -1,0 +1,103 @@
+// Minimal length-prefixed argument codec for contract calls.
+//
+// Stands in for the Solidity ABI: calldata Gas is charged on the encoded
+// byte length, so the codec's compactness matters for fidelity. Layout per
+// field: u32 little-endian length, then the raw bytes. Fixed-width helpers
+// (u64, Hash256) skip the length prefix.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/hash256.h"
+
+namespace grub::chain {
+
+class AbiWriter {
+ public:
+  AbiWriter& U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<uint8_t>(v & 0xFF));
+      v >>= 8;
+    }
+    return *this;
+  }
+
+  AbiWriter& Hash(const Hash256& h) {
+    grub::Append(out_, h.Span());
+    return *this;
+  }
+
+  AbiWriter& Blob(ByteSpan data) {
+    U64(data.size());
+    grub::Append(out_, data);
+    return *this;
+  }
+
+  AbiWriter& HashList(const std::vector<Hash256>& hashes) {
+    U64(hashes.size());
+    for (const auto& h : hashes) Hash(h);
+    return *this;
+  }
+
+  Bytes Take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class AbiReader {
+ public:
+  explicit AbiReader(ByteSpan data) : data_(data) {}
+
+  uint64_t U64() {
+    Need(8);
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | data_[pos_ + static_cast<size_t>(i)];
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Hash256 Hash() {
+    Need(32);
+    Hash256 h = Hash256::FromSpan(data_.subspan(pos_, 32));
+    pos_ += 32;
+    return h;
+  }
+
+  Bytes Blob() {
+    const uint64_t len = U64();
+    Need(len);
+    Bytes out(data_.begin() + static_cast<long>(pos_),
+              data_.begin() + static_cast<long>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+
+  std::vector<Hash256> HashList() {
+    const uint64_t n = U64();
+    std::vector<Hash256> out;
+    out.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) out.push_back(Hash());
+    return out;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  void Need(uint64_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw std::out_of_range("AbiReader: truncated calldata");
+    }
+  }
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace grub::chain

@@ -1,0 +1,244 @@
+#include "chain/blockchain.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace grub::chain {
+
+Blockchain::Blockchain(ChainParams params) : params_(std::move(params)) {}
+
+Address Blockchain::Deploy(std::unique_ptr<Contract> contract) {
+  const Address address = next_address_++;
+  contract->address_ = address;
+  storages_.emplace(address, ContractStorage{});
+  contracts_.emplace(address, std::move(contract));
+  return address;
+}
+
+Contract* Blockchain::At(Address address) {
+  auto it = contracts_.find(address);
+  return it == contracts_.end() ? nullptr : it->second.get();
+}
+
+void Blockchain::Submit(Transaction tx) {
+  mempool_.push_back(PendingTx{std::move(tx), now_});
+}
+
+void Blockchain::AdvanceTime(TimeSec seconds) {
+  const TimeSec target = now_ + seconds;
+  while (last_block_time_ + params_.block_interval_sec <= target) {
+    now_ = last_block_time_ + params_.block_interval_sec;
+    MineBlockInternal(/*respect_propagation=*/true);
+  }
+  now_ = target;
+}
+
+std::vector<Receipt> Blockchain::MineBlock() {
+  return MineBlockInternal(/*respect_propagation=*/false);
+}
+
+std::vector<Receipt> Blockchain::MineBlockInternal(bool respect_propagation) {
+  Block block;
+  block.number = blocks_.size() + 1;
+  block.timestamp = now_;
+  last_block_time_ = now_;
+
+  uint64_t block_gas = 0;
+  std::vector<Receipt> receipts;
+  std::deque<PendingTx> not_yet_propagated;
+  while (!mempool_.empty()) {
+    PendingTx pending = std::move(mempool_.front());
+    mempool_.pop_front();
+    if (respect_propagation &&
+        pending.submit_time + params_.propagation_delay_sec > now_) {
+      not_yet_propagated.push_back(std::move(pending));
+      continue;
+    }
+    Receipt receipt = ExecuteTransaction(pending.tx, block.number);
+    block_gas += receipt.gas_used;
+    block.transactions.push_back(std::move(pending.tx));
+    receipts.push_back(std::move(receipt));
+    // Block gas limit: seal the current block and continue in the next one
+    // (a block always takes at least one transaction).
+    if (params_.block_gas_limit != 0 && !mempool_.empty() &&
+        block_gas >= params_.block_gas_limit) {
+      blocks_.push_back(std::move(block));
+      block = Block{};
+      block.number = blocks_.size() + 1;
+      block.timestamp = now_;
+      block_gas = 0;
+    }
+  }
+  mempool_ = std::move(not_yet_propagated);
+  blocks_.push_back(std::move(block));
+  last_receipts_ = receipts;
+  return receipts;
+}
+
+Receipt Blockchain::SubmitAndMine(Transaction tx) {
+  Submit(std::move(tx));
+  auto receipts = MineBlock();
+  return receipts.back();
+}
+
+Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
+                                       uint64_t block_number) {
+  Receipt receipt;
+  receipt.block_number = block_number;
+
+  GasMeter meter(params_.gas);
+  meter.ChargeTx(tx.CalldataBytes());
+
+  call_history_.push_back(CallRecord{.caller = tx.from,
+                                     .contract = tx.to,
+                                     .function = tx.function,
+                                     .calldata = tx.calldata,
+                                     .block_number = block_number,
+                                     .internal = false});
+
+  Contract* contract = At(tx.to);
+  if (contract == nullptr) {
+    receipt.status = Status::NotFound("no contract at target address");
+  } else {
+    std::vector<EventRecord> events;
+    current_tx_events_ = &events;
+    CallContext ctx(*this, meter, MeteredStorage(storages_[tx.to], meter),
+                    tx.to, tx.from, block_number);
+    try {
+      receipt.status = contract->Call(ctx, tx.function, tx.calldata);
+    } catch (const std::exception& e) {
+      receipt.status = Status::Internal(std::string("contract threw: ") + e.what());
+    }
+    receipt.return_data = std::move(ctx.ReturnData());
+    receipt.events = std::move(events);
+    current_tx_events_ = nullptr;
+  }
+
+  receipt.gas_used = meter.Used();
+  receipt.breakdown = meter.Breakdown();
+  total_breakdown_ += meter.Breakdown();
+  return receipt;
+}
+
+Receipt Blockchain::StaticCall(Address to, const std::string& function,
+                               ByteSpan args) {
+  Receipt receipt;
+  receipt.block_number = CurrentBlockNumber();
+
+  GasMeter meter(params_.gas);
+  Contract* contract = At(to);
+  if (contract == nullptr) {
+    receipt.status = Status::NotFound("no contract at target address");
+    return receipt;
+  }
+  std::vector<EventRecord> events;
+  auto* saved = current_tx_events_;
+  current_tx_events_ = &events;
+  in_static_call_ = true;
+  CallContext ctx(*this, meter, MeteredStorage(storages_[to], meter), to,
+                  kNullAddress, receipt.block_number);
+  try {
+    receipt.status = contract->Call(ctx, function, args);
+  } catch (const std::exception& e) {
+    receipt.status = Status::Internal(std::string("contract threw: ") + e.what());
+  }
+  in_static_call_ = false;
+  current_tx_events_ = saved;
+  receipt.return_data = std::move(ctx.ReturnData());
+  receipt.events = std::move(events);
+  receipt.gas_used = meter.Used();
+  receipt.breakdown = meter.Breakdown();
+  // Static calls do not consume on-chain Gas: not added to totals.
+  return receipt;
+}
+
+Result<Bytes> Blockchain::ExecuteInternalCall(GasMeter& meter, Address caller,
+                                              Address to,
+                                              const std::string& function,
+                                              ByteSpan args) {
+  Contract* contract = At(to);
+  if (contract == nullptr) {
+    return Status::NotFound("internal call: no contract at target");
+  }
+  call_history_.push_back(
+      CallRecord{.caller = caller,
+                 .contract = to,
+                 .function = function,
+                 .calldata = Bytes(args.begin(), args.end()),
+                 .block_number = CurrentBlockNumber() + 1,
+                 .internal = true});
+
+  CallContext ctx(*this, meter, MeteredStorage(storages_[to], meter), to,
+                  caller, CurrentBlockNumber() + 1);
+  Status status = contract->Call(ctx, function, args);
+  if (!status.ok()) return status;
+  return std::move(ctx.ReturnData());
+}
+
+void Blockchain::RecordEvent(Address contract, const std::string& name,
+                             ByteSpan data) {
+  EventRecord event{.contract = contract,
+                    .name = name,
+                    .data = Bytes(data.begin(), data.end()),
+                    .block_number = CurrentBlockNumber() + 1,
+                    .log_index = next_log_index_++};
+  if (current_tx_events_ != nullptr) current_tx_events_->push_back(event);
+  if (!in_static_call_) event_log_.push_back(std::move(event));
+}
+
+std::vector<EventRecord> Blockchain::EventsSince(uint64_t from_log_index) const {
+  std::vector<EventRecord> out;
+  // Log indices are dense and ascending; binary-search the start.
+  size_t lo = 0, hi = event_log_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (event_log_[mid].log_index < from_log_index) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  out.assign(event_log_.begin() + static_cast<long>(lo), event_log_.end());
+  return out;
+}
+
+uint64_t Blockchain::FinalizedBlockNumber() const {
+  const uint64_t head = CurrentBlockNumber();
+  return head > params_.finality_depth ? head - params_.finality_depth : 0;
+}
+
+const ContractStorage& Blockchain::StorageOf(Address address) const {
+  auto it = storages_.find(address);
+  if (it == storages_.end()) {
+    throw std::out_of_range("StorageOf: unknown address");
+  }
+  return it->second;
+}
+
+ContractStorage& Blockchain::MutableStorageOf(Address address) {
+  auto it = storages_.find(address);
+  if (it == storages_.end()) {
+    throw std::out_of_range("MutableStorageOf: unknown address");
+  }
+  return it->second;
+}
+
+// --- CallContext methods that need the Blockchain definition ---
+
+void CallContext::EmitEvent(const std::string& name, ByteSpan data) {
+  meter_.ChargeLog(/*topics=*/1, data.size());
+  chain_.RecordEvent(self_, name, data);
+}
+
+Hash256 CallContext::MeteredHash(ByteSpan data) {
+  meter_.ChargeHash(WordsForBytes(data.size()));
+  return Sha256::Digest(data);
+}
+
+Result<Bytes> CallContext::InternalCall(Address to, const std::string& function,
+                                        ByteSpan args) {
+  return chain_.ExecuteInternalCall(meter_, self_, to, function, args);
+}
+
+}  // namespace grub::chain

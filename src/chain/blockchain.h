@@ -1,0 +1,123 @@
+// Deterministic Ethereum-style blockchain simulator.
+//
+// Responsibilities:
+//  * contract registry and call dispatch (transactions + internal calls);
+//  * Gas accounting per transaction and cumulatively, under Table 2;
+//  * logical time: mempool -> blocks every B seconds, finality depth F,
+//    propagation delay Pt (ChainParams, §3.4);
+//  * the EVM event log, queryable by index (the SP watchdog tails it);
+//  * the contract-call history (the DO's workload monitor reads gGet calls
+//    from here, never from the untrusted SP).
+//
+// For cost experiments callers typically use SubmitAndMine(), which includes
+// the transaction in the next block immediately; the consistency tests use
+// the explicit mempool + AdvanceTime path.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "chain/contract.h"
+#include "chain/types.h"
+
+namespace grub::chain {
+
+struct Block {
+  uint64_t number = 0;
+  TimeSec timestamp = 0;
+  std::vector<Transaction> transactions;
+};
+
+class Blockchain {
+ public:
+  explicit Blockchain(ChainParams params = {});
+
+  /// Registers a contract and returns its address.
+  Address Deploy(std::unique_ptr<Contract> contract);
+
+  Contract* At(Address address);
+
+  /// Queues a transaction; it executes when included in a block.
+  void Submit(Transaction tx);
+
+  /// Advances logical time, producing blocks (and executing queued
+  /// transactions) every `block_interval_sec`.
+  void AdvanceTime(TimeSec seconds);
+
+  /// Produces one block immediately containing all queued transactions.
+  /// Returns receipts in queue order.
+  std::vector<Receipt> MineBlock();
+
+  /// Convenience: submit + mine a single transaction, return its receipt.
+  Receipt SubmitAndMine(Transaction tx);
+
+  /// Read-only internal call executed outside any transaction ("eth_call").
+  /// Gas is metered into the returned receipt but NOT added to totals.
+  Receipt StaticCall(Address to, const std::string& function, ByteSpan args);
+
+  // --- used by CallContext ---
+  Result<Bytes> ExecuteInternalCall(GasMeter& meter, Address caller,
+                                    Address to, const std::string& function,
+                                    ByteSpan args);
+  void RecordEvent(Address contract, const std::string& name, ByteSpan data);
+
+  // --- observability ---
+  const std::vector<EventRecord>& EventLog() const { return event_log_; }
+  /// Events with log_index >= from (the watchdog's tailing interface).
+  std::vector<EventRecord> EventsSince(uint64_t from_log_index) const;
+  const std::vector<CallRecord>& CallHistory() const { return call_history_; }
+  const std::vector<Block>& Blocks() const { return blocks_; }
+
+  uint64_t CurrentBlockNumber() const { return blocks_.size(); }
+  TimeSec Now() const { return now_; }
+  /// Highest block number considered final (depth >= finality_depth).
+  uint64_t FinalizedBlockNumber() const;
+
+  uint64_t TotalGasUsed() const { return total_breakdown_.Total(); }
+  const GasBreakdown& TotalBreakdown() const { return total_breakdown_; }
+  /// Resets cumulative Gas counters (experiment phase boundaries).
+  void ResetGasCounters() { total_breakdown_ = GasBreakdown{}; }
+
+  const ChainParams& Params() const { return params_; }
+
+  /// Unmetered storage inspection (test/debug only).
+  const ContractStorage& StorageOf(Address address) const;
+  /// Unmetered mutable storage access for genesis/preload setup (costs are
+  /// deliberately outside the Gas accounting, like a chain's genesis state).
+  ContractStorage& MutableStorageOf(Address address);
+
+ private:
+  Receipt ExecuteTransaction(const Transaction& tx, uint64_t block_number);
+  std::vector<Receipt> MineBlockInternal(bool respect_propagation);
+
+  ChainParams params_;
+  TimeSec now_ = 0;
+  TimeSec last_block_time_ = 0;
+
+  Address next_address_ = 1;
+  std::unordered_map<Address, std::unique_ptr<Contract>> contracts_;
+  std::unordered_map<Address, ContractStorage> storages_;
+
+  struct PendingTx {
+    Transaction tx;
+    TimeSec submit_time;
+  };
+  std::deque<PendingTx> mempool_;
+  std::vector<Block> blocks_;
+  std::vector<Receipt> last_receipts_;
+
+  std::vector<EventRecord> event_log_;
+  std::vector<CallRecord> call_history_;
+  uint64_t next_log_index_ = 0;
+
+  GasBreakdown total_breakdown_;
+  // Events recorded during the currently executing transaction (moved into
+  // its receipt at the end).
+  std::vector<EventRecord>* current_tx_events_ = nullptr;
+  bool in_static_call_ = false;
+};
+
+}  // namespace grub::chain

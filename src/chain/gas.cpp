@@ -1,0 +1,16 @@
+#include "chain/gas.h"
+
+#include <sstream>
+
+namespace grub::chain {
+
+std::string GasBreakdown::ToString() const {
+  std::ostringstream os;
+  os << "tx=" << tx << " insert=" << storage_insert
+     << " update=" << storage_update << " read=" << storage_read
+     << " hash=" << hash << " log=" << log << " other=" << other
+     << " total=" << Total();
+  return os.str();
+}
+
+}  // namespace grub::chain

@@ -1,0 +1,120 @@
+// Ethereum Gas model (Table 2 of the paper).
+//
+//   Transaction              Ctx(X)     = 21000 + 2176·X   (X < 1000 words)
+//   Storage write (insert)   Cinsert(X) = 20000·X
+//   Storage write (update)   Cupdate(X) = 5000·X
+//   Storage read             Cread(X)   = 200·X
+//   Hash computation         Chash(X)   = 30 + 6·X
+//
+// X is the number of 32-byte words. Event (LOG) costs follow the Yellow
+// Paper: 375 base + 375 per topic + 8 per data byte; the paper folds these
+// into its measured figures implicitly via the `request` event.
+//
+// Every on-chain operation in the simulator routes through a GasMeter, so
+// experiment Gas counts are exact functions of the operation stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace grub::chain {
+
+struct GasSchedule {
+  uint64_t tx_base = 21000;
+  uint64_t tx_per_word = 2176;
+  uint64_t sstore_insert_per_word = 20000;
+  uint64_t sstore_update_per_word = 5000;
+  uint64_t sload_per_word = 200;
+  uint64_t hash_base = 30;
+  uint64_t hash_per_word = 6;
+  uint64_t log_base = 375;
+  uint64_t log_per_topic = 375;
+  uint64_t log_per_byte = 8;
+
+  uint64_t TxCost(uint64_t calldata_bytes) const {
+    return tx_base + tx_per_word * WordsForBytes(calldata_bytes);
+  }
+  uint64_t InsertCost(uint64_t words) const {
+    return sstore_insert_per_word * words;
+  }
+  uint64_t UpdateCost(uint64_t words) const {
+    return sstore_update_per_word * words;
+  }
+  uint64_t ReadCost(uint64_t words) const { return sload_per_word * words; }
+  uint64_t HashCost(uint64_t words) const {
+    return hash_base + hash_per_word * words;
+  }
+  uint64_t LogCost(uint64_t topics, uint64_t data_bytes) const {
+    return log_base + log_per_topic * topics + log_per_byte * data_bytes;
+  }
+
+  /// Marginal Gas to ship one word from off-chain to the chain (the
+  /// C_read_off of the algorithm analysis): calldata words of a transaction.
+  uint64_t OffchainReadPerWord() const { return tx_per_word; }
+};
+
+/// Where Gas went — used by benches to explain cost composition.
+struct GasBreakdown {
+  uint64_t tx = 0;
+  uint64_t storage_insert = 0;
+  uint64_t storage_update = 0;
+  uint64_t storage_read = 0;
+  uint64_t hash = 0;
+  uint64_t log = 0;
+  uint64_t other = 0;
+
+  uint64_t Total() const {
+    return tx + storage_insert + storage_update + storage_read + hash + log +
+           other;
+  }
+
+  GasBreakdown& operator+=(const GasBreakdown& o) {
+    tx += o.tx;
+    storage_insert += o.storage_insert;
+    storage_update += o.storage_update;
+    storage_read += o.storage_read;
+    hash += o.hash;
+    log += o.log;
+    other += o.other;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+class GasMeter {
+ public:
+  explicit GasMeter(const GasSchedule& schedule) : schedule_(schedule) {}
+
+  void ChargeTx(uint64_t calldata_bytes) {
+    breakdown_.tx += schedule_.TxCost(calldata_bytes);
+  }
+  void ChargeInsert(uint64_t words) {
+    breakdown_.storage_insert += schedule_.InsertCost(words);
+  }
+  void ChargeUpdate(uint64_t words) {
+    breakdown_.storage_update += schedule_.UpdateCost(words);
+  }
+  void ChargeRead(uint64_t words) {
+    breakdown_.storage_read += schedule_.ReadCost(words);
+  }
+  void ChargeHash(uint64_t words) {
+    breakdown_.hash += schedule_.HashCost(words);
+  }
+  void ChargeLog(uint64_t topics, uint64_t data_bytes) {
+    breakdown_.log += schedule_.LogCost(topics, data_bytes);
+  }
+  void ChargeOther(uint64_t gas) { breakdown_.other += gas; }
+
+  uint64_t Used() const { return breakdown_.Total(); }
+  const GasBreakdown& Breakdown() const { return breakdown_; }
+  const GasSchedule& Schedule() const { return schedule_; }
+
+ private:
+  GasSchedule schedule_;
+  GasBreakdown breakdown_;
+};
+
+}  // namespace grub::chain

@@ -1,0 +1,51 @@
+#include "chain/storage.h"
+
+#include <cstring>
+
+namespace grub::chain {
+
+Word MeteredStorage::SlotKey(const Word& base, uint64_t index) {
+  // base + index over the low 8 bytes (big-endian), with carry confined to
+  // the low quadword — collisions are impossible for blobs < 2^64 words
+  // because bases come from distinct hashes/prefixes.
+  Word key = base;
+  uint64_t low = 0;
+  for (size_t i = 24; i < 32; ++i) low = (low << 8) | key.bytes[i];
+  low += index;
+  for (int i = 31; i >= 24; --i) {
+    key.bytes[static_cast<size_t>(i)] = static_cast<uint8_t>(low & 0xFF);
+    low >>= 8;
+  }
+  return key;
+}
+
+Bytes MeteredStorage::SLoadBytes(const Word& base, size_t byte_len) {
+  Bytes out(byte_len);
+  const uint64_t words = WordsForBytes(byte_len);
+  for (uint64_t w = 0; w < words; ++w) {
+    Word slot = SLoad(SlotKey(base, w));
+    const size_t offset = static_cast<size_t>(w) * kWordSize;
+    const size_t take = std::min(kWordSize, byte_len - offset);
+    std::memcpy(out.data() + offset, slot.bytes.data(), take);
+  }
+  return out;
+}
+
+void MeteredStorage::SStoreBytes(const Word& base, ByteSpan data,
+                                 size_t previous_len) {
+  const uint64_t new_words = WordsForBytes(data.size());
+  for (uint64_t w = 0; w < new_words; ++w) {
+    Word slot{};
+    const size_t offset = static_cast<size_t>(w) * kWordSize;
+    const size_t take = std::min(kWordSize, data.size() - offset);
+    std::memcpy(slot.bytes.data(), data.data() + offset, take);
+    SStore(SlotKey(base, w), slot);
+  }
+  // Zero surplus slots from a longer previous value.
+  const uint64_t old_words = WordsForBytes(previous_len);
+  for (uint64_t w = new_words; w < old_words; ++w) {
+    SStore(SlotKey(base, w), Word{});
+  }
+}
+
+}  // namespace grub::chain

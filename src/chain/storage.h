@@ -1,0 +1,83 @@
+// Gas-metered smart-contract storage.
+//
+// Each contract owns a word-addressed store (32-byte key -> 32-byte value),
+// the EVM storage model. All access is through MeteredStorage, which charges
+// the Table 2 schedule:
+//   * SStore zero->nonzero : insert, 20000/word
+//   * SStore nonzero->any  : update,  5000/word (including deletes-to-zero;
+//     we conservatively ignore Ethereum's partial refunds)
+//   * SLoad                : read,     200/word
+//
+// Multi-word helpers lay a byte blob across consecutive slots derived from a
+// base key, like Solidity's storage arrays.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/hash256.h"
+#include "chain/gas.h"
+
+namespace grub::chain {
+
+/// Raw per-contract backing store; unmetered access is for inspection only.
+class ContractStorage {
+ public:
+  Word Load(const Word& key) const {
+    auto it = slots_.find(key);
+    return it == slots_.end() ? Word{} : it->second;
+  }
+
+  void Store(const Word& key, const Word& value) {
+    if (value.IsZero()) {
+      slots_.erase(key);
+    } else {
+      slots_[key] = value;
+    }
+  }
+
+  size_t SlotCount() const { return slots_.size(); }
+
+ private:
+  std::unordered_map<Word, Word> slots_;
+};
+
+/// The storage view handed to executing contracts; every access is charged.
+class MeteredStorage {
+ public:
+  MeteredStorage(ContractStorage& backing, GasMeter& meter)
+      : backing_(backing), meter_(meter) {}
+
+  Word SLoad(const Word& key) {
+    meter_.ChargeRead(1);
+    return backing_.Load(key);
+  }
+
+  void SStore(const Word& key, const Word& value) {
+    const bool was_zero = backing_.Load(key).IsZero();
+    if (was_zero && !value.IsZero()) {
+      meter_.ChargeInsert(1);
+    } else {
+      meter_.ChargeUpdate(1);
+    }
+    backing_.Store(key, value);
+  }
+
+  /// Reads `byte_len` bytes laid out from `base`. Charges one read per word.
+  Bytes SLoadBytes(const Word& base, size_t byte_len);
+
+  /// Writes a blob across ceil(len/32) slots from `base`. If the previous
+  /// blob was longer, surplus slots are zeroed (charged as updates).
+  void SStoreBytes(const Word& base, ByteSpan data, size_t previous_len);
+
+  /// Slot key for word `index` of the blob at `base` (Solidity-style
+  /// base-hash + offset derivation, but without charging a hash: the EVM
+  /// computes key derivation in cheap arithmetic once the base is hashed).
+  static Word SlotKey(const Word& base, uint64_t index);
+
+ private:
+  ContractStorage& backing_;
+  GasMeter& meter_;
+};
+
+}  // namespace grub::chain

@@ -1,0 +1,79 @@
+// Core chain value types: addresses, transactions, events, receipts, params.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/hash256.h"
+#include "common/status.h"
+#include "chain/gas.h"
+
+namespace grub::chain {
+
+/// Account / contract address. 0 is reserved (the null address).
+using Address = uint64_t;
+inline constexpr Address kNullAddress = 0;
+
+/// Logical time in seconds (used for block production, propagation, epochs).
+using TimeSec = uint64_t;
+
+struct Transaction {
+  Address from = kNullAddress;
+  Address to = kNullAddress;   // target contract
+  std::string function;        // method selector
+  Bytes calldata;              // ABI-encoded arguments
+
+  /// Bytes charged as calldata: args plus a 4-byte selector, mirroring the
+  /// Solidity ABI.
+  uint64_t CalldataBytes() const { return calldata.size() + 4; }
+};
+
+struct EventRecord {
+  Address contract = kNullAddress;
+  std::string name;
+  Bytes data;
+  uint64_t block_number = 0;
+  uint64_t log_index = 0;  // global, monotonically increasing
+};
+
+/// Record of a contract invocation (transaction or internal call). This is
+/// the "natively logged contract-call history" (§3.2) the DO's workload
+/// monitor reads from its full node.
+struct CallRecord {
+  Address caller = kNullAddress;
+  Address contract = kNullAddress;
+  std::string function;
+  Bytes calldata;
+  uint64_t block_number = 0;
+  bool internal = false;  // true for contract-to-contract calls
+};
+
+struct Receipt {
+  Status status = Status::Ok();
+  uint64_t gas_used = 0;
+  GasBreakdown breakdown;
+  Bytes return_data;
+  uint64_t block_number = 0;
+  std::vector<EventRecord> events;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Blockchain timing/finality parameters (§3.4): propagation delay Pt, block
+/// interval B, finality depth F. Ethereum-like defaults.
+struct ChainParams {
+  TimeSec propagation_delay_sec = 1;  // Pt
+  TimeSec block_interval_sec = 14;    // B
+  uint64_t finality_depth = 250;      // F
+  /// "such as 10 million gas per Ethereum block" (§2.2). A block seals once
+  /// its accumulated Gas reaches this (so a block can overshoot by its last
+  /// transaction); a block always takes at least one transaction.
+  /// 0 = unlimited (the cost experiments' default, where only totals
+  /// matter).
+  uint64_t block_gas_limit = 0;
+  GasSchedule gas;
+};
+
+}  // namespace grub::chain

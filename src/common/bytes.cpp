@@ -1,0 +1,97 @@
+#include "common/bytes.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace grub {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string ToHex(ByteSpan data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Bytes FromHex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("FromHex: odd-length hex string");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("FromHex: non-hex character");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string ToString(ByteSpan data) {
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+Bytes U64ToBytes(uint64_t v) {
+  Bytes out(8);
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = static_cast<uint8_t>(v & 0xFF);
+    v >>= 8;
+  }
+  return out;
+}
+
+uint64_t BytesToU64(ByteSpan data) {
+  if (data.size() > 8) {
+    throw std::invalid_argument("BytesToU64: more than 8 bytes");
+  }
+  uint64_t v = 0;
+  for (uint8_t b : data) v = (v << 8) | b;
+  return v;
+}
+
+void Append(Bytes& dst, ByteSpan src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+Bytes Concat(std::initializer_list<ByteSpan> parts) {
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) Append(out, p);
+  return out;
+}
+
+int Compare(ByteSpan a, ByteSpan b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n > 0) {
+    int c = std::memcmp(a.data(), b.data(), n);
+    if (c != 0) return c < 0 ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+}  // namespace grub

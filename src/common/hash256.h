@@ -1,0 +1,87 @@
+// Fixed 32-byte digest type used for Merkle roots, block hashes, storage keys.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace grub {
+
+/// A 32-byte value: SHA-256 digest, Merkle node hash, or EVM storage word.
+struct Hash256 {
+  std::array<uint8_t, 32> bytes{};
+
+  auto operator<=>(const Hash256&) const = default;
+
+  bool IsZero() const {
+    for (uint8_t b : bytes) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  ByteSpan Span() const { return ByteSpan(bytes.data(), bytes.size()); }
+
+  std::string Hex() const { return ToHex(Span()); }
+
+  /// Builds from exactly 32 bytes. Throws std::invalid_argument otherwise.
+  static Hash256 FromSpan(ByteSpan data);
+
+  /// Builds a word whose low 8 bytes hold `v` big-endian (rest zero).
+  static Hash256 FromU64(uint64_t v);
+
+  /// Reads the low 8 bytes as a big-endian u64 (the common "small int word").
+  uint64_t ToU64() const;
+};
+
+inline Hash256 Hash256::FromSpan(ByteSpan data) {
+  if (data.size() != 32) {
+    throw std::invalid_argument("Hash256::FromSpan: need exactly 32 bytes");
+  }
+  Hash256 h;
+  std::memcpy(h.bytes.data(), data.data(), 32);
+  return h;
+}
+
+inline Hash256 Hash256::FromU64(uint64_t v) {
+  Hash256 h;
+  for (int i = 31; i >= 24; --i) {
+    h.bytes[static_cast<size_t>(i)] = static_cast<uint8_t>(v & 0xFF);
+    v >>= 8;
+  }
+  return h;
+}
+
+inline uint64_t Hash256::ToU64() const {
+  uint64_t v = 0;
+  for (size_t i = 24; i < 32; ++i) v = (v << 8) | bytes[i];
+  return v;
+}
+
+/// An EVM storage word is the same shape as a digest.
+using Word = Hash256;
+
+}  // namespace grub
+
+template <>
+struct std::hash<grub::Hash256> {
+  size_t operator()(const grub::Hash256& h) const noexcept {
+    // Mix all four quadwords: words are often structured (small counters in
+    // the low bytes), not just uniform digests.
+    uint64_t acc = 0x9E3779B97F4A7C15ULL;
+    for (size_t i = 0; i < 32; i += 8) {
+      uint64_t v;
+      std::memcpy(&v, h.bytes.data() + i, sizeof(v));
+      acc ^= v;
+      acc *= 0xBF58476D1CE4E5B9ULL;
+      acc ^= acc >> 29;
+    }
+    return static_cast<size_t>(acc);
+  }
+};

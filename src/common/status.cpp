@@ -1,0 +1,29 @@
+#include "common/status.h"
+
+namespace grub {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kIntegrityViolation:
+      return "INTEGRITY_VIOLATION";
+    case StatusCode::kOutOfGas:
+      return "OUT_OF_GAS";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace grub

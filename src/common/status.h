@@ -1,0 +1,120 @@
+// Lightweight Status / Result<T> error handling (std::expected is C++23;
+// this project targets C++20).
+//
+// Convention: recoverable conditions (missing key, failed proof verification,
+// rejected transaction) travel as Status/Result; programming errors throw.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace grub {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kIntegrityViolation,  // proof/signature verification failed
+  kOutOfGas,
+  kUnavailable,
+  kAlreadyExists,
+  kInternal,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status IntegrityViolation(std::string m) {
+    return Status(StatusCode::kIntegrityViolation, std::move(m));
+  }
+  static Status OutOfGas(std::string m) {
+    return Status(StatusCode::kOutOfGas, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Accessing value() on an error throws std::logic_error
+/// carrying the status text — use ok() first on fallible paths.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      throw std::logic_error("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    Check();
+    return *value_;
+  }
+  T& value() & {
+    Check();
+    return *value_;
+  }
+  T&& value() && {
+    Check();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void Check() const {
+    if (!value_.has_value()) {
+      throw std::logic_error("Result::value on error: " + status_.ToString());
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_ = Status::Ok();
+};
+
+}  // namespace grub

@@ -1,0 +1,30 @@
+#include "crypto/signer.h"
+
+namespace grub {
+
+namespace {
+Bytes SignedPayload(const Hash256& digest, uint64_t sequence) {
+  Bytes payload;
+  payload.reserve(32 + 8);
+  Append(payload, digest.Span());
+  Append(payload, U64ToBytes(sequence));
+  return payload;
+}
+}  // namespace
+
+Signature MacSigner::Sign(const Hash256& digest, uint64_t sequence) const {
+  Signature sig;
+  sig.sequence = sequence;
+  Bytes payload = SignedPayload(digest, sequence);
+  sig.mac = HmacSha256(key_, payload);
+  return sig;
+}
+
+bool MacVerifier::Verify(const Hash256& digest, const Signature& sig,
+                         uint64_t min_sequence) const {
+  if (sig.sequence < min_sequence) return false;
+  Bytes payload = SignedPayload(digest, sig.sequence);
+  return HmacSha256(key_, payload) == sig.mac;
+}
+
+}  // namespace grub

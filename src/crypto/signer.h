@@ -1,0 +1,60 @@
+// Root-hash signatures for data freshness.
+//
+// The paper's DO periodically publishes a *signed* Merkle root so DUs and the
+// storage-manager contract can reject stale/forked roots from the SP. The
+// paper's prototype uses Ethereum account signatures (ECDSA). We substitute an
+// HMAC-SHA256 MAC: the verifying smart contract is trusted and can hold the
+// verification key, and Ethereum's Gas model (Table 2) charges hashing rather
+// than signature verification, so the cost accounting and the
+// forge/replay/omit/fork detection semantics are preserved. (Documented in
+// DESIGN.md §2.)
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/hash256.h"
+#include "crypto/sha256.h"
+
+namespace grub {
+
+struct Signature {
+  Hash256 mac;
+  uint64_t sequence = 0;  // monotonic, defeats replay of older roots
+
+  bool operator==(const Signature&) const = default;
+};
+
+/// Signs digests on behalf of the DO. The verifier side is `MacVerifier`.
+class MacSigner {
+ public:
+  explicit MacSigner(Bytes secret_key) : key_(std::move(secret_key)) {}
+
+  /// Signs (digest, sequence). The sequence number must be strictly
+  /// increasing per signer; callers pass the epoch number.
+  Signature Sign(const Hash256& digest, uint64_t sequence) const;
+
+  /// The verification key. With a MAC, signer and verifier share the key; the
+  /// verifier (storage-manager contract) is trusted.
+  const Bytes& VerificationKey() const { return key_; }
+
+ private:
+  Bytes key_;
+};
+
+/// Verifies DO signatures and enforces monotonic sequence numbers
+/// (anti-replay / anti-fork: an SP replaying an old signed root is caught).
+class MacVerifier {
+ public:
+  explicit MacVerifier(Bytes verification_key) : key_(std::move(verification_key)) {}
+
+  /// True iff the signature is valid for (digest, sig.sequence) and
+  /// sig.sequence >= min_sequence.
+  bool Verify(const Hash256& digest, const Signature& sig,
+              uint64_t min_sequence) const;
+
+ private:
+  Bytes key_;
+};
+
+}  // namespace grub

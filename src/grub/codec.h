@@ -1,0 +1,53 @@
+// Wire codecs for GRuB messages that ride in transaction calldata.
+//
+// Byte-exact encodings matter: calldata Gas (2176/word) is the dominant cost
+// of the read path, so proofs and records are serialized compactly and the
+// benches charge the real encoded length.
+#pragma once
+
+#include "ads/proofs.h"
+#include "chain/abi.h"
+#include "chain/types.h"
+#include "common/status.h"
+
+namespace grub::core {
+
+/// One entry of a (possibly batched) deliver transaction: a record with a
+/// membership proof, an absence proof for a missing key, or a whole range
+/// scan with a completeness proof (B.2.2's r2/r3).
+struct DeliverEntry {
+  enum class Kind : uint8_t { kQuery = 0, kAbsence = 1, kScan = 2 };
+
+  Kind kind = Kind::kQuery;
+  ads::QueryProof query;      // kQuery
+  ads::AbsenceProof absence;  // kAbsence
+  ads::ScanProof scan;        // kScan
+  Bytes key;                  // queried key, or the scan's start key
+  Bytes end_key;              // kScan: exclusive upper bound
+  chain::Address callback_contract = chain::kNullAddress;
+  std::string callback_function;
+  /// Identical requests in one batch share a single proof; the callback is
+  /// invoked `repeats` times (SP-side dedup of a read burst on one key).
+  uint64_t repeats = 1;
+  /// SP-asserted replication instruction (Listing 2's `replicate` argument).
+  /// Trusted for Gas only: a lying SP can waste replication Gas or forgo
+  /// replica savings, never break integrity.
+  bool replicate_hint = false;
+
+  // Compatibility helper for the common point-query case.
+  bool present() const { return kind == Kind::kQuery; }
+};
+
+void EncodeQueryProof(chain::AbiWriter& w, const ads::QueryProof& proof);
+Result<ads::QueryProof> DecodeQueryProof(chain::AbiReader& r);
+
+void EncodeAbsenceProof(chain::AbiWriter& w, const ads::AbsenceProof& proof);
+Result<ads::AbsenceProof> DecodeAbsenceProof(chain::AbiReader& r);
+
+void EncodeScanProof(chain::AbiWriter& w, const ads::ScanProof& proof);
+Result<ads::ScanProof> DecodeScanProof(chain::AbiReader& r);
+
+void EncodeDeliverEntry(chain::AbiWriter& w, const DeliverEntry& entry);
+Result<DeliverEntry> DecodeDeliverEntry(chain::AbiReader& r);
+
+}  // namespace grub::core

@@ -1,0 +1,55 @@
+#include "grub/consumer.h"
+
+#include "chain/abi.h"
+#include "grub/storage_manager.h"
+
+namespace grub::core {
+
+Bytes ConsumerContract::EncodeRun(uint64_t expected_reads) {
+  chain::AbiWriter w;
+  w.U64(expected_reads);
+  return w.Take();
+}
+
+Status ConsumerContract::Call(chain::CallContext& ctx,
+                              const std::string& function, ByteSpan args) {
+  if (function == kRunFn) {
+    std::vector<Bytes> batch = std::move(queued_);
+    queued_.clear();
+    for (const auto& key : batch) {
+      Bytes gget_args =
+          StorageManagerContract::EncodeGGet(key, address(), kOnDataFn);
+      auto result = ctx.InternalCall(manager_, StorageManagerContract::kGGetFn,
+                                     gget_args);
+      if (!result.ok()) return result.status();
+    }
+    auto scans = std::move(queued_scans_);
+    queued_scans_.clear();
+    for (const auto& [start, end] : scans) {
+      Bytes gscan_args = StorageManagerContract::EncodeGScan(
+          start, end, address(), kOnDataFn);
+      auto result = ctx.InternalCall(
+          manager_, StorageManagerContract::kGScanFn, gscan_args);
+      if (!result.ok()) return result.status();
+    }
+    return Status::Ok();
+  }
+
+  if (function == kOnDataFn) {
+    chain::AbiReader r(args);
+    Bytes key = r.Blob();
+    Bytes value = r.Blob();
+    const bool found = r.U64() != 0;
+    if (found) {
+      values_received_ += 1;
+      received_.emplace_back(std::move(key), std::move(value));
+    } else {
+      misses_received_ += 1;
+    }
+    return Status::Ok();
+  }
+
+  return Status::NotFound("Consumer: unknown function " + function);
+}
+
+}  // namespace grub::core

@@ -1,0 +1,160 @@
+#include "grub/do_client.h"
+
+#include <stdexcept>
+
+#include "chain/abi.h"
+
+namespace grub::core {
+
+DoClient::DoClient(chain::Blockchain& chain, ads::AdsSp& sp, Options options,
+                   std::unique_ptr<ReplicationPolicy> policy)
+    : chain_(chain),
+      sp_(sp),
+      options_(options),
+      policy_(std::move(policy)),
+      ads_do_(ToBytes("grub-do-signing-key")) {
+  auto db = kv::KVStore::Open(kv::Options{}, "");
+  if (!db.ok()) throw std::runtime_error("DoClient: value cache open failed");
+  value_cache_ = std::move(db).value();
+}
+
+void DoClient::BufferPut(Bytes key, Bytes value) {
+  // The monitor observes local writes as they arrive (§3.2); the decision
+  // propagates to the SP as advisory state immediately (Gas-free), while
+  // the authenticated state bit syncs with the next update() transaction.
+  policy_->Observe(workload::Operation::Write(key, {}));
+  sp_.SetAdvisoryState(key, policy_->StateOf(key));
+  touched_.insert(key);
+  pending_writes_.push_back(BufferedWrite{std::move(key), std::move(value)});
+}
+
+void DoClient::NoteRead(const Bytes& key) {
+  // Reads are federated from the chain's call history; NoteRead models the
+  // continuous, timestamp-merged view of that monitor (the history remains
+  // the integrity source — see MonitorChainHistory).
+  policy_->Observe(workload::Operation::Read(key));
+  sp_.SetAdvisoryState(key, policy_->StateOf(key));
+  touched_.insert(key);
+}
+
+Result<Bytes> DoClient::CachedValue(const Bytes& key) const {
+  return value_cache_->Get(key);
+}
+
+void DoClient::Preload(const std::vector<std::pair<Bytes, Bytes>>& records) {
+  auto& genesis = chain_.MutableStorageOf(options_.storage_manager);
+  for (const auto& [key, value] : records) {
+    const ads::ReplState state = policy_->StateOf(key);
+    ads::FeedRecord record{key, value, state};
+    ads_do_.UnverifiedPut(sp_, record);
+    (void)value_cache_->Put(key, value);
+    known_keys_.insert(key);
+    // Genesis-warm the contract slots (converged-cost methodology: the
+    // measured run charges update-rate re-replication, never the one-time
+    // cold inserts). Always-R policies start with live replicas, matching
+    // the paper's BL2 where the dataset is on chain before the experiment.
+    const bool live = state == ads::ReplState::kR;
+    StorageManagerContract::PreloadReplica(genesis, key, value, live);
+    if (live) replicas_on_chain_.insert(key);
+  }
+  chain::Transaction tx;
+  tx.from = options_.do_account;
+  tx.to = options_.storage_manager;
+  tx.function = StorageManagerContract::kUpdateFn;
+  tx.calldata =
+      StorageManagerContract::EncodeUpdate(ads_do_.Root(), epoch_, {}, {});
+  chain_.SubmitAndMine(std::move(tx));
+  epoch_ += 1;
+  // Skip monitor processing of history up to now (preload is not workload).
+  call_history_cursor_ = chain_.CallHistory().size();
+}
+
+void DoClient::MonitorChainHistory() {
+  const auto& history = chain_.CallHistory();
+  for (; call_history_cursor_ < history.size(); ++call_history_cursor_) {
+    const auto& call = history[call_history_cursor_];
+    if (call.contract != options_.storage_manager) continue;
+    if (call.internal || call.function != StorageManagerContract::kDeliverFn) {
+      continue;
+    }
+    // Track lazy replica materialization: entries delivered with the
+    // replicate instruction were inserted into contract storage.
+    chain::AbiReader r(call.calldata);
+    const uint64_t n = r.U64();
+    for (uint64_t i = 0; i < n; ++i) {
+      auto entry = DecodeDeliverEntry(r);
+      if (!entry.ok()) break;
+      if (entry->present() && entry->replicate_hint) {
+        replicas_on_chain_.insert(entry->query.record.key);
+      }
+    }
+  }
+}
+
+bool DoClient::EndEpochIfDirty() {
+  // A time-based epoch boundary with nothing buffered publishes nothing:
+  // advisory state already steers deliver-time replication, and evictions
+  // can ride the next real update. (Replication decisions cost no extra
+  // transactions — the design point of §3.3's write path.)
+  if (pending_writes_.empty()) return false;
+  EndEpoch();
+  return true;
+}
+
+chain::Receipt DoClient::EndEpoch() {
+  // 1. Monitor the chain history (replica tracking; reads were already
+  // observed continuously).
+  MonitorChainHistory();
+
+  std::set<Bytes> touched = std::move(touched_);
+  touched_.clear();
+
+  // 2. Actuate on the ADS: apply writes carrying their decided state (the
+  // authenticated state bit syncs here).
+  for (auto& write : pending_writes_) {
+    const ads::ReplState state = policy_->StateOf(write.key);
+    ads::FeedRecord record{write.key, write.value, state};
+    Status s = ads_do_.VerifiedPut(sp_, record);
+    if (!s.ok()) {
+      throw std::runtime_error("DoClient: verified put failed: " +
+                               s.ToString());
+    }
+    (void)value_cache_->Put(write.key, write.value);
+    known_keys_.insert(write.key);
+  }
+
+  // 3. Build the update() transaction. Written records whose decided state
+  // is R ride with full values ("KV records with replicated state (R) are
+  // included in the update() call") — the contract inserts or refreshes the
+  // replica. Writes decided NR ship nothing (digest only). R->NR
+  // transitions evict. Read-promoted records not written this epoch
+  // materialize lazily through the next deliver (replicate instruction).
+  std::vector<ads::FeedRecord> replicated_updates;
+  std::vector<Bytes> evictions;
+  for (auto& write : pending_writes_) {
+    if (policy_->StateOf(write.key) != ads::ReplState::kR) continue;
+    replicated_updates.push_back(
+        ads::FeedRecord{write.key, write.value, ads::ReplState::kR});
+    replicas_on_chain_.insert(write.key);
+  }
+  for (const auto& key : touched) {
+    if (!replicas_on_chain_.count(key)) continue;
+    if (policy_->StateOf(key) == ads::ReplState::kNR) {
+      evictions.push_back(key);
+      replicas_on_chain_.erase(key);
+    }
+  }
+  pending_writes_.clear();
+
+  chain::Transaction tx;
+  tx.from = options_.do_account;
+  tx.to = options_.storage_manager;
+  tx.function = StorageManagerContract::kUpdateFn;
+  tx.calldata = StorageManagerContract::EncodeUpdate(
+      ads_do_.Root(), epoch_, replicated_updates, evictions);
+  chain::Receipt receipt = chain_.SubmitAndMine(std::move(tx));
+  epoch_ += 1;
+  return receipt;
+}
+
+}  // namespace grub::core

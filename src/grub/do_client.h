@@ -1,0 +1,106 @@
+// The data owner's off-chain client: GRuB's control plane (§3.2) plus the
+// write path of the data plane (§B.2.1).
+//
+// Per epoch the DO:
+//  1. MONITORS: recovers the epoch's reads from the blockchain's
+//     contract-call history (gGet internal calls) — never from the untrusted
+//     SP — and tracks which replicas materialized on chain by decoding
+//     deliver transactions. Local writes are observed directly.
+//  2. DECIDES: feeds the federated trace (reads first — they landed on chain
+//     before this epoch's write batch — then writes) to the pluggable
+//     ReplicationPolicy.
+//  3. ACTUATES: flips record state bits through verified ADS updates on the
+//     SP (changing the root), and sends ONE update() transaction carrying
+//     the new signed digest, full values for records whose on-chain replica
+//     must stay fresh, and evictions for R->NR transitions. NR->R
+//     materialization is lazy: the next read's deliver inserts the replica
+//     (charged then), so replicas that are never read again cost nothing
+//     on-chain.
+#pragma once
+
+#include <set>
+
+#include "ads/do.h"
+#include "ads/sp.h"
+#include "chain/blockchain.h"
+#include "grub/policy.h"
+#include "grub/storage_manager.h"
+#include "kvstore/db.h"
+
+namespace grub::core {
+
+class DoClient {
+ public:
+  struct Options {
+    chain::Address do_account = chain::kNullAddress;
+    chain::Address storage_manager = chain::kNullAddress;
+  };
+
+  DoClient(chain::Blockchain& chain, ads::AdsSp& sp, Options options,
+           std::unique_ptr<ReplicationPolicy> policy);
+
+  /// Buffers one data update for the current epoch (a gPuts item).
+  void BufferPut(Bytes key, Bytes value);
+
+  /// Feeds one DU read to the workload monitor at its position in the
+  /// operation stream. The paper's monitor continuously federates the
+  /// chain-recovered read trace with local write timestamps (§3.2);
+  /// NoteRead models that merged stream at operation granularity. The chain
+  /// history remains the integrity source (replica tracking decodes deliver
+  /// transactions; nothing is ever learned from the SP).
+  void NoteRead(const Bytes& key);
+
+  /// Bulk-loads initial records (no verification round-trips, one update
+  /// transaction). Benchmarks reset Gas counters afterwards.
+  void Preload(const std::vector<std::pair<Bytes, Bytes>>& records);
+
+  /// Closes the epoch: monitor -> decide -> actuate -> update() transaction.
+  /// Returns the receipt of the update transaction.
+  chain::Receipt EndEpoch();
+
+  /// Time-based epoch boundary (the paper's epochs are intervals, e.g. one
+  /// minute): closes the epoch only if there is something to publish —
+  /// buffered writes, replication-state transitions, or evictions. A
+  /// boundary with no changes costs nothing (no transaction). Returns true
+  /// if an update transaction was sent.
+  bool EndEpochIfDirty();
+
+  uint64_t CurrentEpoch() const { return epoch_; }
+  const ReplicationPolicy& Policy() const { return *policy_; }
+  ReplicationPolicy& MutablePolicy() { return *policy_; }
+
+  /// Keys whose replica currently lives in contract storage (as tracked by
+  /// the monitor).
+  const std::set<Bytes>& OnChainReplicas() const { return replicas_on_chain_; }
+
+  /// The DO's ADS root (what the next update() will publish).
+  Hash256 Root() const { return ads_do_.Root(); }
+
+ private:
+  void MonitorChainHistory();
+  Result<Bytes> CachedValue(const Bytes& key) const;
+
+  chain::Blockchain& chain_;
+  ads::AdsSp& sp_;
+  Options options_;
+  std::unique_ptr<ReplicationPolicy> policy_;
+  ads::AdsDo ads_do_;
+
+  // DO-local copy of current values (it produced them), in the embedded
+  // KVStore — used to re-encode records on state-only flips.
+  std::unique_ptr<kv::KVStore> value_cache_;
+
+  struct BufferedWrite {
+    Bytes key;
+    Bytes value;
+  };
+  std::vector<BufferedWrite> pending_writes_;
+  std::set<Bytes> touched_;  // keys observed since the last epoch close
+
+  std::set<Bytes> replicas_on_chain_;
+  std::set<Bytes> known_keys_;
+  size_t call_history_cursor_ = 0;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace grub::core

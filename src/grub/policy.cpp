@@ -1,0 +1,142 @@
+#include "grub/policy.h"
+
+namespace grub::core {
+
+using workload::OpType;
+
+// --- MemorylessPolicy (Algorithm 1) ---
+
+void MemorylessPolicy::Observe(const workload::Operation& op) {
+  State& s = states_[op.key];
+  if (op.type == OpType::kWrite) {
+    s.consecutive_reads = 0;
+    s.state = ads::ReplState::kNR;
+    return;
+  }
+  if (s.consecutive_reads < k_) s.consecutive_reads += 1;
+  s.state =
+      s.consecutive_reads >= k_ ? ads::ReplState::kR : ads::ReplState::kNR;
+}
+
+ads::ReplState MemorylessPolicy::StateOf(const Bytes& key) const {
+  auto it = states_.find(key);
+  return it == states_.end() ? ads::ReplState::kNR : it->second.state;
+}
+
+// --- MemorizingPolicy (Algorithm 2) ---
+
+void MemorizingPolicy::Observe(const workload::Operation& op) {
+  State& s = states_[op.key];
+  if (op.type == OpType::kWrite) {
+    s.w_count += 1;
+  } else {
+    s.r_count += 1;
+  }
+  // NR -> R: accumulated reads outweigh writes by the hysteresis margin.
+  if (s.state == ads::ReplState::kNR &&
+      s.w_count * k_prime_ + d_ <= s.r_count) {
+    s.state = ads::ReplState::kR;
+    // Reset per §3.1: wCount = 0, rCount = D.
+    s.w_count = 0;
+    s.r_count = d_;
+  }
+  // R -> NR: writes outweigh reads by the margin.
+  if (s.state == ads::ReplState::kR && s.w_count * k_prime_ - d_ >= s.r_count) {
+    s.state = ads::ReplState::kNR;
+    // Reset per §3.1: rCount = 0, wCount = D / K'.
+    s.r_count = 0;
+    s.w_count = k_prime_ > 0 ? d_ / k_prime_ : 0;
+  }
+}
+
+ads::ReplState MemorizingPolicy::StateOf(const Bytes& key) const {
+  auto it = states_.find(key);
+  return it == states_.end() ? ads::ReplState::kNR : it->second.state;
+}
+
+// --- AdaptiveKPolicy (Appendix C.3) ---
+
+void AdaptiveKPolicy::Observe(const workload::Operation& op) {
+  State& s = states_[op.key];
+  if (op.type != OpType::kWrite) {
+    s.reads_since_write += 1;
+    return;
+  }
+
+  // Close the read-run of the previous write and keep the trailing window.
+  s.recent_read_runs.push_back(s.reads_since_write);
+  if (s.recent_read_runs.size() > window_) {
+    s.recent_read_runs.erase(s.recent_read_runs.begin());
+  }
+  s.reads_since_write = 0;
+
+  double sum = 0;
+  for (uint64_t run : s.recent_read_runs) sum += static_cast<double>(run);
+  const double predicted_k =
+      sum / static_cast<double>(s.recent_read_runs.size());
+
+  const bool prediction_clears = predicted_k >= threshold_;
+  const bool replicate =
+      repeat_hypothesis_ ? prediction_clears : !prediction_clears;
+  s.state = replicate ? ads::ReplState::kR : ads::ReplState::kNR;
+}
+
+ads::ReplState AdaptiveKPolicy::StateOf(const Bytes& key) const {
+  auto it = states_.find(key);
+  return it == states_.end() ? ads::ReplState::kNR : it->second.state;
+}
+
+// --- OfflineOptimalPolicy ---
+
+OfflineOptimalPolicy::OfflineOptimalPolicy(const workload::Trace& trace,
+                                           double break_even_reads) {
+  // First pass: reads following each write, per key.
+  KeyMap<std::vector<uint64_t>> read_runs;
+  KeyMap<uint64_t> open_run;  // reads since the last write, per key
+  KeyMap<bool> has_open_write;
+
+  for (const auto& op : trace) {
+    if (op.type == OpType::kWrite) {
+      if (has_open_write[op.key]) {
+        read_runs[op.key].push_back(open_run[op.key]);
+      }
+      has_open_write[op.key] = true;
+      open_run[op.key] = 0;
+    } else {
+      open_run[op.key] += 1;
+    }
+  }
+  for (auto& [key, open] : has_open_write) {
+    if (open) read_runs[key].push_back(open_run[key]);
+  }
+
+  // Decision per write: replicate iff the following reads repay it.
+  for (auto& [key, runs] : read_runs) {
+    State s;
+    s.decisions.reserve(runs.size());
+    for (uint64_t reads : runs) {
+      s.decisions.push_back(static_cast<double>(reads) >= break_even_reads
+                                ? ads::ReplState::kR
+                                : ads::ReplState::kNR);
+    }
+    states_.emplace(key, std::move(s));
+  }
+}
+
+void OfflineOptimalPolicy::Observe(const workload::Operation& op) {
+  if (op.type != OpType::kWrite) return;
+  auto it = states_.find(op.key);
+  if (it == states_.end()) return;
+  State& s = it->second;
+  if (s.next_write < s.decisions.size()) {
+    s.state = s.decisions[s.next_write];
+    s.next_write += 1;
+  }
+}
+
+ads::ReplState OfflineOptimalPolicy::StateOf(const Bytes& key) const {
+  auto it = states_.find(key);
+  return it == states_.end() ? ads::ReplState::kNR : it->second.state;
+}
+
+}  // namespace grub::core

@@ -1,0 +1,85 @@
+#include "grub/sp_daemon.h"
+
+#include <map>
+#include <tuple>
+
+#include "chain/abi.h"
+
+namespace grub::core {
+
+size_t SpDaemon::PollAndServe() {
+  auto events = chain_.EventsSince(cursor_);
+  if (!events.empty()) cursor_ = events.back().log_index + 1;
+
+  // Dedup a read burst: identical (key, callback) requests in one poll share
+  // a single proof; the callback fires once per original request.
+  std::vector<DeliverEntry> entries;
+  std::map<std::tuple<Bytes, chain::Address, std::string>, size_t> index_of;
+  for (const auto& event : events) {
+    if (event.contract != manager_) continue;
+    if (event.name == StorageManagerContract::kRequestScanEvent) {
+      chain::AbiReader r(event.data);
+      DeliverEntry entry;
+      entry.kind = DeliverEntry::Kind::kScan;
+      entry.key = r.Blob();
+      entry.end_key = r.Blob();
+      entry.callback_contract = r.U64();
+      entry.callback_function = ToString(r.Blob());
+      auto scan = sp_.Scan(entry.key, entry.end_key);
+      if (!scan.ok()) continue;
+      entry.scan = std::move(scan).value();
+      entries.push_back(std::move(entry));
+      continue;
+    }
+    if (event.name != StorageManagerContract::kRequestEvent) {
+      continue;
+    }
+    chain::AbiReader r(event.data);
+    Bytes key = r.Blob();
+    const chain::Address callback_contract = r.U64();
+    const std::string callback_function = ToString(r.Blob());
+
+    auto dedup_key = std::make_tuple(key, callback_contract, callback_function);
+    if (dedup_batch_) {
+      if (auto it = index_of.find(dedup_key); it != index_of.end()) {
+        entries[it->second].repeats += 1;
+        continue;
+      }
+    }
+
+    DeliverEntry entry;
+    entry.key = key;
+    entry.callback_contract = callback_contract;
+    entry.callback_function = callback_function;
+
+    auto proof = sp_.Get(key);
+    if (proof.ok()) {
+      entry.kind = DeliverEntry::Kind::kQuery;
+      entry.query = std::move(proof).value();
+      entry.replicate_hint =
+          sp_.EffectiveState(key) == ads::ReplState::kR;
+    } else {
+      entry.kind = DeliverEntry::Kind::kAbsence;
+      auto absence = sp_.ProveAbsent(key);
+      if (!absence.ok()) continue;  // cannot serve: neither present nor absent
+      entry.absence = std::move(absence).value();
+    }
+    if (dedup_batch_) index_of.emplace(std::move(dedup_key), entries.size());
+    entries.push_back(std::move(entry));
+  }
+
+  if (entries.empty()) return 0;
+  size_t served = 0;
+  for (const auto& entry : entries) served += entry.repeats;
+
+  chain::Transaction tx;
+  tx.from = sp_account_;
+  tx.to = manager_;
+  tx.function = StorageManagerContract::kDeliverFn;
+  tx.calldata = StorageManagerContract::EncodeDeliver(entries);
+  chain_.SubmitAndMine(std::move(tx));
+  delivers_sent_ += 1;
+  return served;
+}
+
+}  // namespace grub::core

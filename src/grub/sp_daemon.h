@@ -1,0 +1,49 @@
+// The SP-side watchdog daemon (§3.3, read path r2/r3).
+//
+// "The SP runs an external daemon process (watchdog) that spins on the log
+// to wait for a request event." Here the spin is a poll over the chain's
+// event log; each poll gathers every unanswered `request`, resolves it
+// against the SP's local KV store (record + proof, or absence proof), and
+// answers them all in ONE batched `deliver` transaction — the middleware
+// batching that amortizes the 21000-Gas transaction base across a read
+// batch.
+#pragma once
+
+#include "ads/sp.h"
+#include "chain/blockchain.h"
+#include "grub/storage_manager.h"
+
+namespace grub::core {
+
+class SpDaemon {
+ public:
+  /// `dedup_batch` merges identical (key, callback) requests of one poll
+  /// into a single proven entry — a middleware optimization beyond the
+  /// paper's prototype (off by default; see the batching ablation bench).
+  SpDaemon(chain::Blockchain& chain, ads::AdsSp& sp,
+           chain::Address storage_manager, chain::Address sp_account,
+           bool dedup_batch = false)
+      : chain_(chain),
+        sp_(sp),
+        manager_(storage_manager),
+        sp_account_(sp_account),
+        dedup_batch_(dedup_batch) {}
+
+  /// One poll cycle: tail new request events, build proofs, submit one
+  /// deliver transaction (mined immediately). Returns requests served.
+  size_t PollAndServe();
+
+  /// Total deliver transactions sent (observability).
+  uint64_t delivers_sent() const { return delivers_sent_; }
+
+ private:
+  chain::Blockchain& chain_;
+  ads::AdsSp& sp_;
+  chain::Address manager_;
+  chain::Address sp_account_;
+  bool dedup_batch_ = false;
+  uint64_t cursor_ = 0;  // next event log index to inspect
+  uint64_t delivers_sent_ = 0;
+};
+
+}  // namespace grub::core

@@ -1,0 +1,305 @@
+#include "grub/storage_manager.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace grub::core {
+
+using chain::AbiReader;
+using chain::AbiWriter;
+
+Word StorageManagerContract::RootSlot() {
+  static const Word slot = Sha256::Digest(ToBytes("grub.root"));
+  return slot;
+}
+
+Word StorageManagerContract::LenSlot(ByteSpan key) {
+  return Sha256::Digest2(ToBytes("grub.len"), key);
+}
+
+Word StorageManagerContract::ValueBase(ByteSpan key) {
+  return Sha256::Digest2(ToBytes("grub.kv"), key);
+}
+
+Word StorageManagerContract::CounterSlot(ByteSpan key) {
+  return Sha256::Digest2(ToBytes("grub.cnt"), key);
+}
+
+Status StorageManagerContract::Call(chain::CallContext& ctx,
+                                    const std::string& function,
+                                    ByteSpan args) {
+  if (function == kUpdateFn) return HandleUpdate(ctx, args);
+  if (function == kGGetFn) return HandleGGet(ctx, args);
+  if (function == kGScanFn) return HandleGScan(ctx, args);
+  if (function == kDeliverFn) return HandleDeliver(ctx, args);
+  return Status::NotFound("StorageManager: unknown function " + function);
+}
+
+void StorageManagerContract::PreloadReplica(chain::ContractStorage& storage,
+                                            ByteSpan key, ByteSpan value,
+                                            bool live) {
+  const Word base = ValueBase(key);
+  const uint64_t words = WordsForBytes(value.size());
+  for (uint64_t w = 0; w < words; ++w) {
+    Word slot{};
+    const size_t offset = static_cast<size_t>(w) * kWordSize;
+    const size_t take = std::min(kWordSize, value.size() - offset);
+    std::memcpy(slot.bytes.data(), value.data() + offset, take);
+    storage.Store(chain::MeteredStorage::SlotKey(base, w), slot);
+  }
+  if (live) {
+    storage.Store(LenSlot(key), Word::FromU64(value.size() + 1));
+  }
+}
+
+// --- calldata builders ---
+
+Bytes StorageManagerContract::EncodeUpdate(
+    const Hash256& digest, uint64_t epoch,
+    const std::vector<ads::FeedRecord>& replicated,
+    const std::vector<Bytes>& evictions) {
+  AbiWriter w;
+  w.Hash(digest);
+  w.U64(epoch);
+  w.U64(replicated.size());
+  for (const auto& record : replicated) w.Blob(record.Serialize());
+  w.U64(evictions.size());
+  for (const auto& key : evictions) w.Blob(key);
+  return w.Take();
+}
+
+Bytes StorageManagerContract::EncodeGGet(ByteSpan key,
+                                         chain::Address callback_contract,
+                                         const std::string& callback_function) {
+  AbiWriter w;
+  w.Blob(key);
+  w.U64(callback_contract);
+  w.Blob(ToBytes(callback_function));
+  return w.Take();
+}
+
+Bytes StorageManagerContract::EncodeGScan(ByteSpan start, ByteSpan end,
+                                          chain::Address callback_contract,
+                                          const std::string& callback_function) {
+  AbiWriter w;
+  w.Blob(start);
+  w.Blob(end);
+  w.U64(callback_contract);
+  w.Blob(ToBytes(callback_function));
+  return w.Take();
+}
+
+Bytes StorageManagerContract::EncodeDeliver(
+    const std::vector<DeliverEntry>& entries) {
+  AbiWriter w;
+  w.U64(entries.size());
+  for (const auto& entry : entries) EncodeDeliverEntry(w, entry);
+  return w.Take();
+}
+
+// --- handlers ---
+
+void StorageManagerContract::ChargeTraceCounter(chain::CallContext& ctx,
+                                                ByteSpan key) {
+  // BL3: maintain a per-key operation counter in contract storage. One read
+  // (the current count) and one write (the increment).
+  const Word slot = CounterSlot(key);
+  Word count = ctx.Storage().SLoad(slot);
+  ctx.Storage().SStore(slot, Word::FromU64(count.ToU64() + 1));
+}
+
+Status StorageManagerContract::HandleUpdate(chain::CallContext& ctx,
+                                            ByteSpan args) {
+  if (!config_.IsAuthorizedDo(ctx.Sender())) {
+    return Status::FailedPrecondition("update: caller is not an authorized DO");
+  }
+  AbiReader r(args);
+  const Hash256 digest = r.Hash();
+  const uint64_t epoch = r.U64();
+  (void)epoch;
+
+  ctx.Storage().SStore(RootSlot(), digest);
+
+  // Full-value updates for records whose replica lives on chain.
+  const uint64_t n_updates = r.U64();
+  for (uint64_t i = 0; i < n_updates; ++i) {
+    auto record = ads::FeedRecord::Deserialize(r.Blob());
+    if (!record.ok()) return record.status();
+    if (config_.trace_writes_on_chain) ChargeTraceCounter(ctx, record->key);
+
+    // Solidity mapping access hashes the key to derive the slot.
+    ctx.Meter().ChargeHash(WordsForBytes(record->key.size() + 32));
+    const Word len_slot = LenSlot(record->key);
+    const uint64_t old_len_tag = ctx.Storage().SLoad(len_slot).ToU64();
+    const size_t old_len = old_len_tag == 0 ? 0 : old_len_tag - 1;
+    ctx.Storage().SStoreBytes(ValueBase(record->key), record->value, old_len);
+    if (old_len != record->value.size()) {
+      ctx.Storage().SStore(len_slot, Word::FromU64(record->value.size() + 1));
+    }
+  }
+
+  // Evictions: R -> NR transitions invalidate the replica by zeroing only
+  // the length slot. Value slots stay warm ("reusable storage upon
+  // replicating a record", Â§4.2): re-replication then charges updates
+  // (5000/word) instead of fresh inserts (20000/word), and eviction itself
+  // is one cheap slot write.
+  const uint64_t n_evictions = r.U64();
+  for (uint64_t i = 0; i < n_evictions; ++i) {
+    Bytes key = r.Blob();
+    ctx.Meter().ChargeHash(WordsForBytes(key.size() + 32));
+    const Word len_slot = LenSlot(key);
+    const uint64_t len_tag = ctx.Storage().SLoad(len_slot).ToU64();
+    if (len_tag == 0) continue;  // nothing replicated
+    ctx.Storage().SStore(len_slot, Word{});
+  }
+  return Status::Ok();
+}
+
+Status StorageManagerContract::HandleGGet(chain::CallContext& ctx,
+                                          ByteSpan args) {
+  AbiReader r(args);
+  Bytes key = r.Blob();
+  const chain::Address callback_contract = r.U64();
+  const std::string callback_function = ToString(r.Blob());
+
+  if (config_.trace_reads_on_chain) ChargeTraceCounter(ctx, key);
+
+  ctx.Meter().ChargeHash(WordsForBytes(key.size() + 32));
+  const uint64_t len_tag = ctx.Storage().SLoad(LenSlot(key)).ToU64();
+  if (len_tag != 0) {
+    // Replica hit: serve from contract storage.
+    Bytes value = ctx.Storage().SLoadBytes(ValueBase(key), len_tag - 1);
+    return InvokeCallback(ctx, callback_contract, callback_function, key,
+                          value, /*found=*/true);
+  }
+
+  // Miss: emit the request event for the SP watchdog.
+  AbiWriter w;
+  w.Blob(key);
+  w.U64(callback_contract);
+  w.Blob(ToBytes(callback_function));
+  ctx.EmitEvent(kRequestEvent, w.Take());
+  return Status::Ok();
+}
+
+Status StorageManagerContract::HandleGScan(chain::CallContext& ctx,
+                                           ByteSpan args) {
+  // Range reads are always served off-chain with a completeness proof
+  // (B.2.2 r2): an EVM mapping cannot enumerate its keys, so even records
+  // with on-chain replicas ride the proven range response.
+  AbiReader r(args);
+  Bytes start = r.Blob();
+  Bytes end = r.Blob();
+  const chain::Address callback_contract = r.U64();
+  const std::string callback_function = ToString(r.Blob());
+  if (config_.trace_reads_on_chain) ChargeTraceCounter(ctx, start);
+
+  AbiWriter w;
+  w.Blob(start);
+  w.Blob(end);
+  w.U64(callback_contract);
+  w.Blob(ToBytes(callback_function));
+  ctx.EmitEvent(kRequestScanEvent, w.Take());
+  return Status::Ok();
+}
+
+Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
+                                             ByteSpan args) {
+  AbiReader r(args);
+  const Hash256 root = ctx.Storage().SLoad(RootSlot());
+
+  const auto hash_cost = [&ctx](size_t bytes_hashed) {
+    ctx.Meter().ChargeHash(WordsForBytes(bytes_hashed));
+  };
+
+  const uint64_t n = r.U64();
+  for (uint64_t i = 0; i < n; ++i) {
+    auto entry = DecodeDeliverEntry(r);
+    if (!entry.ok()) return entry.status();
+
+    if (entry->kind == DeliverEntry::Kind::kScan) {
+      if (!ads::VerifyScan(root, entry->key, entry->end_key, entry->scan,
+                           hash_cost)) {
+        return Status::IntegrityViolation(
+            "deliver: scan proof verification failed");
+      }
+      for (uint64_t rep = 0; rep < entry->repeats; ++rep) {
+        for (const auto& record : entry->scan.records) {
+          Status s = InvokeCallback(ctx, entry->callback_contract,
+                                    entry->callback_function, record.key,
+                                    record.value, /*found=*/true);
+          if (!s.ok()) return s;
+        }
+      }
+      continue;
+    }
+    if (entry->present()) {
+      const ads::QueryProof& proof = entry->query;
+      if (Compare(proof.record.key, entry->key) != 0) {
+        return Status::IntegrityViolation("deliver: key mismatch");
+      }
+      if (!ads::VerifyQuery(root, proof, hash_cost)) {
+        return Status::IntegrityViolation("deliver: proof verification failed");
+      }
+      // Lazy replication: materialize the replica iff the SP's replicate
+      // instruction says R (Listing 2; Gas-only trust).
+      if (entry->replicate_hint) {
+        ctx.Meter().ChargeHash(WordsForBytes(proof.record.key.size() + 32));
+        const Word len_slot = LenSlot(proof.record.key);
+        const uint64_t old_tag = ctx.Storage().SLoad(len_slot).ToU64();
+        const size_t old_len = old_tag == 0 ? 0 : old_tag - 1;
+        // Skip the expensive stores when the replica already holds this
+        // value (a read burst delivers the same record repeatedly; sloads at
+        // 200/word are far cheaper than 5000/word rewrites).
+        bool fresh = old_tag != 0 && old_len == proof.record.value.size();
+        if (fresh) {
+          Bytes current = ctx.Storage().SLoadBytes(
+              ValueBase(proof.record.key), old_len);
+          fresh = Compare(current, proof.record.value) == 0;
+        }
+        if (!fresh) {
+          ctx.Storage().SStoreBytes(ValueBase(proof.record.key),
+                                    proof.record.value, old_len);
+          ctx.Storage().SStore(len_slot,
+                               Word::FromU64(proof.record.value.size() + 1));
+        }
+      }
+      for (uint64_t rep = 0; rep < entry->repeats; ++rep) {
+        Status s = InvokeCallback(ctx, entry->callback_contract,
+                                  entry->callback_function, proof.record.key,
+                                  proof.record.value, /*found=*/true);
+        if (!s.ok()) return s;
+      }
+    } else {
+      if (!ads::VerifyAbsence(root, entry->key, entry->absence, hash_cost)) {
+        return Status::IntegrityViolation(
+            "deliver: absence proof verification failed");
+      }
+      for (uint64_t rep = 0; rep < entry->repeats; ++rep) {
+        Status s = InvokeCallback(ctx, entry->callback_contract,
+                                  entry->callback_function, entry->key,
+                                  ByteSpan{}, /*found=*/false);
+        if (!s.ok()) return s;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status StorageManagerContract::InvokeCallback(chain::CallContext& ctx,
+                                              chain::Address contract,
+                                              const std::string& function,
+                                              ByteSpan key, ByteSpan value,
+                                              bool found) {
+  if (contract == chain::kNullAddress) return Status::Ok();
+  AbiWriter w;
+  w.Blob(key);
+  w.Blob(value);
+  w.U64(found ? 1 : 0);
+  auto result = ctx.InternalCall(contract, function, w.Take());
+  if (!result.ok()) return result.status();
+  return Status::Ok();
+}
+
+}  // namespace grub::core

@@ -1,0 +1,101 @@
+// GRuB's on-chain storage-manager smart contract (Listing 2).
+//
+// Storage layout (word-addressed, per the EVM model):
+//   SHA256("grub.root")          -> current ADS root digest
+//   SHA256("grub.len"  || key)   -> value byte length + 1 (0 = no replica)
+//   SHA256("grub.kv"   || key)+i -> i-th value word of the replica
+//   SHA256("grub.cnt"  || key)   -> BL3-only on-chain trace counter
+//
+// Functions:
+//   update(digest, epoch, replicated_updates[], evictions[])   [DO only]
+//   gGet(key, callback)      — replica hit: sload + callback; miss: emit
+//                              `request` (the SP watchdog answers)
+//   deliver(entries[])       — verify proofs against the on-chain root;
+//                              insert replica when the record state is R;
+//                              invoke callbacks
+//
+// BL3 flags charge on-chain trace maintenance (§5.1's dynamic-replication
+// baselines that keep the read / read+write trace on chain).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ads/verify.h"
+#include "chain/blockchain.h"
+#include "grub/codec.h"
+
+namespace grub::core {
+
+class StorageManagerContract : public chain::Contract {
+ public:
+  struct Config {
+    chain::Address do_address = chain::kNullAddress;
+    /// Additional accounts authorized to call update() — real feeds are
+    /// multi-poster (ethPriceOracle "allows 14 off-chain accounts to update
+    /// the price feed", §2.1).
+    std::vector<chain::Address> additional_do_accounts;
+    bool trace_reads_on_chain = false;   // BL3 variants
+    bool trace_writes_on_chain = false;
+
+    bool IsAuthorizedDo(chain::Address sender) const {
+      if (sender == do_address) return true;
+      for (chain::Address account : additional_do_accounts) {
+        if (sender == account) return true;
+      }
+      return false;
+    }
+  };
+
+  explicit StorageManagerContract(Config config) : config_(config) {}
+
+  Status Call(chain::CallContext& ctx, const std::string& function,
+              ByteSpan args) override;
+
+  /// Genesis preload (unmetered): warms a record's value slots in contract
+  /// storage so the measured run reflects converged costs (re-replication
+  /// charges updates, not first-ever inserts — "reusable storage"). When
+  /// `live`, the length slot is set too: the replica serves reads
+  /// immediately (the BL2 "data stored both on SP and blockchain" start
+  /// state).
+  static void PreloadReplica(chain::ContractStorage& storage, ByteSpan key,
+                             ByteSpan value, bool live);
+
+  // Calldata builders (used by the DO client and the SP daemon).
+  static Bytes EncodeUpdate(const Hash256& digest, uint64_t epoch,
+                            const std::vector<ads::FeedRecord>& replicated,
+                            const std::vector<Bytes>& evictions);
+  static Bytes EncodeGGet(ByteSpan key, chain::Address callback_contract,
+                          const std::string& callback_function);
+  static Bytes EncodeGScan(ByteSpan start, ByteSpan end,
+                           chain::Address callback_contract,
+                           const std::string& callback_function);
+  static Bytes EncodeDeliver(const std::vector<DeliverEntry>& entries);
+
+  static constexpr const char* kUpdateFn = "update";
+  static constexpr const char* kGGetFn = "gGet";
+  static constexpr const char* kGScanFn = "gScan";
+  static constexpr const char* kDeliverFn = "deliver";
+  static constexpr const char* kRequestEvent = "request";
+  static constexpr const char* kRequestScanEvent = "request_scan";
+
+ private:
+  Status HandleUpdate(chain::CallContext& ctx, ByteSpan args);
+  Status HandleGGet(chain::CallContext& ctx, ByteSpan args);
+  Status HandleGScan(chain::CallContext& ctx, ByteSpan args);
+  Status HandleDeliver(chain::CallContext& ctx, ByteSpan args);
+
+  void ChargeTraceCounter(chain::CallContext& ctx, ByteSpan key);
+  Status InvokeCallback(chain::CallContext& ctx, chain::Address contract,
+                        const std::string& function, ByteSpan key,
+                        ByteSpan value, bool found);
+
+  static Word RootSlot();
+  static Word LenSlot(ByteSpan key);
+  static Word ValueBase(ByteSpan key);
+  static Word CounterSlot(ByteSpan key);
+
+  Config config_;
+};
+
+}  // namespace grub::core

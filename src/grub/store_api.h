@@ -1,0 +1,63 @@
+// The paper's public KV-store API (Listing 1):
+//
+//   // external call by off-chain DO
+//   bool gPuts(KV[] kvs);
+//   // internal call by smart contract (DU)
+//   KV[] gGet(Key k1, Callback cb);
+//
+// GrubStore is that API as a thin facade over GrubSystem: gPuts batches a
+// whole epoch of updates into one update() transaction; gGet registers an
+// application callback and drives the read through the DU path (synchronous
+// when the record is replicated, answered by the watchdog's deliver
+// otherwise). Domain applications that want their own smart contracts (like
+// SCoinIssuer) talk to the StorageManagerContract directly instead.
+#pragma once
+
+#include <functional>
+
+#include "grub/system.h"
+
+namespace grub::core {
+
+struct KV {
+  Bytes key;
+  Bytes value;
+};
+
+class GrubStore {
+ public:
+  /// A gGet callback: (key, value, found). `found` is false when the key is
+  /// provably absent.
+  using Callback = std::function<void(const Bytes&, const Bytes&, bool)>;
+
+  GrubStore(SystemOptions options, std::unique_ptr<ReplicationPolicy> policy)
+      : system_(std::move(options), std::move(policy)) {}
+
+  /// Bulk-loads the initial dataset (uncounted genesis state).
+  void Load(const std::vector<KV>& records);
+
+  /// Listing 1's gPuts: one call = one epoch's batch of updates, shipped in
+  /// a single update() transaction. Returns true once the batch is on chain.
+  bool gPuts(const std::vector<KV>& kvs);
+
+  /// Listing 1's gGet: retrieves `key` and hands it to `cb`. Replicated
+  /// records answer within the call; off-chain records are fetched,
+  /// proof-verified, and delivered before this returns (the simulator runs
+  /// the watchdog inline).
+  void gGet(const Bytes& key, Callback cb);
+
+  /// Range variant over [start, end) (B.2.2's r2 protocol); the callback
+  /// fires once per matching record.
+  void gScan(const Bytes& start, const Bytes& end, Callback cb);
+
+  uint64_t TotalGas() const { return system_.TotalGas(); }
+  GrubSystem& System() { return system_; }
+
+ private:
+  void DrainReceived(const Callback& cb, size_t already_delivered,
+                     size_t misses_before);
+
+  GrubSystem system_;
+};
+
+}  // namespace grub::core

@@ -1,0 +1,155 @@
+#include "grub/system.h"
+
+namespace grub::core {
+
+double BreakEvenK(const chain::GasSchedule& gas) {
+  return static_cast<double>(gas.sstore_update_per_word) /
+         static_cast<double>(gas.OffchainReadPerWord());
+}
+
+GrubSystem::GrubSystem(SystemOptions options,
+                       std::unique_ptr<ReplicationPolicy> policy)
+    : options_(options),
+      chain_(options.chain_params),
+      sp_(options.sp_db_path) {
+  StorageManagerContract::Config config;
+  config.do_address = kDoAccount;
+  config.trace_reads_on_chain =
+      options_.trace_reads_on_chain || options_.trace_writes_on_chain;
+  config.trace_writes_on_chain = options_.trace_writes_on_chain;
+  manager_address_ =
+      chain_.Deploy(std::make_unique<StorageManagerContract>(config));
+
+  auto consumer = std::make_unique<ConsumerContract>(manager_address_);
+  consumer_ = consumer.get();
+  consumer_address_ = chain_.Deploy(std::move(consumer));
+
+  DoClient::Options do_options;
+  do_options.do_account = kDoAccount;
+  do_options.storage_manager = manager_address_;
+  do_client_ =
+      std::make_unique<DoClient>(chain_, sp_, do_options, std::move(policy));
+
+  daemon_ = std::make_unique<SpDaemon>(chain_, sp_, manager_address_, kSpAccount,
+                                       options_.dedup_deliver_batch);
+}
+
+void GrubSystem::Preload(const std::vector<std::pair<Bytes, Bytes>>& records) {
+  do_client_->Preload(records);
+  for (const auto& [key, value] : records) live_keys_.insert(key);
+  chain_.ResetGasCounters();
+}
+
+std::vector<Bytes> GrubSystem::ExpandScan(const Bytes& start,
+                                          uint32_t len) const {
+  std::vector<Bytes> keys;
+  keys.reserve(len);
+  for (auto it = live_keys_.lower_bound(start);
+       it != live_keys_.end() && keys.size() < len; ++it) {
+    keys.push_back(*it);
+  }
+  return keys;
+}
+
+void GrubSystem::FlushReadGroup() {
+  if (consumer_->QueuedCount() == 0) return;
+  chain::Transaction tx;
+  tx.from = kUserAccount;
+  tx.to = consumer_address_;
+  tx.function = ConsumerContract::kRunFn;
+  tx.calldata = ConsumerContract::EncodeRun(consumer_->QueuedCount());
+  chain_.SubmitAndMine(std::move(tx));
+  daemon_->PollAndServe();
+}
+
+void GrubSystem::ReadNow(const Bytes& key) {
+  do_client_->NoteRead(key);
+  consumer_->QueueRead(key);
+  FlushReadGroup();
+}
+
+void GrubSystem::Write(Bytes key, Bytes value) {
+  live_keys_.insert(key);
+  do_client_->BufferPut(std::move(key), std::move(value));
+}
+
+void GrubSystem::EndEpoch() {
+  FlushReadGroup();
+  do_client_->EndEpoch();
+}
+
+std::vector<EpochGas> GrubSystem::Drive(const workload::Trace& trace) {
+  std::vector<EpochGas> epochs;
+  uint64_t epoch_start_gas = chain_.TotalGasUsed();
+  chain::GasBreakdown epoch_start_breakdown = chain_.TotalBreakdown();
+  size_t ops_in_group = 0;
+  size_t groups_in_epoch = 0;
+  size_t ops_in_epoch = 0;
+
+  auto close_group = [&] {
+    FlushReadGroup();
+    ops_in_group = 0;
+    groups_in_epoch += 1;
+  };
+
+  auto close_epoch = [&] {
+    do_client_->EndEpoch();
+    EpochGas epoch;
+    epoch.gas = chain_.TotalGasUsed() - epoch_start_gas;
+    epoch.ops = ops_in_epoch;
+    epoch.breakdown = chain_.TotalBreakdown();
+    epoch.breakdown.tx -= epoch_start_breakdown.tx;
+    epoch.breakdown.storage_insert -= epoch_start_breakdown.storage_insert;
+    epoch.breakdown.storage_update -= epoch_start_breakdown.storage_update;
+    epoch.breakdown.storage_read -= epoch_start_breakdown.storage_read;
+    epoch.breakdown.hash -= epoch_start_breakdown.hash;
+    epoch.breakdown.log -= epoch_start_breakdown.log;
+    epoch.breakdown.other -= epoch_start_breakdown.other;
+    epochs.push_back(epoch);
+    epoch_start_gas = chain_.TotalGasUsed();
+    epoch_start_breakdown = chain_.TotalBreakdown();
+    groups_in_epoch = 0;
+    ops_in_epoch = 0;
+  };
+
+  for (const auto& op : trace) {
+    size_t op_weight = 1;
+    switch (op.type) {
+      case workload::OpType::kWrite:
+        Write(op.key, op.value);
+        break;
+      case workload::OpType::kRead:
+        do_client_->NoteRead(op.key);
+        consumer_->QueueRead(op.key);
+        break;
+      case workload::OpType::kScan: {
+        auto keys = ExpandScan(op.key, op.scan_len);
+        op_weight = keys.empty() ? 1 : keys.size();
+        for (const auto& key : keys) do_client_->NoteRead(key);
+        if (options_.scan_mode == ScanMode::kExpandPointReads) {
+          for (auto& key : keys) consumer_->QueueRead(std::move(key));
+        } else if (!keys.empty()) {
+          // Exclusive upper bound: the successor of the last matched key.
+          auto it = live_keys_.upper_bound(keys.back());
+          Bytes end = it == live_keys_.end() ? Bytes{} : *it;
+          consumer_->QueueScan(op.key, std::move(end));
+        }
+        break;
+      }
+    }
+    ops_in_group += op_weight;
+    ops_in_epoch += op_weight;
+
+    if (ops_in_group >= options_.ops_per_tx) {
+      close_group();
+      if (groups_in_epoch >= options_.txs_per_epoch) close_epoch();
+    }
+  }
+
+  // Flush any partial group/epoch.
+  if (ops_in_group > 0) close_group();
+  if (ops_in_epoch > 0) close_epoch();
+  return epochs;
+}
+
+}  // namespace grub::core

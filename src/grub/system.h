@@ -1,0 +1,124 @@
+// GrubSystem: one assembled GRuB deployment (Fig. 4) plus the trace driver
+// used by every experiment.
+//
+// Components wired together: a Blockchain, the StorageManagerContract, a
+// generic ConsumerContract (DU), the AdsSp with its embedded KVStore, the
+// SpDaemon watchdog, and the DoClient control plane with a pluggable
+// ReplicationPolicy. The static baselines BL1/BL2 are the same system with
+// degenerate policies; the BL3 dynamic baselines set the contract's
+// on-chain-trace flags.
+//
+// Trace driving model (matching the paper's experiment setup):
+//  * operations are grouped `ops_per_tx` to a transaction (32 in the micro
+//    benches — "each [tx] encoding 32 operations", Fig. 8a);
+//  * the reads of a group execute in one DU `run` transaction; misses are
+//    answered by one batched `deliver` transaction from the watchdog;
+//  * writes buffer at the DO and flush in one `update` transaction when the
+//    epoch (`txs_per_epoch` groups) closes;
+//  * a scan expands to `scan_len` consecutive point reads over the live key
+//    space and counts as that many operations (per-record accounting).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "ads/sp.h"
+#include "chain/blockchain.h"
+#include "grub/consumer.h"
+#include "grub/do_client.h"
+#include "grub/policy.h"
+#include "grub/sp_daemon.h"
+#include "grub/storage_manager.h"
+#include "workload/trace.h"
+
+namespace grub::core {
+
+/// How DU range reads are served.
+enum class ScanMode {
+  /// Expand a scan into per-record gGets (what the paper's evaluation
+  /// normalization implies; each record pays its own proof).
+  kExpandPointReads,
+  /// One gScan request answered with a single range-completeness proof
+  /// (B.2.2's r2 protocol) — far cheaper calldata for contiguous ranges.
+  kRangeProof,
+};
+
+struct SystemOptions {
+  size_t ops_per_tx = 32;
+  size_t txs_per_epoch = 1;
+  ScanMode scan_mode = ScanMode::kExpandPointReads;
+  bool trace_reads_on_chain = false;   // BL3 (reads)
+  bool trace_writes_on_chain = false;  // BL3 (reads + writes)
+  /// Merge duplicate requests within one deliver batch (ablation; the
+  /// paper's prototype serves each request individually).
+  bool dedup_deliver_batch = false;
+  chain::ChainParams chain_params = {};
+  std::string sp_db_path;  // empty = in-memory SP store
+};
+
+/// Gas measured over one epoch of driving.
+struct EpochGas {
+  uint64_t gas = 0;
+  size_t ops = 0;
+  chain::GasBreakdown breakdown;
+
+  double PerOp() const {
+    return ops == 0 ? 0.0 : static_cast<double>(gas) / static_cast<double>(ops);
+  }
+};
+
+class GrubSystem {
+ public:
+  GrubSystem(SystemOptions options, std::unique_ptr<ReplicationPolicy> policy);
+
+  /// Bulk-loads records and zeroes the Gas counters.
+  void Preload(const std::vector<std::pair<Bytes, Bytes>>& records);
+
+  /// Drives a trace to completion; returns the per-epoch Gas series.
+  std::vector<EpochGas> Drive(const workload::Trace& trace);
+
+  uint64_t TotalGas() const { return chain_.TotalGasUsed(); }
+  const chain::GasBreakdown& TotalBreakdown() const {
+    return chain_.TotalBreakdown();
+  }
+
+  chain::Blockchain& Chain() { return chain_; }
+  ads::AdsSp& Sp() { return sp_; }
+  DoClient& Do() { return *do_client_; }
+  ConsumerContract& Consumer() { return *consumer_; }
+  SpDaemon& Daemon() { return *daemon_; }
+  chain::Address ManagerAddress() const { return manager_address_; }
+  chain::Address ConsumerAddress() const { return consumer_address_; }
+
+  /// Issues a single read immediately (its own transaction + any deliver).
+  void ReadNow(const Bytes& key);
+  /// Buffers a write into the DO's current epoch.
+  void Write(Bytes key, Bytes value);
+  /// Ends the current epoch explicitly.
+  void EndEpoch();
+
+  static constexpr chain::Address kDoAccount = 1001;
+  static constexpr chain::Address kSpAccount = 1002;
+  static constexpr chain::Address kUserAccount = 1003;
+
+ private:
+  void FlushReadGroup();
+  std::vector<Bytes> ExpandScan(const Bytes& start, uint32_t len) const;
+
+  SystemOptions options_;
+  chain::Blockchain chain_;
+  ads::AdsSp sp_;
+  chain::Address manager_address_ = chain::kNullAddress;
+  chain::Address consumer_address_ = chain::kNullAddress;
+  ConsumerContract* consumer_ = nullptr;  // owned by chain_
+  std::unique_ptr<DoClient> do_client_;
+  std::unique_ptr<SpDaemon> daemon_;
+
+  std::set<Bytes> live_keys_;  // for scan expansion/bounds
+};
+
+/// Convenience: Eq. 1's K = C_update / C_read_off for a schedule.
+double BreakEvenK(const chain::GasSchedule& gas);
+
+}  // namespace grub::core

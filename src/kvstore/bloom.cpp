@@ -1,0 +1,84 @@
+#include "kvstore/bloom.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace grub::kv {
+
+uint64_t BloomFilter::HashKey(ByteSpan key) {
+  // FNV-1a 64 with an avalanche finisher; split into two 32-bit halves for
+  // the double-hashing scheme (Kirsch & Mitzenmacher).
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint8_t b : key) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+BloomFilter BloomFilter::Build(const std::vector<ByteSpan>& keys,
+                               size_t bits_per_key) {
+  BloomFilter filter;
+  if (keys.empty()) return filter;
+
+  // k = bits_per_key * ln2, clamped like LevelDB.
+  filter.probes_ = static_cast<uint32_t>(
+      std::clamp<size_t>(bits_per_key * 69 / 100, 1, 30));
+  size_t bits = keys.size() * bits_per_key;
+  bits = std::max<size_t>(bits, 64);
+  filter.bits_.assign((bits + 7) / 8, 0);
+  const size_t bit_count = filter.bits_.size() * 8;
+
+  for (ByteSpan key : keys) {
+    uint64_t h = HashKey(key);
+    const uint64_t delta = (h >> 32) | (h << 32);  // rotate for the stride
+    for (uint32_t p = 0; p < filter.probes_; ++p) {
+      const size_t bit = static_cast<size_t>(h % bit_count);
+      filter.bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+      h += delta;
+    }
+  }
+  return filter;
+}
+
+bool BloomFilter::MayContain(ByteSpan key) const {
+  if (bits_.empty()) return false;  // empty filter = empty set
+  const size_t bit_count = bits_.size() * 8;
+  uint64_t h = HashKey(key);
+  const uint64_t delta = (h >> 32) | (h << 32);
+  for (uint32_t p = 0; p < probes_; ++p) {
+    const size_t bit = static_cast<size_t>(h % bit_count);
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+Bytes BloomFilter::Serialize() const {
+  Bytes out;
+  out.reserve(4 + bits_.size());
+  out.push_back(static_cast<uint8_t>(probes_));
+  out.push_back(static_cast<uint8_t>(probes_ >> 8));
+  out.push_back(static_cast<uint8_t>(probes_ >> 16));
+  out.push_back(static_cast<uint8_t>(probes_ >> 24));
+  Append(out, bits_);
+  return out;
+}
+
+BloomFilter BloomFilter::Deserialize(ByteSpan data) {
+  if (data.size() < 4) {
+    throw std::invalid_argument("BloomFilter: truncated");
+  }
+  BloomFilter filter;
+  filter.probes_ = static_cast<uint32_t>(data[0]) |
+                   (static_cast<uint32_t>(data[1]) << 8) |
+                   (static_cast<uint32_t>(data[2]) << 16) |
+                   (static_cast<uint32_t>(data[3]) << 24);
+  filter.bits_.assign(data.begin() + 4, data.end());
+  return filter;
+}
+
+}  // namespace grub::kv

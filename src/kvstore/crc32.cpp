@@ -1,0 +1,32 @@
+#include "kvstore/crc32.h"
+
+#include <array>
+
+namespace grub::kv {
+
+namespace {
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(ByteSpan data) {
+  static const std::array<uint32_t, 256> kTable = MakeTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (uint8_t b : data) {
+    c = kTable[(c ^ b) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace grub::kv

@@ -1,0 +1,12 @@
+// CRC-32 (IEEE 802.3 polynomial) for WAL and table-file integrity.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace grub::kv {
+
+uint32_t Crc32(ByteSpan data);
+
+}  // namespace grub::kv

@@ -1,0 +1,56 @@
+#include "kvstore/iterator.h"
+
+namespace grub::kv {
+
+MergingIterator::MergingIterator(
+    std::vector<std::unique_ptr<Iterator>> children)
+    : children_(std::move(children)) {}
+
+void MergingIterator::FindCurrent() {
+  current_ = SIZE_MAX;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Valid()) continue;
+    if (current_ == SIZE_MAX ||
+        Compare(children_[i]->key(), children_[current_]->key()) < 0) {
+      current_ = i;
+    }
+    // Ties: the earlier (newer) child wins because we only replace on
+    // strictly-smaller keys.
+  }
+}
+
+void MergingIterator::SkipCurrentKeyEverywhere() {
+  // Copy the key: advancing children invalidates the span.
+  Bytes k(children_[current_]->key().begin(), children_[current_]->key().end());
+  for (auto& child : children_) {
+    if (child->Valid() && Compare(child->key(), k) == 0) {
+      child->Next();
+    }
+  }
+}
+
+bool MergingIterator::Valid() const { return current_ != SIZE_MAX; }
+
+void MergingIterator::SeekToFirst() {
+  for (auto& child : children_) child->SeekToFirst();
+  FindCurrent();
+}
+
+void MergingIterator::Seek(ByteSpan target) {
+  for (auto& child : children_) child->Seek(target);
+  FindCurrent();
+}
+
+void MergingIterator::Next() {
+  if (!Valid()) return;
+  SkipCurrentKeyEverywhere();
+  FindCurrent();
+}
+
+ByteSpan MergingIterator::key() const { return children_[current_]->key(); }
+ByteSpan MergingIterator::value() const { return children_[current_]->value(); }
+bool MergingIterator::IsTombstone() const {
+  return children_[current_]->IsTombstone();
+}
+
+}  // namespace grub::kv

@@ -1,0 +1,58 @@
+// Iterator interfaces for the embedded KV store.
+//
+// Mirrors the LevelDB iterator contract: an iterator is positioned at a
+// key/value entry or invalid. Internal iterators expose tombstones (deleted
+// keys) so the merging layer can suppress shadowed entries; the public
+// KVStore::NewIterator() hides them.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace grub::kv {
+
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  /// Positions at the first entry with key >= target.
+  virtual void Seek(ByteSpan target) = 0;
+  virtual void Next() = 0;
+
+  /// Preconditions for the accessors: Valid().
+  virtual ByteSpan key() const = 0;
+  virtual ByteSpan value() const = 0;
+  /// True if the entry is a deletion tombstone (internal iterators only;
+  /// public iterators never surface tombstones).
+  virtual bool IsTombstone() const = 0;
+};
+
+/// Merges several internal iterators. Children are ordered newest-first;
+/// when multiple children hold the same key, the newest wins and older
+/// occurrences are skipped. Tombstones are surfaced (callers filter).
+class MergingIterator : public Iterator {
+ public:
+  explicit MergingIterator(std::vector<std::unique_ptr<Iterator>> children);
+
+  bool Valid() const override;
+  void SeekToFirst() override;
+  void Seek(ByteSpan target) override;
+  void Next() override;
+  ByteSpan key() const override;
+  ByteSpan value() const override;
+  bool IsTombstone() const override;
+
+ private:
+  void FindCurrent();
+  // Advances every child positioned at `current key` (dedup across levels).
+  void SkipCurrentKeyEverywhere();
+
+  std::vector<std::unique_ptr<Iterator>> children_;  // newest first
+  size_t current_ = SIZE_MAX;
+};
+
+}  // namespace grub::kv

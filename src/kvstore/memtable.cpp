@@ -1,0 +1,52 @@
+#include "kvstore/memtable.h"
+
+namespace grub::kv {
+
+namespace {
+const Bytes kEmptyBytes;
+}
+
+class MemTable::Iter : public Iterator {
+ public:
+  explicit Iter(const Map& map) : map_(map), it_(map.end()) {}
+
+  bool Valid() const override { return it_ != map_.end(); }
+  void SeekToFirst() override { it_ = map_.begin(); }
+  void Seek(ByteSpan target) override { it_ = map_.lower_bound(target); }
+  void Next() override { ++it_; }
+
+  ByteSpan key() const override { return it_->first; }
+  ByteSpan value() const override {
+    return it_->second.has_value() ? ByteSpan(*it_->second)
+                                   : ByteSpan(kEmptyBytes);
+  }
+  bool IsTombstone() const override { return !it_->second.has_value(); }
+
+ private:
+  const Map& map_;
+  Map::const_iterator it_;
+};
+
+void MemTable::Put(ByteSpan key, ByteSpan value) {
+  auto [it, inserted] = entries_.insert_or_assign(
+      Bytes(key.begin(), key.end()), Bytes(value.begin(), value.end()));
+  (void)it;
+  approximate_bytes_ += key.size() + value.size() + (inserted ? 16 : 0);
+}
+
+void MemTable::Delete(ByteSpan key) {
+  entries_.insert_or_assign(Bytes(key.begin(), key.end()), std::nullopt);
+  approximate_bytes_ += key.size() + 16;
+}
+
+std::optional<std::optional<Bytes>> MemTable::Get(ByteSpan key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::unique_ptr<Iterator> MemTable::NewIterator() const {
+  return std::make_unique<Iter>(entries_);
+}
+
+}  // namespace grub::kv

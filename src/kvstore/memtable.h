@@ -1,0 +1,51 @@
+// In-memory sorted write buffer (memtable) with tombstone support.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/bytes.h"
+#include "kvstore/iterator.h"
+
+namespace grub::kv {
+
+class MemTable {
+ public:
+  /// Inserts or overwrites. An empty optional records a deletion tombstone.
+  void Put(ByteSpan key, ByteSpan value);
+  void Delete(ByteSpan key);
+
+  /// Three-state lookup: outer optional = "key present in this memtable",
+  /// inner optional = "live value" (empty inner optional = tombstone).
+  std::optional<std::optional<Bytes>> Get(ByteSpan key) const;
+
+  size_t EntryCount() const { return entries_.size(); }
+  size_t ApproximateBytes() const { return approximate_bytes_; }
+  bool Empty() const { return entries_.empty(); }
+
+  std::unique_ptr<Iterator> NewIterator() const;
+
+ private:
+  struct SpanLess {
+    using is_transparent = void;
+    bool operator()(const Bytes& a, const Bytes& b) const {
+      return Compare(a, b) < 0;
+    }
+    bool operator()(const Bytes& a, ByteSpan b) const {
+      return Compare(a, b) < 0;
+    }
+    bool operator()(ByteSpan a, const Bytes& b) const {
+      return Compare(a, b) < 0;
+    }
+  };
+
+  using Map = std::map<Bytes, std::optional<Bytes>, SpanLess>;
+
+  class Iter;
+
+  Map entries_;
+  size_t approximate_bytes_ = 0;
+};
+
+}  // namespace grub::kv

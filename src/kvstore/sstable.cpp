@@ -1,0 +1,190 @@
+#include "kvstore/sstable.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "kvstore/crc32.h"
+
+namespace grub::kv {
+
+namespace {
+
+constexpr uint8_t kMagic[8] = {'G', 'R', 'U', 'B', 'S', 'S', 'T', '2'};
+
+void PutU32(Bytes& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t GetU32(ByteSpan data, size_t& pos) {
+  uint32_t v = static_cast<uint32_t>(data[pos]) |
+               (static_cast<uint32_t>(data[pos + 1]) << 8) |
+               (static_cast<uint32_t>(data[pos + 2]) << 16) |
+               (static_cast<uint32_t>(data[pos + 3]) << 24);
+  pos += 4;
+  return v;
+}
+
+}  // namespace
+
+class SSTable::Iter : public Iterator {
+ public:
+  explicit Iter(const std::vector<TableEntry>& entries)
+      : entries_(entries), pos_(entries.size()) {}
+
+  bool Valid() const override { return pos_ < entries_.size(); }
+  void SeekToFirst() override { pos_ = 0; }
+  void Seek(ByteSpan target) override {
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), target,
+        [](const TableEntry& e, ByteSpan t) { return Compare(e.key, t) < 0; });
+    pos_ = static_cast<size_t>(it - entries_.begin());
+  }
+  void Next() override { ++pos_; }
+
+  ByteSpan key() const override { return entries_[pos_].key; }
+  ByteSpan value() const override {
+    static const Bytes kEmpty;
+    return entries_[pos_].value ? ByteSpan(*entries_[pos_].value)
+                                : ByteSpan(kEmpty);
+  }
+  bool IsTombstone() const override { return !entries_[pos_].value; }
+
+ private:
+  const std::vector<TableEntry>& entries_;
+  size_t pos_;
+};
+
+Result<SSTable> SSTable::FromEntries(std::vector<TableEntry> entries) {
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (Compare(entries[i - 1].key, entries[i].key) >= 0) {
+      return Status::InvalidArgument(
+          "SSTable::FromEntries: keys not strictly sorted");
+    }
+  }
+  SSTable table;
+  table.entries_ = std::move(entries);
+  std::vector<ByteSpan> keys;
+  keys.reserve(table.entries_.size());
+  for (const auto& e : table.entries_) keys.emplace_back(e.key);
+  table.filter_ = BloomFilter::Build(keys);
+  return table;
+}
+
+Status SSTable::WriteTo(const std::string& path) const {
+  Bytes out;
+  Append(out, ByteSpan(kMagic, 8));
+  PutU32(out, static_cast<uint32_t>(entries_.size()));
+  for (const auto& e : entries_) {
+    out.push_back(e.value ? 1 : 2);
+    PutU32(out, static_cast<uint32_t>(e.key.size()));
+    Append(out, e.key);
+    const size_t vlen = e.value ? e.value->size() : 0;
+    PutU32(out, static_cast<uint32_t>(vlen));
+    if (e.value) Append(out, *e.value);
+  }
+  Bytes filter = filter_.Serialize();
+  PutU32(out, static_cast<uint32_t>(filter.size()));
+  Append(out, filter);
+  PutU32(out, Crc32(out));
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f.is_open()) {
+    return Status::Unavailable("SSTable::WriteTo: cannot open " + path);
+  }
+  f.write(reinterpret_cast<const char*>(out.data()),
+          static_cast<std::streamsize>(out.size()));
+  f.flush();
+  if (!f) return Status::Unavailable("SSTable::WriteTo: write failed");
+  return Status::Ok();
+}
+
+Result<SSTable> SSTable::Load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f.is_open()) {
+    return Status::Unavailable("SSTable::Load: cannot open " + path);
+  }
+  const auto size = static_cast<size_t>(f.tellg());
+  if (size < 8 + 4 + 4) {
+    return Status::IntegrityViolation("SSTable::Load: file too small");
+  }
+  Bytes data(size);
+  f.seekg(0);
+  if (!f.read(reinterpret_cast<char*>(data.data()),
+              static_cast<std::streamsize>(size))) {
+    return Status::Unavailable("SSTable::Load: read failed");
+  }
+
+  // Trailing CRC covers everything before it.
+  size_t crc_pos = size - 4;
+  uint32_t stored_crc = GetU32(data, crc_pos);
+  if (Crc32(ByteSpan(data.data(), size - 4)) != stored_crc) {
+    return Status::IntegrityViolation("SSTable::Load: CRC mismatch");
+  }
+  if (!std::equal(kMagic, kMagic + 8, data.begin())) {
+    return Status::IntegrityViolation("SSTable::Load: bad magic");
+  }
+
+  size_t pos = 8;
+  const uint32_t count = GetU32(data, pos);
+  std::vector<TableEntry> entries;
+  entries.reserve(count);
+  const size_t limit = size - 4;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (pos + 1 + 4 > limit) {
+      return Status::IntegrityViolation("SSTable::Load: truncated entry");
+    }
+    uint8_t type = data[pos++];
+    uint32_t key_len = GetU32(data, pos);
+    if (pos + key_len + 4 > limit) {
+      return Status::IntegrityViolation("SSTable::Load: truncated key");
+    }
+    TableEntry e;
+    e.key.assign(data.begin() + static_cast<long>(pos),
+                 data.begin() + static_cast<long>(pos + key_len));
+    pos += key_len;
+    uint32_t value_len = GetU32(data, pos);
+    if (pos + value_len > limit) {
+      return Status::IntegrityViolation("SSTable::Load: truncated value");
+    }
+    if (type == 1) {
+      e.value = Bytes(data.begin() + static_cast<long>(pos),
+                      data.begin() + static_cast<long>(pos + value_len));
+    } else if (type != 2) {
+      return Status::IntegrityViolation("SSTable::Load: bad entry type");
+    }
+    pos += value_len;
+    entries.push_back(std::move(e));
+  }
+  if (pos + 4 > limit) {
+    return Status::IntegrityViolation("SSTable::Load: missing filter");
+  }
+  const uint32_t filter_len = GetU32(data, pos);
+  if (pos + filter_len > limit) {
+    return Status::IntegrityViolation("SSTable::Load: truncated filter");
+  }
+  // FromEntries rebuilds the filter deterministically; the stored copy
+  // exists so future versions can load without rehashing. Skip over it.
+  pos += filter_len;
+  return FromEntries(std::move(entries));
+}
+
+std::optional<std::optional<Bytes>> SSTable::Get(ByteSpan key) const {
+  if (!filter_.MayContain(key)) {
+    filter_negatives_ += 1;
+    return std::nullopt;  // definitely absent (filters have no false negatives)
+  }
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const TableEntry& e, ByteSpan t) { return Compare(e.key, t) < 0; });
+  if (it == entries_.end() || Compare(it->key, key) != 0) return std::nullopt;
+  return it->value;
+}
+
+std::unique_ptr<Iterator> SSTable::NewIterator() const {
+  return std::make_unique<Iter>(entries_);
+}
+
+}  // namespace grub::kv

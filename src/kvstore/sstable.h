@@ -1,0 +1,63 @@
+// Immutable sorted table (SSTable) with a per-table Bloom filter.
+//
+// File format (v2):
+//   magic "GRUBSST2" (8 bytes)
+//   u32 entry_count
+//   entries, each: u8 type | u32 key_len | key | u32 value_len | value
+//   u32 filter_len | serialized Bloom filter
+//   u32 crc over everything before it
+//
+// Tables are small enough in this system (SP-side store for feeds) to load
+// eagerly into memory; lookups consult the Bloom filter (~1% FPR at
+// 10 bits/key), then binary-search the sorted entries.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "kvstore/bloom.h"
+#include "kvstore/iterator.h"
+
+namespace grub::kv {
+
+struct TableEntry {
+  Bytes key;
+  std::optional<Bytes> value;  // nullopt = tombstone
+};
+
+class SSTable {
+ public:
+  /// Builds from entries that MUST be sorted by key, unique. Checked.
+  static Result<SSTable> FromEntries(std::vector<TableEntry> entries);
+
+  /// Serializes to `path`.
+  Status WriteTo(const std::string& path) const;
+
+  /// Loads and validates a table file.
+  static Result<SSTable> Load(const std::string& path);
+
+  /// Same tri-state semantics as MemTable::Get.
+  std::optional<std::optional<Bytes>> Get(ByteSpan key) const;
+
+  size_t EntryCount() const { return entries_.size(); }
+
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  /// Lookups skipped by the Bloom filter since construction (observability).
+  uint64_t FilterNegatives() const { return filter_negatives_; }
+
+ private:
+  SSTable() = default;
+
+  class Iter;
+
+  std::vector<TableEntry> entries_;
+  BloomFilter filter_;
+  mutable uint64_t filter_negatives_ = 0;
+};
+
+}  // namespace grub::kv

@@ -1,0 +1,112 @@
+#include "kvstore/wal.h"
+
+#include <filesystem>
+
+#include "kvstore/crc32.h"
+
+namespace grub::kv {
+
+namespace {
+
+void PutU32(Bytes& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t& v) {
+  uint8_t b[4];
+  if (!in.read(reinterpret_cast<char*>(b), 4)) return false;
+  v = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+      (static_cast<uint32_t>(b[2]) << 16) | (static_cast<uint32_t>(b[3]) << 24);
+  return true;
+}
+
+}  // namespace
+
+Result<WalWriter> WalWriter::Open(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out.is_open()) {
+    return Status::Unavailable("WalWriter: cannot open " + path);
+  }
+  return WalWriter(std::move(out));
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  Bytes payload;
+  payload.reserve(1 + 8 + record.key.size() + record.value.size());
+  payload.push_back(record.is_delete ? 2 : 1);
+  PutU32(payload, static_cast<uint32_t>(record.key.size()));
+  grub::Append(payload, record.key);
+  PutU32(payload, static_cast<uint32_t>(record.value.size()));
+  grub::Append(payload, record.value);
+
+  Bytes framed;
+  framed.reserve(4 + payload.size());
+  PutU32(framed, Crc32(payload));
+  grub::Append(framed, payload);
+
+  out_.write(reinterpret_cast<const char*>(framed.data()),
+             static_cast<std::streamsize>(framed.size()));
+  if (!out_) return Status::Unavailable("WalWriter: write failed");
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  out_.flush();
+  if (!out_) return Status::Unavailable("WalWriter: flush failed");
+  return Status::Ok();
+}
+
+Result<size_t> ReplayWal(const std::string& path,
+                         const std::function<void(const WalRecord&)>& fn) {
+  if (!std::filesystem::exists(path)) return size_t{0};
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::Unavailable("ReplayWal: cannot open " + path);
+  }
+
+  size_t count = 0;
+  for (;;) {
+    uint32_t crc = 0;
+    if (!ReadU32(in, crc)) break;
+    uint8_t type = 0;
+    if (!in.read(reinterpret_cast<char*>(&type), 1)) break;
+    uint32_t key_len = 0;
+    if (!ReadU32(in, key_len)) break;
+    Bytes key(key_len);
+    if (key_len > 0 &&
+        !in.read(reinterpret_cast<char*>(key.data()), key_len)) {
+      break;
+    }
+    uint32_t value_len = 0;
+    if (!ReadU32(in, value_len)) break;
+    Bytes value(value_len);
+    if (value_len > 0 &&
+        !in.read(reinterpret_cast<char*>(value.data()), value_len)) {
+      break;
+    }
+
+    // Recompute the CRC over the framed payload.
+    Bytes payload;
+    payload.reserve(9 + key.size() + value.size());
+    payload.push_back(type);
+    PutU32(payload, key_len);
+    Append(payload, key);
+    PutU32(payload, value_len);
+    Append(payload, value);
+    if (Crc32(payload) != crc) break;  // torn/corrupt tail: stop
+    if (type != 1 && type != 2) break;
+
+    WalRecord record;
+    record.is_delete = (type == 2);
+    record.key = std::move(key);
+    record.value = std::move(value);
+    fn(record);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace grub::kv

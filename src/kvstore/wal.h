@@ -1,0 +1,49 @@
+// Write-ahead log.
+//
+// Record format (little-endian lengths):
+//   u32 crc (over everything after this field)
+//   u8  type        (1 = put, 2 = delete)
+//   u32 key_len     | key bytes
+//   u32 value_len   | value bytes (0 for delete)
+//
+// Replay stops at the first corrupt/truncated record — a torn tail from a
+// crash loses only the unsynced suffix, matching LevelDB semantics.
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace grub::kv {
+
+struct WalRecord {
+  bool is_delete = false;
+  Bytes key;
+  Bytes value;
+};
+
+class WalWriter {
+ public:
+  /// Opens (creating or appending) the log at `path`.
+  static Result<WalWriter> Open(const std::string& path);
+
+  Status Append(const WalRecord& record);
+  Status Sync();
+
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+
+ private:
+  explicit WalWriter(std::ofstream out) : out_(std::move(out)) {}
+  std::ofstream out_;
+};
+
+/// Replays all intact records in `path`, invoking `fn` for each. Returns the
+/// number of records replayed; a missing file replays zero records (OK).
+Result<size_t> ReplayWal(const std::string& path,
+                         const std::function<void(const WalRecord&)>& fn);
+
+}  // namespace grub::kv

@@ -1,0 +1,155 @@
+#include "workload/synthetic.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace grub::workload {
+
+namespace {
+
+Bytes RandomValue(Rng& rng, size_t bytes) {
+  Bytes value(bytes);
+  for (auto& b : value) b = static_cast<uint8_t>(rng.NextU64() & 0xFF);
+  return value;
+}
+
+/// Samples from an empirical (count -> probability) table; the residual
+/// probability mass goes to the first entry.
+uint32_t SampleEmpirical(Rng& rng,
+                         const std::vector<std::pair<uint32_t, double>>& table) {
+  double u = rng.NextDouble();
+  for (const auto& [count, p] : table) {
+    if (u < p) return count;
+    u -= p;
+  }
+  return table.front().first;
+}
+
+}  // namespace
+
+Trace FixedRatioTrace(double read_write_ratio, size_t total_ops,
+                      size_t value_bytes, uint64_t key_index, uint64_t seed) {
+  if (read_write_ratio < 0) {
+    throw std::invalid_argument("FixedRatioTrace: negative ratio");
+  }
+  Rng rng(seed);
+  const Bytes key = MakeKey(key_index);
+
+  // Build one period: X1 writes then X2 reads with X2/X1 = ratio.
+  size_t writes_per_period = 1, reads_per_period = 0;
+  if (read_write_ratio >= 1.0) {
+    reads_per_period = static_cast<size_t>(read_write_ratio + 0.5);
+  } else if (read_write_ratio > 0) {
+    writes_per_period = static_cast<size_t>(1.0 / read_write_ratio + 0.5);
+    reads_per_period = 1;
+  }
+
+  Trace out;
+  out.reserve(total_ops);
+  while (out.size() < total_ops) {
+    for (size_t w = 0; w < writes_per_period && out.size() < total_ops; ++w) {
+      out.push_back(Operation::Write(key, RandomValue(rng, value_bytes)));
+    }
+    for (size_t r = 0; r < reads_per_period && out.size() < total_ops; ++r) {
+      out.push_back(Operation::Read(key));
+    }
+  }
+  return out;
+}
+
+Trace PriceOracleTrace(const PriceOracleOptions& options) {
+  // Table 1: distribution of writes by the number of reads that follow.
+  static const std::vector<std::pair<uint32_t, double>> kTable1 = {
+      {0, 0.704},  {1, 0.160},  {2, 0.0646}, {3, 0.0291}, {4, 0.0152},
+      {5, 0.0076}, {6, 0.0063}, {7, 0.0025}, {8, 0.0013}, {9, 0.0025},
+      {10, 0.0013}, {12, 0.0013}, {13, 0.0025}, {17, 0.0013}, {20, 0.0013}};
+
+  Rng rng(options.seed);
+  const Bytes key = MakeKey(options.key_index);
+  Trace out;
+  for (size_t w = 0; w < options.write_count; ++w) {
+    out.push_back(Operation::Write(key, RandomValue(rng, options.value_bytes)));
+    const uint32_t reads = SampleEmpirical(rng, kTable1);
+    for (uint32_t r = 0; r < reads; ++r) {
+      out.push_back(Operation::Read(key));
+    }
+  }
+  return out;
+}
+
+Trace BtcRelayTrace(const BtcRelayOptions& options) {
+  // Table 6: reads-per-write distribution for the BtcRelay block feed.
+  static const std::vector<std::pair<uint32_t, double>> kTable6 = {
+      {0, 0.937},  {1, 0.0530}, {2, 0.0077}, {3, 0.0015},
+      {4, 0.0005}, {5, 0.0004}, {6, 0.0002}, {7, 0.0001}};
+
+  Rng rng(options.seed);
+
+  // reads_due[w] = keys to read right after emitting write number w.
+  std::map<size_t, std::vector<uint64_t>> reads_due;
+  Trace out;
+  for (size_t w = 0; w < options.write_count; ++w) {
+    const uint64_t key_index = options.first_key_index + w;
+    out.push_back(Operation::Write(MakeKey(key_index),
+                                   RandomValue(rng, options.value_bytes)));
+
+    const uint32_t reads = SampleEmpirical(rng, kTable6);
+    for (uint32_t r = 0; r < reads; ++r) {
+      // Reads lag by ~read_lag_writes blocks, jittered ±50%.
+      const size_t base = options.read_lag_writes;
+      const size_t jitter = base == 0 ? 0 : rng.NextBounded(base + 1);
+      const size_t due = w + base / 2 + jitter;
+      reads_due[due].push_back(key_index);
+    }
+
+    auto it = reads_due.find(w);
+    if (it != reads_due.end()) {
+      for (uint64_t k : it->second) {
+        out.push_back(Operation::Read(MakeKey(k)));
+      }
+      reads_due.erase(it);
+    }
+  }
+  // Flush reads scheduled past the last write.
+  for (const auto& [due, keys] : reads_due) {
+    for (uint64_t k : keys) out.push_back(Operation::Read(MakeKey(k)));
+  }
+  return out;
+}
+
+Trace BtcRelayBenchmarkTrace(const BtcRelayBenchmarkOptions& options) {
+  static const std::vector<std::pair<uint32_t, double>> kTable6 = {
+      {0, 0.937},  {1, 0.0530}, {2, 0.0077}, {3, 0.0015},
+      {4, 0.0005}, {5, 0.0004}, {6, 0.0002}, {7, 0.0001}};
+
+  Rng rng(options.seed);
+  Trace out;
+  const size_t half = options.write_count / 2;
+  for (size_t h = 0; h < options.write_count; ++h) {
+    out.push_back(
+        Operation::Write(MakeKey(h), RandomValue(rng, options.value_bytes)));
+
+    if (h < half) {
+      // Phase 1: sparse relay reads per the published distribution.
+      const uint32_t reads = SampleEmpirical(rng, kTable6);
+      for (uint32_t r = 0; r < reads && r <= h; ++r) {
+        out.push_back(Operation::Read(MakeKey(h - r)));
+      }
+    } else if (h >= options.mint_lag + options.confirmations) {
+      // Phase 2: each mint/burn verifies `confirmations` consecutive
+      // headers; several tokens' mints can land on one block.
+      double expected = options.mints_per_block;
+      size_t mints = static_cast<size_t>(expected);
+      if (rng.NextBool(expected - static_cast<double>(mints))) mints += 1;
+      for (size_t m = 0; m < mints; ++m) {
+        const size_t start = h - options.mint_lag + rng.NextBounded(3);
+        for (size_t c = 0; c < options.confirmations; ++c) {
+          out.push_back(Operation::Read(MakeKey(start + c)));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace grub::workload

@@ -1,0 +1,66 @@
+// Synthetic fixed-ratio workloads (the paper's microbenchmarks, §2.3/§5.1)
+// and the two real-trace synthesizers (ethPriceOracle, BtcRelay).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/trace.h"
+
+namespace grub::workload {
+
+/// "Each workload is a repeated sequence of X1 writes followed by X2 reads
+/// (all under the single data key)" (§2.3). `read_write_ratio` = X2/X1;
+/// ratios < 1 produce multiple writes per read (e.g. 0.125 -> 8 writes,
+/// 1 read). Ratio 0 = write-only.
+Trace FixedRatioTrace(double read_write_ratio, size_t total_ops,
+                      size_t value_bytes, uint64_t key_index = 0,
+                      uint64_t seed = 1);
+
+/// ethPriceOracle trace synthesizer (Table 1 / Fig. 2): 5 days of Ether
+/// price updates, each write followed by n reads with the published
+/// empirical distribution (70.4% of writes see 0 reads, ..., max 20).
+struct PriceOracleOptions {
+  size_t write_count = 790;  // pokes in the 5-day window
+  size_t value_bytes = 32;   // one word: the price
+  uint64_t seed = 42;
+  uint64_t key_index = 0;  // the Ether record
+};
+
+Trace PriceOracleTrace(const PriceOracleOptions& options = {});
+
+/// BtcRelay trace synthesizer (Table 6 / Fig. 16, Appendix D): append-only
+/// block-header writes; reads-per-write follows the published distribution
+/// (93.7% never read, ..., max 7) and reads lag the write by ~`read_lag`
+/// subsequent writes (the 4-hour delay of Fig. 16b at one block / 10 min).
+struct BtcRelayOptions {
+  size_t write_count = 2000;
+  size_t value_bytes = 80;  // a Bitcoin block header
+  uint64_t seed = 7;
+  uint64_t first_key_index = 0;
+  size_t read_lag_writes = 24;
+};
+
+Trace BtcRelayTrace(const BtcRelayOptions& options = {});
+
+/// The Fig. 6 benchmark trace: the first half is the write-intensive block
+/// relay (reads per Table 6); in the second half Bitcoin-pegged token
+/// activity picks up — each new block triggers a mint/burn with probability
+/// `mint_probability`, and "a mint/burn operation with on-chain BtcRelay
+/// entails reading six Bitcoin blocks" (Appendix D), so each reads
+/// `confirmations` consecutive recent headers. Overlapping windows give the
+/// read-intensive phase the paper's BL1->BL2 crossover.
+struct BtcRelayBenchmarkOptions {
+  size_t write_count = 1000;
+  size_t value_bytes = 80;
+  uint64_t seed = 7;
+  /// Expected mint/burn operations per new block in the second half (the
+  /// paper's benchmark combines the activity of four pegged tokens).
+  double mints_per_block = 1.6;
+  size_t confirmations = 6;
+  size_t mint_lag = 8;  // a mint at height h verifies [h-lag, h-lag+conf)
+};
+
+Trace BtcRelayBenchmarkTrace(const BtcRelayBenchmarkOptions& options = {});
+
+}  // namespace grub::workload

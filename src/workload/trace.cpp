@@ -1,0 +1,49 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+
+namespace grub::workload {
+
+TraceStats ComputeStats(const Trace& trace) {
+  TraceStats stats;
+  uint64_t reads_since_write = 0;
+  bool seen_write = false;
+
+  auto flush = [&] {
+    if (!seen_write) return;
+    if (stats.reads_after_write.size() <= reads_since_write) {
+      stats.reads_after_write.resize(reads_since_write + 1, 0);
+    }
+    stats.reads_after_write[reads_since_write] += 1;
+  };
+
+  for (const auto& op : trace) {
+    switch (op.type) {
+      case OpType::kWrite:
+        flush();
+        seen_write = true;
+        reads_since_write = 0;
+        stats.writes += 1;
+        break;
+      case OpType::kRead:
+        stats.reads += 1;
+        reads_since_write += 1;
+        break;
+      case OpType::kScan:
+        stats.scans += 1;
+        reads_since_write += 1;
+        break;
+    }
+  }
+  flush();
+  return stats;
+}
+
+Bytes MakeKey(uint64_t index) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "k%015llu",
+                static_cast<unsigned long long>(index));
+  return ToBytes(buf);
+}
+
+}  // namespace grub::workload

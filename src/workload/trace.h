@@ -1,0 +1,59 @@
+// Workload trace model shared by all generators and the feed drivers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace grub::workload {
+
+enum class OpType : uint8_t {
+  kWrite,  // DO-side data update (a gPuts item)
+  kRead,   // DU-side point read (a gGet)
+  kScan,   // DU-side range read (a gGet over a key range)
+};
+
+struct Operation {
+  OpType type = OpType::kWrite;
+  Bytes key;
+  Bytes value;          // writes only
+  uint32_t scan_len = 0;  // scans only: number of records requested
+
+  static Operation Write(Bytes key, Bytes value) {
+    return Operation{OpType::kWrite, std::move(key), std::move(value), 0};
+  }
+  static Operation Read(Bytes key) {
+    return Operation{OpType::kRead, std::move(key), {}, 0};
+  }
+  static Operation Scan(Bytes key, uint32_t len) {
+    return Operation{OpType::kScan, std::move(key), {}, len};
+  }
+};
+
+using Trace = std::vector<Operation>;
+
+/// Reads-per-write histogram of a trace (reproduces Table 1 / Table 6).
+struct TraceStats {
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  uint64_t scans = 0;
+  /// reads_after_write[n] = number of writes followed by exactly n reads
+  /// (globally, i.e. before the next write), as in the paper's Fig. 2.
+  std::vector<uint64_t> reads_after_write;
+
+  double ReadWriteRatio() const {
+    return writes == 0 ? 0.0
+                       : static_cast<double>(reads + scans) /
+                             static_cast<double>(writes);
+  }
+};
+
+TraceStats ComputeStats(const Trace& trace);
+
+/// Canonical fixed-width key for record index i ("k" + 15-digit decimal):
+/// keeps keys byte-comparable in numeric order.
+Bytes MakeKey(uint64_t index);
+
+}  // namespace grub::workload

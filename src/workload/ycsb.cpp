@@ -1,0 +1,150 @@
+#include "workload/ycsb.h"
+
+#include <stdexcept>
+
+namespace grub::workload {
+
+YcsbConfig YcsbConfig::WorkloadA() {
+  YcsbConfig c;
+  c.read_proportion = 0.5;
+  c.update_proportion = 0.5;
+  c.name = "A";
+  return c;
+}
+
+YcsbConfig YcsbConfig::WorkloadB() {
+  YcsbConfig c;
+  c.read_proportion = 0.95;
+  c.update_proportion = 0.05;
+  c.name = "B";
+  return c;
+}
+
+YcsbConfig YcsbConfig::WorkloadD() {
+  YcsbConfig c;
+  c.read_proportion = 0.95;
+  c.insert_proportion = 0.05;
+  c.latest_distribution = true;
+  c.name = "D";
+  return c;
+}
+
+YcsbConfig YcsbConfig::WorkloadE() {
+  YcsbConfig c;
+  c.scan_proportion = 0.95;
+  c.insert_proportion = 0.05;
+  c.name = "E";
+  return c;
+}
+
+YcsbConfig YcsbConfig::WorkloadF() {
+  YcsbConfig c;
+  c.read_proportion = 0.5;
+  c.rmw_proportion = 0.5;
+  c.name = "F";
+  return c;
+}
+
+YcsbConfig YcsbConfig::ByName(char letter) {
+  switch (letter) {
+    case 'A':
+      return WorkloadA();
+    case 'B':
+      return WorkloadB();
+    case 'D':
+      return WorkloadD();
+    case 'E':
+      return WorkloadE();
+    case 'F':
+      return WorkloadF();
+    default:
+      throw std::invalid_argument("YcsbConfig: unsupported workload letter");
+  }
+}
+
+YcsbGenerator::YcsbGenerator(YcsbConfig config, uint64_t record_count,
+                             size_t value_bytes, uint64_t seed,
+                             uint64_t key_space)
+    : config_(std::move(config)),
+      initial_records_(record_count),
+      record_count_(record_count),
+      value_bytes_(value_bytes),
+      rng_(seed),
+      key_chooser_(key_space == 0 ? record_count : key_space),
+      latest_chooser_(record_count) {}
+
+Bytes YcsbGenerator::RandomValue() {
+  Bytes value(value_bytes_);
+  for (auto& b : value) b = static_cast<uint8_t>(rng_.NextU64() & 0xFF);
+  return value;
+}
+
+uint64_t YcsbGenerator::ChooseKey() {
+  if (config_.latest_distribution) {
+    // Skew toward the most recently inserted records.
+    return latest_chooser_.Next(rng_, record_count_);
+  }
+  return key_chooser_.Next(rng_);
+}
+
+Trace YcsbGenerator::PreloadTrace() const {
+  Trace out;
+  out.reserve(initial_records_);
+  // Values are deterministic per key (seed-independent preload).
+  Rng preload_rng(0xBADC0FFEULL);
+  for (uint64_t i = 0; i < initial_records_; ++i) {
+    Bytes value(value_bytes_);
+    for (auto& b : value) b = static_cast<uint8_t>(preload_rng.NextU64() & 0xFF);
+    out.push_back(Operation::Write(MakeKey(i), std::move(value)));
+  }
+  return out;
+}
+
+void YcsbGenerator::Generate(size_t op_count, Trace& out) {
+  out.reserve(out.size() + op_count);
+  for (size_t i = 0; i < op_count; ++i) {
+    const double pick = rng_.NextDouble();
+    double acc = config_.read_proportion;
+    if (pick < acc) {
+      out.push_back(Operation::Read(MakeKey(ChooseKey())));
+      continue;
+    }
+    acc += config_.update_proportion;
+    if (pick < acc) {
+      out.push_back(Operation::Write(MakeKey(ChooseKey()), RandomValue()));
+      continue;
+    }
+    acc += config_.insert_proportion;
+    if (pick < acc) {
+      // Inserts append beyond the preloaded key range; the request
+      // distribution keeps addressing the (hot) working set.
+      const uint64_t new_key = record_count_++;
+      out.push_back(Operation::Write(MakeKey(new_key), RandomValue()));
+      continue;
+    }
+    acc += config_.scan_proportion;
+    if (pick < acc) {
+      const uint32_t len = static_cast<uint32_t>(
+          1 + rng_.NextBounded(config_.max_scan_length));
+      out.push_back(Operation::Scan(MakeKey(ChooseKey()), len));
+      continue;
+    }
+    // Read-modify-write: a read immediately followed by a write of the key.
+    const uint64_t key = ChooseKey();
+    out.push_back(Operation::Read(MakeKey(key)));
+    out.push_back(Operation::Write(MakeKey(key), RandomValue()));
+  }
+}
+
+MixedWorkload MixPhases(YcsbGenerator& a, YcsbGenerator& b,
+                        size_t ops_per_phase, int phases) {
+  MixedWorkload mix;
+  for (int p = 0; p < phases; ++p) {
+    mix.phase_offsets.push_back(mix.trace.size());
+    YcsbGenerator& gen = (p % 2 == 0) ? a : b;
+    gen.Generate(ops_per_phase, mix.trace);
+  }
+  return mix;
+}
+
+}  // namespace grub::workload

@@ -1,0 +1,85 @@
+// YCSB core-workload generator (Cooper et al., SoCC'10).
+//
+// Implements the standard mixes the paper's macro-benchmarks use (§5.2):
+//   A: 50% read / 50% update, zipfian
+//   B: 95% read /  5% update, zipfian
+//   E: 95% scan /  5% insert, zipfian start keys, uniform scan length
+//   F: 50% read / 50% read-modify-write, zipfian
+// plus the phase mixer that alternates two workloads (A,X,A,X) to produce
+// the shifting read/write ratios of Fig. 9 / Fig. 13.
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "workload/distributions.h"
+#include "workload/trace.h"
+
+namespace grub::workload {
+
+struct YcsbConfig {
+  double read_proportion = 0;
+  double update_proportion = 0;
+  double insert_proportion = 0;
+  double scan_proportion = 0;
+  double rmw_proportion = 0;
+  uint32_t max_scan_length = 100;
+  /// Reads target recently inserted records (YCSB's "latest" distribution,
+  /// Workload D) instead of the scrambled-zipfian working set.
+  bool latest_distribution = false;
+  std::string name;
+
+  static YcsbConfig WorkloadA();
+  static YcsbConfig WorkloadB();
+  static YcsbConfig WorkloadD();
+  static YcsbConfig WorkloadE();
+  static YcsbConfig WorkloadF();
+  static YcsbConfig ByName(char letter);
+};
+
+class YcsbGenerator {
+ public:
+  /// `record_count` keys are assumed preloaded as MakeKey(0..record_count).
+  /// `key_space` (0 = record_count) restricts the request distribution to a
+  /// hot working subset of the store: the paper's macro-benchmarks observe
+  /// that "fewer data keys are used ... which makes a KV record be read
+  /// multiple times and triggers more data replication" — the vanilla
+  /// scrambled-zipfian over 2^16 keys is too flat for any replication
+  /// policy (static or dynamic) to matter.
+  YcsbGenerator(YcsbConfig config, uint64_t record_count, size_t value_bytes,
+                uint64_t seed, uint64_t key_space = 0);
+
+  /// Appends `op_count` operations to `out`. An RMW emits a read + a write
+  /// (two trace operations), matching how it hits the feed.
+  void Generate(size_t op_count, Trace& out);
+
+  /// Preload trace: one write per initial key.
+  Trace PreloadTrace() const;
+
+  uint64_t CurrentRecordCount() const { return record_count_; }
+
+ private:
+  Bytes RandomValue();
+  uint64_t ChooseKey();
+
+  YcsbConfig config_;
+  uint64_t initial_records_;
+  uint64_t record_count_;
+  size_t value_bytes_;
+  Rng rng_;
+  ScrambledZipfianGenerator key_chooser_;
+  LatestGenerator latest_chooser_;
+};
+
+/// Runs the paper's 4-phase mix: phases alternate generator `a` and `b`
+/// (a, b, a, b), each phase emitting `ops_per_phase` operations over a
+/// shared key space. Returns one trace with phase boundaries recorded.
+struct MixedWorkload {
+  Trace trace;
+  std::vector<size_t> phase_offsets;  // start index of each phase
+};
+
+MixedWorkload MixPhases(YcsbGenerator& a, YcsbGenerator& b,
+                        size_t ops_per_phase, int phases = 4);
+
+}  // namespace grub::workload

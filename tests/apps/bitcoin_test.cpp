@@ -1,0 +1,190 @@
+// Bitcoin substrate: header wire format, chain linkage, SPV proofs.
+#include <gtest/gtest.h>
+
+#include "apps/bitcoin.h"
+#include "apps/erc20.h"
+#include "chain/blockchain.h"
+
+namespace grub::apps {
+namespace {
+
+TEST(BitcoinHeader, SerializesToEightyBytes) {
+  BitcoinHeader header;
+  EXPECT_EQ(header.Serialize().size(), 80u);
+}
+
+TEST(BitcoinHeader, RoundTrip) {
+  BitcoinHeader header;
+  header.version = 3;
+  header.prev_block = Hash256::FromU64(111);
+  header.merkle_root = Hash256::FromU64(222);
+  header.timestamp = 1234567890;
+  header.bits = 0x1a2b3c4d;
+  header.nonce = 987654321;
+  auto decoded = BitcoinHeader::Deserialize(header.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->version, 3u);
+  EXPECT_EQ(decoded->prev_block, Hash256::FromU64(111));
+  EXPECT_EQ(decoded->merkle_root, Hash256::FromU64(222));
+  EXPECT_EQ(decoded->timestamp, 1234567890u);
+  EXPECT_EQ(decoded->bits, 0x1a2b3c4du);
+  EXPECT_EQ(decoded->nonce, 987654321u);
+}
+
+TEST(BitcoinHeader, DeserializeRejectsWrongLength) {
+  EXPECT_FALSE(BitcoinHeader::Deserialize(Bytes(79, 0)).ok());
+  EXPECT_FALSE(BitcoinHeader::Deserialize(Bytes(81, 0)).ok());
+}
+
+TEST(BitcoinHeader, BlockHashIsDoubleSha) {
+  BitcoinHeader header;
+  Bytes wire = header.Serialize();
+  EXPECT_EQ(header.BlockHash(), Sha256::Digest(Sha256::Digest(wire).Span()));
+}
+
+TEST(BitcoinSimulator, ChainLinksCorrectly) {
+  BitcoinSimulator btc(1);
+  for (int i = 0; i < 10; ++i) btc.MineBlock();
+  EXPECT_EQ(btc.Height(), 10u);
+  EXPECT_TRUE(btc.Header(0).prev_block.IsZero());  // genesis
+  for (size_t h = 1; h < 10; ++h) {
+    EXPECT_EQ(btc.Header(h).prev_block, btc.Header(h - 1).BlockHash()) << h;
+  }
+}
+
+TEST(BitcoinSimulator, BlocksAreDistinct) {
+  BitcoinSimulator btc(2);
+  btc.MineBlock();
+  btc.MineBlock();
+  EXPECT_NE(btc.Header(0).BlockHash(), btc.Header(1).BlockHash());
+  EXPECT_NE(btc.Header(0).merkle_root, btc.Header(1).merkle_root);
+}
+
+TEST(BitcoinSimulator, SpvProofsVerifyForEveryTransaction) {
+  BitcoinSimulator btc(3, /*txs_per_block=*/5);
+  btc.MineBlock();
+  for (size_t i = 0; i < 5; ++i) {
+    auto proof = btc.ProveInclusion(0, i);
+    EXPECT_TRUE(VerifySpv(btc.Header(0), proof)) << i;
+  }
+}
+
+TEST(BitcoinSimulator, SpvProofFailsAgainstWrongBlock) {
+  BitcoinSimulator btc(4);
+  btc.MineBlock();
+  btc.MineBlock();
+  auto proof = btc.ProveInclusion(0, 1);
+  EXPECT_FALSE(VerifySpv(btc.Header(1), proof));
+}
+
+TEST(BitcoinSimulator, TamperedTxidFailsSpv) {
+  BitcoinSimulator btc(5);
+  btc.MineBlock();
+  auto proof = btc.ProveInclusion(0, 0);
+  proof.txid.bytes[10] ^= 0x40;
+  EXPECT_FALSE(VerifySpv(btc.Header(0), proof));
+}
+
+TEST(BitcoinSimulator, SpvChargesVerifierHashes) {
+  BitcoinSimulator btc(6, 8);
+  btc.MineBlock();
+  auto proof = btc.ProveInclusion(0, 3);
+  size_t hashes = 0;
+  VerifySpv(btc.Header(0), proof, [&](size_t) { ++hashes; });
+  EXPECT_EQ(hashes, 1 + proof.path.siblings.size());
+}
+
+TEST(BitcoinSimulator, OutOfRangeAccessThrows) {
+  BitcoinSimulator btc(7);
+  btc.MineBlock();
+  EXPECT_THROW(btc.Header(1), std::out_of_range);
+  EXPECT_THROW(btc.ProveInclusion(0, 99), std::out_of_range);
+  EXPECT_THROW(btc.ProveInclusion(5, 0), std::out_of_range);
+}
+
+// --- ERC20 basics (the token both case studies mint/burn) ---
+
+struct TokenFixture {
+  TokenFixture() {
+    token_address = chain.Deploy(std::make_unique<Erc20Token>(kIssuer));
+  }
+
+  chain::Receipt Call(chain::Address from, const char* function, Bytes args) {
+    chain::Transaction tx;
+    tx.from = from;
+    tx.to = token_address;
+    tx.function = function;
+    tx.calldata = std::move(args);
+    return chain.SubmitAndMine(std::move(tx));
+  }
+
+  uint64_t Balance(chain::Address account) {
+    return chain.StorageOf(token_address)
+        .Load(Erc20Token::BalanceSlot(account))
+        .ToU64();
+  }
+  uint64_t Supply() {
+    return chain.StorageOf(token_address).Load(Erc20Token::SupplySlot()).ToU64();
+  }
+
+  static constexpr chain::Address kIssuer = 91;
+  static constexpr chain::Address kAlice = 92;
+  static constexpr chain::Address kBob = 93;
+  chain::Blockchain chain;
+  chain::Address token_address = 0;
+};
+
+TEST(Erc20, MintCreditsBalanceAndSupply) {
+  TokenFixture f;
+  ASSERT_TRUE(f.Call(TokenFixture::kIssuer, Erc20Token::kMintFn,
+                     Erc20Token::EncodeMint(TokenFixture::kAlice, 100))
+                  .ok());
+  EXPECT_EQ(f.Balance(TokenFixture::kAlice), 100u);
+  EXPECT_EQ(f.Supply(), 100u);
+}
+
+TEST(Erc20, TransferMovesFunds) {
+  TokenFixture f;
+  f.Call(TokenFixture::kIssuer, Erc20Token::kMintFn,
+         Erc20Token::EncodeMint(TokenFixture::kAlice, 100));
+  ASSERT_TRUE(f.Call(TokenFixture::kAlice, Erc20Token::kTransferFn,
+                     Erc20Token::EncodeTransfer(TokenFixture::kBob, 40))
+                  .ok());
+  EXPECT_EQ(f.Balance(TokenFixture::kAlice), 60u);
+  EXPECT_EQ(f.Balance(TokenFixture::kBob), 40u);
+  EXPECT_EQ(f.Supply(), 100u);
+}
+
+TEST(Erc20, TransferRejectsOverdraft) {
+  TokenFixture f;
+  f.Call(TokenFixture::kIssuer, Erc20Token::kMintFn,
+         Erc20Token::EncodeMint(TokenFixture::kAlice, 10));
+  EXPECT_FALSE(f.Call(TokenFixture::kAlice, Erc20Token::kTransferFn,
+                      Erc20Token::EncodeTransfer(TokenFixture::kBob, 40))
+                   .ok());
+  EXPECT_EQ(f.Balance(TokenFixture::kBob), 0u);
+}
+
+TEST(Erc20, BurnReducesSupply) {
+  TokenFixture f;
+  f.Call(TokenFixture::kIssuer, Erc20Token::kMintFn,
+         Erc20Token::EncodeMint(TokenFixture::kAlice, 100));
+  ASSERT_TRUE(f.Call(TokenFixture::kIssuer, Erc20Token::kBurnFn,
+                     Erc20Token::EncodeBurn(TokenFixture::kAlice, 30))
+                  .ok());
+  EXPECT_EQ(f.Balance(TokenFixture::kAlice), 70u);
+  EXPECT_EQ(f.Supply(), 70u);
+}
+
+TEST(Erc20, MintBurnRestrictedToIssuer) {
+  TokenFixture f;
+  EXPECT_FALSE(f.Call(TokenFixture::kAlice, Erc20Token::kMintFn,
+                      Erc20Token::EncodeMint(TokenFixture::kAlice, 1))
+                   .ok());
+  EXPECT_FALSE(f.Call(TokenFixture::kAlice, Erc20Token::kBurnFn,
+                      Erc20Token::EncodeBurn(TokenFixture::kAlice, 1))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace grub::apps

@@ -1,0 +1,170 @@
+// Bitcoin-pegged token integration tests (§4.2): SPV-verified mint/burn over
+// a GRuB BtcRelay feed, with headers arriving synchronously (replicated) or
+// via async deliver, plus adversarial SPV/linkage cases.
+#include <gtest/gtest.h>
+
+#include "apps/bitcoin.h"
+#include "apps/pegged_token.h"
+#include "grub/system.h"
+
+namespace grub::apps {
+namespace {
+
+constexpr chain::Address kHolder = 8001;
+
+struct PegFixture {
+  explicit PegFixture(std::unique_ptr<core::ReplicationPolicy> policy,
+                      size_t blocks = 12)
+      : system(core::SystemOptions{}, std::move(policy)), btc(/*seed=*/99) {
+    PeggedToken::Config config;
+    config.storage_manager = system.ManagerAddress();
+    config.confirmations = 6;
+    auto peg_ptr = std::make_unique<PeggedToken>(config);
+    peg = peg_ptr.get();
+    peg_address = system.Chain().Deploy(std::move(peg_ptr));
+
+    auto token_ptr = std::make_unique<Erc20Token>(peg_address);
+    token = token_ptr.get();
+    token_address = system.Chain().Deploy(std::move(token_ptr));
+    peg->SetToken(token_address);
+
+    // The DO's Bitcoin client relays every found block into the feed.
+    std::vector<std::pair<Bytes, Bytes>> headers;
+    for (size_t i = 0; i < blocks; ++i) {
+      btc.MineBlock();
+      headers.emplace_back(PeggedToken::HeightKey(i),
+                           btc.Header(i).Serialize());
+    }
+    system.Preload(headers);
+  }
+
+  chain::Receipt Open(uint64_t request_id, PeggedToken::Kind kind,
+                      uint64_t height) {
+    chain::Transaction tx;
+    tx.from = kHolder;
+    tx.to = peg_address;
+    tx.function = PeggedToken::kOpenFn;
+    tx.calldata = PeggedToken::EncodeOpen(request_id, kind, height);
+    auto receipt = system.Chain().SubmitAndMine(std::move(tx));
+    system.Daemon().PollAndServe();  // async header delivery
+    return receipt;
+  }
+
+  chain::Receipt Finalize(uint64_t request_id, const SpvProof& proof,
+                          uint64_t amount) {
+    chain::Transaction tx;
+    tx.from = kHolder;
+    tx.to = peg_address;
+    tx.function = PeggedToken::kFinalizeFn;
+    tx.calldata =
+        PeggedToken::EncodeFinalize(request_id, proof, kHolder, amount);
+    return system.Chain().SubmitAndMine(std::move(tx));
+  }
+
+  uint64_t Balance() {
+    return system.Chain()
+        .StorageOf(token_address)
+        .Load(Erc20Token::BalanceSlot(kHolder))
+        .ToU64();
+  }
+
+  core::GrubSystem system;
+  BitcoinSimulator btc;
+  PeggedToken* peg = nullptr;
+  Erc20Token* token = nullptr;
+  chain::Address peg_address = 0;
+  chain::Address token_address = 0;
+};
+
+TEST(PeggedToken, MintWithValidSpvProofAfterSixConfirmations) {
+  PegFixture fix(core::MakeBL1());
+
+  ASSERT_TRUE(fix.Open(1, PeggedToken::Kind::kMint, 2).ok());
+  auto proof = fix.btc.ProveInclusion(/*height=*/2, /*tx_index=*/3);
+  auto receipt = fix.Finalize(1, proof, 500);
+  EXPECT_TRUE(receipt.ok()) << receipt.status.ToString();
+  EXPECT_EQ(fix.peg->mints_completed(), 1u);
+  EXPECT_EQ(fix.Balance(), 500u);
+}
+
+TEST(PeggedToken, MintWorksWhenHeadersReplicatedOnChain) {
+  PegFixture fix(core::MakeBL2());
+  // Warm the six replicas so the open() callbacks run synchronously.
+  for (uint64_t h = 2; h < 8; ++h) {
+    fix.system.ReadNow(PeggedToken::HeightKey(h));
+  }
+  const uint64_t delivers_before = fix.system.Daemon().delivers_sent();
+  ASSERT_TRUE(fix.Open(1, PeggedToken::Kind::kMint, 2).ok());
+  EXPECT_EQ(fix.system.Daemon().delivers_sent(), delivers_before);
+
+  auto proof = fix.btc.ProveInclusion(2, 0);
+  EXPECT_TRUE(fix.Finalize(1, proof, 42).ok());
+  EXPECT_EQ(fix.Balance(), 42u);
+}
+
+TEST(PeggedToken, FinalizeRejectedBeforeConfirmations) {
+  PegFixture fix(core::MakeBL1());
+  chain::Transaction tx;
+  tx.from = kHolder;
+  tx.to = fix.peg_address;
+  tx.function = PeggedToken::kOpenFn;
+  tx.calldata = PeggedToken::EncodeOpen(1, PeggedToken::Kind::kMint, 2);
+  fix.system.Chain().SubmitAndMine(std::move(tx));
+  // Deliberately no PollAndServe: headers undelivered.
+
+  auto proof = fix.btc.ProveInclusion(2, 0);
+  auto receipt = fix.Finalize(1, proof, 500);
+  EXPECT_FALSE(receipt.ok());
+  EXPECT_EQ(fix.Balance(), 0u);
+}
+
+TEST(PeggedToken, ForgedSpvProofRejected) {
+  PegFixture fix(core::MakeBL1());
+  ASSERT_TRUE(fix.Open(1, PeggedToken::Kind::kMint, 2).ok());
+
+  // Proof from a different block does not match height 2's Merkle root.
+  auto wrong_block = fix.btc.ProveInclusion(5, 0);
+  auto receipt = fix.Finalize(1, wrong_block, 500);
+  EXPECT_FALSE(receipt.ok());
+  EXPECT_EQ(fix.Balance(), 0u);
+
+  // Tampered txid fails too.
+  auto proof = fix.btc.ProveInclusion(2, 1);
+  proof.txid.bytes[0] ^= 0xFF;
+  EXPECT_FALSE(fix.Finalize(1, proof, 500).ok());
+  EXPECT_EQ(fix.Balance(), 0u);
+}
+
+TEST(PeggedToken, BurnDestroysTokens) {
+  PegFixture fix(core::MakeBL1());
+  ASSERT_TRUE(fix.Open(1, PeggedToken::Kind::kMint, 0).ok());
+  ASSERT_TRUE(fix.Finalize(1, fix.btc.ProveInclusion(0, 0), 900).ok());
+  ASSERT_EQ(fix.Balance(), 900u);
+
+  // Burn against a redeem transaction included in a later block.
+  ASSERT_TRUE(fix.Open(2, PeggedToken::Kind::kBurn, 6).ok());
+  EXPECT_TRUE(fix.Finalize(2, fix.btc.ProveInclusion(6, 2), 300).ok());
+  EXPECT_EQ(fix.Balance(), 600u);
+  EXPECT_EQ(fix.peg->burns_completed(), 1u);
+}
+
+TEST(PeggedToken, DuplicateRequestIdRejected) {
+  PegFixture fix(core::MakeBL1());
+  ASSERT_TRUE(fix.Open(1, PeggedToken::Kind::kMint, 2).ok());
+  auto receipt = fix.Open(1, PeggedToken::Kind::kMint, 3);
+  EXPECT_FALSE(receipt.ok());
+}
+
+TEST(PeggedToken, RequestStateClearedAfterFinalize) {
+  PegFixture fix(core::MakeBL1());
+  ASSERT_TRUE(fix.Open(1, PeggedToken::Kind::kMint, 2).ok());
+  ASSERT_TRUE(fix.Finalize(1, fix.btc.ProveInclusion(2, 0), 10).ok());
+
+  // The id is reusable once cleared.
+  EXPECT_TRUE(fix.Open(1, PeggedToken::Kind::kMint, 4).ok());
+  EXPECT_TRUE(fix.Finalize(1, fix.btc.ProveInclusion(4, 0), 10).ok());
+  EXPECT_EQ(fix.Balance(), 20u);
+}
+
+}  // namespace
+}  // namespace grub::apps

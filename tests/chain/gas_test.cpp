@@ -1,0 +1,83 @@
+// Gas schedule: the Table 2 formulas must be reproduced exactly — every
+// experimental number in the paper reduction rests on them.
+#include <gtest/gtest.h>
+
+#include "chain/gas.h"
+
+namespace grub::chain {
+namespace {
+
+TEST(GasSchedule, TransactionCostMatchesTable2) {
+  GasSchedule gas;
+  // Ctx(X) = 21000 + 2176 X over calldata words.
+  EXPECT_EQ(gas.TxCost(0), 21000u);
+  EXPECT_EQ(gas.TxCost(1), 21000u + 2176);
+  EXPECT_EQ(gas.TxCost(32), 21000u + 2176);
+  EXPECT_EQ(gas.TxCost(33), 21000u + 2 * 2176);
+  EXPECT_EQ(gas.TxCost(320), 21000u + 10 * 2176);
+}
+
+TEST(GasSchedule, StorageCostsMatchTable2) {
+  GasSchedule gas;
+  EXPECT_EQ(gas.InsertCost(1), 20000u);
+  EXPECT_EQ(gas.InsertCost(7), 140000u);
+  EXPECT_EQ(gas.UpdateCost(1), 5000u);
+  EXPECT_EQ(gas.UpdateCost(3), 15000u);
+  EXPECT_EQ(gas.ReadCost(1), 200u);
+  EXPECT_EQ(gas.ReadCost(10), 2000u);
+}
+
+TEST(GasSchedule, HashCostMatchesTable2) {
+  GasSchedule gas;
+  // Chash(X) = 30 + 6 X.
+  EXPECT_EQ(gas.HashCost(0), 30u);
+  EXPECT_EQ(gas.HashCost(1), 36u);
+  EXPECT_EQ(gas.HashCost(100), 630u);
+}
+
+TEST(GasSchedule, LogCostFollowsYellowPaper) {
+  GasSchedule gas;
+  EXPECT_EQ(gas.LogCost(1, 0), 375u + 375u);
+  EXPECT_EQ(gas.LogCost(1, 100), 375u + 375u + 800u);
+  EXPECT_EQ(gas.LogCost(3, 10), 375u + 3 * 375u + 80u);
+}
+
+TEST(GasSchedule, OffchainReadPerWordIsCalldataRate) {
+  // C_read_off in the algorithm analysis = marginal calldata word cost.
+  GasSchedule gas;
+  EXPECT_EQ(gas.OffchainReadPerWord(), 2176u);
+}
+
+TEST(GasMeter, AccumulatesByCategory) {
+  GasSchedule gas;
+  GasMeter meter(gas);
+  meter.ChargeTx(100);          // 21000 + 4*2176
+  meter.ChargeInsert(2);        // 40000
+  meter.ChargeUpdate(3);        // 15000
+  meter.ChargeRead(5);          // 1000
+  meter.ChargeHash(2);          // 42
+  meter.ChargeLog(1, 10);       // 830
+  meter.ChargeOther(7);
+
+  const auto& breakdown = meter.Breakdown();
+  EXPECT_EQ(breakdown.tx, 21000u + 4 * 2176);
+  EXPECT_EQ(breakdown.storage_insert, 40000u);
+  EXPECT_EQ(breakdown.storage_update, 15000u);
+  EXPECT_EQ(breakdown.storage_read, 1000u);
+  EXPECT_EQ(breakdown.hash, 42u);
+  EXPECT_EQ(breakdown.log, 830u);
+  EXPECT_EQ(breakdown.other, 7u);
+  EXPECT_EQ(meter.Used(), breakdown.Total());
+}
+
+TEST(GasBreakdown, AdditionComposes) {
+  GasBreakdown a{.tx = 1, .storage_insert = 2, .storage_update = 3,
+                 .storage_read = 4, .hash = 5, .log = 6, .other = 7};
+  GasBreakdown b = a;
+  b += a;
+  EXPECT_EQ(b.tx, 2u);
+  EXPECT_EQ(b.Total(), 2 * a.Total());
+}
+
+}  // namespace
+}  // namespace grub::chain

@@ -1,0 +1,88 @@
+// Contract storage metering: the insert/update/read distinction and the
+// multi-word blob layout.
+#include <gtest/gtest.h>
+
+#include "chain/storage.h"
+
+namespace grub::chain {
+namespace {
+
+struct Fixture {
+  GasSchedule gas;
+  ContractStorage backing;
+  GasMeter meter{gas};
+  MeteredStorage storage{backing, meter};
+};
+
+TEST(MeteredStorage, InsertThenUpdateCharges) {
+  Fixture f;
+  const Word key = Word::FromU64(1);
+  f.storage.SStore(key, Word::FromU64(10));  // zero -> nonzero: insert
+  EXPECT_EQ(f.meter.Breakdown().storage_insert, 20000u);
+  f.storage.SStore(key, Word::FromU64(20));  // nonzero -> nonzero: update
+  EXPECT_EQ(f.meter.Breakdown().storage_update, 5000u);
+  f.storage.SStore(key, Word{});  // nonzero -> zero: update (no refunds)
+  EXPECT_EQ(f.meter.Breakdown().storage_update, 10000u);
+  // Slot is zero again: the next write is an insert.
+  f.storage.SStore(key, Word::FromU64(30));
+  EXPECT_EQ(f.meter.Breakdown().storage_insert, 40000u);
+}
+
+TEST(MeteredStorage, ZeroToZeroChargesUpdate) {
+  Fixture f;
+  f.storage.SStore(Word::FromU64(2), Word{});
+  EXPECT_EQ(f.meter.Breakdown().storage_update, 5000u);
+  EXPECT_EQ(f.meter.Breakdown().storage_insert, 0u);
+}
+
+TEST(MeteredStorage, ReadsCharge200PerWord) {
+  Fixture f;
+  (void)f.storage.SLoad(Word::FromU64(3));
+  (void)f.storage.SLoad(Word::FromU64(4));
+  EXPECT_EQ(f.meter.Breakdown().storage_read, 400u);
+}
+
+TEST(MeteredStorage, BlobRoundTrip) {
+  Fixture f;
+  Bytes data(100);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i);
+  }
+  const Word base = Word::FromU64(77);
+  f.storage.SStoreBytes(base, data, 0);
+  EXPECT_EQ(f.storage.SLoadBytes(base, data.size()), data);
+  // 100 bytes = 4 words, all fresh inserts.
+  EXPECT_EQ(f.meter.Breakdown().storage_insert, 4 * 20000u);
+}
+
+TEST(MeteredStorage, ShrinkingBlobZeroesSurplusSlots) {
+  Fixture f;
+  const Word base = Word::FromU64(88);
+  f.storage.SStoreBytes(base, Bytes(100, 0xAA), 0);   // 4 words
+  f.storage.SStoreBytes(base, Bytes(10, 0xBB), 100);  // 1 word + 3 zeroed
+  // Surplus slots must read back as zero.
+  EXPECT_TRUE(f.backing.Load(MeteredStorage::SlotKey(base, 1)).IsZero());
+  EXPECT_TRUE(f.backing.Load(MeteredStorage::SlotKey(base, 3)).IsZero());
+  Bytes got = f.storage.SLoadBytes(base, 10);
+  EXPECT_EQ(got, Bytes(10, 0xBB));
+}
+
+TEST(MeteredStorage, SlotKeysAreDistinctPerIndex) {
+  const Word base = Word::FromU64(5);
+  EXPECT_NE(MeteredStorage::SlotKey(base, 0), MeteredStorage::SlotKey(base, 1));
+  EXPECT_NE(MeteredStorage::SlotKey(base, 1), MeteredStorage::SlotKey(base, 2));
+  // Index 0 is the base itself.
+  EXPECT_EQ(MeteredStorage::SlotKey(base, 0), base);
+}
+
+TEST(ContractStorage, ZeroStoresErase) {
+  ContractStorage backing;
+  backing.Store(Word::FromU64(1), Word::FromU64(5));
+  EXPECT_EQ(backing.SlotCount(), 1u);
+  backing.Store(Word::FromU64(1), Word{});
+  EXPECT_EQ(backing.SlotCount(), 0u);
+  EXPECT_TRUE(backing.Load(Word::FromU64(1)).IsZero());
+}
+
+}  // namespace
+}  // namespace grub::chain

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace grub {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xAB, 0xFF, 0x7E};
+  EXPECT_EQ(ToHex(data), "0001abff7e");
+  EXPECT_EQ(FromHex("0001abff7e"), data);
+  EXPECT_EQ(FromHex("0x0001ABFF7E"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(ToHex({}), "");
+  EXPECT_TRUE(FromHex("").empty());
+  EXPECT_TRUE(FromHex("0x").empty());
+}
+
+TEST(Bytes, FromHexRejectsOddLength) {
+  EXPECT_THROW(FromHex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, FromHexRejectsNonHex) {
+  EXPECT_THROW(FromHex("zz"), std::invalid_argument);
+  EXPECT_THROW(FromHex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  const std::string s = "hello\0world";
+  Bytes b = ToBytes(s);
+  EXPECT_EQ(ToString(b), s);
+}
+
+TEST(Bytes, U64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0xDEADBEEF},
+                     UINT64_MAX}) {
+    EXPECT_EQ(BytesToU64(U64ToBytes(v)), v);
+  }
+}
+
+TEST(Bytes, U64IsBigEndian) {
+  Bytes b = U64ToBytes(0x0102030405060708ULL);
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[7], 0x08);
+}
+
+TEST(Bytes, BytesToU64RejectsLongInput) {
+  EXPECT_THROW(BytesToU64(Bytes(9, 0)), std::invalid_argument);
+}
+
+TEST(Bytes, BytesToU64AcceptsShortInput) {
+  EXPECT_EQ(BytesToU64(Bytes{0x01, 0x00}), 256u);
+}
+
+TEST(Bytes, CompareOrdersLexicographically) {
+  EXPECT_EQ(Compare(ToBytes("abc"), ToBytes("abc")), 0);
+  EXPECT_LT(Compare(ToBytes("abc"), ToBytes("abd")), 0);
+  EXPECT_GT(Compare(ToBytes("abd"), ToBytes("abc")), 0);
+  // Prefix orders before its extension.
+  EXPECT_LT(Compare(ToBytes("ab"), ToBytes("abc")), 0);
+  EXPECT_GT(Compare(ToBytes("abc"), ToBytes("ab")), 0);
+  EXPECT_EQ(Compare({}, {}), 0);
+  EXPECT_LT(Compare({}, ToBytes("a")), 0);
+}
+
+TEST(Bytes, CompareUsesUnsignedBytes) {
+  Bytes high = {0xFF};
+  Bytes low = {0x01};
+  EXPECT_GT(Compare(high, low), 0);
+}
+
+TEST(Bytes, ConcatJoinsAllParts) {
+  Bytes a = ToBytes("ab"), b = ToBytes("cd"), c = ToBytes("");
+  EXPECT_EQ(Concat({a, b, c}), ToBytes("abcd"));
+  EXPECT_EQ(Concat({}), Bytes{});
+}
+
+TEST(Bytes, WordsForBytesCeils) {
+  EXPECT_EQ(WordsForBytes(0), 0u);
+  EXPECT_EQ(WordsForBytes(1), 1u);
+  EXPECT_EQ(WordsForBytes(32), 1u);
+  EXPECT_EQ(WordsForBytes(33), 2u);
+  EXPECT_EQ(WordsForBytes(64), 2u);
+  EXPECT_EQ(WordsForBytes(65), 3u);
+}
+
+class HexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HexPropertyTest, RandomRoundTrips) {
+  // Pseudo-random buffers of assorted sizes round-trip through hex.
+  uint64_t seed = GetParam();
+  Bytes data((seed * 7) % 257);
+  uint64_t x = seed;
+  for (auto& byte : data) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    byte = static_cast<uint8_t>(x >> 56);
+  }
+  EXPECT_EQ(FromHex(ToHex(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HexPropertyTest,
+                         ::testing::Range<uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace grub

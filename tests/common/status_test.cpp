@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "common/hash256.h"
+#include "common/status.h"
+
+namespace grub {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::IntegrityViolation("x").code(),
+            StatusCode::kIntegrityViolation);
+  Status s = Status::Internal("boom");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "boom");
+  EXPECT_EQ(s.ToString(), "INTERNAL: boom");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW(r.value(), std::logic_error);
+}
+
+TEST(Result, RejectsOkStatusWithoutValue) {
+  EXPECT_THROW(Result<int>(Status::Ok()), std::logic_error);
+}
+
+TEST(Result, MoveExtractsValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(Hash256, U64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0xABCDEF12345678ULL},
+                     UINT64_MAX}) {
+    EXPECT_EQ(Hash256::FromU64(v).ToU64(), v);
+  }
+}
+
+TEST(Hash256, IsZeroOnlyForAllZero) {
+  EXPECT_TRUE(Hash256{}.IsZero());
+  EXPECT_FALSE(Hash256::FromU64(1).IsZero());
+  Hash256 high;
+  high.bytes[0] = 1;
+  EXPECT_FALSE(high.IsZero());
+}
+
+TEST(Hash256, FromSpanValidatesLength) {
+  Bytes exact(32, 7);
+  EXPECT_EQ(Hash256::FromSpan(exact).bytes[0], 7);
+  EXPECT_THROW(Hash256::FromSpan(Bytes(31, 0)), std::invalid_argument);
+  EXPECT_THROW(Hash256::FromSpan(Bytes(33, 0)), std::invalid_argument);
+}
+
+TEST(Hash256, OrderingAndHashing) {
+  Hash256 a = Hash256::FromU64(1), b = Hash256::FromU64(2);
+  EXPECT_LT(a, b);
+  EXPECT_NE(std::hash<Hash256>{}(a), std::hash<Hash256>{}(b));
+}
+
+TEST(Hash256, HexMatchesByteOrder) {
+  Hash256 h = Hash256::FromU64(0xFF);
+  EXPECT_EQ(h.Hex().substr(62), "ff");
+  EXPECT_EQ(h.Hex().substr(0, 2), "00");
+}
+
+}  // namespace
+}  // namespace grub

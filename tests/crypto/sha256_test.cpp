@@ -1,0 +1,113 @@
+// SHA-256 against FIPS/NIST vectors, streaming equivalence, and the HMAC
+// RFC 4231 vectors — the integrity of every proof in the system rests here.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+
+namespace grub {
+namespace {
+
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(Sha256::Digest({}).Hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::Digest(ToBytes("abc")).Hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::Digest(
+          ToBytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))
+          .Hex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(h.Finish().Hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes = exactly one block; padding spills into a second block.
+  Bytes data(64, 'x');
+  Sha256 streaming;
+  streaming.Update(ByteSpan(data.data(), 32));
+  streaming.Update(ByteSpan(data.data() + 32, 32));
+  EXPECT_EQ(streaming.Finish(), Sha256::Digest(data));
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes: padding fits in one block; 56: needs an extra block.
+  EXPECT_EQ(Sha256::Digest(Bytes(55, 'y')),
+            Sha256::Digest(Bytes(55, 'y')));
+  EXPECT_NE(Sha256::Digest(Bytes(55, 'y')), Sha256::Digest(Bytes(56, 'y')));
+}
+
+TEST(Sha256, Digest2MatchesConcatenation) {
+  Bytes a = ToBytes("hello "), b = ToBytes("world");
+  EXPECT_EQ(Sha256::Digest2(a, b), Sha256::Digest(ToBytes("hello world")));
+}
+
+class Sha256StreamingTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Sha256StreamingTest, ChunkedEqualsOneShot) {
+  const size_t total = 257;
+  Bytes data(total);
+  for (size_t i = 0; i < total; ++i) data[i] = static_cast<uint8_t>(i * 31);
+
+  const size_t chunk = GetParam();
+  Sha256 streaming;
+  for (size_t off = 0; off < total; off += chunk) {
+    streaming.Update(ByteSpan(data.data() + off, std::min(chunk, total - off)));
+  }
+  EXPECT_EQ(streaming.Finish(), Sha256::Digest(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, Sha256StreamingTest,
+                         ::testing::Values(1, 3, 7, 13, 31, 63, 64, 65, 100,
+                                           256, 257));
+
+// RFC 4231 HMAC-SHA256 test vectors.
+TEST(HmacSha256, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(HmacSha256(key, ToBytes("Hi There")).Hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(
+      HmacSha256(ToBytes("Jefe"), ToBytes("what do ya want for nothing?"))
+          .Hex(),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes message(50, 0xdd);
+  EXPECT_EQ(HmacSha256(key, message).Hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231LongKey) {
+  // Keys longer than the block size are hashed first.
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(HmacSha256(key, ToBytes("Test Using Larger Than Block-Size Key - "
+                                    "Hash Key First"))
+                .Hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, KeySensitivity) {
+  Bytes message = ToBytes("same message");
+  EXPECT_NE(HmacSha256(ToBytes("key1"), message),
+            HmacSha256(ToBytes("key2"), message));
+}
+
+}  // namespace
+}  // namespace grub

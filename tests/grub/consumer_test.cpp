@@ -1,0 +1,84 @@
+// ConsumerContract: the generic DU's batching and callback accounting.
+#include <gtest/gtest.h>
+
+#include "grub/system.h"
+#include "workload/trace.h"
+
+namespace grub::core {
+namespace {
+
+using workload::MakeKey;
+
+struct Fixture {
+  Fixture() : system(SystemOptions{}, MakeBL2()) {
+    system.Preload({{MakeKey(0), Bytes(32, 1)}, {MakeKey(1), Bytes(32, 2)}});
+    // Warm both replicas so run() answers synchronously.
+    system.ReadNow(MakeKey(0));
+    system.ReadNow(MakeKey(1));
+    system.Consumer().ClearReceived();
+  }
+
+  chain::Receipt Run() {
+    chain::Transaction tx;
+    tx.from = GrubSystem::kUserAccount;
+    tx.to = system.ConsumerAddress();
+    tx.function = ConsumerContract::kRunFn;
+    tx.calldata = ConsumerContract::EncodeRun(system.Consumer().QueuedCount());
+    return system.Chain().SubmitAndMine(std::move(tx));
+  }
+
+  GrubSystem system;
+};
+
+TEST(Consumer, RunDrainsTheQueue) {
+  Fixture f;
+  f.system.Consumer().QueueRead(MakeKey(0));
+  f.system.Consumer().QueueRead(MakeKey(1));
+  EXPECT_EQ(f.system.Consumer().QueuedCount(), 2u);
+  ASSERT_TRUE(f.Run().ok());
+  EXPECT_EQ(f.system.Consumer().QueuedCount(), 0u);
+  EXPECT_EQ(f.system.Consumer().received().size(), 2u);
+}
+
+TEST(Consumer, EmptyRunIsCheapNoOp) {
+  Fixture f;
+  auto receipt = f.Run();
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt.breakdown.storage_read, 0u);
+  EXPECT_EQ(f.system.Consumer().received().size(), 0u);
+}
+
+TEST(Consumer, OneTransactionAmortizesManyReads) {
+  Fixture f;
+  for (int i = 0; i < 16; ++i) f.system.Consumer().QueueRead(MakeKey(0));
+  auto receipt = f.Run();
+  ASSERT_TRUE(receipt.ok());
+  // One 21000 base; 16 replica hits of 2 sloads each.
+  EXPECT_EQ(receipt.breakdown.tx, 21000u + 2176u);
+  EXPECT_EQ(receipt.breakdown.storage_read, 16u * 400u);
+}
+
+TEST(Consumer, CallbackRejectsUnknownFunction) {
+  Fixture f;
+  chain::Transaction tx;
+  tx.from = GrubSystem::kUserAccount;
+  tx.to = f.system.ConsumerAddress();
+  tx.function = "definitely_not_a_function";
+  EXPECT_FALSE(f.system.Chain().SubmitAndMine(std::move(tx)).ok());
+}
+
+TEST(Consumer, ReceivedLogPreservesOrderAndValues) {
+  Fixture f;
+  f.system.Consumer().QueueRead(MakeKey(1));
+  f.system.Consumer().QueueRead(MakeKey(0));
+  ASSERT_TRUE(f.Run().ok());
+  const auto& received = f.system.Consumer().received();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0].first, MakeKey(1));
+  EXPECT_EQ(received[0].second, Bytes(32, 2));
+  EXPECT_EQ(received[1].first, MakeKey(0));
+  EXPECT_EQ(received[1].second, Bytes(32, 1));
+}
+
+}  // namespace
+}  // namespace grub::core

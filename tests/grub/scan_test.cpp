@@ -1,0 +1,134 @@
+// Range-proof scans (B.2.2's r2 protocol): end-to-end correctness,
+// completeness enforcement on chain, and the cost advantage over expanded
+// point reads.
+#include <gtest/gtest.h>
+
+#include "grub/system.h"
+#include "workload/synthetic.h"
+
+namespace grub::core {
+namespace {
+
+using workload::MakeKey;
+
+GrubSystem MakeSystem(ScanMode mode) {
+  SystemOptions options;
+  options.scan_mode = mode;
+  return GrubSystem(options, MakeBL1());
+}
+
+std::vector<std::pair<Bytes, Bytes>> TenRecords() {
+  std::vector<std::pair<Bytes, Bytes>> records;
+  for (uint64_t i = 0; i < 10; ++i) {
+    records.emplace_back(MakeKey(i), Bytes(32, static_cast<uint8_t>(i + 1)));
+  }
+  return records;
+}
+
+TEST(Scan, RangeProofModeDeliversAllRecordsInOrder) {
+  auto system = MakeSystem(ScanMode::kRangeProof);
+  system.Preload(TenRecords());
+
+  workload::Trace trace = {workload::Operation::Scan(MakeKey(3), 4)};
+  system.Drive(trace);
+
+  ASSERT_EQ(system.Consumer().values_received(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(system.Consumer().received()[i].first, MakeKey(3 + i));
+    EXPECT_EQ(system.Consumer().received()[i].second,
+              Bytes(32, static_cast<uint8_t>(4 + i)));
+  }
+  // One gScan -> one deliver, regardless of the range length.
+  EXPECT_EQ(system.Daemon().delivers_sent(), 1u);
+}
+
+TEST(Scan, BothModesReturnIdenticalData) {
+  workload::Trace trace = {workload::Operation::Scan(MakeKey(2), 5),
+                           workload::Operation::Scan(MakeKey(8), 5)};
+  auto expand = MakeSystem(ScanMode::kExpandPointReads);
+  expand.Preload(TenRecords());
+  expand.Drive(trace);
+  auto range = MakeSystem(ScanMode::kRangeProof);
+  range.Preload(TenRecords());
+  range.Drive(trace);
+
+  ASSERT_EQ(expand.Consumer().received().size(),
+            range.Consumer().received().size());
+  for (size_t i = 0; i < range.Consumer().received().size(); ++i) {
+    EXPECT_EQ(expand.Consumer().received()[i],
+              range.Consumer().received()[i]);
+  }
+}
+
+TEST(Scan, RangeProofModeIsCheaperForWideScans) {
+  workload::Trace trace;
+  for (int i = 0; i < 8; ++i) {
+    trace.push_back(workload::Operation::Scan(MakeKey(0), 8));
+  }
+  auto expand = MakeSystem(ScanMode::kExpandPointReads);
+  expand.Preload(TenRecords());
+  expand.Drive(trace);
+  auto range = MakeSystem(ScanMode::kRangeProof);
+  range.Preload(TenRecords());
+  range.Drive(trace);
+
+  EXPECT_LT(range.TotalGas() * 2, expand.TotalGas())
+      << "range=" << range.TotalGas() << " expand=" << expand.TotalGas();
+}
+
+TEST(Scan, ScanPastTheTailTruncates) {
+  auto system = MakeSystem(ScanMode::kRangeProof);
+  system.Preload(TenRecords());
+  workload::Trace trace = {workload::Operation::Scan(MakeKey(8), 5)};
+  system.Drive(trace);
+  EXPECT_EQ(system.Consumer().values_received(), 2u);  // keys 8, 9 only
+}
+
+TEST(Scan, ScanDeliveryOmissionRevertsOnChain) {
+  auto system = MakeSystem(ScanMode::kRangeProof);
+  system.Preload(TenRecords());
+
+  // Issue the gScan without the honest daemon.
+  system.Consumer().QueueScan(MakeKey(2), MakeKey(6));
+  chain::Transaction run;
+  run.from = GrubSystem::kUserAccount;
+  run.to = system.ConsumerAddress();
+  run.function = ConsumerContract::kRunFn;
+  run.calldata = ConsumerContract::EncodeRun(1);
+  system.Chain().SubmitAndMine(std::move(run));
+
+  // Malicious SP: drop one record from the proven range.
+  DeliverEntry entry;
+  entry.kind = DeliverEntry::Kind::kScan;
+  entry.key = MakeKey(2);
+  entry.end_key = MakeKey(6);
+  entry.scan = system.Sp().Scan(MakeKey(2), MakeKey(6)).value();
+  entry.scan.records.erase(entry.scan.records.begin() + 1);
+  entry.callback_contract = system.ConsumerAddress();
+  entry.callback_function = ConsumerContract::kOnDataFn;
+
+  chain::Transaction deliver;
+  deliver.from = GrubSystem::kSpAccount;
+  deliver.to = system.ManagerAddress();
+  deliver.function = StorageManagerContract::kDeliverFn;
+  deliver.calldata = StorageManagerContract::EncodeDeliver({entry});
+  auto receipt = system.Chain().SubmitAndMine(std::move(deliver));
+  EXPECT_FALSE(receipt.ok());
+  EXPECT_EQ(system.Consumer().values_received(), 0u);
+}
+
+TEST(Scan, PolicyStillObservesScannedKeys) {
+  SystemOptions options;
+  options.scan_mode = ScanMode::kRangeProof;
+  GrubSystem system(options, std::make_unique<MemorylessPolicy>(2));
+  system.Preload(TenRecords());
+  workload::Trace trace = {workload::Operation::Scan(MakeKey(3), 2),
+                           workload::Operation::Scan(MakeKey(3), 2)};
+  system.Drive(trace);
+  // Two scans = two reads per key: the memoryless counter must have flipped.
+  EXPECT_EQ(system.Do().Policy().StateOf(MakeKey(3)), ads::ReplState::kR);
+  EXPECT_EQ(system.Do().Policy().StateOf(MakeKey(4)), ads::ReplState::kR);
+}
+
+}  // namespace
+}  // namespace grub::core

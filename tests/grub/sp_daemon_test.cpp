@@ -1,0 +1,137 @@
+// SP watchdog daemon: event-log tailing, request batching, dedup mode, and
+// absence service.
+#include <gtest/gtest.h>
+
+#include "grub/system.h"
+#include "workload/trace.h"
+
+namespace grub::core {
+namespace {
+
+using workload::MakeKey;
+
+struct Fixture {
+  static SystemOptions MakeOptions(bool dedup) {
+    SystemOptions options;
+    options.dedup_deliver_batch = dedup;
+    return options;
+  }
+
+  explicit Fixture(bool dedup = false) : system(MakeOptions(dedup), MakeBL1()) {
+    std::vector<std::pair<Bytes, Bytes>> records;
+    for (uint64_t i = 0; i < 4; ++i) {
+      records.emplace_back(MakeKey(i), Bytes(32, uint8_t(i + 1)));
+    }
+    system.Preload(records);
+  }
+
+  // Runs queued consumer reads WITHOUT the automatic daemon poll.
+  void RunReads() {
+    chain::Transaction tx;
+    tx.from = GrubSystem::kUserAccount;
+    tx.to = system.ConsumerAddress();
+    tx.function = ConsumerContract::kRunFn;
+    tx.calldata = ConsumerContract::EncodeRun(0);
+    system.Chain().SubmitAndMine(std::move(tx));
+  }
+
+  GrubSystem system;
+};
+
+TEST(SpDaemon, ServesNothingWhenIdle) {
+  Fixture f;
+  EXPECT_EQ(f.system.Daemon().PollAndServe(), 0u);
+  EXPECT_EQ(f.system.Daemon().delivers_sent(), 0u);
+}
+
+TEST(SpDaemon, BatchesMultipleRequestsIntoOneDeliver) {
+  Fixture f;
+  for (uint64_t i = 0; i < 4; ++i) f.system.Consumer().QueueRead(MakeKey(i));
+  f.RunReads();
+  EXPECT_EQ(f.system.Daemon().PollAndServe(), 4u);
+  EXPECT_EQ(f.system.Daemon().delivers_sent(), 1u);
+  EXPECT_EQ(f.system.Consumer().values_received(), 4u);
+}
+
+TEST(SpDaemon, CursorNeverReservesOldEvents) {
+  Fixture f;
+  f.system.Consumer().QueueRead(MakeKey(0));
+  f.RunReads();
+  EXPECT_EQ(f.system.Daemon().PollAndServe(), 1u);
+  // Polling again with no new requests must not re-serve.
+  EXPECT_EQ(f.system.Daemon().PollAndServe(), 0u);
+  EXPECT_EQ(f.system.Consumer().values_received(), 1u);
+}
+
+TEST(SpDaemon, DedupSharesProofAcrossIdenticalRequests) {
+  Fixture with_dedup(true);
+  for (int i = 0; i < 5; ++i) {
+    with_dedup.system.Consumer().QueueRead(MakeKey(0));
+  }
+  with_dedup.RunReads();
+  EXPECT_EQ(with_dedup.system.Daemon().PollAndServe(), 5u);
+  // All five callbacks fire even though one proof was shipped.
+  EXPECT_EQ(with_dedup.system.Consumer().values_received(), 5u);
+
+  Fixture without(false);
+  for (int i = 0; i < 5; ++i) {
+    without.system.Consumer().QueueRead(MakeKey(0));
+  }
+  without.RunReads();
+  const uint64_t gas_before = without.system.TotalGas();
+  without.system.Daemon().PollAndServe();
+  const uint64_t undeduped_gas = without.system.TotalGas() - gas_before;
+
+  Fixture with2(true);
+  for (int i = 0; i < 5; ++i) {
+    with2.system.Consumer().QueueRead(MakeKey(0));
+  }
+  with2.RunReads();
+  const uint64_t gas_before2 = with2.system.TotalGas();
+  with2.system.Daemon().PollAndServe();
+  const uint64_t deduped_gas = with2.system.TotalGas() - gas_before2;
+  EXPECT_LT(deduped_gas * 2, undeduped_gas);
+}
+
+TEST(SpDaemon, ServesAbsenceForUnknownKeys) {
+  Fixture f;
+  f.system.Consumer().QueueRead(MakeKey(99));
+  f.RunReads();
+  EXPECT_EQ(f.system.Daemon().PollAndServe(), 1u);
+  EXPECT_EQ(f.system.Consumer().misses_received(), 1u);
+}
+
+TEST(SpDaemon, MixedPresentAndAbsentBatch) {
+  Fixture f;
+  f.system.Consumer().QueueRead(MakeKey(1));
+  f.system.Consumer().QueueRead(MakeKey(99));
+  f.system.Consumer().QueueRead(MakeKey(2));
+  f.RunReads();
+  EXPECT_EQ(f.system.Daemon().PollAndServe(), 3u);
+  EXPECT_EQ(f.system.Consumer().values_received(), 2u);
+  EXPECT_EQ(f.system.Consumer().misses_received(), 1u);
+}
+
+TEST(SpDaemon, IgnoresForeignEvents) {
+  // Events from other contracts must not confuse the watchdog.
+  Fixture f;
+  class NoisyContract : public chain::Contract {
+   public:
+    Status Call(chain::CallContext& ctx, const std::string&,
+                ByteSpan) override {
+      ctx.EmitEvent(StorageManagerContract::kRequestEvent,
+                    ToBytes("not-a-real-request"));
+      return Status::Ok();
+    }
+  };
+  chain::Address noisy = f.system.Chain().Deploy(std::make_unique<NoisyContract>());
+  chain::Transaction tx;
+  tx.from = GrubSystem::kUserAccount;
+  tx.to = noisy;
+  tx.function = "spam";
+  f.system.Chain().SubmitAndMine(std::move(tx));
+  EXPECT_EQ(f.system.Daemon().PollAndServe(), 0u);
+}
+
+}  // namespace
+}  // namespace grub::core

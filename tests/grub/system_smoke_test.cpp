@@ -1,0 +1,94 @@
+// End-to-end smoke tests: the full GRuB pipeline (DO -> SP -> chain -> DU)
+// must move data correctly under every policy, and the Gas ordering of the
+// static baselines must match the paper's Fig. 3 intuition.
+#include <gtest/gtest.h>
+
+#include "grub/system.h"
+#include "workload/synthetic.h"
+
+namespace grub::core {
+namespace {
+
+using workload::FixedRatioTrace;
+using workload::MakeKey;
+
+std::vector<std::pair<Bytes, Bytes>> OneRecord(size_t value_bytes = 32) {
+  return {{MakeKey(0), Bytes(value_bytes, 0xAB)}};
+}
+
+TEST(SystemSmoke, ReadDeliversCorrectValueWhenNotReplicated) {
+  GrubSystem system(SystemOptions{}, MakeBL1());
+  system.Preload(OneRecord());
+
+  system.ReadNow(MakeKey(0));
+  ASSERT_EQ(system.Consumer().values_received(), 1u);
+  EXPECT_EQ(system.Consumer().received()[0].second, Bytes(32, 0xAB));
+}
+
+TEST(SystemSmoke, WriteThenReadRoundTrips) {
+  GrubSystem system(SystemOptions{}, MakeBL1());
+  system.Preload(OneRecord());
+
+  system.Write(MakeKey(0), Bytes(32, 0xCD));
+  system.EndEpoch();
+  system.ReadNow(MakeKey(0));
+
+  ASSERT_EQ(system.Consumer().values_received(), 1u);
+  EXPECT_EQ(system.Consumer().received()[0].second, Bytes(32, 0xCD));
+}
+
+TEST(SystemSmoke, BL2ReplicatesOnFirstReadThenServesOnChain) {
+  GrubSystem system(SystemOptions{}, MakeBL2());
+  system.Preload(OneRecord());
+
+  system.ReadNow(MakeKey(0));  // miss -> deliver inserts replica (state R)
+  const uint64_t delivers_after_first = system.Daemon().delivers_sent();
+  system.ReadNow(MakeKey(0));  // replica hit: no deliver needed
+  EXPECT_EQ(system.Daemon().delivers_sent(), delivers_after_first);
+  EXPECT_EQ(system.Consumer().values_received(), 2u);
+}
+
+TEST(SystemSmoke, MemorylessConvergesAndServesReads) {
+  GrubSystem system(SystemOptions{},
+                    std::make_unique<MemorylessPolicy>(2));
+  system.Preload(OneRecord());
+
+  auto trace = FixedRatioTrace(/*ratio=*/8, /*total_ops=*/9 * 8, 32);
+  auto epochs = system.Drive(trace);
+  EXPECT_FALSE(epochs.empty());
+  // Every read must have been answered.
+  EXPECT_EQ(system.Consumer().values_received() +
+                system.Consumer().misses_received(),
+            64u);
+  EXPECT_EQ(system.Consumer().misses_received(), 0u);
+}
+
+TEST(SystemSmoke, StaticBaselineOrderingMatchesFig3) {
+  // Converged Gas (§5.1): drive a warm-up pass, reset counters, measure.
+  auto run = [](double ratio, std::unique_ptr<ReplicationPolicy> policy) {
+    GrubSystem system(SystemOptions{}, std::move(policy));
+    system.Preload(OneRecord());
+    auto trace = FixedRatioTrace(ratio, 256, 32);
+    system.Drive(trace);
+    system.Chain().ResetGasCounters();
+    system.Drive(trace);
+    return system.TotalGas();
+  };
+
+  // Write-only: BL1 (never replicate) is much cheaper than BL2.
+  EXPECT_LT(run(0.0, MakeBL1()) * 5, run(0.0, MakeBL2()));
+  // Read-heavy: BL2 is much cheaper than BL1 (paper: ~7x).
+  EXPECT_LT(run(256.0, MakeBL2()) * 3, run(256.0, MakeBL1()));
+}
+
+TEST(SystemSmoke, ReadOfUnknownKeyDeliversVerifiedAbsence) {
+  GrubSystem system(SystemOptions{}, MakeBL1());
+  system.Preload(OneRecord());
+
+  system.ReadNow(MakeKey(999));
+  EXPECT_EQ(system.Consumer().misses_received(), 1u);
+  EXPECT_EQ(system.Consumer().values_received(), 0u);
+}
+
+}  // namespace
+}  // namespace grub::core

@@ -1,0 +1,97 @@
+// Bloom filter: the no-false-negative guarantee, the false-positive budget,
+// and SSTable integration.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kvstore/bloom.h"
+#include "kvstore/sstable.h"
+#include "workload/trace.h"
+
+namespace grub::kv {
+namespace {
+
+std::vector<Bytes> MakeKeys(size_t n, uint64_t offset = 0) {
+  std::vector<Bytes> keys;
+  keys.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    keys.push_back(workload::MakeKey(offset + i));
+  }
+  return keys;
+}
+
+std::vector<ByteSpan> Spans(const std::vector<Bytes>& keys) {
+  return std::vector<ByteSpan>(keys.begin(), keys.end());
+}
+
+TEST(Bloom, NeverFalseNegative) {
+  auto keys = MakeKeys(5000);
+  auto filter = BloomFilter::Build(Spans(keys));
+  for (const auto& key : keys) {
+    EXPECT_TRUE(filter.MayContain(key));
+  }
+}
+
+TEST(Bloom, FalsePositiveRateNearOnePercent) {
+  auto keys = MakeKeys(10000);
+  auto filter = BloomFilter::Build(Spans(keys), 10);
+  size_t positives = 0;
+  constexpr size_t kProbes = 20000;
+  for (size_t i = 0; i < kProbes; ++i) {
+    if (filter.MayContain(workload::MakeKey(1000000 + i))) positives += 1;
+  }
+  const double fpr = static_cast<double>(positives) / kProbes;
+  EXPECT_LT(fpr, 0.03) << "fpr=" << fpr;
+  EXPECT_GT(fpr, 0.0005) << "suspiciously perfect: fpr=" << fpr;
+}
+
+TEST(Bloom, MoreBitsLowerFpr) {
+  auto keys = MakeKeys(5000);
+  auto small = BloomFilter::Build(Spans(keys), 4);
+  auto large = BloomFilter::Build(Spans(keys), 16);
+  size_t small_fp = 0, large_fp = 0;
+  for (size_t i = 0; i < 20000; ++i) {
+    Bytes probe = workload::MakeKey(2000000 + i);
+    small_fp += small.MayContain(probe) ? 1 : 0;
+    large_fp += large.MayContain(probe) ? 1 : 0;
+  }
+  EXPECT_LT(large_fp * 4, small_fp + 4);
+}
+
+TEST(Bloom, EmptyFilterContainsNothing) {
+  BloomFilter filter = BloomFilter::Build({});
+  EXPECT_FALSE(filter.MayContain(ToBytes("anything")));
+}
+
+TEST(Bloom, SerializeRoundTrip) {
+  auto keys = MakeKeys(1000);
+  auto filter = BloomFilter::Build(Spans(keys));
+  auto restored = BloomFilter::Deserialize(filter.Serialize());
+  for (const auto& key : keys) {
+    EXPECT_TRUE(restored.MayContain(key));
+  }
+  // Same false-positive behaviour bit for bit.
+  for (size_t i = 0; i < 2000; ++i) {
+    Bytes probe = workload::MakeKey(500000 + i);
+    EXPECT_EQ(filter.MayContain(probe), restored.MayContain(probe)) << i;
+  }
+}
+
+TEST(Bloom, SSTableSkipsAbsentLookups) {
+  std::vector<TableEntry> entries;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    entries.push_back({workload::MakeKey(i), ToBytes("v")});
+  }
+  auto table = SSTable::FromEntries(std::move(entries)).value();
+  // Present keys always found.
+  for (uint64_t i = 0; i < 1000; i += 37) {
+    EXPECT_TRUE(table.Get(workload::MakeKey(i)).has_value()) << i;
+  }
+  // Absent keys: overwhelmingly rejected by the filter without a search.
+  for (uint64_t i = 0; i < 5000; ++i) {
+    EXPECT_FALSE(table.Get(workload::MakeKey(100000 + i)).has_value());
+  }
+  EXPECT_GT(table.FilterNegatives(), 4500u);
+}
+
+}  // namespace
+}  // namespace grub::kv

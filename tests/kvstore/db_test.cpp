@@ -1,0 +1,250 @@
+// KVStore facade: CRUD, scans, flush/compaction behaviour, persistence, and
+// a model-based property test that drives random operation sequences against
+// a std::map reference.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "common/rng.h"
+#include "kvstore/db.h"
+
+namespace grub::kv {
+namespace {
+
+namespace fs = std::filesystem;
+
+Options SmallOptions() {
+  Options options;
+  options.memtable_flush_bytes = 512;  // force frequent flushes
+  options.max_runs_before_compaction = 3;
+  return options;
+}
+
+TEST(KVStore, PutGetRoundTrip) {
+  auto db = KVStore::Open(Options{}, "").value();
+  ASSERT_TRUE(db->Put(ToBytes("k1"), ToBytes("v1")).ok());
+  auto got = db->Get(ToBytes("k1"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ToBytes("v1"));
+}
+
+TEST(KVStore, GetMissingIsNotFound) {
+  auto db = KVStore::Open(Options{}, "").value();
+  EXPECT_EQ(db->Get(ToBytes("nope")).status().code(), StatusCode::kNotFound);
+}
+
+TEST(KVStore, OverwriteReturnsLatest) {
+  auto db = KVStore::Open(Options{}, "").value();
+  ASSERT_TRUE(db->Put(ToBytes("k"), ToBytes("old")).ok());
+  ASSERT_TRUE(db->Put(ToBytes("k"), ToBytes("new")).ok());
+  EXPECT_EQ(*db->Get(ToBytes("k")), ToBytes("new"));
+}
+
+TEST(KVStore, DeleteHidesKey) {
+  auto db = KVStore::Open(Options{}, "").value();
+  ASSERT_TRUE(db->Put(ToBytes("k"), ToBytes("v")).ok());
+  ASSERT_TRUE(db->Delete(ToBytes("k")).ok());
+  EXPECT_EQ(db->Get(ToBytes("k")).status().code(), StatusCode::kNotFound);
+}
+
+TEST(KVStore, DeleteShadowsFlushedValue) {
+  auto db = KVStore::Open(Options{}, "").value();
+  ASSERT_TRUE(db->Put(ToBytes("k"), ToBytes("v")).ok());
+  ASSERT_TRUE(db->Flush().ok());  // value now lives in a sorted run
+  ASSERT_TRUE(db->Delete(ToBytes("k")).ok());
+  EXPECT_EQ(db->Get(ToBytes("k")).status().code(), StatusCode::kNotFound);
+  // Even after the tombstone itself is flushed.
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_EQ(db->Get(ToBytes("k")).status().code(), StatusCode::kNotFound);
+}
+
+TEST(KVStore, NewerRunShadowsOlder) {
+  auto db = KVStore::Open(Options{}, "").value();
+  ASSERT_TRUE(db->Put(ToBytes("k"), ToBytes("one")).ok());
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->Put(ToBytes("k"), ToBytes("two")).ok());
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_EQ(*db->Get(ToBytes("k")), ToBytes("two"));
+}
+
+TEST(KVStore, ScanIsSortedAndBounded) {
+  auto db = KVStore::Open(Options{}, "").value();
+  for (char c = 'e'; c >= 'a'; --c) {  // insert in reverse
+    ASSERT_TRUE(db->Put(Bytes{static_cast<uint8_t>(c)}, ToBytes("v")).ok());
+  }
+  auto all = db->Scan(ToBytes("a"), {}, 0);
+  ASSERT_EQ(all.size(), 5u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(Compare(all[i - 1].key, all[i].key), 0);
+  }
+  auto bounded = db->Scan(ToBytes("b"), ToBytes("d"), 0);
+  ASSERT_EQ(bounded.size(), 2u);  // b, c
+  auto limited = db->Scan(ToBytes("a"), {}, 3);
+  EXPECT_EQ(limited.size(), 3u);
+}
+
+TEST(KVStore, ScanSpansMemtableAndRuns) {
+  auto db = KVStore::Open(SmallOptions(), "").value();
+  ASSERT_TRUE(db->Put(ToBytes("a"), ToBytes("1")).ok());
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->Put(ToBytes("c"), ToBytes("3")).ok());
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->Put(ToBytes("b"), ToBytes("2")).ok());  // memtable
+  auto all = db->Scan({}, {}, 0);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].key, ToBytes("a"));
+  EXPECT_EQ(all[1].key, ToBytes("b"));
+  EXPECT_EQ(all[2].key, ToBytes("c"));
+}
+
+TEST(KVStore, CompactionBoundsRunCount) {
+  auto db = KVStore::Open(SmallOptions(), "").value();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        db->Put(ToBytes("key" + std::to_string(i)), Bytes(64, 0x42)).ok());
+  }
+  EXPECT_LE(db->RunCount(), SmallOptions().max_runs_before_compaction + 1);
+  // All values still readable after compactions.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(db->Get(ToBytes("key" + std::to_string(i))).ok()) << i;
+  }
+}
+
+TEST(KVStore, CompactionDropsTombstones) {
+  auto db = KVStore::Open(SmallOptions(), "").value();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db->Put(ToBytes("k" + std::to_string(i)), Bytes(64, 1)).ok());
+  }
+  for (int i = 0; i < 50; i += 2) {
+    ASSERT_TRUE(db->Delete(ToBytes("k" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  for (int i = 0; i < 50; ++i) {
+    auto got = db->Get(ToBytes("k" + std::to_string(i)));
+    EXPECT_EQ(got.ok(), i % 2 == 1) << i;
+  }
+}
+
+class KVStorePersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("grub_kv_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(KVStorePersistenceTest, WalRecoversUnflushedWrites) {
+  {
+    auto db = KVStore::Open(Options{}, dir_.string()).value();
+    ASSERT_TRUE(db->Put(ToBytes("persisted"), ToBytes("yes")).ok());
+    // No flush: the value only exists in WAL + memtable.
+  }
+  auto db = KVStore::Open(Options{}, dir_.string()).value();
+  auto got = db->Get(ToBytes("persisted"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ToBytes("yes"));
+}
+
+TEST_F(KVStorePersistenceTest, RunsRecoverFromManifest) {
+  {
+    auto db = KVStore::Open(SmallOptions(), dir_.string()).value();
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(
+          db->Put(ToBytes("k" + std::to_string(i)), Bytes(64, 0x24)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  auto db = KVStore::Open(SmallOptions(), dir_.string()).value();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(db->Get(ToBytes("k" + std::to_string(i))).ok()) << i;
+  }
+}
+
+TEST_F(KVStorePersistenceTest, DeletesSurviveReopen) {
+  {
+    auto db = KVStore::Open(Options{}, dir_.string()).value();
+    ASSERT_TRUE(db->Put(ToBytes("gone"), ToBytes("v")).ok());
+    ASSERT_TRUE(db->Delete(ToBytes("gone")).ok());
+  }
+  auto db = KVStore::Open(Options{}, dir_.string()).value();
+  EXPECT_EQ(db->Get(ToBytes("gone")).status().code(), StatusCode::kNotFound);
+}
+
+// Model-based property test: the store must agree with std::map under
+// arbitrary interleavings of put/delete/get/scan/flush.
+class KVStoreModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KVStoreModelTest, AgreesWithReferenceModel) {
+  Rng rng(GetParam());
+  auto db = KVStore::Open(SmallOptions(), "").value();
+  std::map<Bytes, Bytes> model;
+
+  auto random_key = [&] {
+    return ToBytes("key" + std::to_string(rng.NextBounded(40)));
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    switch (rng.NextBounded(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // put
+        Bytes key = random_key();
+        Bytes value(1 + rng.NextBounded(40));
+        for (auto& byte : value) {
+          byte = static_cast<uint8_t>(rng.NextU64() & 0xFF);
+        }
+        ASSERT_TRUE(db->Put(key, value).ok());
+        model[key] = value;
+        break;
+      }
+      case 4:
+      case 5: {  // delete
+        Bytes key = random_key();
+        ASSERT_TRUE(db->Delete(key).ok());
+        model.erase(key);
+        break;
+      }
+      case 6:
+      case 7:
+      case 8: {  // get
+        Bytes key = random_key();
+        auto got = db->Get(key);
+        auto it = model.find(key);
+        if (it == model.end()) {
+          EXPECT_FALSE(got.ok()) << "step " << step;
+        } else {
+          ASSERT_TRUE(got.ok()) << "step " << step;
+          EXPECT_EQ(*got, it->second) << "step " << step;
+        }
+        break;
+      }
+      case 9: {  // flush (forces run churn + compactions)
+        ASSERT_TRUE(db->Flush().ok());
+        break;
+      }
+    }
+  }
+
+  // Final scan equals the full model.
+  auto all = db->Scan({}, {}, 0);
+  ASSERT_EQ(all.size(), model.size());
+  size_t i = 0;
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ(all[i].key, key);
+    EXPECT_EQ(all[i].value, value);
+    ++i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KVStoreModelTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace grub::kv

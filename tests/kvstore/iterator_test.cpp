@@ -1,0 +1,114 @@
+// MemTable and MergingIterator semantics: ordering, newest-wins shadowing,
+// tombstone visibility.
+#include <gtest/gtest.h>
+
+#include "kvstore/memtable.h"
+#include "kvstore/sstable.h"
+
+namespace grub::kv {
+namespace {
+
+TEST(MemTable, TriStateGet) {
+  MemTable table;
+  EXPECT_FALSE(table.Get(ToBytes("k")).has_value());  // never seen
+  table.Put(ToBytes("k"), ToBytes("v"));
+  auto live = table.Get(ToBytes("k"));
+  ASSERT_TRUE(live.has_value());
+  ASSERT_TRUE(live->has_value());
+  EXPECT_EQ(**live, ToBytes("v"));
+  table.Delete(ToBytes("k"));
+  auto dead = table.Get(ToBytes("k"));
+  ASSERT_TRUE(dead.has_value());     // seen…
+  EXPECT_FALSE(dead->has_value());   // …but tombstoned
+}
+
+TEST(MemTable, IteratorSortsKeys) {
+  MemTable table;
+  table.Put(ToBytes("c"), ToBytes("3"));
+  table.Put(ToBytes("a"), ToBytes("1"));
+  table.Put(ToBytes("b"), ToBytes("2"));
+  auto it = table.NewIterator();
+  std::string order;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    order += ToString(it->key());
+  }
+  EXPECT_EQ(order, "abc");
+}
+
+TEST(MemTable, ApproximateBytesGrows) {
+  MemTable table;
+  const size_t before = table.ApproximateBytes();
+  table.Put(ToBytes("key"), Bytes(100, 1));
+  EXPECT_GT(table.ApproximateBytes(), before + 100);
+}
+
+std::unique_ptr<Iterator> TableIter(
+    std::vector<TableEntry> entries,
+    std::vector<std::shared_ptr<SSTable>>& keep_alive) {
+  auto table =
+      std::make_shared<SSTable>(SSTable::FromEntries(std::move(entries)).value());
+  keep_alive.push_back(table);
+  return table->NewIterator();
+}
+
+TEST(MergingIterator, GlobalSortAcrossChildren) {
+  std::vector<std::shared_ptr<SSTable>> keep;
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(TableIter({{ToBytes("b"), ToBytes("1")},
+                                {ToBytes("d"), ToBytes("1")}}, keep));
+  children.push_back(TableIter({{ToBytes("a"), ToBytes("2")},
+                                {ToBytes("c"), ToBytes("2")},
+                                {ToBytes("e"), ToBytes("2")}}, keep));
+  MergingIterator merged(std::move(children));
+  std::string order;
+  for (merged.SeekToFirst(); merged.Valid(); merged.Next()) {
+    order += ToString(merged.key());
+  }
+  EXPECT_EQ(order, "abcde");
+}
+
+TEST(MergingIterator, NewestChildWinsOnDuplicates) {
+  std::vector<std::shared_ptr<SSTable>> keep;
+  std::vector<std::unique_ptr<Iterator>> children;
+  // Children are ordered newest-first.
+  children.push_back(TableIter({{ToBytes("k"), ToBytes("new")}}, keep));
+  children.push_back(TableIter({{ToBytes("k"), ToBytes("old")}}, keep));
+  MergingIterator merged(std::move(children));
+  merged.SeekToFirst();
+  ASSERT_TRUE(merged.Valid());
+  EXPECT_EQ(ToString(merged.value()), "new");
+  merged.Next();
+  EXPECT_FALSE(merged.Valid());  // the shadowed copy is skipped entirely
+}
+
+TEST(MergingIterator, TombstoneInNewerChildSurfaces) {
+  std::vector<std::shared_ptr<SSTable>> keep;
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(TableIter({{ToBytes("k"), std::nullopt}}, keep));
+  children.push_back(TableIter({{ToBytes("k"), ToBytes("old")}}, keep));
+  MergingIterator merged(std::move(children));
+  merged.SeekToFirst();
+  ASSERT_TRUE(merged.Valid());
+  EXPECT_TRUE(merged.IsTombstone());
+}
+
+TEST(MergingIterator, SeekLandsOnLowerBound) {
+  std::vector<std::shared_ptr<SSTable>> keep;
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(TableIter({{ToBytes("apple"), ToBytes("1")},
+                                {ToBytes("cherry"), ToBytes("1")}}, keep));
+  children.push_back(TableIter({{ToBytes("banana"), ToBytes("2")}}, keep));
+  MergingIterator merged(std::move(children));
+  merged.Seek(ToBytes("b"));
+  ASSERT_TRUE(merged.Valid());
+  EXPECT_EQ(ToString(merged.key()), "banana");
+}
+
+TEST(MergingIterator, EmptyChildrenAreValidlyEmpty) {
+  MergingIterator merged({});
+  merged.SeekToFirst();
+  EXPECT_FALSE(merged.Valid());
+}
+
+}  // namespace
+}  // namespace grub::kv

@@ -1,0 +1,135 @@
+// Immutable sorted tables: construction invariants, file round-trips, and
+// corruption detection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "kvstore/sstable.h"
+
+namespace grub::kv {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<TableEntry> SortedEntries() {
+  std::vector<TableEntry> entries;
+  entries.push_back({ToBytes("apple"), ToBytes("1")});
+  entries.push_back({ToBytes("banana"), std::nullopt});  // tombstone
+  entries.push_back({ToBytes("cherry"), ToBytes("3")});
+  return entries;
+}
+
+TEST(SSTable, BuildAndGet) {
+  auto table = SSTable::FromEntries(SortedEntries()).value();
+  auto apple = table.Get(ToBytes("apple"));
+  ASSERT_TRUE(apple.has_value());
+  ASSERT_TRUE(apple->has_value());
+  EXPECT_EQ(**apple, ToBytes("1"));
+
+  auto banana = table.Get(ToBytes("banana"));
+  ASSERT_TRUE(banana.has_value());     // present…
+  EXPECT_FALSE(banana->has_value());   // …as a tombstone
+
+  EXPECT_FALSE(table.Get(ToBytes("durian")).has_value());
+}
+
+TEST(SSTable, RejectsUnsortedEntries) {
+  std::vector<TableEntry> entries;
+  entries.push_back({ToBytes("b"), ToBytes("1")});
+  entries.push_back({ToBytes("a"), ToBytes("2")});
+  EXPECT_FALSE(SSTable::FromEntries(std::move(entries)).ok());
+}
+
+TEST(SSTable, RejectsDuplicateKeys) {
+  std::vector<TableEntry> entries;
+  entries.push_back({ToBytes("a"), ToBytes("1")});
+  entries.push_back({ToBytes("a"), ToBytes("2")});
+  EXPECT_FALSE(SSTable::FromEntries(std::move(entries)).ok());
+}
+
+TEST(SSTable, IteratorVisitsInOrder) {
+  auto table = SSTable::FromEntries(SortedEntries()).value();
+  auto it = table.NewIterator();
+  std::vector<std::string> keys;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    keys.push_back(ToString(it->key()));
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"apple", "banana", "cherry"}));
+}
+
+TEST(SSTable, IteratorSeek) {
+  auto table = SSTable::FromEntries(SortedEntries()).value();
+  auto it = table.NewIterator();
+  it->Seek(ToBytes("b"));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ToString(it->key()), "banana");
+  it->Seek(ToBytes("zzz"));
+  EXPECT_FALSE(it->Valid());
+}
+
+class SSTableFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (fs::temp_directory_path() /
+             ("grub_sst_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    fs::remove(path_);
+  }
+  void TearDown() override { fs::remove(path_); }
+
+  std::string path_;
+};
+
+TEST_F(SSTableFileTest, FileRoundTrip) {
+  auto table = SSTable::FromEntries(SortedEntries()).value();
+  ASSERT_TRUE(table.WriteTo(path_).ok());
+  auto loaded = SSTable::Load(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->EntryCount(), 3u);
+  EXPECT_EQ(**loaded->Get(ToBytes("cherry")), ToBytes("3"));
+  // Tombstones survive serialization.
+  auto banana = loaded->Get(ToBytes("banana"));
+  ASSERT_TRUE(banana.has_value());
+  EXPECT_FALSE(banana->has_value());
+}
+
+TEST_F(SSTableFileTest, DetectsBitrot) {
+  auto table = SSTable::FromEntries(SortedEntries()).value();
+  ASSERT_TRUE(table.WriteTo(path_).ok());
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(15);
+    f.put('\xEE');
+  }
+  auto loaded = SSTable::Load(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIntegrityViolation);
+}
+
+TEST_F(SSTableFileTest, DetectsTruncation) {
+  auto table = SSTable::FromEntries(SortedEntries()).value();
+  ASSERT_TRUE(table.WriteTo(path_).ok());
+  fs::resize_file(path_, fs::file_size(path_) - 5);
+  EXPECT_FALSE(SSTable::Load(path_).ok());
+}
+
+TEST_F(SSTableFileTest, RejectsWrongMagic) {
+  {
+    std::ofstream f(path_, std::ios::binary);
+    f << "NOTATABLE-padding-padding";
+  }
+  EXPECT_FALSE(SSTable::Load(path_).ok());
+}
+
+TEST_F(SSTableFileTest, EmptyTableRoundTrips) {
+  auto table = SSTable::FromEntries({}).value();
+  ASSERT_TRUE(table.WriteTo(path_).ok());
+  auto loaded = SSTable::Load(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->EntryCount(), 0u);
+}
+
+}  // namespace
+}  // namespace grub::kv

@@ -1,0 +1,190 @@
+// YCSB generator: operation mixes, key distributions, scan shapes, inserts,
+// and the phase mixer.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/ycsb.h"
+
+namespace grub::workload {
+namespace {
+
+struct Mix {
+  double reads = 0, writes = 0, scans = 0;
+};
+
+Mix MeasureMix(char letter, size_t ops = 20000) {
+  YcsbGenerator gen(YcsbConfig::ByName(letter), 1000, 32, 7);
+  Trace trace;
+  gen.Generate(ops, trace);
+  Mix mix;
+  for (const auto& op : trace) {
+    switch (op.type) {
+      case OpType::kRead:
+        mix.reads += 1;
+        break;
+      case OpType::kWrite:
+        mix.writes += 1;
+        break;
+      case OpType::kScan:
+        mix.scans += 1;
+        break;
+    }
+  }
+  const double total = mix.reads + mix.writes + mix.scans;
+  mix.reads /= total;
+  mix.writes /= total;
+  mix.scans /= total;
+  return mix;
+}
+
+TEST(Ycsb, WorkloadAIsHalfReadsHalfUpdates) {
+  Mix mix = MeasureMix('A');
+  EXPECT_NEAR(mix.reads, 0.5, 0.02);
+  EXPECT_NEAR(mix.writes, 0.5, 0.02);
+  EXPECT_EQ(mix.scans, 0);
+}
+
+TEST(Ycsb, WorkloadBIsReadMostly) {
+  Mix mix = MeasureMix('B');
+  EXPECT_NEAR(mix.reads, 0.95, 0.01);
+  EXPECT_NEAR(mix.writes, 0.05, 0.01);
+}
+
+TEST(Ycsb, WorkloadDReadsLatestRecords) {
+  YcsbGenerator gen(YcsbConfig::WorkloadD(), 1000, 16, 17);
+  Trace trace;
+  gen.Generate(20000, trace);
+  size_t newest_half = 0, reads = 0;
+  for (const auto& op : trace) {
+    if (op.type != OpType::kRead) continue;
+    reads += 1;
+    if (Compare(op.key, MakeKey(500)) >= 0) newest_half += 1;
+  }
+  ASSERT_GT(reads, 0u);
+  // The latest distribution concentrates far beyond uniform on the newer
+  // half (which also keeps growing through inserts).
+  EXPECT_GT(static_cast<double>(newest_half) / static_cast<double>(reads),
+            0.8);
+}
+
+TEST(Ycsb, WorkloadEIsScanMostly) {
+  Mix mix = MeasureMix('E');
+  EXPECT_NEAR(mix.scans, 0.95, 0.01);
+  EXPECT_NEAR(mix.writes, 0.05, 0.01);  // inserts
+  EXPECT_EQ(mix.reads, 0);
+}
+
+TEST(Ycsb, WorkloadFEmitsRmwAsReadPlusWrite) {
+  // F: 50% read, 50% RMW. Each RMW expands to one read AND one write, so
+  // per TRACE operation the mix is 2/3 reads, 1/3 writes (the paper's "75%
+  // reads" counts an RMW as one half-read op over unexpanded YCSB ops).
+  Mix mix = MeasureMix('F');
+  EXPECT_NEAR(mix.reads, 2.0 / 3.0, 0.02);
+  EXPECT_NEAR(mix.writes, 1.0 / 3.0, 0.02);
+}
+
+TEST(Ycsb, RmwReadsAndWritesSameKeyAdjacent) {
+  YcsbGenerator gen(YcsbConfig::WorkloadF(), 100, 16, 3);
+  Trace trace;
+  gen.Generate(2000, trace);
+  for (size_t i = 0; i + 1 < trace.size(); ++i) {
+    if (trace[i].type == OpType::kRead &&
+        trace[i + 1].type == OpType::kWrite) {
+      // Any write directly after a read in F is the RMW pair: same key.
+      EXPECT_EQ(trace[i].key, trace[i + 1].key);
+    }
+  }
+}
+
+TEST(Ycsb, ScanLengthsWithinConfiguredBound) {
+  YcsbConfig config = YcsbConfig::WorkloadE();
+  config.max_scan_length = 7;
+  YcsbGenerator gen(config, 1000, 16, 9);
+  Trace trace;
+  gen.Generate(5000, trace);
+  bool saw_scan = false;
+  for (const auto& op : trace) {
+    if (op.type != OpType::kScan) continue;
+    saw_scan = true;
+    EXPECT_GE(op.scan_len, 1u);
+    EXPECT_LE(op.scan_len, 7u);
+  }
+  EXPECT_TRUE(saw_scan);
+}
+
+TEST(Ycsb, InsertsCreateFreshMonotonicKeys) {
+  YcsbGenerator gen(YcsbConfig::WorkloadE(), 100, 16, 11);
+  Trace trace;
+  gen.Generate(5000, trace);
+  std::map<Bytes, int> inserted;
+  for (const auto& op : trace) {
+    if (op.type == OpType::kWrite) {
+      EXPECT_EQ(inserted.count(op.key), 0u) << "duplicate insert";
+      inserted[op.key] = 1;
+      // Inserts land beyond the preloaded range.
+      EXPECT_GE(Compare(op.key, MakeKey(100)), 0);
+    }
+  }
+  EXPECT_GT(gen.CurrentRecordCount(), 100u);
+}
+
+TEST(Ycsb, KeySpaceRestrictsRequestDistribution) {
+  YcsbGenerator gen(YcsbConfig::WorkloadB(), 100000, 16, 13,
+                    /*key_space=*/50);
+  Trace trace;
+  gen.Generate(5000, trace);
+  for (const auto& op : trace) {
+    if (op.type == OpType::kRead) {
+      EXPECT_LT(Compare(op.key, MakeKey(50)), 0);
+    }
+  }
+}
+
+TEST(Ycsb, GenerationIsDeterministicPerSeed) {
+  YcsbGenerator a(YcsbConfig::WorkloadA(), 1000, 32, 5);
+  YcsbGenerator b(YcsbConfig::WorkloadA(), 1000, 32, 5);
+  Trace ta, tb;
+  a.Generate(500, ta);
+  b.Generate(500, tb);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].key, tb[i].key) << i;
+    EXPECT_EQ(ta[i].value, tb[i].value) << i;
+  }
+}
+
+TEST(Ycsb, PreloadEmitsEveryInitialKeyOnce) {
+  YcsbGenerator gen(YcsbConfig::WorkloadA(), 64, 16, 1);
+  Trace preload = gen.PreloadTrace();
+  ASSERT_EQ(preload.size(), 64u);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(preload[i].key, MakeKey(i));
+    EXPECT_EQ(preload[i].type, OpType::kWrite);
+    EXPECT_EQ(preload[i].value.size(), 16u);
+  }
+}
+
+TEST(Ycsb, MixPhasesAlternatesGenerators) {
+  YcsbGenerator a(YcsbConfig::WorkloadA(), 100, 16, 1);
+  YcsbGenerator e(YcsbConfig::WorkloadE(), 100, 16, 2);
+  auto mix = MixPhases(a, e, 500, 4);
+  ASSERT_EQ(mix.phase_offsets.size(), 4u);
+  // Phase 2 (E) contains scans; phase 1 (A) does not.
+  bool scan_in_p1 = false, scan_in_p2 = false;
+  for (size_t i = mix.phase_offsets[0]; i < mix.phase_offsets[1]; ++i) {
+    scan_in_p1 |= mix.trace[i].type == OpType::kScan;
+  }
+  for (size_t i = mix.phase_offsets[1]; i < mix.phase_offsets[2]; ++i) {
+    scan_in_p2 |= mix.trace[i].type == OpType::kScan;
+  }
+  EXPECT_FALSE(scan_in_p1);
+  EXPECT_TRUE(scan_in_p2);
+}
+
+TEST(Ycsb, ByNameRejectsUnknownWorkload) {
+  EXPECT_THROW(YcsbConfig::ByName('C'), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grub::workload

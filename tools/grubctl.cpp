@@ -1,0 +1,239 @@
+// grubctl — run a GRuB cost experiment from the command line.
+//
+// Examples:
+//   grubctl --policy memoryless:2 --workload ratio:16 --ops 512
+//   grubctl --policy memorizing:2,1 --workload oracle
+//   grubctl --policy bl2 --workload ycsb:A,B --records 4096 ...
+//           --record-bytes 256 --key-space 256 --ops 2048
+//   grubctl --policy memoryless:4 --workload btcrelay --epoch-txs 4
+//
+// Prints the per-epoch Gas/op series, the aggregate Gas breakdown, and the
+// replication activity — everything needed to eyeball a new policy or
+// workload without writing a bench.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "grub/system.h"
+#include "workload/synthetic.h"
+#include "workload/ycsb.h"
+
+namespace {
+
+using namespace grub;
+
+struct Args {
+  std::string policy = "memoryless:2";
+  std::string workload = "ratio:4";
+  size_t records = 1024;
+  size_t record_bytes = 32;
+  size_t key_space = 0;  // 0 = records
+  size_t ops = 1024;
+  size_t ops_per_tx = 32;
+  size_t txs_per_epoch = 1;
+  bool range_scans = false;
+  bool converged = false;  // warm-up pass before measuring
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::puts(
+      "usage: grubctl [options]\n"
+      "  --policy P      bl1 | bl2 | memoryless:K | memorizing:K,D |\n"
+      "                  adaptive-k1 | adaptive-k2        (default memoryless:2)\n"
+      "  --workload W    ratio:R | ycsb:X | ycsb:X,Y | oracle | btcrelay\n"
+      "                                                    (default ratio:4)\n"
+      "  --records N     preloaded store size              (default 1024)\n"
+      "  --record-bytes N value size                       (default 32)\n"
+      "  --key-space N   hot working subset for YCSB       (default = records)\n"
+      "  --ops N         operations to drive (ratio/ycsb)  (default 1024)\n"
+      "  --ops-per-tx N  operations per transaction        (default 32)\n"
+      "  --epoch-txs N   transactions per epoch            (default 1)\n"
+      "  --range-scans   serve scans with range proofs\n"
+      "  --converged     measure a second pass after a warm-up pass\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--policy")) {
+      args.policy = next("--policy");
+    } else if (!std::strcmp(argv[i], "--workload")) {
+      args.workload = next("--workload");
+    } else if (!std::strcmp(argv[i], "--records")) {
+      args.records = std::strtoull(next("--records"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--record-bytes")) {
+      args.record_bytes = std::strtoull(next("--record-bytes"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--key-space")) {
+      args.key_space = std::strtoull(next("--key-space"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--ops")) {
+      args.ops = std::strtoull(next("--ops"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--ops-per-tx")) {
+      args.ops_per_tx = std::strtoull(next("--ops-per-tx"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--epoch-txs")) {
+      args.txs_per_epoch = std::strtoull(next("--epoch-txs"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--range-scans")) {
+      args.range_scans = true;
+    } else if (!std::strcmp(argv[i], "--converged")) {
+      args.converged = true;
+    } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      args.help = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<core::ReplicationPolicy> MakePolicy(
+    const std::string& spec, const workload::Trace& trace,
+    const chain::GasSchedule& gas) {
+  auto colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  const std::string params =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (name == "bl1") return core::MakeBL1();
+  if (name == "bl2") return core::MakeBL2();
+  if (name == "memoryless") {
+    const uint64_t k = params.empty() ? 2 : std::strtoull(params.c_str(), nullptr, 10);
+    return std::make_unique<core::MemorylessPolicy>(k);
+  }
+  if (name == "memorizing") {
+    double k = 2, d = 1;
+    if (!params.empty()) {
+      char* rest = nullptr;
+      k = std::strtod(params.c_str(), &rest);
+      if (rest && *rest == ',') d = std::strtod(rest + 1, nullptr);
+    }
+    return std::make_unique<core::MemorizingPolicy>(k, d);
+  }
+  if (name == "adaptive-k1") {
+    return std::make_unique<core::AdaptiveK1Policy>(core::BreakEvenK(gas));
+  }
+  if (name == "adaptive-k2") {
+    return std::make_unique<core::AdaptiveK2Policy>(core::BreakEvenK(gas));
+  }
+  if (name == "offline") {
+    return std::make_unique<core::OfflineOptimalPolicy>(trace,
+                                                        core::BreakEvenK(gas));
+  }
+  std::fprintf(stderr, "unknown policy: %s\n", spec.c_str());
+  std::exit(2);
+}
+
+workload::Trace MakeWorkload(const Args& args) {
+  auto colon = args.workload.find(':');
+  const std::string name = args.workload.substr(0, colon);
+  const std::string params =
+      colon == std::string::npos ? "" : args.workload.substr(colon + 1);
+  if (name == "ratio") {
+    const double ratio = params.empty() ? 4 : std::strtod(params.c_str(), nullptr);
+    return workload::FixedRatioTrace(ratio, args.ops, args.record_bytes);
+  }
+  if (name == "oracle") {
+    return workload::PriceOracleTrace({});
+  }
+  if (name == "btcrelay") {
+    return workload::BtcRelayBenchmarkTrace({});
+  }
+  if (name == "ycsb") {
+    const char first = params.empty() ? 'A' : params[0];
+    workload::YcsbGenerator gen_a(workload::YcsbConfig::ByName(first),
+                                  args.records, args.record_bytes, 1,
+                                  args.key_space);
+    if (params.size() >= 3 && params[1] == ',') {
+      workload::YcsbGenerator gen_b(workload::YcsbConfig::ByName(params[2]),
+                                    args.records, args.record_bytes, 2,
+                                    args.key_space);
+      return workload::MixPhases(gen_a, gen_b, args.ops / 4).trace;
+    }
+    workload::Trace trace;
+    gen_a.Generate(args.ops, trace);
+    return trace;
+  }
+  std::fprintf(stderr, "unknown workload: %s\n", args.workload.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, args)) {
+    PrintUsage();
+    return 2;
+  }
+  if (args.help) {
+    PrintUsage();
+    return 0;
+  }
+
+  core::SystemOptions options;
+  options.ops_per_tx = args.ops_per_tx;
+  options.txs_per_epoch = args.txs_per_epoch;
+  options.scan_mode = args.range_scans ? core::ScanMode::kRangeProof
+                                       : core::ScanMode::kExpandPointReads;
+
+  auto trace = MakeWorkload(args);
+  auto stats = workload::ComputeStats(trace);
+  std::printf("workload: %s  (%llu writes, %llu reads, %llu scans; "
+              "%.2f reads/write)\n",
+              args.workload.c_str(),
+              static_cast<unsigned long long>(stats.writes),
+              static_cast<unsigned long long>(stats.reads),
+              static_cast<unsigned long long>(stats.scans),
+              stats.ReadWriteRatio());
+
+  core::GrubSystem system(
+      options,
+      MakePolicy(args.policy, trace, options.chain_params.gas));
+  std::printf("policy:   %s\n", system.Do().Policy().Name().c_str());
+
+  std::vector<std::pair<Bytes, Bytes>> preload;
+  preload.reserve(args.records);
+  for (uint64_t i = 0; i < args.records; ++i) {
+    preload.emplace_back(workload::MakeKey(i), Bytes(args.record_bytes, 0x11));
+  }
+  system.Preload(preload);
+  std::printf("preload:  %zu records x %zu bytes\n\n", args.records,
+              args.record_bytes);
+
+  if (args.converged) {
+    system.Drive(trace);
+    system.Chain().ResetGasCounters();
+  }
+  auto epochs = system.Drive(trace);
+
+  std::printf("Gas/op per epoch:");
+  const size_t stride = std::max<size_t>(1, epochs.size() / 24);
+  for (size_t i = 0; i < epochs.size(); i += stride) {
+    std::printf(" %.0f", epochs[i].PerOp());
+  }
+  std::printf("\n\n");
+
+  size_t ops = 0;
+  for (const auto& e : epochs) ops += e.ops;
+  std::printf("total:     %llu Gas over %zu ops  (%.0f Gas/op)\n",
+              static_cast<unsigned long long>(system.TotalGas()), ops,
+              ops ? static_cast<double>(system.TotalGas()) /
+                        static_cast<double>(ops)
+                  : 0.0);
+  std::printf("breakdown: %s\n", system.TotalBreakdown().ToString().c_str());
+  std::printf("activity:  %llu delivers, %zu replicas on chain, "
+              "%llu values / %llu misses delivered\n",
+              static_cast<unsigned long long>(system.Daemon().delivers_sent()),
+              system.Do().OnChainReplicas().size(),
+              static_cast<unsigned long long>(
+                  system.Consumer().values_received()),
+              static_cast<unsigned long long>(
+                  system.Consumer().misses_received()));
+  return 0;
+}
