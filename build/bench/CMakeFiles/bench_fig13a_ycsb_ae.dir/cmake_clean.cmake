@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13a_ycsb_ae.dir/bench_fig13a_ycsb_ae.cpp.o"
+  "CMakeFiles/bench_fig13a_ycsb_ae.dir/bench_fig13a_ycsb_ae.cpp.o.d"
+  "bench_fig13a_ycsb_ae"
+  "bench_fig13a_ycsb_ae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13a_ycsb_ae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

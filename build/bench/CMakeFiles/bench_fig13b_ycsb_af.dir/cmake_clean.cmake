@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13b_ycsb_af.dir/bench_fig13b_ycsb_af.cpp.o"
+  "CMakeFiles/bench_fig13b_ycsb_af.dir/bench_fig13b_ycsb_af.cpp.o.d"
+  "bench_fig13b_ycsb_af"
+  "bench_fig13b_ycsb_af.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13b_ycsb_af.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_ycsb_k.dir/bench_fig14_ycsb_k.cpp.o"
+  "CMakeFiles/bench_fig14_ycsb_k.dir/bench_fig14_ycsb_k.cpp.o.d"
+  "bench_fig14_ycsb_k"
+  "bench_fig14_ycsb_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ycsb_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_price_feed.dir/bench_fig5_price_feed.cpp.o"
+  "CMakeFiles/bench_fig5_price_feed.dir/bench_fig5_price_feed.cpp.o.d"
+  "bench_fig5_price_feed"
+  "bench_fig5_price_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_price_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

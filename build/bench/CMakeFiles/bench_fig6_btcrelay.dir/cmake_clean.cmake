@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_btcrelay.dir/bench_fig6_btcrelay.cpp.o"
+  "CMakeFiles/bench_fig6_btcrelay.dir/bench_fig6_btcrelay.cpp.o.d"
+  "bench_fig6_btcrelay"
+  "bench_fig6_btcrelay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_btcrelay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

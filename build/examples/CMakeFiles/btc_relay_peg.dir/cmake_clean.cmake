@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btc_relay_peg.dir/btc_relay_peg.cpp.o"
+  "CMakeFiles/btc_relay_peg.dir/btc_relay_peg.cpp.o.d"
+  "btc_relay_peg"
+  "btc_relay_peg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btc_relay_peg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

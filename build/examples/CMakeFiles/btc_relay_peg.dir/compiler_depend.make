@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for btc_relay_peg.
+# This may be replaced when dependencies are built.

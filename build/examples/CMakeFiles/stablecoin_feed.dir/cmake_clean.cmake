@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stablecoin_feed.dir/stablecoin_feed.cpp.o"
+  "CMakeFiles/stablecoin_feed.dir/stablecoin_feed.cpp.o.d"
+  "stablecoin_feed"
+  "stablecoin_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stablecoin_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_mixed.dir/ycsb_mixed.cpp.o"
+  "CMakeFiles/ycsb_mixed.dir/ycsb_mixed.cpp.o.d"
+  "ycsb_mixed"
+  "ycsb_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

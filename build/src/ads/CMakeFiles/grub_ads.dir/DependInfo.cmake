@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ads/do.cpp" "src/ads/CMakeFiles/grub_ads.dir/do.cpp.o" "gcc" "src/ads/CMakeFiles/grub_ads.dir/do.cpp.o.d"
+  "/root/repo/src/ads/record.cpp" "src/ads/CMakeFiles/grub_ads.dir/record.cpp.o" "gcc" "src/ads/CMakeFiles/grub_ads.dir/record.cpp.o.d"
+  "/root/repo/src/ads/sp.cpp" "src/ads/CMakeFiles/grub_ads.dir/sp.cpp.o" "gcc" "src/ads/CMakeFiles/grub_ads.dir/sp.cpp.o.d"
+  "/root/repo/src/ads/verify.cpp" "src/ads/CMakeFiles/grub_ads.dir/verify.cpp.o" "gcc" "src/ads/CMakeFiles/grub_ads.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/grub_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/grub_kvstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

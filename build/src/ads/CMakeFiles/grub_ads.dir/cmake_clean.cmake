@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grub_ads.dir/do.cpp.o"
+  "CMakeFiles/grub_ads.dir/do.cpp.o.d"
+  "CMakeFiles/grub_ads.dir/record.cpp.o"
+  "CMakeFiles/grub_ads.dir/record.cpp.o.d"
+  "CMakeFiles/grub_ads.dir/sp.cpp.o"
+  "CMakeFiles/grub_ads.dir/sp.cpp.o.d"
+  "CMakeFiles/grub_ads.dir/verify.cpp.o"
+  "CMakeFiles/grub_ads.dir/verify.cpp.o.d"
+  "libgrub_ads.a"
+  "libgrub_ads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grub_ads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

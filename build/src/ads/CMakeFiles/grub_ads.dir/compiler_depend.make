@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for grub_ads.
+# This may be replaced when dependencies are built.

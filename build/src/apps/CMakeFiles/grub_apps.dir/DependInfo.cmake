@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bitcoin.cpp" "src/apps/CMakeFiles/grub_apps.dir/bitcoin.cpp.o" "gcc" "src/apps/CMakeFiles/grub_apps.dir/bitcoin.cpp.o.d"
+  "/root/repo/src/apps/erc20.cpp" "src/apps/CMakeFiles/grub_apps.dir/erc20.cpp.o" "gcc" "src/apps/CMakeFiles/grub_apps.dir/erc20.cpp.o.d"
+  "/root/repo/src/apps/pegged_token.cpp" "src/apps/CMakeFiles/grub_apps.dir/pegged_token.cpp.o" "gcc" "src/apps/CMakeFiles/grub_apps.dir/pegged_token.cpp.o.d"
+  "/root/repo/src/apps/scoin.cpp" "src/apps/CMakeFiles/grub_apps.dir/scoin.cpp.o" "gcc" "src/apps/CMakeFiles/grub_apps.dir/scoin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grub/CMakeFiles/grub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/grub_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/grub_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ads/CMakeFiles/grub_ads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/grub_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/grub_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grub_apps.dir/bitcoin.cpp.o"
+  "CMakeFiles/grub_apps.dir/bitcoin.cpp.o.d"
+  "CMakeFiles/grub_apps.dir/erc20.cpp.o"
+  "CMakeFiles/grub_apps.dir/erc20.cpp.o.d"
+  "CMakeFiles/grub_apps.dir/pegged_token.cpp.o"
+  "CMakeFiles/grub_apps.dir/pegged_token.cpp.o.d"
+  "CMakeFiles/grub_apps.dir/scoin.cpp.o"
+  "CMakeFiles/grub_apps.dir/scoin.cpp.o.d"
+  "libgrub_apps.a"
+  "libgrub_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grub_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/blockchain.cpp" "src/chain/CMakeFiles/grub_chain.dir/blockchain.cpp.o" "gcc" "src/chain/CMakeFiles/grub_chain.dir/blockchain.cpp.o.d"
+  "/root/repo/src/chain/gas.cpp" "src/chain/CMakeFiles/grub_chain.dir/gas.cpp.o" "gcc" "src/chain/CMakeFiles/grub_chain.dir/gas.cpp.o.d"
+  "/root/repo/src/chain/storage.cpp" "src/chain/CMakeFiles/grub_chain.dir/storage.cpp.o" "gcc" "src/chain/CMakeFiles/grub_chain.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/grub_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

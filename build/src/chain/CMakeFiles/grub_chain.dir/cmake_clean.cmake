@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grub_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/grub_chain.dir/blockchain.cpp.o.d"
+  "CMakeFiles/grub_chain.dir/gas.cpp.o"
+  "CMakeFiles/grub_chain.dir/gas.cpp.o.d"
+  "CMakeFiles/grub_chain.dir/storage.cpp.o"
+  "CMakeFiles/grub_chain.dir/storage.cpp.o.d"
+  "libgrub_chain.a"
+  "libgrub_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grub_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

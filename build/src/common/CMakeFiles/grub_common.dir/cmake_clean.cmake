@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grub_common.dir/bytes.cpp.o"
+  "CMakeFiles/grub_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/grub_common.dir/rng.cpp.o"
+  "CMakeFiles/grub_common.dir/rng.cpp.o.d"
+  "CMakeFiles/grub_common.dir/status.cpp.o"
+  "CMakeFiles/grub_common.dir/status.cpp.o.d"
+  "libgrub_common.a"
+  "libgrub_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grub_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrub_common.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grub_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/grub_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/grub_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/grub_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/grub_crypto.dir/signer.cpp.o"
+  "CMakeFiles/grub_crypto.dir/signer.cpp.o.d"
+  "libgrub_crypto.a"
+  "libgrub_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grub_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

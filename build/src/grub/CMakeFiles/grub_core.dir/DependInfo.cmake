@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grub/codec.cpp" "src/grub/CMakeFiles/grub_core.dir/codec.cpp.o" "gcc" "src/grub/CMakeFiles/grub_core.dir/codec.cpp.o.d"
+  "/root/repo/src/grub/consumer.cpp" "src/grub/CMakeFiles/grub_core.dir/consumer.cpp.o" "gcc" "src/grub/CMakeFiles/grub_core.dir/consumer.cpp.o.d"
+  "/root/repo/src/grub/do_client.cpp" "src/grub/CMakeFiles/grub_core.dir/do_client.cpp.o" "gcc" "src/grub/CMakeFiles/grub_core.dir/do_client.cpp.o.d"
+  "/root/repo/src/grub/policy.cpp" "src/grub/CMakeFiles/grub_core.dir/policy.cpp.o" "gcc" "src/grub/CMakeFiles/grub_core.dir/policy.cpp.o.d"
+  "/root/repo/src/grub/sp_daemon.cpp" "src/grub/CMakeFiles/grub_core.dir/sp_daemon.cpp.o" "gcc" "src/grub/CMakeFiles/grub_core.dir/sp_daemon.cpp.o.d"
+  "/root/repo/src/grub/storage_manager.cpp" "src/grub/CMakeFiles/grub_core.dir/storage_manager.cpp.o" "gcc" "src/grub/CMakeFiles/grub_core.dir/storage_manager.cpp.o.d"
+  "/root/repo/src/grub/store_api.cpp" "src/grub/CMakeFiles/grub_core.dir/store_api.cpp.o" "gcc" "src/grub/CMakeFiles/grub_core.dir/store_api.cpp.o.d"
+  "/root/repo/src/grub/system.cpp" "src/grub/CMakeFiles/grub_core.dir/system.cpp.o" "gcc" "src/grub/CMakeFiles/grub_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/grub_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/grub_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/grub_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/ads/CMakeFiles/grub_ads.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/grub_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

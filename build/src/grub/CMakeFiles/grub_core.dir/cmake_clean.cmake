@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grub_core.dir/codec.cpp.o"
+  "CMakeFiles/grub_core.dir/codec.cpp.o.d"
+  "CMakeFiles/grub_core.dir/consumer.cpp.o"
+  "CMakeFiles/grub_core.dir/consumer.cpp.o.d"
+  "CMakeFiles/grub_core.dir/do_client.cpp.o"
+  "CMakeFiles/grub_core.dir/do_client.cpp.o.d"
+  "CMakeFiles/grub_core.dir/policy.cpp.o"
+  "CMakeFiles/grub_core.dir/policy.cpp.o.d"
+  "CMakeFiles/grub_core.dir/sp_daemon.cpp.o"
+  "CMakeFiles/grub_core.dir/sp_daemon.cpp.o.d"
+  "CMakeFiles/grub_core.dir/storage_manager.cpp.o"
+  "CMakeFiles/grub_core.dir/storage_manager.cpp.o.d"
+  "CMakeFiles/grub_core.dir/store_api.cpp.o"
+  "CMakeFiles/grub_core.dir/store_api.cpp.o.d"
+  "CMakeFiles/grub_core.dir/system.cpp.o"
+  "CMakeFiles/grub_core.dir/system.cpp.o.d"
+  "libgrub_core.a"
+  "libgrub_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grub_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

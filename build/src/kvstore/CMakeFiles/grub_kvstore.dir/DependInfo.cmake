@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/bloom.cpp" "src/kvstore/CMakeFiles/grub_kvstore.dir/bloom.cpp.o" "gcc" "src/kvstore/CMakeFiles/grub_kvstore.dir/bloom.cpp.o.d"
+  "/root/repo/src/kvstore/crc32.cpp" "src/kvstore/CMakeFiles/grub_kvstore.dir/crc32.cpp.o" "gcc" "src/kvstore/CMakeFiles/grub_kvstore.dir/crc32.cpp.o.d"
+  "/root/repo/src/kvstore/db.cpp" "src/kvstore/CMakeFiles/grub_kvstore.dir/db.cpp.o" "gcc" "src/kvstore/CMakeFiles/grub_kvstore.dir/db.cpp.o.d"
+  "/root/repo/src/kvstore/iterator.cpp" "src/kvstore/CMakeFiles/grub_kvstore.dir/iterator.cpp.o" "gcc" "src/kvstore/CMakeFiles/grub_kvstore.dir/iterator.cpp.o.d"
+  "/root/repo/src/kvstore/memtable.cpp" "src/kvstore/CMakeFiles/grub_kvstore.dir/memtable.cpp.o" "gcc" "src/kvstore/CMakeFiles/grub_kvstore.dir/memtable.cpp.o.d"
+  "/root/repo/src/kvstore/sstable.cpp" "src/kvstore/CMakeFiles/grub_kvstore.dir/sstable.cpp.o" "gcc" "src/kvstore/CMakeFiles/grub_kvstore.dir/sstable.cpp.o.d"
+  "/root/repo/src/kvstore/wal.cpp" "src/kvstore/CMakeFiles/grub_kvstore.dir/wal.cpp.o" "gcc" "src/kvstore/CMakeFiles/grub_kvstore.dir/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

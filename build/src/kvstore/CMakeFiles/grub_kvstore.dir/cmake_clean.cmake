@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grub_kvstore.dir/bloom.cpp.o"
+  "CMakeFiles/grub_kvstore.dir/bloom.cpp.o.d"
+  "CMakeFiles/grub_kvstore.dir/crc32.cpp.o"
+  "CMakeFiles/grub_kvstore.dir/crc32.cpp.o.d"
+  "CMakeFiles/grub_kvstore.dir/db.cpp.o"
+  "CMakeFiles/grub_kvstore.dir/db.cpp.o.d"
+  "CMakeFiles/grub_kvstore.dir/iterator.cpp.o"
+  "CMakeFiles/grub_kvstore.dir/iterator.cpp.o.d"
+  "CMakeFiles/grub_kvstore.dir/memtable.cpp.o"
+  "CMakeFiles/grub_kvstore.dir/memtable.cpp.o.d"
+  "CMakeFiles/grub_kvstore.dir/sstable.cpp.o"
+  "CMakeFiles/grub_kvstore.dir/sstable.cpp.o.d"
+  "CMakeFiles/grub_kvstore.dir/wal.cpp.o"
+  "CMakeFiles/grub_kvstore.dir/wal.cpp.o.d"
+  "libgrub_kvstore.a"
+  "libgrub_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grub_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grub_workload.dir/distributions.cpp.o"
+  "CMakeFiles/grub_workload.dir/distributions.cpp.o.d"
+  "CMakeFiles/grub_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/grub_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/grub_workload.dir/trace.cpp.o"
+  "CMakeFiles/grub_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/grub_workload.dir/ycsb.cpp.o"
+  "CMakeFiles/grub_workload.dir/ycsb.cpp.o.d"
+  "libgrub_workload.a"
+  "libgrub_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grub_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abi_test.dir/chain/abi_test.cpp.o"
+  "CMakeFiles/abi_test.dir/chain/abi_test.cpp.o.d"
+  "abi_test"
+  "abi_test.pdb"
+  "abi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

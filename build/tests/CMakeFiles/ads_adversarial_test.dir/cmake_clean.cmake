@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_adversarial_test.dir/ads/adversarial_test.cpp.o"
+  "CMakeFiles/ads_adversarial_test.dir/ads/adversarial_test.cpp.o.d"
+  "ads_adversarial_test"
+  "ads_adversarial_test.pdb"
+  "ads_adversarial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_adversarial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_do_test.dir/ads/do_test.cpp.o"
+  "CMakeFiles/ads_do_test.dir/ads/do_test.cpp.o.d"
+  "ads_do_test"
+  "ads_do_test.pdb"
+  "ads_do_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_do_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_record_test.dir/ads/record_test.cpp.o"
+  "CMakeFiles/ads_record_test.dir/ads/record_test.cpp.o.d"
+  "ads_record_test"
+  "ads_record_test.pdb"
+  "ads_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_sp_recovery_test.dir/ads/sp_recovery_test.cpp.o"
+  "CMakeFiles/ads_sp_recovery_test.dir/ads/sp_recovery_test.cpp.o.d"
+  "ads_sp_recovery_test"
+  "ads_sp_recovery_test.pdb"
+  "ads_sp_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_sp_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitcoin_test.dir/apps/bitcoin_test.cpp.o"
+  "CMakeFiles/bitcoin_test.dir/apps/bitcoin_test.cpp.o.d"
+  "bitcoin_test"
+  "bitcoin_test.pdb"
+  "bitcoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitcoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

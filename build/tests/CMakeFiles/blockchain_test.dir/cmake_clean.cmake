@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockchain_test.dir/chain/blockchain_test.cpp.o"
+  "CMakeFiles/blockchain_test.dir/chain/blockchain_test.cpp.o.d"
+  "blockchain_test"
+  "blockchain_test.pdb"
+  "blockchain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockchain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consumer_test.dir/grub/consumer_test.cpp.o"
+  "CMakeFiles/consumer_test.dir/grub/consumer_test.cpp.o.d"
+  "consumer_test"
+  "consumer_test.pdb"
+  "consumer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consumer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

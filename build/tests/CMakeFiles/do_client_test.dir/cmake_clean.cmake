@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/do_client_test.dir/grub/do_client_test.cpp.o"
+  "CMakeFiles/do_client_test.dir/grub/do_client_test.cpp.o.d"
+  "do_client_test"
+  "do_client_test.pdb"
+  "do_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/do_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

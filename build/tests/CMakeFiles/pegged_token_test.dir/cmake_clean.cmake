@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pegged_token_test.dir/apps/pegged_token_test.cpp.o"
+  "CMakeFiles/pegged_token_test.dir/apps/pegged_token_test.cpp.o.d"
+  "pegged_token_test"
+  "pegged_token_test.pdb"
+  "pegged_token_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pegged_token_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoin_invariant_test.dir/apps/scoin_invariant_test.cpp.o"
+  "CMakeFiles/scoin_invariant_test.dir/apps/scoin_invariant_test.cpp.o.d"
+  "scoin_invariant_test"
+  "scoin_invariant_test.pdb"
+  "scoin_invariant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoin_invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

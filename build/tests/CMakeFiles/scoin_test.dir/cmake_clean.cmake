@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoin_test.dir/apps/scoin_test.cpp.o"
+  "CMakeFiles/scoin_test.dir/apps/scoin_test.cpp.o.d"
+  "scoin_test"
+  "scoin_test.pdb"
+  "scoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

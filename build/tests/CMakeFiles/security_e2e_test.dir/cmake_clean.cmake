@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_e2e_test.dir/grub/security_e2e_test.cpp.o"
+  "CMakeFiles/security_e2e_test.dir/grub/security_e2e_test.cpp.o.d"
+  "security_e2e_test"
+  "security_e2e_test.pdb"
+  "security_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

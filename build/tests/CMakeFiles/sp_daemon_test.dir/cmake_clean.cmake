@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_daemon_test.dir/grub/sp_daemon_test.cpp.o"
+  "CMakeFiles/sp_daemon_test.dir/grub/sp_daemon_test.cpp.o.d"
+  "sp_daemon_test"
+  "sp_daemon_test.pdb"
+  "sp_daemon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_daemon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kvstore/sstable_test.cpp" "tests/CMakeFiles/sstable_test.dir/kvstore/sstable_test.cpp.o" "gcc" "tests/CMakeFiles/sstable_test.dir/kvstore/sstable_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grub/CMakeFiles/grub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/grub_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/grub_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ads/CMakeFiles/grub_ads.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/grub_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/grub_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/grub_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

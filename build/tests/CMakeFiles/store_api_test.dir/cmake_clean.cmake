@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_api_test.dir/grub/store_api_test.cpp.o"
+  "CMakeFiles/store_api_test.dir/grub/store_api_test.cpp.o.d"
+  "store_api_test"
+  "store_api_test.pdb"
+  "store_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

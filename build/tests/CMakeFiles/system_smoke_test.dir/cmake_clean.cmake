@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_smoke_test.dir/grub/system_smoke_test.cpp.o"
+  "CMakeFiles/system_smoke_test.dir/grub/system_smoke_test.cpp.o.d"
+  "system_smoke_test"
+  "system_smoke_test.pdb"
+  "system_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

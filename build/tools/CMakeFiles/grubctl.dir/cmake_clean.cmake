@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grubctl.dir/grubctl.cpp.o"
+  "CMakeFiles/grubctl.dir/grubctl.cpp.o.d"
+  "grubctl"
+  "grubctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grubctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
