@@ -29,7 +29,9 @@ struct Fig5Result {
 /// columns).
 Fig5Result RunFig5(const bench::PolicyFactory& policy,
                    const workload::Trace& oracle_trace, bool with_app) {
-  core::GrubSystem system(core::SystemOptions{}, policy());
+  core::SystemOptions options;
+  options.enable_telemetry = true;  // epochs/totals read from the registry
+  core::GrubSystem system(options, policy());
 
   // SCoin application on top of the feed.
   apps::SCoinIssuer::Config issuer_config;
@@ -69,16 +71,15 @@ Fig5Result RunFig5(const bench::PolicyFactory& policy,
   Rng coin(17);
   uint64_t txs_in_epoch = 0;
   uint64_t ops_in_epoch = 0;
-  uint64_t gas_at_epoch_start = system.TotalGas();
 
+  // The bench drives transactions by hand (no GrubSystem::Drive), so it
+  // closes telemetry epochs itself; each row's attribution delta is the
+  // epoch's Gas.
   auto close_epoch = [&] {
-    const double gas = static_cast<double>(system.TotalGas() -
-                                           gas_at_epoch_start);
-    result.per_epoch_gas_per_op.push_back(
-        ops_in_epoch ? gas / static_cast<double>(ops_in_epoch) : 0);
+    const auto& row = system.Metrics()->CloseEpoch(ops_in_epoch);
+    result.per_epoch_gas_per_op.push_back(row.GasPerOp());
     txs_in_epoch = 0;
     ops_in_epoch = 0;
-    gas_at_epoch_start = system.TotalGas();
   };
 
   for (const auto& op : oracle_trace) {
@@ -117,7 +118,9 @@ Fig5Result RunFig5(const bench::PolicyFactory& policy,
   }
   if (ops_in_epoch > 0) close_epoch();
 
-  result.total_gas = system.TotalGas();
+  // Aggregate total from the attribution matrix; identical to the chain's
+  // metered TotalGas() by the telemetry invariant.
+  result.total_gas = system.Metrics()->Gas().Total();
   return result;
 }
 

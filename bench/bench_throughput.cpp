@@ -27,15 +27,23 @@ int main() {
            {"Always with replica (BL2)", BL2()},
            {"GRuB (memorizing)", Memorizing(2, 1)}}) {
     core::SystemOptions options;
+    options.enable_telemetry = true;
     core::GrubSystem system(options, policy());
     system.Preload({{workload::MakeKey(0), Bytes(32, 0x11)}});
     system.Drive(trace);  // converge
     system.Chain().ResetGasCounters();
-    auto epochs = system.Drive(trace);
+    system.Metrics()->Epochs().Clear();
+    system.Drive(trace);
+    // Gas and op counts both come from the telemetry epoch series (rows sum
+    // to the chain's metered total).
     size_t ops = 0;
-    for (const auto& e : epochs) ops += e.ops;
+    uint64_t gas = 0;
+    for (const auto& e : system.Metrics()->Epochs().Rows()) {
+      ops += e.ops;
+      gas += e.GasTotal();
+    }
 
-    const double total = static_cast<double>(system.TotalGas());
+    const double total = static_cast<double>(gas);
     const double per_op = total / static_cast<double>(ops);
     // Gas-bound throughput: 10M Gas per 14-second block.
     const double blocks = total / 10e6;

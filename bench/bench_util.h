@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "grub/system.h"
+#include "telemetry/table.h"
 #include "workload/synthetic.h"
 
 namespace grub::bench {
@@ -35,38 +36,43 @@ inline PolicyFactory Memorizing(double k_prime, double d) {
 }
 
 /// Converged per-operation Gas (§5.1): warm-up pass, reset, measured pass.
+/// Measured through the telemetry registry: the per-epoch attribution series
+/// is the source of both Gas and op counts (its row sum equals the chain's
+/// metered total — asserted in tests/telemetry).
 inline double ConvergedGasPerOp(const core::SystemOptions& options,
                                 const PolicyFactory& policy,
                                 const workload::Trace& preload_and_trace_key,
                                 const workload::Trace& trace,
                                 size_t record_bytes) {
   (void)preload_and_trace_key;
-  core::GrubSystem system(options, policy());
+  core::SystemOptions instrumented = options;
+  instrumented.enable_telemetry = true;
+  core::GrubSystem system(instrumented, policy());
   system.Preload({{workload::MakeKey(0), Bytes(record_bytes, 0x11)}});
   system.Drive(trace);
   system.Chain().ResetGasCounters();
-  auto epochs = system.Drive(trace);
-  size_t ops = 0;
-  for (const auto& e : epochs) ops += e.ops;
+  system.Metrics()->Epochs().Clear();  // drop warm-up rows
+  system.Drive(trace);
+  const auto& rows = system.Metrics()->Epochs().Rows();
+  uint64_t ops = 0, gas = 0;
+  for (const auto& row : rows) {
+    ops += row.ops;
+    gas += row.GasTotal();
+  }
   return ops == 0 ? 0.0
-                  : static_cast<double>(system.TotalGas()) /
-                        static_cast<double>(ops);
+                  : static_cast<double>(gas) / static_cast<double>(ops);
 }
 
-/// Prints one table row of doubles.
+/// Prints one table row of doubles (thin wrapper over the shared telemetry
+/// table writer — one implementation for benches, grubctl, and exports).
 inline void PrintRow(const std::string& label,
                      const std::vector<double>& values, const char* fmt) {
-  std::printf("%-34s", label.c_str());
-  for (double v : values) std::printf(fmt, v);
-  std::printf("\n");
+  telemetry::PrintTableRow(label, values, fmt);
 }
 
 inline void PrintHeader(const std::string& title,
                         const std::vector<std::string>& columns) {
-  std::printf("\n=== %s ===\n", title.c_str());
-  std::printf("%-34s", "");
-  for (const auto& c : columns) std::printf("%12s", c.c_str());
-  std::printf("\n");
+  telemetry::PrintTableHeader(title, columns);
 }
 
 }  // namespace grub::bench

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a normal build, then an ASan+UBSan build.
+# Both passes configure, build, and run the full ctest suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_pass() {
+  local build_dir="$1"; shift
+  echo "=== ${build_dir}: configure ($*) ==="
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== ${build_dir}: build ==="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== ${build_dir}: ctest ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_pass build
+
+run_pass build-asan \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+
+echo "=== all passes green ==="

@@ -56,6 +56,12 @@ class AdsSp {
   /// Unproven read of a record (DO-side bootstrap / tests).
   Result<FeedRecord> Peek(ByteSpan key) const;
 
+  /// Forwards timing instruments to the embedded KVStore (no-op when the SP
+  /// runs without a backing store). Null detaches.
+  void SetMetrics(telemetry::MetricsRegistry* registry) {
+    if (db_ != nullptr) db_->SetMetrics(registry);
+  }
+
   /// Advisory replication state pushed by the DO's control plane between
   /// root publications (§3.3, Listing 2: deliver's `replicate` flag is an
   /// SP-supplied instruction, trusted only for Gas, never for integrity).

@@ -87,7 +87,15 @@ Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
   Receipt receipt;
   receipt.block_number = block_number;
 
+#if GRUB_TELEMETRY
+  // The sender's declared cause scopes the whole transaction (tx base +
+  // calldata included); contract handlers refine it with nested spans.
+  telemetry::Span cause_span(tx.cause);
+  GasMeter meter(params_.gas,
+                 telemetry_ != nullptr ? &telemetry_->Gas() : nullptr);
+#else
   GasMeter meter(params_.gas);
+#endif
   meter.ChargeTx(tx.CalldataBytes());
 
   call_history_.push_back(CallRecord{.caller = tx.from,

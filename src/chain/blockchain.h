@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "chain/contract.h"
 #include "chain/types.h"
+#include "telemetry/telemetry.h"
 
 namespace grub::chain {
 
@@ -78,8 +79,21 @@ class Blockchain {
 
   uint64_t TotalGasUsed() const { return total_breakdown_.Total(); }
   const GasBreakdown& TotalBreakdown() const { return total_breakdown_; }
-  /// Resets cumulative Gas counters (experiment phase boundaries).
-  void ResetGasCounters() { total_breakdown_ = GasBreakdown{}; }
+  /// Resets cumulative Gas counters (experiment phase boundaries). The
+  /// attached telemetry attribution resets in lockstep so its matrix total
+  /// always equals TotalGasUsed().
+  void ResetGasCounters() {
+    total_breakdown_ = GasBreakdown{};
+#if GRUB_TELEMETRY
+    if (telemetry_ != nullptr) telemetry_->ResetGas();
+#endif
+  }
+
+  /// Installs (or removes, with nullptr) the telemetry sink. Every metered
+  /// transaction from then on records into its Gas attribution; static calls
+  /// stay unrecorded, matching their exclusion from the chain totals.
+  void SetTelemetry(telemetry::Telemetry* telemetry) { telemetry_ = telemetry; }
+  telemetry::Telemetry* Telemetry() const { return telemetry_; }
 
   const ChainParams& Params() const { return params_; }
 
@@ -114,6 +128,7 @@ class Blockchain {
   uint64_t next_log_index_ = 0;
 
   GasBreakdown total_breakdown_;
+  telemetry::Telemetry* telemetry_ = nullptr;  // not owned; may be null
   // Events recorded during the currently executing transaction (moved into
   // its receipt at the end).
   std::vector<EventRecord>* current_tx_events_ = nullptr;

@@ -18,6 +18,8 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "telemetry/config.h"
+#include "telemetry/gas_attribution.h"
 
 namespace grub::chain {
 
@@ -84,29 +86,89 @@ struct GasBreakdown {
   std::string ToString() const;
 };
 
+/// Meters Gas against the schedule. Optionally mirrors every charge into a
+/// telemetry::GasAttribution (component + ambient GasSpan cause); the mirror
+/// never changes the metered amounts, so Gas results are identical with
+/// attribution present, absent, or compiled out (GRUB_TELEMETRY=0).
 class GasMeter {
  public:
-  explicit GasMeter(const GasSchedule& schedule) : schedule_(schedule) {}
+  explicit GasMeter(const GasSchedule& schedule,
+                    [[maybe_unused]] telemetry::GasAttribution* attribution =
+                        nullptr)
+      : schedule_(schedule)
+#if GRUB_TELEMETRY
+        ,
+        attribution_(attribution)
+#endif
+  {
+  }
 
   void ChargeTx(uint64_t calldata_bytes) {
     breakdown_.tx += schedule_.TxCost(calldata_bytes);
+#if GRUB_TELEMETRY
+    if (attribution_ != nullptr) {
+      // Split the lump Ctx(X) into its base and marginal-calldata parts so
+      // the breakdown can answer "what does shipping the data itself cost".
+      attribution_->Record(telemetry::GasComponent::kTxBase, schedule_.tx_base);
+      attribution_->Record(
+          telemetry::GasComponent::kCalldata,
+          schedule_.tx_per_word * WordsForBytes(calldata_bytes));
+    }
+#endif
   }
   void ChargeInsert(uint64_t words) {
     breakdown_.storage_insert += schedule_.InsertCost(words);
+#if GRUB_TELEMETRY
+    if (attribution_ != nullptr) {
+      attribution_->Record(telemetry::GasComponent::kSstoreInsert,
+                           schedule_.InsertCost(words));
+    }
+#endif
   }
   void ChargeUpdate(uint64_t words) {
     breakdown_.storage_update += schedule_.UpdateCost(words);
+#if GRUB_TELEMETRY
+    if (attribution_ != nullptr) {
+      attribution_->Record(telemetry::GasComponent::kSstoreUpdate,
+                           schedule_.UpdateCost(words));
+    }
+#endif
   }
   void ChargeRead(uint64_t words) {
     breakdown_.storage_read += schedule_.ReadCost(words);
+#if GRUB_TELEMETRY
+    if (attribution_ != nullptr) {
+      attribution_->Record(telemetry::GasComponent::kSload,
+                           schedule_.ReadCost(words));
+    }
+#endif
   }
   void ChargeHash(uint64_t words) {
     breakdown_.hash += schedule_.HashCost(words);
+#if GRUB_TELEMETRY
+    if (attribution_ != nullptr) {
+      attribution_->Record(telemetry::GasComponent::kHash,
+                           schedule_.HashCost(words));
+    }
+#endif
   }
   void ChargeLog(uint64_t topics, uint64_t data_bytes) {
     breakdown_.log += schedule_.LogCost(topics, data_bytes);
+#if GRUB_TELEMETRY
+    if (attribution_ != nullptr) {
+      attribution_->Record(telemetry::GasComponent::kLog,
+                           schedule_.LogCost(topics, data_bytes));
+    }
+#endif
   }
-  void ChargeOther(uint64_t gas) { breakdown_.other += gas; }
+  void ChargeOther(uint64_t gas) {
+    breakdown_.other += gas;
+#if GRUB_TELEMETRY
+    if (attribution_ != nullptr) {
+      attribution_->Record(telemetry::GasComponent::kOther, gas);
+    }
+#endif
+  }
 
   uint64_t Used() const { return breakdown_.Total(); }
   const GasBreakdown& Breakdown() const { return breakdown_; }
@@ -115,6 +177,9 @@ class GasMeter {
  private:
   GasSchedule schedule_;
   GasBreakdown breakdown_;
+#if GRUB_TELEMETRY
+  telemetry::GasAttribution* attribution_ = nullptr;
+#endif
 };
 
 }  // namespace grub::chain

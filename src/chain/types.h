@@ -24,6 +24,10 @@ struct Transaction {
   Address to = kNullAddress;   // target contract
   std::string function;        // method selector
   Bytes calldata;              // ABI-encoded arguments
+  /// Telemetry-only: the logical cause this transaction's Gas is attributed
+  /// to (the sender knows why it is paying; contract handlers refine it with
+  /// nested GasSpans). Never affects execution or metering.
+  telemetry::GasCause cause = telemetry::GasCause::kUnattributed;
 
   /// Bytes charged as calldata: args plus a 4-byte selector, mirroring the
   /// Solidity ABI.

@@ -18,11 +18,37 @@ DoClient::DoClient(chain::Blockchain& chain, ads::AdsSp& sp, Options options,
   value_cache_ = std::move(db).value();
 }
 
+void DoClient::SetMetrics(telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    flips_nr_to_r_ = flips_r_to_nr_ = nullptr;
+    return;
+  }
+  flips_nr_to_r_ = &registry->GetCounter(
+      "do.replication_flips",
+      {{"policy", policy_->Name()}, {"direction", "nr_to_r"}});
+  flips_r_to_nr_ = &registry->GetCounter(
+      "do.replication_flips",
+      {{"policy", policy_->Name()}, {"direction", "r_to_nr"}});
+}
+
+void DoClient::NoteFlip(const Bytes& key, ads::ReplState before) {
+  if (flips_nr_to_r_ == nullptr) return;
+  const ads::ReplState after = policy_->StateOf(key);
+  if (before == after) return;
+  if (after == ads::ReplState::kR) {
+    flips_nr_to_r_->Increment();
+  } else {
+    flips_r_to_nr_->Increment();
+  }
+}
+
 void DoClient::BufferPut(Bytes key, Bytes value) {
   // The monitor observes local writes as they arrive (§3.2); the decision
   // propagates to the SP as advisory state immediately (Gas-free), while
   // the authenticated state bit syncs with the next update() transaction.
+  const ads::ReplState before = policy_->StateOf(key);
   policy_->Observe(workload::Operation::Write(key, {}));
+  NoteFlip(key, before);
   sp_.SetAdvisoryState(key, policy_->StateOf(key));
   touched_.insert(key);
   pending_writes_.push_back(BufferedWrite{std::move(key), std::move(value)});
@@ -32,7 +58,9 @@ void DoClient::NoteRead(const Bytes& key) {
   // Reads are federated from the chain's call history; NoteRead models the
   // continuous, timestamp-merged view of that monitor (the history remains
   // the integrity source — see MonitorChainHistory).
+  const ads::ReplState before = policy_->StateOf(key);
   policy_->Observe(workload::Operation::Read(key));
+  NoteFlip(key, before);
   sp_.SetAdvisoryState(key, policy_->StateOf(key));
   touched_.insert(key);
 }
@@ -61,6 +89,7 @@ void DoClient::Preload(const std::vector<std::pair<Bytes, Bytes>>& records) {
   tx.from = options_.do_account;
   tx.to = options_.storage_manager;
   tx.function = StorageManagerContract::kUpdateFn;
+  tx.cause = telemetry::GasCause::kUpdateRoot;
   tx.calldata =
       StorageManagerContract::EncodeUpdate(ads_do_.Root(), epoch_, {}, {});
   chain_.SubmitAndMine(std::move(tx));
@@ -150,6 +179,7 @@ chain::Receipt DoClient::EndEpoch() {
   tx.from = options_.do_account;
   tx.to = options_.storage_manager;
   tx.function = StorageManagerContract::kUpdateFn;
+  tx.cause = telemetry::GasCause::kUpdateRoot;
   tx.calldata = StorageManagerContract::EncodeUpdate(
       ads_do_.Root(), epoch_, replicated_updates, evictions);
   chain::Receipt receipt = chain_.SubmitAndMine(std::move(tx));

@@ -26,6 +26,7 @@
 #include "grub/policy.h"
 #include "grub/storage_manager.h"
 #include "kvstore/db.h"
+#include "telemetry/metrics.h"
 
 namespace grub::core {
 
@@ -76,9 +77,17 @@ class DoClient {
   /// The DO's ADS root (what the next update() will publish).
   Hash256 Root() const { return ads_do_.Root(); }
 
+  /// Installs replication-decision counters, labeled by the policy's name:
+  /// do.replication_flips{policy,direction=nr_to_r|r_to_nr} counts per-key
+  /// state transitions as the monitor observes the workload. Null detaches.
+  void SetMetrics(telemetry::MetricsRegistry* registry);
+
  private:
   void MonitorChainHistory();
   Result<Bytes> CachedValue(const Bytes& key) const;
+  /// Compares a key's policy state before/after an Observe and bumps the
+  /// matching flip counter (no-op without metrics).
+  void NoteFlip(const Bytes& key, ads::ReplState before);
 
   chain::Blockchain& chain_;
   ads::AdsSp& sp_;
@@ -101,6 +110,10 @@ class DoClient {
   std::set<Bytes> known_keys_;
   size_t call_history_cursor_ = 0;
   uint64_t epoch_ = 0;
+
+  // Cached instruments (null = telemetry off).
+  telemetry::Counter* flips_nr_to_r_ = nullptr;
+  telemetry::Counter* flips_r_to_nr_ = nullptr;
 };
 
 }  // namespace grub::core

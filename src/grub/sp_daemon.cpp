@@ -1,13 +1,30 @@
 #include "grub/sp_daemon.h"
 
+#include <chrono>
 #include <map>
 #include <tuple>
 
 #include "chain/abi.h"
+#include "telemetry/timer.h"
 
 namespace grub::core {
 
+void SpDaemon::SetMetrics(telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    poll_seconds_ = prove_seconds_ = deliver_seconds_ = nullptr;
+    requests_served_ = delivers_counter_ = nullptr;
+    return;
+  }
+  auto bounds = telemetry::DefaultLatencyBounds();
+  poll_seconds_ = &registry->GetHistogram("sp.poll_seconds", {}, bounds);
+  prove_seconds_ = &registry->GetHistogram("sp.prove_seconds", {}, bounds);
+  deliver_seconds_ = &registry->GetHistogram("sp.deliver_seconds", {}, bounds);
+  requests_served_ = &registry->GetCounter("sp.requests_served");
+  delivers_counter_ = &registry->GetCounter("sp.delivers_sent");
+}
+
 size_t SpDaemon::PollAndServe() {
+  telemetry::TimerSpan poll_timer(poll_seconds_);
   auto events = chain_.EventsSince(cursor_);
   if (!events.empty()) cursor_ = events.back().log_index + 1;
 
@@ -15,6 +32,9 @@ size_t SpDaemon::PollAndServe() {
   // a single proof; the callback fires once per original request.
   std::vector<DeliverEntry> entries;
   std::map<std::tuple<Bytes, chain::Address, std::string>, size_t> index_of;
+#if GRUB_TELEMETRY
+  const auto prove_start = std::chrono::steady_clock::now();
+#endif
   for (const auto& event : events) {
     if (event.contract != manager_) continue;
     if (event.name == StorageManagerContract::kRequestScanEvent) {
@@ -67,6 +87,14 @@ size_t SpDaemon::PollAndServe() {
     if (dedup_batch_) index_of.emplace(std::move(dedup_key), entries.size());
     entries.push_back(std::move(entry));
   }
+#if GRUB_TELEMETRY
+  if (prove_seconds_ != nullptr && !events.empty()) {
+    prove_seconds_->Record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      prove_start)
+            .count());
+  }
+#endif
 
   if (entries.empty()) return 0;
   size_t served = 0;
@@ -76,9 +104,17 @@ size_t SpDaemon::PollAndServe() {
   tx.from = sp_account_;
   tx.to = manager_;
   tx.function = StorageManagerContract::kDeliverFn;
+  tx.cause = telemetry::GasCause::kDeliver;
   tx.calldata = StorageManagerContract::EncodeDeliver(entries);
-  chain_.SubmitAndMine(std::move(tx));
+  {
+    telemetry::TimerSpan deliver_timer(deliver_seconds_);
+    chain_.SubmitAndMine(std::move(tx));
+  }
   delivers_sent_ += 1;
+#if GRUB_TELEMETRY
+  if (requests_served_ != nullptr) requests_served_->Increment(served);
+  if (delivers_counter_ != nullptr) delivers_counter_->Increment();
+#endif
   return served;
 }
 

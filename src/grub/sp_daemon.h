@@ -12,6 +12,7 @@
 #include "ads/sp.h"
 #include "chain/blockchain.h"
 #include "grub/storage_manager.h"
+#include "telemetry/metrics.h"
 
 namespace grub::core {
 
@@ -36,6 +37,12 @@ class SpDaemon {
   /// Total deliver transactions sent (observability).
   uint64_t delivers_sent() const { return delivers_sent_; }
 
+  /// Installs wall-clock/throughput instruments for the poll -> prove ->
+  /// deliver pipeline (sp.poll_seconds, sp.prove_seconds,
+  /// sp.deliver_seconds histograms; sp.requests_served, sp.delivers_sent
+  /// counters). Null detaches.
+  void SetMetrics(telemetry::MetricsRegistry* registry);
+
  private:
   chain::Blockchain& chain_;
   ads::AdsSp& sp_;
@@ -44,6 +51,13 @@ class SpDaemon {
   bool dedup_batch_ = false;
   uint64_t cursor_ = 0;  // next event log index to inspect
   uint64_t delivers_sent_ = 0;
+
+  // Cached instruments (null = telemetry off).
+  telemetry::Histogram* poll_seconds_ = nullptr;
+  telemetry::Histogram* prove_seconds_ = nullptr;
+  telemetry::Histogram* deliver_seconds_ = nullptr;
+  telemetry::Counter* requests_served_ = nullptr;
+  telemetry::Counter* delivers_counter_ = nullptr;
 };
 
 }  // namespace grub::core

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "crypto/sha256.h"
+#include "telemetry/telemetry.h"
 
 namespace grub::core {
 
@@ -104,6 +105,7 @@ void StorageManagerContract::ChargeTraceCounter(chain::CallContext& ctx,
                                                 ByteSpan key) {
   // BL3: maintain a per-key operation counter in contract storage. One read
   // (the current count) and one write (the increment).
+  telemetry::Span span(telemetry::GasCause::kBl3Trace);
   const Word slot = CounterSlot(key);
   Word count = ctx.Storage().SLoad(slot);
   ctx.Storage().SStore(slot, Word::FromU64(count.ToU64() + 1));
@@ -114,6 +116,7 @@ Status StorageManagerContract::HandleUpdate(chain::CallContext& ctx,
   if (!config_.IsAuthorizedDo(ctx.Sender())) {
     return Status::FailedPrecondition("update: caller is not an authorized DO");
   }
+  telemetry::Span update_span(telemetry::GasCause::kUpdateRoot);
   AbiReader r(args);
   const Hash256 digest = r.Hash();
   const uint64_t epoch = r.U64();
@@ -128,6 +131,7 @@ Status StorageManagerContract::HandleUpdate(chain::CallContext& ctx,
     if (!record.ok()) return record.status();
     if (config_.trace_writes_on_chain) ChargeTraceCounter(ctx, record->key);
 
+    telemetry::Span span(telemetry::GasCause::kReplicaInsert);
     // Solidity mapping access hashes the key to derive the slot.
     ctx.Meter().ChargeHash(WordsForBytes(record->key.size() + 32));
     const Word len_slot = LenSlot(record->key);
@@ -147,6 +151,7 @@ Status StorageManagerContract::HandleUpdate(chain::CallContext& ctx,
   const uint64_t n_evictions = r.U64();
   for (uint64_t i = 0; i < n_evictions; ++i) {
     Bytes key = r.Blob();
+    telemetry::Span span(telemetry::GasCause::kReplicaEvict);
     ctx.Meter().ChargeHash(WordsForBytes(key.size() + 32));
     const Word len_slot = LenSlot(key);
     const uint64_t len_tag = ctx.Storage().SLoad(len_slot).ToU64();
@@ -158,6 +163,7 @@ Status StorageManagerContract::HandleUpdate(chain::CallContext& ctx,
 
 Status StorageManagerContract::HandleGGet(chain::CallContext& ctx,
                                           ByteSpan args) {
+  telemetry::Span span(telemetry::GasCause::kGGetSync);
   AbiReader r(args);
   Bytes key = r.Blob();
   const chain::Address callback_contract = r.U64();
@@ -188,6 +194,7 @@ Status StorageManagerContract::HandleGScan(chain::CallContext& ctx,
   // Range reads are always served off-chain with a completeness proof
   // (B.2.2 r2): an EVM mapping cannot enumerate its keys, so even records
   // with on-chain replicas ride the proven range response.
+  telemetry::Span span(telemetry::GasCause::kGGetSync);
   AbiReader r(args);
   Bytes start = r.Blob();
   Bytes end = r.Blob();
@@ -206,6 +213,7 @@ Status StorageManagerContract::HandleGScan(chain::CallContext& ctx,
 
 Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
                                              ByteSpan args) {
+  telemetry::Span deliver_span(telemetry::GasCause::kDeliver);
   AbiReader r(args);
   const Hash256 root = ctx.Storage().SLoad(RootSlot());
 
@@ -245,6 +253,7 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
       // Lazy replication: materialize the replica iff the SP's replicate
       // instruction says R (Listing 2; Gas-only trust).
       if (entry->replicate_hint) {
+        telemetry::Span span(telemetry::GasCause::kReplicaInsert);
         ctx.Meter().ChargeHash(WordsForBytes(proof.record.key.size() + 32));
         const Word len_slot = LenSlot(proof.record.key);
         const uint64_t old_tag = ctx.Storage().SLoad(len_slot).ToU64();

@@ -32,6 +32,14 @@ GrubSystem::GrubSystem(SystemOptions options,
 
   daemon_ = std::make_unique<SpDaemon>(chain_, sp_, manager_address_, kSpAccount,
                                        options_.dedup_deliver_batch);
+
+  if (options_.enable_telemetry) {
+    telemetry_ = std::make_unique<telemetry::Telemetry>();
+    chain_.SetTelemetry(telemetry_.get());
+    sp_.SetMetrics(&telemetry_->Registry());
+    do_client_->SetMetrics(&telemetry_->Registry());
+    daemon_->SetMetrics(&telemetry_->Registry());
+  }
 }
 
 void GrubSystem::Preload(const std::vector<std::pair<Bytes, Bytes>>& records) {
@@ -57,6 +65,7 @@ void GrubSystem::FlushReadGroup() {
   tx.from = kUserAccount;
   tx.to = consumer_address_;
   tx.function = ConsumerContract::kRunFn;
+  tx.cause = telemetry::GasCause::kGGetSync;
   tx.calldata = ConsumerContract::EncodeRun(consumer_->QueuedCount());
   chain_.SubmitAndMine(std::move(tx));
   daemon_->PollAndServe();
@@ -106,6 +115,7 @@ std::vector<EpochGas> GrubSystem::Drive(const workload::Trace& trace) {
     epoch.breakdown.log -= epoch_start_breakdown.log;
     epoch.breakdown.other -= epoch_start_breakdown.other;
     epochs.push_back(epoch);
+    if (telemetry_ != nullptr) telemetry_->CloseEpoch(ops_in_epoch);
     epoch_start_gas = chain_.TotalGasUsed();
     epoch_start_breakdown = chain_.TotalBreakdown();
     groups_in_epoch = 0;

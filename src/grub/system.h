@@ -30,6 +30,7 @@
 #include "grub/policy.h"
 #include "grub/sp_daemon.h"
 #include "grub/storage_manager.h"
+#include "telemetry/telemetry.h"
 #include "workload/trace.h"
 
 namespace grub::core {
@@ -55,6 +56,10 @@ struct SystemOptions {
   bool dedup_deliver_batch = false;
   chain::ChainParams chain_params = {};
   std::string sp_db_path;  // empty = in-memory SP store
+  /// Attach a Telemetry bundle: Gas attribution on the chain, per-epoch
+  /// snapshots in Drive, wall-clock instruments on SP/KV/DO. Off by default
+  /// — enabling it never changes Gas results (asserted in tests).
+  bool enable_telemetry = false;
 };
 
 /// Gas measured over one epoch of driving.
@@ -91,6 +96,11 @@ class GrubSystem {
   chain::Address ManagerAddress() const { return manager_address_; }
   chain::Address ConsumerAddress() const { return consumer_address_; }
 
+  /// The attached telemetry bundle, or null when `enable_telemetry` is off.
+  /// (Capitalized to avoid shadowing the `telemetry` namespace in-class.)
+  telemetry::Telemetry* Metrics() { return telemetry_.get(); }
+  const telemetry::Telemetry* Metrics() const { return telemetry_.get(); }
+
   /// Issues a single read immediately (its own transaction + any deliver).
   void ReadNow(const Bytes& key);
   /// Buffers a write into the DO's current epoch.
@@ -112,6 +122,7 @@ class GrubSystem {
   chain::Address manager_address_ = chain::kNullAddress;
   chain::Address consumer_address_ = chain::kNullAddress;
   ConsumerContract* consumer_ = nullptr;  // owned by chain_
+  std::unique_ptr<telemetry::Telemetry> telemetry_;  // null = disabled
   std::unique_ptr<DoClient> do_client_;
   std::unique_ptr<SpDaemon> daemon_;
 

@@ -3,9 +3,26 @@
 #include <filesystem>
 #include <fstream>
 
+#include "telemetry/timer.h"
+
 namespace grub::kv {
 
 namespace fs = std::filesystem;
+
+void KVStore::SetMetrics(telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    put_seconds_ = scan_seconds_ = wal_sync_seconds_ = nullptr;
+    flush_counter_ = compaction_counter_ = nullptr;
+    return;
+  }
+  auto bounds = telemetry::DefaultLatencyBounds();
+  put_seconds_ = &registry->GetHistogram("kv.put_seconds", {}, bounds);
+  scan_seconds_ = &registry->GetHistogram("kv.scan_seconds", {}, bounds);
+  wal_sync_seconds_ =
+      &registry->GetHistogram("kv.wal_sync_seconds", {}, bounds);
+  flush_counter_ = &registry->GetCounter("kv.flushes");
+  compaction_counter_ = &registry->GetCounter("kv.compactions");
+}
 
 std::string KVStore::RunPath(uint64_t id) const {
   return path_ + "/run-" + std::to_string(id) + ".sst";
@@ -74,11 +91,15 @@ Status KVStore::LogWrite(const WalRecord& record) {
   if (!wal_) return Status::Ok();
   Status s = wal_->Append(record);
   if (!s.ok()) return s;
-  if (options_.sync_writes) return wal_->Sync();
+  if (options_.sync_writes) {
+    telemetry::TimerSpan sync_timer(wal_sync_seconds_);
+    return wal_->Sync();
+  }
   return Status::Ok();
 }
 
 Status KVStore::Put(ByteSpan key, ByteSpan value) {
+  telemetry::TimerSpan put_timer(put_seconds_);
   WalRecord record{.is_delete = false,
                    .key = Bytes(key.begin(), key.end()),
                    .value = Bytes(value.begin(), value.end())};
@@ -112,6 +133,7 @@ Result<Bytes> KVStore::Get(ByteSpan key) const {
 
 std::vector<KVPair> KVStore::Scan(ByteSpan start, ByteSpan end,
                                   size_t limit) const {
+  telemetry::TimerSpan scan_timer(scan_seconds_);
   std::vector<KVPair> out;
   auto it = NewIterator();
   it->Seek(start);
@@ -142,6 +164,7 @@ Status KVStore::MaybeFlush() {
 
 Status KVStore::Flush() {
   if (memtable_.Empty()) return Status::Ok();
+  if (flush_counter_ != nullptr) flush_counter_->Increment();
 
   std::vector<TableEntry> entries;
   entries.reserve(memtable_.EntryCount());
@@ -184,6 +207,7 @@ Status KVStore::Flush() {
 }
 
 Status KVStore::Compact() {
+  if (compaction_counter_ != nullptr) compaction_counter_->Increment();
   // Merge all runs into one, dropping tombstones (full compaction).
   std::vector<std::unique_ptr<Iterator>> children;
   for (const auto& run : runs_) children.push_back(run->NewIterator());

@@ -23,6 +23,7 @@
 #include "kvstore/memtable.h"
 #include "kvstore/sstable.h"
 #include "kvstore/wal.h"
+#include "telemetry/metrics.h"
 
 namespace grub::kv {
 
@@ -63,6 +64,12 @@ class KVStore {
   size_t RunCount() const { return runs_.size(); }
   size_t LiveEntryEstimate() const;
 
+  /// Installs wall-clock instruments on the hot paths (kv.put_seconds,
+  /// kv.scan_seconds, kv.wal_sync_seconds histograms; kv.flushes,
+  /// kv.compactions counters). Null detaches. Purely observational: the
+  /// store's behaviour is identical with metrics on or off.
+  void SetMetrics(telemetry::MetricsRegistry* registry);
+
  private:
   KVStore(Options options, std::string path)
       : options_(std::move(options)), path_(std::move(path)) {}
@@ -82,6 +89,13 @@ class KVStore {
   std::vector<uint64_t> run_ids_;               // parallel to runs_
   uint64_t next_run_id_ = 1;
   std::optional<WalWriter> wal_;
+
+  // Cached instruments (null = telemetry off).
+  telemetry::Histogram* put_seconds_ = nullptr;
+  telemetry::Histogram* scan_seconds_ = nullptr;
+  telemetry::Histogram* wal_sync_seconds_ = nullptr;
+  telemetry::Counter* flush_counter_ = nullptr;
+  telemetry::Counter* compaction_counter_ = nullptr;
 };
 
 /// Wraps a MergingIterator, hiding tombstones — the public scan view.

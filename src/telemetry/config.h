@@ -1,0 +1,13 @@
+// Compile-time master switch for the telemetry subsystem.
+//
+// GRUB_TELEMETRY=1 (the default, set by the CMake option of the same name)
+// compiles the recording hooks into GasMeter, the contract handlers, the
+// kvstore hot paths and the SP daemon. GRUB_TELEMETRY=0 compiles every hook
+// away — not even a null-pointer test remains — so a disabled build is
+// bit-identical to the pre-telemetry simulator. The telemetry library itself
+// always builds; only the instrumentation sites are gated.
+#pragma once
+
+#ifndef GRUB_TELEMETRY
+#define GRUB_TELEMETRY 1
+#endif

@@ -1,0 +1,77 @@
+#include "telemetry/epoch_series.h"
+
+#include <string>
+
+#include "telemetry/table.h"
+
+namespace grub::telemetry {
+
+const EpochRow& EpochSeries::Close(uint64_t ops,
+                                   const GasAttribution& attribution) {
+  const GasMatrix now = attribution.Snapshot();
+  EpochRow row;
+  row.epoch = rows_.size();
+  row.ops = ops;
+  row.gas = now - baseline_;
+  baseline_ = now;
+  rows_.push_back(row);
+  return rows_.back();
+}
+
+void EpochSeries::ResetBaseline(const GasAttribution& attribution) {
+  baseline_ = attribution.Snapshot();
+}
+
+GasMatrix EpochSeries::RowSum() const {
+  GasMatrix sum;
+  for (const auto& row : rows_) sum += row.gas;
+  return sum;
+}
+
+void EpochSeries::WriteCsv(std::ostream& os) const {
+  std::vector<std::string> header = {"epoch", "ops", "gas_total", "gas_per_op"};
+  for (size_t c = 0; c < kNumGasComponents; ++c) {
+    header.push_back(std::string("component_") +
+                     Name(static_cast<GasComponent>(c)));
+  }
+  for (size_t w = 0; w < kNumGasCauses; ++w) {
+    header.push_back(std::string("cause_") + Name(static_cast<GasCause>(w)));
+  }
+  WriteCsvRow(os, header);
+
+  for (const auto& row : rows_) {
+    std::vector<std::string> fields = {
+        std::to_string(row.epoch), std::to_string(row.ops),
+        std::to_string(row.GasTotal()), std::to_string(row.GasPerOp())};
+    for (size_t c = 0; c < kNumGasComponents; ++c) {
+      fields.push_back(std::to_string(
+          row.gas.ComponentTotal(static_cast<GasComponent>(c))));
+    }
+    for (size_t w = 0; w < kNumGasCauses; ++w) {
+      fields.push_back(
+          std::to_string(row.gas.CauseTotal(static_cast<GasCause>(w))));
+    }
+    WriteCsvRow(os, fields);
+  }
+}
+
+void EpochSeries::WriteJsonLines(std::ostream& os) const {
+  for (const auto& row : rows_) {
+    os << "{\"epoch\":" << row.epoch << ",\"ops\":" << row.ops
+       << ",\"gas_total\":" << row.GasTotal() << ",\"components\":{";
+    for (size_t c = 0; c < kNumGasComponents; ++c) {
+      if (c != 0) os << ',';
+      os << '"' << JsonEscape(Name(static_cast<GasComponent>(c))) << "\":"
+         << row.gas.ComponentTotal(static_cast<GasComponent>(c));
+    }
+    os << "},\"causes\":{";
+    for (size_t w = 0; w < kNumGasCauses; ++w) {
+      if (w != 0) os << ',';
+      os << '"' << JsonEscape(Name(static_cast<GasCause>(w))) << "\":"
+         << row.gas.CauseTotal(static_cast<GasCause>(w));
+    }
+    os << "}}\n";
+  }
+}
+
+}  // namespace grub::telemetry

@@ -1,0 +1,59 @@
+// EpochSeries: per-epoch time-series snapshots of the Gas attribution.
+//
+// GrubSystem closes one row per driven epoch; each row carries the epoch's
+// operation count and the attribution matrix DELTA since the previous row
+// (so rows sum exactly to the run's total — the invariant the integration
+// tests assert). Rows export as CSV (one header + one line per epoch) and
+// JSON-lines (one object per epoch), the shared schema the bench JSON
+// consumers read.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "telemetry/gas_attribution.h"
+
+namespace grub::telemetry {
+
+struct EpochRow {
+  uint64_t epoch = 0;  // 0-based, in close order
+  uint64_t ops = 0;
+  GasMatrix gas;  // attribution delta for this epoch
+
+  uint64_t GasTotal() const { return gas.Total(); }
+  double GasPerOp() const {
+    return ops == 0 ? 0.0
+                    : static_cast<double>(GasTotal()) / static_cast<double>(ops);
+  }
+};
+
+class EpochSeries {
+ public:
+  /// Closes one epoch: the delta of `attribution` against the previous close
+  /// (or the last baseline reset) becomes the new row.
+  const EpochRow& Close(uint64_t ops, const GasAttribution& attribution);
+
+  /// Re-baselines after a Gas-counter reset so the next row does not absorb
+  /// pre-reset Gas. Clears nothing already recorded.
+  void ResetBaseline(const GasAttribution& attribution);
+
+  /// Drops recorded rows (e.g. warm-up epochs before a converged
+  /// measurement); the baseline is unaffected.
+  void Clear() { rows_.clear(); }
+
+  const std::vector<EpochRow>& Rows() const { return rows_; }
+
+  /// Sum of all row deltas (== attribution total since the last reset,
+  /// provided every epoch was closed).
+  GasMatrix RowSum() const;
+
+  void WriteCsv(std::ostream& os) const;
+  void WriteJsonLines(std::ostream& os) const;
+
+ private:
+  std::vector<EpochRow> rows_;
+  GasMatrix baseline_{};
+};
+
+}  // namespace grub::telemetry

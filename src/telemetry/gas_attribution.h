@@ -1,0 +1,107 @@
+// Gas attribution: where did the Gas go, and why.
+//
+// Every metered unit of Gas carries two coordinates:
+//   * component — WHAT was charged (the Table 2 cost category, with the
+//     transaction cost split into its 21000 base and per-word calldata);
+//   * cause — WHY it was charged (the logical GRuB code path: a synchronous
+//     replica read, a watchdog deliver, the DO's root publication, replica
+//     materialization/eviction, BL3's on-chain trace upkeep).
+//
+// The cause is ambient: code entering a logical phase opens a GasSpan (RAII,
+// thread-local, nestable — innermost wins) and every charge recorded while
+// it is open lands in that cause's column. Charges outside any span fall in
+// kUnattributed, so the matrix total always equals the metered total — the
+// invariant the telemetry integration tests pin down.
+//
+// GasAttribution cells are relaxed atomics: recording from concurrent
+// drivers is safe, and the single-threaded simulator path pays one uncontended
+// atomic add per charge.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace grub::telemetry {
+
+enum class GasComponent : uint8_t {
+  kTxBase = 0,       // 21000 per transaction
+  kCalldata,         // 2176 per calldata word
+  kSstoreInsert,     // 20000 per word, zero -> nonzero
+  kSstoreUpdate,     // 5000 per word
+  kSload,            // 200 per word
+  kHash,             // 30 + 6 per word
+  kLog,              // event emission (Yellow Paper LOG)
+  kOther,            // explicit ChargeOther
+};
+inline constexpr size_t kNumGasComponents = 8;
+
+enum class GasCause : uint8_t {
+  kUnattributed = 0,  // no span open (app transactions, tests)
+  kGGetSync,          // gGet served from an on-chain replica (+ miss request)
+  kDeliver,           // watchdog deliver: proof verification + callbacks
+  kUpdateRoot,        // DO epoch update: digest + replicated values
+  kReplicaInsert,     // materializing a replica (deliver R-hint or update)
+  kReplicaEvict,      // R -> NR: zeroing the replica length slot
+  kBl3Trace,          // BL3 baselines' on-chain trace counters
+};
+inline constexpr size_t kNumGasCauses = 7;
+
+const char* Name(GasComponent component);
+const char* Name(GasCause cause);
+
+/// Opens an attribution scope: Gas recorded while this object lives is
+/// attributed to `cause`. Nestable; restores the previous cause on
+/// destruction. Thread-local, so concurrent drivers do not interfere.
+class GasSpan {
+ public:
+  explicit GasSpan(GasCause cause) : previous_(current_) { current_ = cause; }
+  ~GasSpan() { current_ = previous_; }
+
+  GasSpan(const GasSpan&) = delete;
+  GasSpan& operator=(const GasSpan&) = delete;
+
+  static GasCause Current() { return current_; }
+
+ private:
+  GasCause previous_;
+  static thread_local GasCause current_;
+};
+
+/// Plain (non-atomic) copy of the attribution matrix, for export and diffing.
+struct GasMatrix {
+  std::array<std::array<uint64_t, kNumGasCauses>, kNumGasComponents> cells{};
+
+  uint64_t At(GasComponent c, GasCause why) const {
+    return cells[static_cast<size_t>(c)][static_cast<size_t>(why)];
+  }
+  uint64_t ComponentTotal(GasComponent c) const;
+  uint64_t CauseTotal(GasCause why) const;
+  uint64_t Total() const;
+
+  GasMatrix& operator+=(const GasMatrix& o);
+  /// Cell-wise subtraction (per-epoch deltas); caller guarantees o <= *this.
+  GasMatrix operator-(const GasMatrix& o) const;
+};
+
+class GasAttribution {
+ public:
+  /// Records `amount` Gas against `component` and the ambient GasSpan cause.
+  void Record(GasComponent component, uint64_t amount) {
+    cells_[static_cast<size_t>(component)]
+          [static_cast<size_t>(GasSpan::Current())]
+              .fetch_add(amount, std::memory_order_relaxed);
+  }
+
+  GasMatrix Snapshot() const;
+  uint64_t Total() const { return Snapshot().Total(); }
+  void Reset();
+
+ private:
+  std::array<std::array<std::atomic<uint64_t>, kNumGasCauses>,
+             kNumGasComponents>
+      cells_{};
+};
+
+}  // namespace grub::telemetry

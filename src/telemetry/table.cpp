@@ -1,0 +1,89 @@
+#include "telemetry/table.h"
+
+namespace grub::telemetry {
+
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-34s", "");
+  for (const auto& c : columns) std::printf("%12s", c.c_str());
+  std::printf("\n");
+}
+
+void PrintTableRow(const std::string& label, const std::vector<double>& values,
+                   const char* fmt) {
+  std::printf("%-34s", label.c_str());
+  for (double v : values) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+void WriteCsvRow(std::ostream& os, const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) os << ',';
+    const std::string& f = fields[i];
+    if (f.find_first_of(",\"\n") == std::string::npos) {
+      os << f;
+      continue;
+    }
+    os << '"';
+    for (char c : f) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    os << '"';
+  }
+  os << '\n';
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void PrintGasBreakdown(const GasMatrix& matrix, std::FILE* out) {
+  std::fprintf(out, "%-16s", "");
+  for (size_t w = 0; w < kNumGasCauses; ++w) {
+    std::fprintf(out, "%15s", Name(static_cast<GasCause>(w)));
+  }
+  std::fprintf(out, "%15s\n", "total");
+
+  for (size_t c = 0; c < kNumGasComponents; ++c) {
+    const auto component = static_cast<GasComponent>(c);
+    std::fprintf(out, "%-16s", Name(component));
+    for (size_t w = 0; w < kNumGasCauses; ++w) {
+      std::fprintf(out, "%15llu",
+                   static_cast<unsigned long long>(
+                       matrix.At(component, static_cast<GasCause>(w))));
+    }
+    std::fprintf(out, "%15llu\n", static_cast<unsigned long long>(
+                                      matrix.ComponentTotal(component)));
+  }
+
+  std::fprintf(out, "%-16s", "total");
+  for (size_t w = 0; w < kNumGasCauses; ++w) {
+    std::fprintf(out, "%15llu",
+                 static_cast<unsigned long long>(
+                     matrix.CauseTotal(static_cast<GasCause>(w))));
+  }
+  std::fprintf(out, "%15llu\n", static_cast<unsigned long long>(matrix.Total()));
+}
+
+}  // namespace grub::telemetry

@@ -1,0 +1,39 @@
+// Shared tabular/CSV output helpers.
+//
+// One implementation serves every consumer of aligned text tables and CSV
+// rows: the bench binaries (via bench/bench_util.h), grubctl's
+// --gas-breakdown view, and the EpochSeries exporters — so no binary
+// hand-rolls its own writer.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/gas_attribution.h"
+
+namespace grub::telemetry {
+
+/// Prints "=== title ===" plus right-aligned column headers (12-wide each,
+/// after a 34-wide row-label gutter).
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns);
+
+/// Prints one row: 34-wide left-aligned label, then each value through
+/// `fmt` (a printf double conversion, e.g. "%12.0f").
+void PrintTableRow(const std::string& label, const std::vector<double>& values,
+                   const char* fmt);
+
+/// Writes one CSV row; fields containing commas/quotes/newlines are quoted.
+void WriteCsvRow(std::ostream& os, const std::vector<std::string>& fields);
+
+/// JSON string escaping for the JSON-lines exporter.
+std::string JsonEscape(const std::string& s);
+
+/// Prints the full component x cause Gas matrix with row/column sums — the
+/// `grubctl --gas-breakdown` view. Zero rows/columns are kept so the shape
+/// is stable across runs.
+void PrintGasBreakdown(const GasMatrix& matrix, std::FILE* out = stdout);
+
+}  // namespace grub::telemetry

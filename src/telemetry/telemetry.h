@@ -1,0 +1,64 @@
+// Telemetry: the bundle a running system wires through its components.
+//
+// One Telemetry object per GrubSystem (or per bench) owns:
+//   * a MetricsRegistry — counters/gauges/histograms by name + labels;
+//   * a GasAttribution  — the component x cause Gas matrix the GasMeter
+//     records into (see gas_attribution.h);
+//   * an EpochSeries    — per-epoch attribution snapshots for CSV/JSONL
+//     export.
+//
+// Overhead contract (the reason this can underpin perf PRs):
+//   * compile-time: GRUB_TELEMETRY=0 removes every instrumentation site
+//     (see config.h) — the build is bit-identical to the uninstrumented one;
+//   * runtime: a component holding a null Telemetry*/Registry* pointer skips
+//     recording behind one predictable branch, and a MetricsRegistry
+//     constructed disabled hands out shared no-op instruments.
+// Telemetry never feeds back into simulation state: Gas totals are identical
+// with it on, off, or absent.
+#pragma once
+
+#include "telemetry/config.h"
+#include "telemetry/epoch_series.h"
+#include "telemetry/gas_attribution.h"
+#include "telemetry/metrics.h"
+
+namespace grub::telemetry {
+
+#if GRUB_TELEMETRY
+/// The RAII cause scope product code opens (alias so disabled builds compile
+/// the same call sites into nothing).
+using Span = GasSpan;
+#else
+struct Span {
+  explicit Span(GasCause) {}
+};
+#endif
+
+class Telemetry {
+ public:
+  explicit Telemetry(bool enabled = true) : registry_(enabled) {}
+
+  MetricsRegistry& Registry() { return registry_; }
+  GasAttribution& Gas() { return gas_; }
+  const GasAttribution& Gas() const { return gas_; }
+  EpochSeries& Epochs() { return epochs_; }
+  const EpochSeries& Epochs() const { return epochs_; }
+
+  /// Closes one epoch row from the current attribution state.
+  const EpochRow& CloseEpoch(uint64_t ops) { return epochs_.Close(ops, gas_); }
+
+  /// Zeroes the Gas attribution and re-baselines the epoch series; called by
+  /// Blockchain::ResetGasCounters so the matrix stays in lockstep with the
+  /// chain's metered totals.
+  void ResetGas() {
+    gas_.Reset();
+    epochs_.ResetBaseline(gas_);
+  }
+
+ private:
+  MetricsRegistry registry_;
+  GasAttribution gas_;
+  EpochSeries epochs_;
+};
+
+}  // namespace grub::telemetry

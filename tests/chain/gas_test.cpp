@@ -70,6 +70,33 @@ TEST(GasMeter, AccumulatesByCategory) {
   EXPECT_EQ(meter.Used(), breakdown.Total());
 }
 
+TEST(GasMeter, WordRoundingAtBoundaries) {
+  // The 32-byte word rounding drives every per-word cost; pin the edges
+  // through the meter (not just the schedule arithmetic).
+  EXPECT_EQ(WordsForBytes(0), 0u);
+  EXPECT_EQ(WordsForBytes(1), 1u);
+  EXPECT_EQ(WordsForBytes(32), 1u);
+  EXPECT_EQ(WordsForBytes(33), 2u);
+
+  GasSchedule gas;
+  for (const auto& [bytes, words] :
+       {std::pair<uint64_t, uint64_t>{0, 0}, {1, 1}, {32, 1}, {33, 2}}) {
+    GasMeter meter(gas);
+    meter.ChargeTx(bytes);
+    EXPECT_EQ(meter.Used(), 21000u + words * 2176)
+        << "calldata bytes = " << bytes;
+  }
+}
+
+TEST(GasMeter, EmptyCalldataTransactionIsExactlyBase) {
+  GasSchedule gas;
+  GasMeter meter(gas);
+  meter.ChargeTx(0);
+  EXPECT_EQ(meter.Used(), 21000u);
+  EXPECT_EQ(meter.Breakdown().tx, 21000u);
+  EXPECT_EQ(meter.Breakdown().Total(), 21000u);
+}
+
 TEST(GasBreakdown, AdditionComposes) {
   GasBreakdown a{.tx = 1, .storage_insert = 2, .storage_update = 3,
                  .storage_read = 4, .hash = 5, .log = 6, .other = 7};

@@ -1,0 +1,84 @@
+// GasSpan / GasAttribution: the ambient-cause scoping rules and the matrix
+// arithmetic the epoch exporter depends on.
+#include <gtest/gtest.h>
+
+#include "telemetry/gas_attribution.h"
+
+namespace grub::telemetry {
+namespace {
+
+TEST(GasSpan, DefaultCauseIsUnattributed) {
+  EXPECT_EQ(GasSpan::Current(), GasCause::kUnattributed);
+}
+
+TEST(GasSpan, NestsInnermostWinsAndRestores) {
+  EXPECT_EQ(GasSpan::Current(), GasCause::kUnattributed);
+  {
+    GasSpan outer(GasCause::kDeliver);
+    EXPECT_EQ(GasSpan::Current(), GasCause::kDeliver);
+    {
+      GasSpan inner(GasCause::kReplicaInsert);
+      EXPECT_EQ(GasSpan::Current(), GasCause::kReplicaInsert);
+    }
+    EXPECT_EQ(GasSpan::Current(), GasCause::kDeliver);
+  }
+  EXPECT_EQ(GasSpan::Current(), GasCause::kUnattributed);
+}
+
+TEST(GasAttribution, RecordLandsInAmbientCauseCell) {
+  GasAttribution attribution;
+  attribution.Record(GasComponent::kSload, 200);
+  {
+    GasSpan span(GasCause::kGGetSync);
+    attribution.Record(GasComponent::kSload, 400);
+    attribution.Record(GasComponent::kHash, 36);
+  }
+
+  const GasMatrix m = attribution.Snapshot();
+  EXPECT_EQ(m.At(GasComponent::kSload, GasCause::kUnattributed), 200u);
+  EXPECT_EQ(m.At(GasComponent::kSload, GasCause::kGGetSync), 400u);
+  EXPECT_EQ(m.At(GasComponent::kHash, GasCause::kGGetSync), 36u);
+  EXPECT_EQ(m.ComponentTotal(GasComponent::kSload), 600u);
+  EXPECT_EQ(m.CauseTotal(GasCause::kGGetSync), 436u);
+  EXPECT_EQ(m.Total(), 636u);
+  EXPECT_EQ(attribution.Total(), 636u);
+}
+
+TEST(GasAttribution, ResetZeroesEveryCell) {
+  GasAttribution attribution;
+  {
+    GasSpan span(GasCause::kUpdateRoot);
+    attribution.Record(GasComponent::kSstoreUpdate, 5000);
+  }
+  EXPECT_GT(attribution.Total(), 0u);
+  attribution.Reset();
+  EXPECT_EQ(attribution.Total(), 0u);
+  EXPECT_EQ(attribution.Snapshot().Total(), 0u);
+}
+
+TEST(GasMatrix, ArithmeticComposes) {
+  GasMatrix a;
+  a.cells[0][0] = 10;
+  a.cells[1][2] = 5;
+  GasMatrix b = a;
+  b += a;
+  EXPECT_EQ(b.cells[0][0], 20u);
+  EXPECT_EQ(b.Total(), 2 * a.Total());
+
+  GasMatrix d = b - a;
+  EXPECT_EQ(d.cells[0][0], 10u);
+  EXPECT_EQ(d.cells[1][2], 5u);
+  EXPECT_EQ(d.Total(), a.Total());
+}
+
+TEST(GasAttribution, NamesCoverEveryEnumerator) {
+  for (size_t c = 0; c < kNumGasComponents; ++c) {
+    EXPECT_STRNE(Name(static_cast<GasComponent>(c)), "");
+  }
+  for (size_t w = 0; w < kNumGasCauses; ++w) {
+    EXPECT_STRNE(Name(static_cast<GasCause>(w)), "");
+  }
+}
+
+}  // namespace
+}  // namespace grub::telemetry

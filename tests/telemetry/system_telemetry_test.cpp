@@ -1,0 +1,172 @@
+// End-to-end telemetry invariants over a driven GrubSystem:
+//   1. the attribution matrix total equals the blockchain's metered total —
+//      every unit of Gas is attributed, exactly once;
+//   2. per-epoch rows sum to that same total (the time series is lossless);
+//   3. component sums agree with the chain's own GasBreakdown categories;
+//   4. attaching telemetry changes no Gas result (bit-identical totals).
+#include <gtest/gtest.h>
+
+#include "grub/system.h"
+#include "workload/synthetic.h"
+
+namespace grub::core {
+namespace {
+
+std::vector<std::pair<Bytes, Bytes>> SomeRecords(size_t n, size_t bytes) {
+  std::vector<std::pair<Bytes, Bytes>> records;
+  records.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    records.emplace_back(workload::MakeKey(i), Bytes(bytes, 0x11));
+  }
+  return records;
+}
+
+// The Fig. 7 setup in miniature: fixed read/write-ratio workload, adaptive
+// policy, default chain schedule.
+GrubSystem MakeSystem(bool telemetry, double ratio = 4) {
+  (void)ratio;
+  SystemOptions options;
+  options.enable_telemetry = telemetry;
+  return GrubSystem(options, std::make_unique<MemorylessPolicy>(2));
+}
+
+TEST(SystemTelemetry, AttributionTotalEqualsChainTotal) {
+  auto system = MakeSystem(/*telemetry=*/true);
+  system.Preload(SomeRecords(64, 32));
+  auto trace = workload::FixedRatioTrace(/*ratio=*/4, /*ops=*/512, 32);
+  system.Drive(trace);
+
+  ASSERT_NE(system.Metrics(), nullptr);
+  const auto matrix = system.Metrics()->Gas().Snapshot();
+  EXPECT_GT(system.TotalGas(), 0u);
+  EXPECT_EQ(matrix.Total(), system.TotalGas());
+}
+
+TEST(SystemTelemetry, EpochRowsSumExactlyToChainTotal) {
+  auto system = MakeSystem(/*telemetry=*/true);
+  system.Preload(SomeRecords(64, 32));
+  auto trace = workload::FixedRatioTrace(/*ratio=*/4, /*ops=*/512, 32);
+  system.Drive(trace);
+
+  const auto& series = system.Metrics()->Epochs();
+  ASSERT_FALSE(series.Rows().empty());
+  EXPECT_EQ(series.RowSum().Total(), system.TotalGas());
+
+  // Per-row internal consistency: component and cause margins both sum to
+  // the row total.
+  for (const auto& row : series.Rows()) {
+    uint64_t by_component = 0, by_cause = 0;
+    for (size_t c = 0; c < telemetry::kNumGasComponents; ++c) {
+      by_component +=
+          row.gas.ComponentTotal(static_cast<telemetry::GasComponent>(c));
+    }
+    for (size_t w = 0; w < telemetry::kNumGasCauses; ++w) {
+      by_cause += row.gas.CauseTotal(static_cast<telemetry::GasCause>(w));
+    }
+    EXPECT_EQ(by_component, row.GasTotal());
+    EXPECT_EQ(by_cause, row.GasTotal());
+  }
+}
+
+TEST(SystemTelemetry, ComponentSumsMatchChainBreakdown) {
+  auto system = MakeSystem(/*telemetry=*/true);
+  system.Preload(SomeRecords(64, 32));
+  auto trace = workload::FixedRatioTrace(/*ratio=*/2, /*ops=*/256, 32);
+  system.Drive(trace);
+
+  using telemetry::GasComponent;
+  const auto matrix = system.Metrics()->Gas().Snapshot();
+  const auto& breakdown = system.TotalBreakdown();
+
+  // Ctx splits into base + calldata in the attribution; together they must
+  // reproduce the chain's lump tx category.
+  EXPECT_EQ(matrix.ComponentTotal(GasComponent::kTxBase) +
+                matrix.ComponentTotal(GasComponent::kCalldata),
+            breakdown.tx);
+  EXPECT_EQ(matrix.ComponentTotal(GasComponent::kSstoreInsert),
+            breakdown.storage_insert);
+  EXPECT_EQ(matrix.ComponentTotal(GasComponent::kSstoreUpdate),
+            breakdown.storage_update);
+  EXPECT_EQ(matrix.ComponentTotal(GasComponent::kSload),
+            breakdown.storage_read);
+  EXPECT_EQ(matrix.ComponentTotal(GasComponent::kHash), breakdown.hash);
+  EXPECT_EQ(matrix.ComponentTotal(GasComponent::kLog), breakdown.log);
+  EXPECT_EQ(matrix.ComponentTotal(GasComponent::kOther), breakdown.other);
+}
+
+TEST(SystemTelemetry, CausesCoverTheGrubCodePaths) {
+  auto system = MakeSystem(/*telemetry=*/true);
+  system.Preload(SomeRecords(64, 32));
+  auto trace = workload::FixedRatioTrace(/*ratio=*/4, /*ops=*/512, 32);
+  system.Drive(trace);
+
+  using telemetry::GasCause;
+  const auto matrix = system.Metrics()->Gas().Snapshot();
+  // A mixed read/write run exercises the sync-read, deliver, and
+  // root-update paths.
+  EXPECT_GT(matrix.CauseTotal(GasCause::kGGetSync), 0u);
+  EXPECT_GT(matrix.CauseTotal(GasCause::kDeliver), 0u);
+  EXPECT_GT(matrix.CauseTotal(GasCause::kUpdateRoot), 0u);
+}
+
+TEST(SystemTelemetry, FlipCountersTrackPolicyTransitions) {
+  auto system = MakeSystem(/*telemetry=*/true);
+  system.Preload(SomeRecords(16, 32));
+  // Reads promote toward R, writes demote toward NR under memoryless K=2:
+  // drive enough of both on one key to force transitions in each direction.
+  auto trace = workload::FixedRatioTrace(/*ratio=*/4, /*ops=*/512, 32);
+  system.Drive(trace);
+
+  auto& registry = system.Metrics()->Registry();
+  const std::string policy = system.Do().Policy().Name();
+  const uint64_t promotions =
+      registry
+          .GetCounter("do.replication_flips",
+                      {{"policy", policy}, {"direction", "nr_to_r"}})
+          .Value();
+  const uint64_t demotions =
+      registry
+          .GetCounter("do.replication_flips",
+                      {{"policy", policy}, {"direction", "r_to_nr"}})
+          .Value();
+  EXPECT_GT(promotions, 0u);
+  EXPECT_GT(demotions, 0u);
+}
+
+TEST(SystemTelemetry, GasTotalsBitIdenticalWithTelemetryOnOrOff) {
+  auto trace = workload::FixedRatioTrace(/*ratio=*/4, /*ops=*/512, 32);
+
+  auto with = MakeSystem(/*telemetry=*/true);
+  with.Preload(SomeRecords(64, 32));
+  auto epochs_with = with.Drive(trace);
+
+  auto without = MakeSystem(/*telemetry=*/false);
+  without.Preload(SomeRecords(64, 32));
+  auto epochs_without = without.Drive(trace);
+
+  EXPECT_EQ(without.Metrics(), nullptr);
+  ASSERT_EQ(epochs_with.size(), epochs_without.size());
+  for (size_t i = 0; i < epochs_with.size(); ++i) {
+    EXPECT_EQ(epochs_with[i].gas, epochs_without[i].gas) << "epoch " << i;
+    EXPECT_EQ(epochs_with[i].ops, epochs_without[i].ops) << "epoch " << i;
+  }
+  EXPECT_EQ(with.TotalGas(), without.TotalGas());
+  EXPECT_EQ(with.TotalBreakdown().tx, without.TotalBreakdown().tx);
+  EXPECT_EQ(with.TotalBreakdown().storage_insert,
+            without.TotalBreakdown().storage_insert);
+}
+
+TEST(SystemTelemetry, ResetGasCountersKeepsMatrixInLockstep) {
+  auto system = MakeSystem(/*telemetry=*/true);
+  system.Preload(SomeRecords(64, 32));
+  auto trace = workload::FixedRatioTrace(/*ratio=*/4, /*ops=*/256, 32);
+  system.Drive(trace);  // warm up
+  system.Chain().ResetGasCounters();
+  EXPECT_EQ(system.Metrics()->Gas().Total(), 0u);
+
+  system.Drive(trace);
+  EXPECT_EQ(system.Metrics()->Gas().Total(), system.TotalGas());
+}
+
+}  // namespace
+}  // namespace grub::core

@@ -13,9 +13,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "grub/system.h"
+#include "telemetry/table.h"
 #include "workload/synthetic.h"
 #include "workload/ycsb.h"
 
@@ -34,6 +36,9 @@ struct Args {
   size_t txs_per_epoch = 1;
   bool range_scans = false;
   bool converged = false;  // warm-up pass before measuring
+  bool telemetry = false;
+  bool gas_breakdown = false;   // implies telemetry
+  std::string metrics_out;      // implies telemetry; .csv = CSV, else JSONL
   bool help = false;
 };
 
@@ -51,7 +56,13 @@ void PrintUsage() {
       "  --ops-per-tx N  operations per transaction        (default 32)\n"
       "  --epoch-txs N   transactions per epoch            (default 1)\n"
       "  --range-scans   serve scans with range proofs\n"
-      "  --converged     measure a second pass after a warm-up pass\n");
+      "  --converged     measure a second pass after a warm-up pass\n"
+      "  --telemetry     attach the telemetry subsystem (Gas attribution)\n"
+      "  --gas-breakdown print the component x cause Gas matrix (implies\n"
+      "                  --telemetry)\n"
+      "  --metrics-out F write the per-epoch attribution series to F —\n"
+      "                  CSV if F ends in .csv, JSON-lines otherwise\n"
+      "                  (implies --telemetry)\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args& args) {
@@ -83,6 +94,12 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.range_scans = true;
     } else if (!std::strcmp(argv[i], "--converged")) {
       args.converged = true;
+    } else if (!std::strcmp(argv[i], "--telemetry")) {
+      args.telemetry = true;
+    } else if (!std::strcmp(argv[i], "--gas-breakdown")) {
+      args.gas_breakdown = true;
+    } else if (!std::strcmp(argv[i], "--metrics-out")) {
+      args.metrics_out = next("--metrics-out");
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       args.help = true;
     } else {
@@ -176,11 +193,15 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const bool want_telemetry =
+      args.telemetry || args.gas_breakdown || !args.metrics_out.empty();
+
   core::SystemOptions options;
   options.ops_per_tx = args.ops_per_tx;
   options.txs_per_epoch = args.txs_per_epoch;
   options.scan_mode = args.range_scans ? core::ScanMode::kRangeProof
                                        : core::ScanMode::kExpandPointReads;
+  options.enable_telemetry = want_telemetry;
 
   auto trace = MakeWorkload(args);
   auto stats = workload::ComputeStats(trace);
@@ -209,6 +230,8 @@ int main(int argc, char** argv) {
   if (args.converged) {
     system.Drive(trace);
     system.Chain().ResetGasCounters();
+    // Drop warm-up epochs so the exported series covers the measured pass.
+    if (system.Metrics() != nullptr) system.Metrics()->Epochs().Clear();
   }
   auto epochs = system.Drive(trace);
 
@@ -235,5 +258,29 @@ int main(int argc, char** argv) {
                   system.Consumer().values_received()),
               static_cast<unsigned long long>(
                   system.Consumer().misses_received()));
+
+  if (args.gas_breakdown) {
+    std::printf("\n");
+    telemetry::PrintGasBreakdown(system.Metrics()->Gas().Snapshot());
+  }
+  if (!args.metrics_out.empty()) {
+    std::ofstream out(args.metrics_out, std::ios::trunc);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot open %s\n", args.metrics_out.c_str());
+      return 1;
+    }
+    const auto& series = system.Metrics()->Epochs();
+    const bool csv = args.metrics_out.size() >= 4 &&
+                     args.metrics_out.rfind(".csv") ==
+                         args.metrics_out.size() - 4;
+    if (csv) {
+      series.WriteCsv(out);
+    } else {
+      series.WriteJsonLines(out);
+    }
+    std::printf("metrics:   wrote %zu epoch rows to %s (%s)\n",
+                series.Rows().size(), args.metrics_out.c_str(),
+                csv ? "csv" : "jsonl");
+  }
   return 0;
 }
