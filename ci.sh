@@ -23,4 +23,25 @@ run_pass build-asan \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 
+# Fault matrix: the injection suites (tests/fault/, label `fault`) again in
+# isolation under the sanitizers — fault paths exercise recovery code that
+# rarely runs elsewhere, exactly where lifetime bugs hide.
+echo "=== build-asan: fault matrix (ctest -L fault) ==="
+ctest --test-dir build-asan -L fault --output-on-failure -j "${JOBS}"
+
+# Gas identity: a GRUB_FAULTS=OFF build must produce bit-identical bench
+# output to the default build when no schedule is active — the fail-point
+# instrumentation itself must never perturb the paper's cost numbers.
+run_pass build-nofaults -DGRUB_FAULTS=OFF
+echo "=== gas identity: GRUB_FAULTS=OFF vs default build ==="
+BENCH_ARGS=(--policy adaptive-k2 --workload ycsb:B --records 256 --ops 512)
+./build/tools/grubctl "${BENCH_ARGS[@]}" > /tmp/grub_gas_default.txt
+./build-nofaults/tools/grubctl "${BENCH_ARGS[@]}" > /tmp/grub_gas_nofaults.txt
+diff /tmp/grub_gas_default.txt /tmp/grub_gas_nofaults.txt
+# A dormant schedule must be just as invisible in the faults-enabled build.
+./build/tools/grubctl "${BENCH_ARGS[@]}" --faults 'sp.deliver.drop@100000000' \
+  | grep -v -e '^faults:' -e '^injected:' -e '^recovery:' \
+  > /tmp/grub_gas_dormant.txt
+diff /tmp/grub_gas_default.txt /tmp/grub_gas_dormant.txt
+
 echo "=== all passes green ==="

@@ -17,6 +17,7 @@
 #include "ads/record.h"
 #include "common/status.h"
 #include "crypto/merkle.h"
+#include "fault/injector.h"
 #include "kvstore/db.h"
 
 namespace grub::ads {
@@ -60,6 +61,12 @@ class AdsSp {
   /// runs without a backing store). Null detaches.
   void SetMetrics(telemetry::MetricsRegistry* registry) {
     if (db_ != nullptr) db_->SetMetrics(registry);
+  }
+
+  /// Forwards the fault injector to the embedded KVStore's WAL/flush fault
+  /// points (no-op when the SP runs without a backing store). Null detaches.
+  void SetFaultInjector(fault::FaultInjector* faults) {
+    if (db_ != nullptr) db_->SetFaultInjector(faults);
   }
 
   /// Advisory replication state pushed by the DO's control plane between

@@ -1,5 +1,7 @@
 #include "chain/blockchain.h"
 
+#include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 #include "crypto/sha256.h"
@@ -38,7 +40,26 @@ std::vector<Receipt> Blockchain::MineBlock() {
   return MineBlockInternal(/*respect_propagation=*/false);
 }
 
+void Blockchain::TakeBlockSnapshot() {
+  BlockSnapshot snap;
+  snap.storages = storages_;
+  snap.event_log_size = event_log_.size();
+  snap.call_history_size = call_history_.size();
+  snap.next_log_index = next_log_index_;
+  snap.total_breakdown = total_breakdown_;
+  snap.last_block_time = last_block_time_;
+#if GRUB_TELEMETRY
+  if (telemetry_ != nullptr) snap.gas_matrix = telemetry_->Gas().Snapshot();
+#endif
+  snapshots_.push_back(std::move(snap));
+  const uint64_t keep = params_.reorg_depth == 0 ? 1 : params_.reorg_depth;
+  while (snapshots_.size() > keep) snapshots_.pop_front();
+}
+
 std::vector<Receipt> Blockchain::MineBlockInternal(bool respect_propagation) {
+#if GRUB_FAULTS
+  if (faults_ != nullptr) TakeBlockSnapshot();
+#endif
   Block block;
   block.number = blocks_.size() + 1;
   block.timestamp = now_;
@@ -55,6 +76,26 @@ std::vector<Receipt> Blockchain::MineBlockInternal(bool respect_propagation) {
       not_yet_propagated.push_back(std::move(pending));
       continue;
     }
+    if (GRUB_FAULT_POINT(faults_, "chain.tx.drop")) {
+      // Lost before inclusion: never executes, never lands in a block. The
+      // placeholder receipt keeps submit/mine receipt ordering intact.
+      Receipt dropped;
+      dropped.status = Status::Unavailable(kDroppedTxMessage);
+      dropped.block_number = block.number;
+      receipts.push_back(std::move(dropped));
+      continue;
+    }
+    if (GRUB_FAULT_POINT(faults_, "chain.tx.delay")) {
+      // Deferred inclusion: back to the mempool, eligible again once it
+      // re-propagates (immediately for MineBlock, Pt later for AdvanceTime).
+      Receipt delayed;
+      delayed.status = Status::Unavailable(kDelayedTxMessage);
+      delayed.block_number = block.number;
+      receipts.push_back(std::move(delayed));
+      pending.submit_time = now_;
+      not_yet_propagated.push_back(std::move(pending));
+      continue;
+    }
     Receipt receipt = ExecuteTransaction(pending.tx, block.number);
     block_gas += receipt.gas_used;
     block.transactions.push_back(std::move(pending.tx));
@@ -64,6 +105,9 @@ std::vector<Receipt> Blockchain::MineBlockInternal(bool respect_propagation) {
     if (params_.block_gas_limit != 0 && !mempool_.empty() &&
         block_gas >= params_.block_gas_limit) {
       blocks_.push_back(std::move(block));
+#if GRUB_FAULTS
+      if (faults_ != nullptr) TakeBlockSnapshot();
+#endif
       block = Block{};
       block.number = blocks_.size() + 1;
       block.timestamp = now_;
@@ -73,7 +117,44 @@ std::vector<Receipt> Blockchain::MineBlockInternal(bool respect_propagation) {
   mempool_ = std::move(not_yet_propagated);
   blocks_.push_back(std::move(block));
   last_receipts_ = receipts;
+#if GRUB_FAULTS
+  if (GRUB_FAULT_POINT(faults_, "chain.reorg")) ReorgNonFinalBlocks();
+#endif
   return receipts;
+}
+
+uint64_t Blockchain::ReorgNonFinalBlocks() {
+  const uint64_t non_final = CurrentBlockNumber() - FinalizedBlockNumber();
+  uint64_t depth = params_.reorg_depth == 0 ? 1 : params_.reorg_depth;
+  depth = std::min({depth, non_final, static_cast<uint64_t>(snapshots_.size())});
+  if (depth == 0) return 0;
+
+  // Orphaned transactions re-enter the mempool front in their original
+  // order, already propagated (submit_time 0), ready for the next block.
+  std::vector<PendingTx> orphaned;
+  for (size_t b = blocks_.size() - depth; b < blocks_.size(); ++b) {
+    for (Transaction& tx : blocks_[b].transactions) {
+      orphaned.push_back(PendingTx{std::move(tx), /*submit_time=*/0});
+    }
+  }
+  mempool_.insert(mempool_.begin(), std::make_move_iterator(orphaned.begin()),
+                  std::make_move_iterator(orphaned.end()));
+  blocks_.resize(blocks_.size() - depth);
+
+  // Restore the state captured at the start of the oldest orphaned block.
+  BlockSnapshot& snap = snapshots_[snapshots_.size() - depth];
+  storages_ = std::move(snap.storages);
+  event_log_.resize(snap.event_log_size);
+  call_history_.resize(snap.call_history_size);
+  next_log_index_ = snap.next_log_index;
+  total_breakdown_ = snap.total_breakdown;
+  last_block_time_ = snap.last_block_time;
+#if GRUB_TELEMETRY
+  if (telemetry_ != nullptr) telemetry_->Gas().Restore(snap.gas_matrix);
+#endif
+  snapshots_.erase(snapshots_.end() - static_cast<long>(depth),
+                   snapshots_.end());
+  return depth;
 }
 
 Receipt Blockchain::SubmitAndMine(Transaction tx) {
@@ -82,7 +163,7 @@ Receipt Blockchain::SubmitAndMine(Transaction tx) {
   return receipts.back();
 }
 
-Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
+Receipt Blockchain::ExecuteTransaction(Transaction& tx,
                                        uint64_t block_number) {
   Receipt receipt;
   receipt.block_number = block_number;
@@ -98,6 +179,9 @@ Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
 #endif
   meter.ChargeTx(tx.CalldataBytes());
 
+  // Internal calls append to the history during execution, so remember this
+  // record's index to set its outcome afterwards (the vector may grow).
+  const size_t call_record_index = call_history_.size();
   call_history_.push_back(CallRecord{.caller = tx.from,
                                      .contract = tx.to,
                                      .function = tx.function,
@@ -113,6 +197,7 @@ Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
     current_tx_events_ = &events;
     CallContext ctx(*this, meter, MeteredStorage(storages_[tx.to], meter),
                     tx.to, tx.from, block_number);
+    ctx.AttachReplayPayload(&tx.replay_payload);
     try {
       receipt.status = contract->Call(ctx, tx.function, tx.calldata);
     } catch (const std::exception& e) {
@@ -123,6 +208,7 @@ Receipt Blockchain::ExecuteTransaction(const Transaction& tx,
     current_tx_events_ = nullptr;
   }
 
+  call_history_[call_record_index].ok = receipt.status.ok();
   receipt.gas_used = meter.Used();
   receipt.breakdown = meter.Breakdown();
   total_breakdown_ += meter.Breakdown();
@@ -169,6 +255,7 @@ Result<Bytes> Blockchain::ExecuteInternalCall(GasMeter& meter, Address caller,
   if (contract == nullptr) {
     return Status::NotFound("internal call: no contract at target");
   }
+  const size_t call_record_index = call_history_.size();
   call_history_.push_back(
       CallRecord{.caller = caller,
                  .contract = to,
@@ -180,6 +267,7 @@ Result<Bytes> Blockchain::ExecuteInternalCall(GasMeter& meter, Address caller,
   CallContext ctx(*this, meter, MeteredStorage(storages_[to], meter), to,
                   caller, CurrentBlockNumber() + 1);
   Status status = contract->Call(ctx, function, args);
+  call_history_[call_record_index].ok = status.ok();
   if (!status.ok()) return status;
   return std::move(ctx.ReturnData());
 }

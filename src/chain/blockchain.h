@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "chain/contract.h"
 #include "chain/types.h"
+#include "fault/injector.h"
 #include "telemetry/telemetry.h"
 
 namespace grub::chain {
@@ -69,6 +70,8 @@ class Blockchain {
   const std::vector<EventRecord>& EventLog() const { return event_log_; }
   /// Events with log_index >= from (the watchdog's tailing interface).
   std::vector<EventRecord> EventsSince(uint64_t from_log_index) const;
+  /// The log index the next emitted event will get (== one past the newest).
+  uint64_t NextLogIndex() const { return next_log_index_; }
   const std::vector<CallRecord>& CallHistory() const { return call_history_; }
   const std::vector<Block>& Blocks() const { return blocks_; }
 
@@ -84,6 +87,9 @@ class Blockchain {
   /// always equals TotalGasUsed().
   void ResetGasCounters() {
     total_breakdown_ = GasBreakdown{};
+    // Snapshots straddling a counter reset would restore pre-reset totals;
+    // a reorg cannot cross an experiment phase boundary.
+    snapshots_.clear();
 #if GRUB_TELEMETRY
     if (telemetry_ != nullptr) telemetry_->ResetGas();
 #endif
@@ -95,6 +101,25 @@ class Blockchain {
   void SetTelemetry(telemetry::Telemetry* telemetry) { telemetry_ = telemetry; }
   telemetry::Telemetry* Telemetry() const { return telemetry_; }
 
+  /// Installs (or removes, with nullptr) the fault injector. With one
+  /// attached, mining consults the `chain.tx.drop` / `chain.tx.delay` /
+  /// `chain.reorg` points and keeps per-block state snapshots so a reorg can
+  /// roll non-final blocks back. Without one (the default), mining takes no
+  /// snapshots and behaves exactly as before.
+  void SetFaultInjector(fault::FaultInjector* faults) { faults_ = faults; }
+  fault::FaultInjector* FaultInjector() const { return faults_; }
+
+  /// Rolls back up to `Params().reorg_depth` non-final blocks: contract
+  /// storage, event log, call history and Gas totals (plus the telemetry
+  /// attribution) return to their pre-block state, and the orphaned blocks'
+  /// transactions re-enter the mempool front in order, ready for
+  /// re-inclusion. Bounded by the snapshots available (taken only while a
+  /// fault injector is attached). Returns the number of blocks rolled back.
+  /// Receipts already handed out for orphaned transactions are stale — like
+  /// a real reorg, the sender only learns by watching the new canonical
+  /// chain.
+  uint64_t ReorgNonFinalBlocks();
+
   const ChainParams& Params() const { return params_; }
 
   /// Unmetered storage inspection (test/debug only).
@@ -104,8 +129,9 @@ class Blockchain {
   ContractStorage& MutableStorageOf(Address address);
 
  private:
-  Receipt ExecuteTransaction(const Transaction& tx, uint64_t block_number);
+  Receipt ExecuteTransaction(Transaction& tx, uint64_t block_number);
   std::vector<Receipt> MineBlockInternal(bool respect_propagation);
+  void TakeBlockSnapshot();
 
   ChainParams params_;
   TimeSec now_ = 0;
@@ -127,7 +153,22 @@ class Blockchain {
   std::vector<CallRecord> call_history_;
   uint64_t next_log_index_ = 0;
 
+  // State captured at the start of each mined block (only while a fault
+  // injector is attached) so ReorgNonFinalBlocks can restore it. At most
+  // reorg_depth snapshots are kept — a single reorg never reaches deeper.
+  struct BlockSnapshot {
+    std::unordered_map<Address, ContractStorage> storages;
+    size_t event_log_size = 0;
+    size_t call_history_size = 0;
+    uint64_t next_log_index = 0;
+    GasBreakdown total_breakdown;
+    TimeSec last_block_time = 0;
+    telemetry::GasMatrix gas_matrix;  // zero unless telemetry was attached
+  };
+  std::deque<BlockSnapshot> snapshots_;
+
   GasBreakdown total_breakdown_;
+  fault::FaultInjector* faults_ = nullptr;     // not owned; may be null
   telemetry::Telemetry* telemetry_ = nullptr;  // not owned; may be null
   // Events recorded during the currently executing transaction (moved into
   // its receipt at the end).

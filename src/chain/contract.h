@@ -54,7 +54,25 @@ class CallContext {
   void Return(Bytes data) { return_data_ = std::move(data); }
   Bytes& ReturnData() { return return_data_; }
 
+  /// The transaction's replay payload (empty on first execution, on internal
+  /// calls, and on static calls). A non-empty payload means this transaction
+  /// was orphaned by a reorg and is re-executing: consume the recorded state
+  /// instead of whatever the C++-side object holds now.
+  const Bytes& ReplayPayload() const {
+    static const Bytes kEmpty;
+    return replay_payload_ != nullptr ? *replay_payload_ : kEmpty;
+  }
+  /// Records out-of-band state onto the executing transaction so a reorg
+  /// replay is deterministic. No-op outside a top-level transaction frame;
+  /// never metered (see Transaction::replay_payload).
+  void RecordReplayPayload(Bytes payload) {
+    if (replay_payload_ != nullptr) *replay_payload_ = std::move(payload);
+  }
+
  private:
+  friend class Blockchain;
+  void AttachReplayPayload(Bytes* payload) { replay_payload_ = payload; }
+
   Blockchain& chain_;
   GasMeter& meter_;
   MeteredStorage storage_;
@@ -62,6 +80,7 @@ class CallContext {
   Address sender_;
   uint64_t block_number_;
   Bytes return_data_;
+  Bytes* replay_payload_ = nullptr;  // aliases the executing tx; may be null
 };
 
 class Contract {

@@ -29,6 +29,15 @@ struct Transaction {
   /// nested GasSpans). Never affects execution or metering.
   telemetry::GasCause cause = telemetry::GasCause::kUnattributed;
 
+  /// Out-of-band application state captured at the transaction's FIRST
+  /// execution (via CallContext::RecordReplayPayload) so that a reorg replay
+  /// re-executes identically. Benchmark contracts keep some state in C++
+  /// members outside the snapshotted chain storage (e.g. the consumer's
+  /// queued read keys, which stay off calldata to match the paper's cost
+  /// accounting); this field stands in for the on-chain state a real
+  /// contract would re-read. Never metered and never set by senders.
+  Bytes replay_payload;
+
   /// Bytes charged as calldata: args plus a 4-byte selector, mirroring the
   /// Solidity ABI.
   uint64_t CalldataBytes() const { return calldata.size() + 4; }
@@ -52,6 +61,11 @@ struct CallRecord {
   Bytes calldata;
   uint64_t block_number = 0;
   bool internal = false;  // true for contract-to-contract calls
+  /// Whether the call completed successfully. Readers that reconstruct
+  /// protocol state from the history (the DO's replica tracker, the SP's
+  /// cursor recovery) must skip failed calls — a rejected deliver changed
+  /// nothing on chain.
+  bool ok = true;
 };
 
 struct Receipt {
@@ -77,7 +91,27 @@ struct ChainParams {
   /// 0 = unlimited (the cost experiments' default, where only totals
   /// matter).
   uint64_t block_gas_limit = 0;
+  /// Blocks rolled back per injected `chain.reorg` fire (clamped to the
+  /// non-final suffix, so never deeper than `finality_depth`). Only
+  /// meaningful with a fault injector attached.
+  uint64_t reorg_depth = 1;
   GasSchedule gas;
 };
+
+// --- fault-injection receipt markers ---
+// A dropped transaction never executes (the sender must resubmit); a delayed
+// transaction stays in the mempool and executes in a later block. Both
+// produce a placeholder receipt so submit/mine receipt ordering holds.
+inline constexpr const char* kDroppedTxMessage = "fault: tx dropped before inclusion";
+inline constexpr const char* kDelayedTxMessage = "fault: tx inclusion delayed";
+
+inline bool IsDroppedReceipt(const Receipt& r) {
+  return r.status.code() == StatusCode::kUnavailable &&
+         r.status.message() == kDroppedTxMessage;
+}
+inline bool IsDelayedReceipt(const Receipt& r) {
+  return r.status.code() == StatusCode::kUnavailable &&
+         r.status.message() == kDelayedTxMessage;
+}
 
 }  // namespace grub::chain

@@ -1,0 +1,13 @@
+// Compile-time master switch for the fault-injection subsystem.
+//
+// GRUB_FAULTS=1 (the default, set by the CMake option of the same name)
+// compiles the GRUB_FAULT_POINT sites into the chain, SP daemon, DO client
+// and kvstore. GRUB_FAULTS=0 compiles every site away — not even a
+// null-pointer test remains — so a release build's Gas numbers are
+// bit-identical to a faults-enabled build running with no schedule. The
+// fault library itself always builds; only the injection sites are gated.
+#pragma once
+
+#ifndef GRUB_FAULTS
+#define GRUB_FAULTS 1
+#endif

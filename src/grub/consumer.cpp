@@ -4,6 +4,39 @@
 #include "grub/storage_manager.h"
 
 namespace grub::core {
+namespace {
+
+// The queued keys live on the C++ object, not in chain storage, so a reorg
+// replay of a `run` transaction would otherwise consume the WRONG queue (the
+// next batch, or nothing). The first execution records the consumed batch as
+// the transaction's replay payload; a replay decodes it instead.
+Bytes EncodeBatch(const std::vector<Bytes>& keys,
+                  const std::vector<std::pair<Bytes, Bytes>>& scans) {
+  chain::AbiWriter w;
+  w.U64(keys.size());
+  for (const auto& key : keys) w.Blob(key);
+  w.U64(scans.size());
+  for (const auto& [start, end] : scans) {
+    w.Blob(start);
+    w.Blob(end);
+  }
+  return w.Take();
+}
+
+void DecodeBatch(ByteSpan payload, std::vector<Bytes>& keys,
+                 std::vector<std::pair<Bytes, Bytes>>& scans) {
+  chain::AbiReader r(payload);
+  const uint64_t n_keys = r.U64();
+  for (uint64_t i = 0; i < n_keys; ++i) keys.push_back(r.Blob());
+  const uint64_t n_scans = r.U64();
+  for (uint64_t i = 0; i < n_scans; ++i) {
+    Bytes start = r.Blob();
+    Bytes end = r.Blob();
+    scans.emplace_back(std::move(start), std::move(end));
+  }
+}
+
+}  // namespace
 
 Bytes ConsumerContract::EncodeRun(uint64_t expected_reads) {
   chain::AbiWriter w;
@@ -14,8 +47,17 @@ Bytes ConsumerContract::EncodeRun(uint64_t expected_reads) {
 Status ConsumerContract::Call(chain::CallContext& ctx,
                               const std::string& function, ByteSpan args) {
   if (function == kRunFn) {
-    std::vector<Bytes> batch = std::move(queued_);
-    queued_.clear();
+    std::vector<Bytes> batch;
+    std::vector<std::pair<Bytes, Bytes>> scans;
+    if (!ctx.ReplayPayload().empty()) {
+      DecodeBatch(ctx.ReplayPayload(), batch, scans);
+    } else {
+      batch = std::move(queued_);
+      queued_.clear();
+      scans = std::move(queued_scans_);
+      queued_scans_.clear();
+      ctx.RecordReplayPayload(EncodeBatch(batch, scans));
+    }
     for (const auto& key : batch) {
       Bytes gget_args =
           StorageManagerContract::EncodeGGet(key, address(), kOnDataFn);
@@ -23,8 +65,6 @@ Status ConsumerContract::Call(chain::CallContext& ctx,
                                      gget_args);
       if (!result.ok()) return result.status();
     }
-    auto scans = std::move(queued_scans_);
-    queued_scans_.clear();
     for (const auto& [start, end] : scans) {
       Bytes gscan_args = StorageManagerContract::EncodeGScan(
           start, end, address(), kOnDataFn);

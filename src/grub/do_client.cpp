@@ -12,7 +12,8 @@ DoClient::DoClient(chain::Blockchain& chain, ads::AdsSp& sp, Options options,
       sp_(sp),
       options_(options),
       policy_(std::move(policy)),
-      ads_do_(ToBytes("grub-do-signing-key")) {
+      ads_do_(ToBytes("grub-do-signing-key")),
+      tracker_(options.storage_manager) {
   auto db = kv::KVStore::Open(kv::Options{}, "");
   if (!db.ok()) throw std::runtime_error("DoClient: value cache open failed");
   value_cache_ = std::move(db).value();
@@ -21,6 +22,8 @@ DoClient::DoClient(chain::Blockchain& chain, ads::AdsSp& sp, Options options,
 void DoClient::SetMetrics(telemetry::MetricsRegistry* registry) {
   if (registry == nullptr) {
     flips_nr_to_r_ = flips_r_to_nr_ = nullptr;
+    update_retries_counter_ = reemits_counter_ = nullptr;
+    degraded_gauge_ = nullptr;
     return;
   }
   flips_nr_to_r_ = &registry->GetCounter(
@@ -29,6 +32,9 @@ void DoClient::SetMetrics(telemetry::MetricsRegistry* registry) {
   flips_r_to_nr_ = &registry->GetCounter(
       "do.replication_flips",
       {{"policy", policy_->Name()}, {"direction", "r_to_nr"}});
+  update_retries_counter_ = &registry->GetCounter("do.update_retries");
+  reemits_counter_ = &registry->GetCounter("do.watchdog_reemits");
+  degraded_gauge_ = &registry->GetGauge("do.degraded");
 }
 
 void DoClient::NoteFlip(const Bytes& key, ads::ReplState before) {
@@ -85,14 +91,9 @@ void DoClient::Preload(const std::vector<std::pair<Bytes, Bytes>>& records) {
     StorageManagerContract::PreloadReplica(genesis, key, value, live);
     if (live) replicas_on_chain_.insert(key);
   }
-  chain::Transaction tx;
-  tx.from = options_.do_account;
-  tx.to = options_.storage_manager;
-  tx.function = StorageManagerContract::kUpdateFn;
-  tx.cause = telemetry::GasCause::kUpdateRoot;
-  tx.calldata =
-      StorageManagerContract::EncodeUpdate(ads_do_.Root(), epoch_, {}, {});
-  chain_.SubmitAndMine(std::move(tx));
+  SubmitUpdate(
+      StorageManagerContract::EncodeUpdate(ads_do_.Root(), epoch_, {}, {}),
+      telemetry::GasCause::kUpdateRoot);
   epoch_ += 1;
   // Skip monitor processing of history up to now (preload is not workload).
   call_history_cursor_ = chain_.CallHistory().size();
@@ -100,12 +101,19 @@ void DoClient::Preload(const std::vector<std::pair<Bytes, Bytes>>& records) {
 
 void DoClient::MonitorChainHistory() {
   const auto& history = chain_.CallHistory();
+  // A reorg can rewind the history below our cursor; the orphaned delivers
+  // re-execute in later blocks and are folded when they land again.
+  if (call_history_cursor_ > history.size()) {
+    call_history_cursor_ = history.size();
+  }
   for (; call_history_cursor_ < history.size(); ++call_history_cursor_) {
     const auto& call = history[call_history_cursor_];
     if (call.contract != options_.storage_manager) continue;
     if (call.internal || call.function != StorageManagerContract::kDeliverFn) {
       continue;
     }
+    // A rejected deliver changed nothing on chain.
+    if (!call.ok) continue;
     // Track lazy replica materialization: entries delivered with the
     // replicate instruction were inserted into contract storage.
     chain::AbiReader r(call.calldata);
@@ -168,6 +176,9 @@ chain::Receipt DoClient::EndEpoch() {
   }
   for (const auto& key : touched) {
     if (!replicas_on_chain_.count(key)) continue;
+    // Degradation pins its forced replicas: reads must keep being served
+    // from chain while the SP is out, whatever the policy thinks.
+    if (degraded_ && forced_replicas_.count(key)) continue;
     if (policy_->StateOf(key) == ads::ReplState::kNR) {
       evictions.push_back(key);
       replicas_on_chain_.erase(key);
@@ -175,16 +186,143 @@ chain::Receipt DoClient::EndEpoch() {
   }
   pending_writes_.clear();
 
-  chain::Transaction tx;
-  tx.from = options_.do_account;
-  tx.to = options_.storage_manager;
-  tx.function = StorageManagerContract::kUpdateFn;
-  tx.cause = telemetry::GasCause::kUpdateRoot;
-  tx.calldata = StorageManagerContract::EncodeUpdate(
-      ads_do_.Root(), epoch_, replicated_updates, evictions);
-  chain::Receipt receipt = chain_.SubmitAndMine(std::move(tx));
+  chain::Receipt receipt = SubmitUpdate(
+      StorageManagerContract::EncodeUpdate(ads_do_.Root(), epoch_,
+                                           replicated_updates, evictions),
+      telemetry::GasCause::kUpdateRoot);
   epoch_ += 1;
   return receipt;
+}
+
+chain::Receipt DoClient::SubmitUpdate(Bytes calldata,
+                                      telemetry::GasCause cause) {
+  // A lost update is resubmitted with the IDENTICAL calldata — the epoch
+  // digest was signed once; a retry is the same update, not a new epoch.
+  chain::Receipt receipt;
+  receipt.status = Status::Unavailable(chain::kDroppedTxMessage);
+  for (uint64_t attempt = 1; attempt <= options_.max_update_attempts;
+       ++attempt) {
+    if (attempt > 1) {
+      update_retries_ += 1;
+#if GRUB_TELEMETRY
+      if (update_retries_counter_ != nullptr) {
+        update_retries_counter_->Increment();
+      }
+#endif
+      chain_.AdvanceTime(options_.retry_backoff_sec << (attempt - 2));
+    }
+    if (GRUB_FAULT_POINT(faults_, "do.update.drop")) {
+      continue;  // lost before reaching the mempool
+    }
+    chain::Transaction tx;
+    tx.from = options_.do_account;
+    tx.to = options_.storage_manager;
+    tx.function = StorageManagerContract::kUpdateFn;
+    tx.cause = cause;
+    tx.calldata = calldata;
+    receipt = chain_.SubmitAndMine(std::move(tx));
+    if (chain::IsDroppedReceipt(receipt)) continue;  // lost in the mempool
+    break;
+  }
+  return receipt;
+}
+
+void DoClient::CheckReadLiveness() {
+  tracker_.CatchUp(chain_);
+  const auto& pending = tracker_.Pending();
+  const uint64_t head = chain_.CurrentBlockNumber();
+  std::vector<PendingRequest> stale;
+  for (const auto& [log_index, req] : pending) {
+    if (req.block_number + options_.watchdog_timeout_blocks <= head) {
+      stale.push_back(req);
+    }
+  }
+  if (stale.empty()) {
+    stale_rounds_ = 0;
+    // The SP is answering again (or nothing is outstanding): leave degraded
+    // mode once the backlog has fully drained.
+    if (degraded_ && pending.empty()) Undegrade();
+    return;
+  }
+
+  stale_rounds_ += 1;
+  if (!degraded_ && stale_rounds_ >= options_.degrade_after_rounds) {
+    Degrade(stale);
+  }
+
+  // Re-emit each starved request from the DO's own account. A replica hit
+  // (guaranteed for keys just force-replicated) serves the consumer callback
+  // synchronously; a miss emits a fresh request event whose staleness clock
+  // starts now.
+  for (const auto& req : stale) {
+    chain::Transaction tx;
+    tx.from = options_.do_account;
+    tx.to = options_.storage_manager;
+    tx.cause = telemetry::GasCause::kRecovery;
+    if (req.is_scan) {
+      tx.function = StorageManagerContract::kGScanFn;
+      tx.calldata = StorageManagerContract::EncodeGScan(
+          req.key, req.end_key, req.callback_contract, req.callback_function);
+    } else {
+      tx.function = StorageManagerContract::kGGetFn;
+      tx.calldata = StorageManagerContract::EncodeGGet(
+          req.key, req.callback_contract, req.callback_function);
+    }
+    chain::Receipt receipt = chain_.SubmitAndMine(std::move(tx));
+    if (chain::IsDroppedReceipt(receipt)) {
+      // The re-emission itself was lost; keep the original pending entry so
+      // the next liveness round tries again.
+      continue;
+    }
+    tracker_.Erase(req.log_index);
+    watchdog_reemits_ += 1;
+#if GRUB_TELEMETRY
+    if (reemits_counter_ != nullptr) reemits_counter_->Increment();
+#endif
+  }
+}
+
+void DoClient::Degrade(const std::vector<PendingRequest>& stale) {
+  // Force-replicate the starved point-read keys with their current values
+  // and the CURRENT epoch digest (the root is unchanged — this publishes
+  // replicas, not data). Reads then serve from chain without the SP: the
+  // BL2 fallback. Scans have no per-key replica to pin; their re-emission
+  // keeps retrying until the SP returns.
+  std::vector<ads::FeedRecord> forced;
+  for (const auto& req : stale) {
+    if (req.is_scan) continue;
+    if (replicas_on_chain_.count(req.key)) continue;
+    auto value = CachedValue(req.key);
+    if (!value.ok()) continue;  // absent key: nothing to replicate
+    forced.push_back(
+        ads::FeedRecord{req.key, std::move(value).value(), ads::ReplState::kR});
+  }
+  degraded_ = true;
+#if GRUB_TELEMETRY
+  if (degraded_gauge_ != nullptr) degraded_gauge_->Set(1);
+#endif
+  if (forced.empty()) return;
+
+  chain::Receipt receipt = SubmitUpdate(
+      StorageManagerContract::EncodeUpdate(ads_do_.Root(), epoch_, forced, {}),
+      telemetry::GasCause::kRecovery);
+  if (!receipt.ok() && !chain::IsDelayedReceipt(receipt)) return;
+  for (const auto& record : forced) {
+    forced_replicas_.insert(record.key);
+    replicas_on_chain_.insert(record.key);
+  }
+}
+
+void DoClient::Undegrade() {
+  degraded_ = false;
+  stale_rounds_ = 0;
+#if GRUB_TELEMETRY
+  if (degraded_gauge_ != nullptr) degraded_gauge_->Set(0);
+#endif
+  // Hand the forced keys back to the policy: mark them touched so the next
+  // epoch close evicts any the policy wants off chain.
+  for (const auto& key : forced_replicas_) touched_.insert(key);
+  forced_replicas_.clear();
 }
 
 }  // namespace grub::core

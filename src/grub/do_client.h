@@ -23,7 +23,9 @@
 #include "ads/do.h"
 #include "ads/sp.h"
 #include "chain/blockchain.h"
+#include "fault/injector.h"
 #include "grub/policy.h"
+#include "grub/request_tracker.h"
 #include "grub/storage_manager.h"
 #include "kvstore/db.h"
 #include "telemetry/metrics.h"
@@ -35,6 +37,19 @@ class DoClient {
   struct Options {
     chain::Address do_account = chain::kNullAddress;
     chain::Address storage_manager = chain::kNullAddress;
+    /// A pending read older than this many blocks is stale: the liveness
+    /// watchdog re-emits it (the SP never answered — its deliver was lost,
+    /// or the daemon is down).
+    uint64_t watchdog_timeout_blocks = 2;
+    /// Consecutive liveness rounds with stale reads before the DO degrades:
+    /// it force-replicates the starved keys on chain (falling back toward
+    /// BL2) so reads keep being served without the SP.
+    uint64_t degrade_after_rounds = 2;
+    /// Bounded resubmission for a lost update() transaction; each retry
+    /// carries the identical calldata (same epoch digest).
+    uint64_t max_update_attempts = 3;
+    /// Base of the deterministic exponential retry backoff.
+    chain::TimeSec retry_backoff_sec = 2;
   };
 
   DoClient(chain::Blockchain& chain, ads::AdsSp& sp, Options options,
@@ -77,13 +92,43 @@ class DoClient {
   /// The DO's ADS root (what the next update() will publish).
   Hash256 Root() const { return ads_do_.Root(); }
 
+  /// Read-liveness watchdog: scans the chain for requests that have been
+  /// pending longer than `watchdog_timeout_blocks` and re-emits them
+  /// (fresh gGet/gScan transactions from the DO's account, so the consumer
+  /// callback still fires). After `degrade_after_rounds` consecutive stale
+  /// rounds the DO degrades: starved point-read keys are force-replicated on
+  /// chain with the current epoch digest — reads fall back toward BL2 and
+  /// keep being served without the SP. When the backlog clears, the DO
+  /// un-degrades and hands the forced keys back to the policy (they are
+  /// evicted at the next epoch close unless the policy wants them
+  /// replicated). Call once per driver step, after the SP had its chance to
+  /// poll; fault-free runs take the no-op path and cost no Gas.
+  void CheckReadLiveness();
+
+  bool degraded() const { return degraded_; }
+  uint64_t update_retries() const { return update_retries_; }
+  uint64_t watchdog_reemits() const { return watchdog_reemits_; }
+
   /// Installs replication-decision counters, labeled by the policy's name:
   /// do.replication_flips{policy,direction=nr_to_r|r_to_nr} counts per-key
-  /// state transitions as the monitor observes the workload. Null detaches.
+  /// state transitions as the monitor observes the workload, plus the
+  /// robustness instruments (do.update_retries, do.watchdog_reemits
+  /// counters; do.degraded gauge). Null detaches.
   void SetMetrics(telemetry::MetricsRegistry* registry);
+
+  /// Installs the fault injector consulted at the DO's fault points
+  /// (do.update.drop). Null detaches.
+  void SetFaultInjector(fault::FaultInjector* faults) { faults_ = faults; }
 
  private:
   void MonitorChainHistory();
+  /// Submits an update() transaction, resubmitting the identical calldata
+  /// with deterministic backoff when the transaction is lost.
+  chain::Receipt SubmitUpdate(Bytes calldata, telemetry::GasCause cause);
+  /// Force-replicates starved keys and flips into degraded mode.
+  void Degrade(const std::vector<PendingRequest>& stale);
+  /// Leaves degraded mode; forced keys return to policy control.
+  void Undegrade();
   Result<Bytes> CachedValue(const Bytes& key) const;
   /// Compares a key's policy state before/after an Observe and bumps the
   /// matching flip counter (no-op without metrics).
@@ -111,9 +156,21 @@ class DoClient {
   size_t call_history_cursor_ = 0;
   uint64_t epoch_ = 0;
 
+  // Read-liveness watchdog / degradation state.
+  RequestTracker tracker_;
+  fault::FaultInjector* faults_ = nullptr;  // not owned; may be null
+  bool degraded_ = false;
+  std::set<Bytes> forced_replicas_;  // degradation-pinned on-chain replicas
+  uint64_t stale_rounds_ = 0;        // consecutive rounds with stale reads
+  uint64_t update_retries_ = 0;
+  uint64_t watchdog_reemits_ = 0;
+
   // Cached instruments (null = telemetry off).
   telemetry::Counter* flips_nr_to_r_ = nullptr;
   telemetry::Counter* flips_r_to_nr_ = nullptr;
+  telemetry::Counter* update_retries_counter_ = nullptr;
+  telemetry::Counter* reemits_counter_ = nullptr;
+  telemetry::Gauge* degraded_gauge_ = nullptr;
 };
 
 }  // namespace grub::core

@@ -1,0 +1,78 @@
+#include "grub/request_tracker.h"
+
+#include "chain/abi.h"
+#include "grub/codec.h"
+#include "grub/storage_manager.h"
+
+namespace grub::core {
+
+void RequestTracker::Reset() {
+  pending_.clear();
+  event_cursor_ = 0;
+  call_cursor_ = 0;
+}
+
+void RequestTracker::CatchUp(const chain::Blockchain& chain) {
+  const auto& events = chain.EventLog();
+  const auto& calls = chain.CallHistory();
+  if (event_cursor_ > events.size() || call_cursor_ > calls.size()) {
+    // The log is shorter than what we already folded: a reorg orphaned a
+    // suffix we can no longer diff against. Rebuild from genesis.
+    Reset();
+  }
+  // Events first, then delivers: a deliver can only answer a request emitted
+  // before it, and FIFO matching picks the oldest candidate either way.
+  for (; event_cursor_ < events.size(); ++event_cursor_) {
+    FoldEvent(events[event_cursor_]);
+  }
+  for (; call_cursor_ < calls.size(); ++call_cursor_) {
+    FoldDeliver(calls[call_cursor_]);
+  }
+}
+
+void RequestTracker::FoldEvent(const chain::EventRecord& event) {
+  if (event.contract != manager_) return;
+  const bool is_scan = event.name == StorageManagerContract::kRequestScanEvent;
+  if (!is_scan && event.name != StorageManagerContract::kRequestEvent) return;
+
+  PendingRequest req;
+  req.log_index = event.log_index;
+  req.block_number = event.block_number;
+  req.is_scan = is_scan;
+  chain::AbiReader r(event.data);
+  req.key = r.Blob();
+  if (is_scan) req.end_key = r.Blob();
+  req.callback_contract = r.U64();
+  req.callback_function = ToString(r.Blob());
+  pending_.emplace(req.log_index, std::move(req));
+}
+
+void RequestTracker::FoldDeliver(const chain::CallRecord& call) {
+  if (call.contract != manager_ || call.internal || !call.ok) return;
+  if (call.function != StorageManagerContract::kDeliverFn) return;
+
+  chain::AbiReader r(call.calldata);
+  const uint64_t n = r.U64();
+  for (uint64_t i = 0; i < n; ++i) {
+    auto entry = DecodeDeliverEntry(r);
+    if (!entry.ok()) break;
+    const bool is_scan = entry->kind == DeliverEntry::Kind::kScan;
+    uint64_t remaining = entry->repeats;
+    for (auto it = pending_.begin(); it != pending_.end() && remaining > 0;) {
+      const PendingRequest& p = it->second;
+      const bool matches =
+          p.is_scan == is_scan && p.key == entry->key &&
+          (!is_scan || p.end_key == entry->end_key) &&
+          p.callback_contract == entry->callback_contract &&
+          p.callback_function == entry->callback_function;
+      if (matches) {
+        it = pending_.erase(it);
+        remaining -= 1;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace grub::core

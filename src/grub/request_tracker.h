@@ -1,0 +1,69 @@
+// Pending-request derivation from on-chain state.
+//
+// A `request` / `request_scan` event is outstanding until a successful
+// deliver transaction carries a matching entry. Both recovery paths rebuild
+// this set from the chain alone:
+//   * the SP daemon re-derives its event cursor after a crash (everything
+//     before the oldest pending request is already answered — the in-memory
+//     cursor is disposable state);
+//   * the DO's read-liveness watchdog re-emits requests that stay pending
+//     past a timeout and decides when to degrade.
+// Neither side trusts the other's availability; the event log and call
+// history are the shared source of truth, exactly the federation the paper's
+// monitor performs (§3.2).
+//
+// Matching is FIFO per identity: a deliver entry answers the OLDEST pending
+// request with the same (kind, key[, end key], callback); batched entries
+// answer `repeats` of them. Failed deliver calls (rejected proofs) answer
+// nothing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "chain/blockchain.h"
+#include "chain/types.h"
+#include "common/bytes.h"
+
+namespace grub::core {
+
+struct PendingRequest {
+  uint64_t log_index = 0;     // the request event's position (identity)
+  uint64_t block_number = 0;  // when it was emitted (staleness clock)
+  bool is_scan = false;
+  Bytes key;      // point key, or the scan's start key
+  Bytes end_key;  // scans only: exclusive upper bound
+  chain::Address callback_contract = chain::kNullAddress;
+  std::string callback_function;
+};
+
+class RequestTracker {
+ public:
+  explicit RequestTracker(chain::Address storage_manager)
+      : manager_(storage_manager) {}
+
+  /// Folds chain history recorded since the last call into the pending set.
+  /// Detects a rewound log (reorg rolled blocks back) and rebuilds from
+  /// genesis — cheap in the simulator, and the only correct answer once
+  /// previously-observed suffixes have been orphaned.
+  void CatchUp(const chain::Blockchain& chain);
+
+  /// Outstanding requests, keyed (and FIFO-ordered) by event log index.
+  const std::map<uint64_t, PendingRequest>& Pending() const { return pending_; }
+
+  /// Drops one request (the DO watchdog replaces a stale request with a
+  /// re-emitted one rather than waiting for a match).
+  void Erase(uint64_t log_index) { pending_.erase(log_index); }
+
+ private:
+  void Reset();
+  void FoldEvent(const chain::EventRecord& event);
+  void FoldDeliver(const chain::CallRecord& call);
+
+  chain::Address manager_;
+  std::map<uint64_t, PendingRequest> pending_;
+  size_t event_cursor_ = 0;  // next EventLog() index to fold
+  size_t call_cursor_ = 0;   // next CallHistory() index to fold
+};
+
+}  // namespace grub::core

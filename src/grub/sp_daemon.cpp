@@ -12,7 +12,7 @@ namespace grub::core {
 void SpDaemon::SetMetrics(telemetry::MetricsRegistry* registry) {
   if (registry == nullptr) {
     poll_seconds_ = prove_seconds_ = deliver_seconds_ = nullptr;
-    requests_served_ = delivers_counter_ = nullptr;
+    requests_served_ = delivers_counter_ = retries_counter_ = nullptr;
     return;
   }
   auto bounds = telemetry::DefaultLatencyBounds();
@@ -21,10 +21,65 @@ void SpDaemon::SetMetrics(telemetry::MetricsRegistry* registry) {
   deliver_seconds_ = &registry->GetHistogram("sp.deliver_seconds", {}, bounds);
   requests_served_ = &registry->GetCounter("sp.requests_served");
   delivers_counter_ = &registry->GetCounter("sp.delivers_sent");
+  retries_counter_ = &registry->GetCounter("sp.deliver_retries");
 }
+
+void SpDaemon::RecoverCursor() {
+  // The in-memory cursor is disposable: the chain itself records which
+  // requests are still unanswered. Resume at the oldest pending one — or at
+  // the log tail when nothing is pending (never re-serve answered history).
+  tracker_.CatchUp(chain_);
+  const auto& pending = tracker_.Pending();
+  cursor_ = pending.empty() ? chain_.NextLogIndex() : pending.begin()->first;
+}
+
+namespace {
+
+// Flip one byte of the first provable entry — the SP "serving" a proof that
+// no longer verifies (bit rot, or a proof built against a stale root). The
+// on-chain verifier must reject the whole deliver.
+void CorruptFirstProof(std::vector<DeliverEntry>& entries) {
+  for (auto& entry : entries) {
+    if (entry.kind != DeliverEntry::Kind::kQuery) continue;
+    if (!entry.query.path.siblings.empty()) {
+      entry.query.path.siblings[0].bytes[0] ^= 0xFF;
+    } else if (!entry.query.record.value.empty()) {
+      entry.query.record.value[0] ^= 0xFF;
+    } else {
+      entry.query.index ^= 1;
+    }
+    return;
+  }
+  // No point-query entry: perturb a scan/absence window index instead.
+  for (auto& entry : entries) {
+    if (entry.kind == DeliverEntry::Kind::kScan) {
+      entry.scan.lo ^= 1;
+      return;
+    }
+    if (entry.kind == DeliverEntry::Kind::kAbsence) {
+      entry.absence.lo ^= 1;
+      return;
+    }
+  }
+}
+
+}  // namespace
 
 size_t SpDaemon::PollAndServe() {
   telemetry::TimerSpan poll_timer(poll_seconds_);
+  if (GRUB_FAULT_POINT(faults_, "sp.crash")) {
+    // Crash/restart: the process dies between polls and comes back with no
+    // in-memory state. Nothing is served this cycle; the cursor re-derives
+    // from the chain's pending-request set.
+    RecoverCursor();
+    consecutive_failures_ += 1;
+    return 0;
+  }
+  // A reorg can rewind the event log below our cursor; re-derive rather
+  // than tailing indices that no longer exist.
+  if (cursor_ > chain_.NextLogIndex()) RecoverCursor();
+
+  const uint64_t batch_start = cursor_;
   auto events = chain_.EventsSince(cursor_);
   if (!events.empty()) cursor_ = events.back().log_index + 1;
 
@@ -100,16 +155,62 @@ size_t SpDaemon::PollAndServe() {
   size_t served = 0;
   for (const auto& entry : entries) served += entry.repeats;
 
-  chain::Transaction tx;
-  tx.from = sp_account_;
-  tx.to = manager_;
-  tx.function = StorageManagerContract::kDeliverFn;
-  tx.cause = telemetry::GasCause::kDeliver;
-  tx.calldata = StorageManagerContract::EncodeDeliver(entries);
-  {
-    telemetry::TimerSpan deliver_timer(deliver_seconds_);
-    chain_.SubmitAndMine(std::move(tx));
+#if GRUB_FAULTS
+  if (GRUB_FAULT_POINT(faults_, "sp.proof.corrupt")) {
+    CorruptFirstProof(entries);
   }
+#endif
+  const Bytes calldata = StorageManagerContract::EncodeDeliver(entries);
+
+  // Submit, resubmitting with deterministic exponential backoff when the
+  // transaction is lost (daemon-side or in the mempool). The calldata is
+  // identical across attempts — a retry is the same deliver.
+  chain::Receipt receipt;
+  bool included = false;
+  for (uint64_t attempt = 1; attempt <= kMaxDeliverAttempts; ++attempt) {
+    if (attempt > 1) {
+      deliver_retries_ += 1;
+#if GRUB_TELEMETRY
+      if (retries_counter_ != nullptr) retries_counter_->Increment();
+#endif
+      chain_.AdvanceTime(kRetryBackoffSec << (attempt - 2));
+    }
+    if (GRUB_FAULT_POINT(faults_, "sp.deliver.drop")) {
+      continue;  // lost before reaching the mempool
+    }
+    chain::Transaction tx;
+    tx.from = sp_account_;
+    tx.to = manager_;
+    tx.function = StorageManagerContract::kDeliverFn;
+    tx.cause = telemetry::GasCause::kDeliver;
+    tx.calldata = calldata;
+    {
+      telemetry::TimerSpan deliver_timer(deliver_seconds_);
+      receipt = chain_.SubmitAndMine(std::move(tx));
+    }
+    if (chain::IsDroppedReceipt(receipt)) continue;  // lost in the mempool
+    included = true;
+    break;
+  }
+
+  if (!included) {
+    // Every attempt was lost: roll the cursor back so the next poll re-reads
+    // (and re-serves) the same requests — they are still pending on chain.
+    cursor_ = batch_start;
+    consecutive_failures_ += 1;
+    return 0;
+  }
+  if (!receipt.ok() && !chain::IsDelayedReceipt(receipt)) {
+    // Included but rejected (a proof failed verification — corrupt or built
+    // against a stale root). The requests remain unanswered; re-prove from
+    // current state on the next poll.
+    cursor_ = batch_start;
+    consecutive_failures_ += 1;
+    return 0;
+  }
+  // A delayed deliver sits in the mempool and executes in an upcoming block;
+  // its requests are served then, but the daemon's work is done either way.
+  consecutive_failures_ = 0;
   delivers_sent_ += 1;
 #if GRUB_TELEMETRY
   if (requests_served_ != nullptr) requests_served_->Increment(served);

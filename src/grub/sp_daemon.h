@@ -7,10 +7,19 @@
 // answers them all in ONE batched `deliver` transaction — the middleware
 // batching that amortizes the 21000-Gas transaction base across a read
 // batch.
+//
+// Failure handling: the event cursor is disposable in-memory state — a
+// (re)constructed daemon re-derives it from the chain's pending-request set
+// (RequestTracker), so a crash/restart neither re-serves history nor skips
+// outstanding requests. Deliver submission retries with deterministic
+// exponential backoff when the transaction is lost; a rejected deliver rolls
+// the cursor back so the next poll rebuilds fresh proofs.
 #pragma once
 
 #include "ads/sp.h"
 #include "chain/blockchain.h"
+#include "fault/injector.h"
+#include "grub/request_tracker.h"
 #include "grub/storage_manager.h"
 #include "telemetry/metrics.h"
 
@@ -21,6 +30,10 @@ class SpDaemon {
   /// `dedup_batch` merges identical (key, callback) requests of one poll
   /// into a single proven entry — a middleware optimization beyond the
   /// paper's prototype (off by default; see the batching ablation bench).
+  ///
+  /// Construction recovers the event cursor from chain state, so building a
+  /// daemon mid-trace (an SP restart) resumes exactly where the previous
+  /// instance left off.
   SpDaemon(chain::Blockchain& chain, ads::AdsSp& sp,
            chain::Address storage_manager, chain::Address sp_account,
            bool dedup_batch = false)
@@ -28,22 +41,45 @@ class SpDaemon {
         sp_(sp),
         manager_(storage_manager),
         sp_account_(sp_account),
-        dedup_batch_(dedup_batch) {}
+        dedup_batch_(dedup_batch),
+        tracker_(storage_manager) {
+    RecoverCursor();
+  }
 
   /// One poll cycle: tail new request events, build proofs, submit one
-  /// deliver transaction (mined immediately). Returns requests served.
+  /// deliver transaction (mined immediately; resubmitted with backoff if the
+  /// transaction is lost). Returns requests served — 0 when the poll crashed,
+  /// every submission attempt was lost, or the deliver was rejected (those
+  /// requests stay pending and are retried by the next poll).
   size_t PollAndServe();
 
   /// Total deliver transactions sent (observability).
   uint64_t delivers_sent() const { return delivers_sent_; }
+  /// Deliver resubmissions after a lost transaction.
+  uint64_t deliver_retries() const { return deliver_retries_; }
+  /// Poll cycles since the last successful deliver that ended in failure
+  /// (crash, exhausted retries, rejected deliver). Resets on success.
+  uint64_t consecutive_failures() const { return consecutive_failures_; }
 
   /// Installs wall-clock/throughput instruments for the poll -> prove ->
   /// deliver pipeline (sp.poll_seconds, sp.prove_seconds,
-  /// sp.deliver_seconds histograms; sp.requests_served, sp.delivers_sent
-  /// counters). Null detaches.
+  /// sp.deliver_seconds histograms; sp.requests_served, sp.delivers_sent,
+  /// sp.deliver_retries counters). Null detaches.
   void SetMetrics(telemetry::MetricsRegistry* registry);
 
+  /// Installs the fault injector consulted at the daemon's fault points
+  /// (sp.crash, sp.deliver.drop, sp.proof.corrupt). Null detaches.
+  void SetFaultInjector(fault::FaultInjector* faults) { faults_ = faults; }
+
  private:
+  /// Re-derives the event cursor from the chain: everything before the
+  /// oldest pending request is answered; with nothing pending, resume at the
+  /// log tail. This is the crash-recovery path — and the constructor's.
+  void RecoverCursor();
+
+  static constexpr uint64_t kMaxDeliverAttempts = 3;
+  static constexpr chain::TimeSec kRetryBackoffSec = 2;
+
   chain::Blockchain& chain_;
   ads::AdsSp& sp_;
   chain::Address manager_;
@@ -51,6 +87,10 @@ class SpDaemon {
   bool dedup_batch_ = false;
   uint64_t cursor_ = 0;  // next event log index to inspect
   uint64_t delivers_sent_ = 0;
+  uint64_t deliver_retries_ = 0;
+  uint64_t consecutive_failures_ = 0;
+  RequestTracker tracker_;
+  fault::FaultInjector* faults_ = nullptr;  // not owned; may be null
 
   // Cached instruments (null = telemetry off).
   telemetry::Histogram* poll_seconds_ = nullptr;
@@ -58,6 +98,7 @@ class SpDaemon {
   telemetry::Histogram* deliver_seconds_ = nullptr;
   telemetry::Counter* requests_served_ = nullptr;
   telemetry::Counter* delivers_counter_ = nullptr;
+  telemetry::Counter* retries_counter_ = nullptr;
 };
 
 }  // namespace grub::core

@@ -40,6 +40,21 @@ GrubSystem::GrubSystem(SystemOptions options,
     do_client_->SetMetrics(&telemetry_->Registry());
     daemon_->SetMetrics(&telemetry_->Registry());
   }
+
+  if (!options_.fault_schedule.empty()) {
+    auto injector = fault::FaultInjector::Parse(options_.fault_schedule,
+                                               options_.fault_seed);
+    if (!injector.ok()) {
+      throw std::invalid_argument("fault schedule: " +
+                                  injector.status().ToString());
+    }
+    faults_ = std::move(injector).value();
+    if (telemetry_ != nullptr) faults_->SetMetrics(&telemetry_->Registry());
+    chain_.SetFaultInjector(faults_.get());
+    sp_.SetFaultInjector(faults_.get());
+    daemon_->SetFaultInjector(faults_.get());
+    do_client_->SetFaultInjector(faults_.get());
+  }
 }
 
 void GrubSystem::Preload(const std::vector<std::pair<Bytes, Bytes>>& records) {
@@ -69,6 +84,9 @@ void GrubSystem::FlushReadGroup() {
   tx.calldata = ConsumerContract::EncodeRun(consumer_->QueuedCount());
   chain_.SubmitAndMine(std::move(tx));
   daemon_->PollAndServe();
+  // After the SP had its chance: re-emit starved reads, degrade/un-degrade.
+  // Fault-free runs find nothing pending and spend no Gas here.
+  do_client_->CheckReadLiveness();
 }
 
 void GrubSystem::ReadNow(const Bytes& key) {
@@ -101,19 +119,29 @@ std::vector<EpochGas> GrubSystem::Drive(const workload::Trace& trace) {
     groups_in_epoch += 1;
   };
 
+  // Saturating deltas: a reorg can roll the cumulative counters below the
+  // values captured at the epoch start.
+  auto sat_sub = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
+
   auto close_epoch = [&] {
     do_client_->EndEpoch();
     EpochGas epoch;
-    epoch.gas = chain_.TotalGasUsed() - epoch_start_gas;
+    epoch.gas = sat_sub(chain_.TotalGasUsed(), epoch_start_gas);
     epoch.ops = ops_in_epoch;
     epoch.breakdown = chain_.TotalBreakdown();
-    epoch.breakdown.tx -= epoch_start_breakdown.tx;
-    epoch.breakdown.storage_insert -= epoch_start_breakdown.storage_insert;
-    epoch.breakdown.storage_update -= epoch_start_breakdown.storage_update;
-    epoch.breakdown.storage_read -= epoch_start_breakdown.storage_read;
-    epoch.breakdown.hash -= epoch_start_breakdown.hash;
-    epoch.breakdown.log -= epoch_start_breakdown.log;
-    epoch.breakdown.other -= epoch_start_breakdown.other;
+    epoch.breakdown.tx = sat_sub(epoch.breakdown.tx, epoch_start_breakdown.tx);
+    epoch.breakdown.storage_insert = sat_sub(
+        epoch.breakdown.storage_insert, epoch_start_breakdown.storage_insert);
+    epoch.breakdown.storage_update = sat_sub(
+        epoch.breakdown.storage_update, epoch_start_breakdown.storage_update);
+    epoch.breakdown.storage_read = sat_sub(epoch.breakdown.storage_read,
+                                           epoch_start_breakdown.storage_read);
+    epoch.breakdown.hash = sat_sub(epoch.breakdown.hash,
+                                   epoch_start_breakdown.hash);
+    epoch.breakdown.log = sat_sub(epoch.breakdown.log,
+                                  epoch_start_breakdown.log);
+    epoch.breakdown.other = sat_sub(epoch.breakdown.other,
+                                    epoch_start_breakdown.other);
     epochs.push_back(epoch);
     if (telemetry_ != nullptr) telemetry_->CloseEpoch(ops_in_epoch);
     epoch_start_gas = chain_.TotalGasUsed();

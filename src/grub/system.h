@@ -25,6 +25,7 @@
 
 #include "ads/sp.h"
 #include "chain/blockchain.h"
+#include "fault/injector.h"
 #include "grub/consumer.h"
 #include "grub/do_client.h"
 #include "grub/policy.h"
@@ -60,6 +61,15 @@ struct SystemOptions {
   /// snapshots in Drive, wall-clock instruments on SP/KV/DO. Off by default
   /// — enabling it never changes Gas results (asserted in tests).
   bool enable_telemetry = false;
+  /// Fault schedule (fault::FaultInjector::Parse grammar, e.g.
+  /// "sp.deliver.drop@3,chain.reorg~0.05"). Empty = no injector: the fault
+  /// points stay dormant and Gas results are bit-identical to a
+  /// GRUB_FAULTS=OFF build. The constructor throws std::invalid_argument on
+  /// a malformed schedule.
+  std::string fault_schedule;
+  /// Seed for the injector's probabilistic rules — same seed + schedule
+  /// reproduces the identical failure (and recovery) sequence.
+  uint64_t fault_seed = 42;
 };
 
 /// Gas measured over one epoch of driving.
@@ -101,6 +111,10 @@ class GrubSystem {
   telemetry::Telemetry* Metrics() { return telemetry_.get(); }
   const telemetry::Telemetry* Metrics() const { return telemetry_.get(); }
 
+  /// The attached fault injector, or null when no schedule was given.
+  fault::FaultInjector* Faults() { return faults_.get(); }
+  const fault::FaultInjector* Faults() const { return faults_.get(); }
+
   /// Issues a single read immediately (its own transaction + any deliver).
   void ReadNow(const Bytes& key);
   /// Buffers a write into the DO's current epoch.
@@ -123,6 +137,7 @@ class GrubSystem {
   chain::Address consumer_address_ = chain::kNullAddress;
   ConsumerContract* consumer_ = nullptr;  // owned by chain_
   std::unique_ptr<telemetry::Telemetry> telemetry_;  // null = disabled
+  std::unique_ptr<fault::FaultInjector> faults_;     // null = no schedule
   std::unique_ptr<DoClient> do_client_;
   std::unique_ptr<SpDaemon> daemon_;
 

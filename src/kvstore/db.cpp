@@ -89,10 +89,25 @@ Result<std::unique_ptr<KVStore>> KVStore::Open(const Options& options,
 
 Status KVStore::LogWrite(const WalRecord& record) {
   if (!wal_) return Status::Ok();
+  if (GRUB_FAULT_POINT(faults_, "kv.wal.append_fail")) {
+    // The write never reaches the file; the memtable must not apply it.
+    return Status::Unavailable("fault: WAL append failed");
+  }
+  if (GRUB_FAULT_POINT(faults_, "kv.wal.torn")) {
+    // Crash mid-append: half of the framed record reaches the file. Replay
+    // must stop at the torn record and keep only the intact prefix.
+    const size_t framed_size = EncodeWalRecord(record).size();
+    Status s = wal_->AppendTorn(record, framed_size / 2);
+    if (!s.ok()) return s;
+    return Status::Unavailable("fault: torn WAL append");
+  }
   Status s = wal_->Append(record);
   if (!s.ok()) return s;
   if (options_.sync_writes) {
     telemetry::TimerSpan sync_timer(wal_sync_seconds_);
+    if (GRUB_FAULT_POINT(faults_, "kv.wal.sync_fail")) {
+      return Status::Unavailable("fault: WAL fsync failed");
+    }
     return wal_->Sync();
   }
   return Status::Ok();
@@ -185,6 +200,15 @@ Status KVStore::Flush() {
   if (!path_.empty()) {
     Status s = run->WriteTo(RunPath(id));
     if (!s.ok()) return s;
+    if (GRUB_FAULT_POINT(faults_, "kv.sstable.partial_flush")) {
+      // Crash mid-flush: the run file is truncated on disk and the manifest
+      // never learns about it. The memtable and WAL still hold the data, so
+      // recovery replays the WAL and only an orphan file is left behind.
+      std::error_code ec;
+      const auto full = fs::file_size(RunPath(id), ec);
+      if (!ec) fs::resize_file(RunPath(id), full / 2, ec);
+      return Status::Unavailable("fault: crash during sstable flush");
+    }
   }
   runs_.insert(runs_.begin(), std::move(run));
   run_ids_.insert(run_ids_.begin(), id);

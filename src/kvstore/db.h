@@ -19,6 +19,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "fault/injector.h"
 #include "kvstore/iterator.h"
 #include "kvstore/memtable.h"
 #include "kvstore/sstable.h"
@@ -70,6 +71,12 @@ class KVStore {
   /// store's behaviour is identical with metrics on or off.
   void SetMetrics(telemetry::MetricsRegistry* registry);
 
+  /// Installs the fault injector consulted at the store's fault points:
+  /// kv.wal.append_fail, kv.wal.torn, kv.wal.sync_fail (LogWrite) and
+  /// kv.sstable.partial_flush (Flush). Null detaches. Points only engage a
+  /// persistent store (non-empty path with a live WAL).
+  void SetFaultInjector(fault::FaultInjector* faults) { faults_ = faults; }
+
  private:
   KVStore(Options options, std::string path)
       : options_(std::move(options)), path_(std::move(path)) {}
@@ -89,6 +96,7 @@ class KVStore {
   std::vector<uint64_t> run_ids_;               // parallel to runs_
   uint64_t next_run_id_ = 1;
   std::optional<WalWriter> wal_;
+  fault::FaultInjector* faults_ = nullptr;  // not owned; may be null
 
   // Cached instruments (null = telemetry off).
   telemetry::Histogram* put_seconds_ = nullptr;

@@ -1,6 +1,14 @@
 #include "kvstore/wal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <utility>
 
 #include "kvstore/crc32.h"
 
@@ -25,37 +33,78 @@ bool ReadU32(std::ifstream& in, uint32_t& v) {
 
 }  // namespace
 
-Result<WalWriter> WalWriter::Open(const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::app);
-  if (!out.is_open()) {
-    return Status::Unavailable("WalWriter: cannot open " + path);
-  }
-  return WalWriter(std::move(out));
-}
-
-Status WalWriter::Append(const WalRecord& record) {
+Bytes EncodeWalRecord(const WalRecord& record) {
   Bytes payload;
-  payload.reserve(1 + 8 + record.key.size() + record.value.size());
+  payload.reserve(9 + record.key.size() + record.value.size());
   payload.push_back(record.is_delete ? 2 : 1);
   PutU32(payload, static_cast<uint32_t>(record.key.size()));
-  grub::Append(payload, record.key);
+  Append(payload, record.key);
   PutU32(payload, static_cast<uint32_t>(record.value.size()));
-  grub::Append(payload, record.value);
+  Append(payload, record.value);
 
   Bytes framed;
   framed.reserve(4 + payload.size());
   PutU32(framed, Crc32(payload));
-  grub::Append(framed, payload);
+  Append(framed, payload);
+  return framed;
+}
 
-  out_.write(reinterpret_cast<const char*>(framed.data()),
-             static_cast<std::streamsize>(framed.size()));
-  if (!out_) return Status::Unavailable("WalWriter: write failed");
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("WalWriter: cannot open " + path + ": " +
+                               std::strerror(errno));
+  }
+  return WalWriter(fd);
+}
+
+Status WalWriter::WriteAll(const uint8_t* data, size_t len) {
+  if (fd_ < 0) return Status::Unavailable("WalWriter: closed");
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd_, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("WalWriter: write failed: ") +
+                                 std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
   return Status::Ok();
 }
 
+Status WalWriter::Append(const WalRecord& record) {
+  const Bytes framed = EncodeWalRecord(record);
+  return WriteAll(framed.data(), framed.size());
+}
+
+Status WalWriter::AppendTorn(const WalRecord& record, size_t keep_bytes) {
+  const Bytes framed = EncodeWalRecord(record);
+  return WriteAll(framed.data(), std::min(keep_bytes, framed.size()));
+}
+
 Status WalWriter::Sync() {
-  out_.flush();
-  if (!out_) return Status::Unavailable("WalWriter: flush failed");
+  if (fd_ < 0) return Status::Unavailable("WalWriter: closed");
+  if (::fsync(fd_) != 0) {
+    return Status::Unavailable(std::string("WalWriter: fsync failed: ") +
+                               std::strerror(errno));
+  }
   return Status::Ok();
 }
 

@@ -10,7 +10,6 @@
 // crash loses only the unsynced suffix, matching LevelDB semantics.
 #pragma once
 
-#include <fstream>
 #include <functional>
 #include <string>
 
@@ -25,20 +24,41 @@ struct WalRecord {
   Bytes value;
 };
 
+/// Frames one record (crc + payload) exactly as WalWriter::Append writes it.
+/// Exposed so crash tests can compute record boundaries when tearing a tail.
+Bytes EncodeWalRecord(const WalRecord& record);
+
 class WalWriter {
  public:
   /// Opens (creating or appending) the log at `path`.
   static Result<WalWriter> Open(const std::string& path);
 
   Status Append(const WalRecord& record);
+
+  /// Appends only the first `keep_bytes` of the framed record — a crash in
+  /// the middle of a write. Replay must discard the torn suffix.
+  Status AppendTorn(const WalRecord& record, size_t keep_bytes);
+
+  /// fsync()s the descriptor (Append only write()s; data sits in the page
+  /// cache until here).
   Status Sync();
 
-  WalWriter(WalWriter&&) = default;
-  WalWriter& operator=(WalWriter&&) = default;
+  bool is_open() const { return fd_ >= 0; }
+
+  // The writer owns a raw POSIX descriptor, so moves must steal it: a
+  // defaulted member-wise move would leave source and destination holding
+  // the same fd and close it twice.
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
 
  private:
-  explicit WalWriter(std::ofstream out) : out_(std::move(out)) {}
-  std::ofstream out_;
+  explicit WalWriter(int fd) : fd_(fd) {}
+  Status WriteAll(const uint8_t* data, size_t len);
+
+  int fd_ = -1;
 };
 
 /// Replays all intact records in `path`, invoking `fn` for each. Returns the

@@ -6,14 +6,35 @@
 
 namespace grub::telemetry {
 
+namespace {
+// Counters can only grow between closes, but guard anyway (a reorg rolls
+// Gas back, never these counters; a zero delta is the safe floor).
+uint64_t DeltaOrZero(uint64_t now, uint64_t before) {
+  return now >= before ? now - before : 0;
+}
+}  // namespace
+
 const EpochRow& EpochSeries::Close(uint64_t ops,
                                    const GasAttribution& attribution) {
+  return Close(ops, attribution, robustness_baseline_);
+}
+
+const EpochRow& EpochSeries::Close(uint64_t ops,
+                                   const GasAttribution& attribution,
+                                   const RobustnessTotals& robustness) {
   const GasMatrix now = attribution.Snapshot();
   EpochRow row;
   row.epoch = rows_.size();
   row.ops = ops;
   row.gas = now - baseline_;
+  row.fault_fires =
+      DeltaOrZero(robustness.fault_fires, robustness_baseline_.fault_fires);
+  row.retries = DeltaOrZero(robustness.retries, robustness_baseline_.retries);
+  row.watchdog_reemits = DeltaOrZero(robustness.watchdog_reemits,
+                                     robustness_baseline_.watchdog_reemits);
+  row.degraded = robustness.degraded;
   baseline_ = now;
+  robustness_baseline_ = robustness;
   rows_.push_back(row);
   return rows_.back();
 }
@@ -37,6 +58,8 @@ void EpochSeries::WriteCsv(std::ostream& os) const {
   for (size_t w = 0; w < kNumGasCauses; ++w) {
     header.push_back(std::string("cause_") + Name(static_cast<GasCause>(w)));
   }
+  header.insert(header.end(),
+                {"fault_fires", "retries", "watchdog_reemits", "degraded"});
   WriteCsvRow(os, header);
 
   for (const auto& row : rows_) {
@@ -51,6 +74,10 @@ void EpochSeries::WriteCsv(std::ostream& os) const {
       fields.push_back(
           std::to_string(row.gas.CauseTotal(static_cast<GasCause>(w))));
     }
+    fields.insert(fields.end(),
+                  {std::to_string(row.fault_fires), std::to_string(row.retries),
+                   std::to_string(row.watchdog_reemits),
+                   std::to_string(row.degraded)});
     WriteCsvRow(os, fields);
   }
 }
@@ -70,7 +97,10 @@ void EpochSeries::WriteJsonLines(std::ostream& os) const {
       os << '"' << JsonEscape(Name(static_cast<GasCause>(w))) << "\":"
          << row.gas.CauseTotal(static_cast<GasCause>(w));
     }
-    os << "}}\n";
+    os << "},\"fault_fires\":" << row.fault_fires
+       << ",\"retries\":" << row.retries
+       << ",\"watchdog_reemits\":" << row.watchdog_reemits
+       << ",\"degraded\":" << row.degraded << "}\n";
   }
 }
 

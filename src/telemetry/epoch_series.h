@@ -16,10 +16,24 @@
 
 namespace grub::telemetry {
 
+/// Robustness counters sampled at epoch close (cumulative since run start);
+/// EpochSeries turns the monotone ones into per-epoch deltas.
+struct RobustnessTotals {
+  uint64_t fault_fires = 0;       // injected fault-point fires
+  uint64_t retries = 0;           // deliver + update resubmissions
+  uint64_t watchdog_reemits = 0;  // DO re-emitted stale read requests
+  int64_t degraded = 0;           // degradation level at close (gauge, 0/1)
+};
+
 struct EpochRow {
   uint64_t epoch = 0;  // 0-based, in close order
   uint64_t ops = 0;
   GasMatrix gas;  // attribution delta for this epoch
+  // Robustness deltas for this epoch (zero in fault-free runs).
+  uint64_t fault_fires = 0;
+  uint64_t retries = 0;
+  uint64_t watchdog_reemits = 0;
+  int64_t degraded = 0;  // level at close, not a delta
 
   uint64_t GasTotal() const { return gas.Total(); }
   double GasPerOp() const {
@@ -33,6 +47,10 @@ class EpochSeries {
   /// Closes one epoch: the delta of `attribution` against the previous close
   /// (or the last baseline reset) becomes the new row.
   const EpochRow& Close(uint64_t ops, const GasAttribution& attribution);
+  /// As above, also recording the robustness counter deltas since the
+  /// previous close (`robustness` carries cumulative values).
+  const EpochRow& Close(uint64_t ops, const GasAttribution& attribution,
+                        const RobustnessTotals& robustness);
 
   /// Re-baselines after a Gas-counter reset so the next row does not absorb
   /// pre-reset Gas. Clears nothing already recorded.
@@ -54,6 +72,7 @@ class EpochSeries {
  private:
   std::vector<EpochRow> rows_;
   GasMatrix baseline_{};
+  RobustnessTotals robustness_baseline_{};
 };
 
 }  // namespace grub::telemetry

@@ -27,6 +27,7 @@ const char* Name(GasCause cause) {
     case GasCause::kReplicaInsert: return "replica-insert";
     case GasCause::kReplicaEvict: return "replica-evict";
     case GasCause::kBl3Trace: return "BL3-trace";
+    case GasCause::kRecovery: return "recovery";
   }
   return "?";
 }
@@ -62,7 +63,8 @@ GasMatrix GasMatrix::operator-(const GasMatrix& o) const {
   GasMatrix out;
   for (size_t c = 0; c < kNumGasComponents; ++c) {
     for (size_t w = 0; w < kNumGasCauses; ++w) {
-      out.cells[c][w] = cells[c][w] - o.cells[c][w];
+      out.cells[c][w] =
+          cells[c][w] >= o.cells[c][w] ? cells[c][w] - o.cells[c][w] : 0;
     }
   }
   return out;
@@ -81,6 +83,14 @@ GasMatrix GasAttribution::Snapshot() const {
 void GasAttribution::Reset() {
   for (auto& row : cells_) {
     for (auto& cell : row) cell.store(0, std::memory_order_relaxed);
+  }
+}
+
+void GasAttribution::Restore(const GasMatrix& state) {
+  for (size_t c = 0; c < kNumGasComponents; ++c) {
+    for (size_t w = 0; w < kNumGasCauses; ++w) {
+      cells_[c][w].store(state.cells[c][w], std::memory_order_relaxed);
+    }
   }
 }
 

@@ -45,8 +45,10 @@ enum class GasCause : uint8_t {
   kReplicaInsert,     // materializing a replica (deliver R-hint or update)
   kReplicaEvict,      // R -> NR: zeroing the replica length slot
   kBl3Trace,          // BL3 baselines' on-chain trace counters
+  kRecovery,          // fault recovery: retries, watchdog re-emits,
+                      // degradation force-replication
 };
-inline constexpr size_t kNumGasCauses = 7;
+inline constexpr size_t kNumGasCauses = 8;
 
 const char* Name(GasComponent component);
 const char* Name(GasCause cause);
@@ -81,7 +83,8 @@ struct GasMatrix {
   uint64_t Total() const;
 
   GasMatrix& operator+=(const GasMatrix& o);
-  /// Cell-wise subtraction (per-epoch deltas); caller guarantees o <= *this.
+  /// Cell-wise saturating subtraction (per-epoch deltas). Saturates at zero
+  /// because a chain reorg can roll the attribution below an epoch baseline.
   GasMatrix operator-(const GasMatrix& o) const;
 };
 
@@ -97,6 +100,9 @@ class GasAttribution {
   GasMatrix Snapshot() const;
   uint64_t Total() const { return Snapshot().Total(); }
   void Reset();
+  /// Overwrites the matrix with `state` — used by the chain's reorg rollback
+  /// so the attribution total keeps matching the (rolled-back) metered total.
+  void Restore(const GasMatrix& state);
 
  private:
   std::array<std::array<std::atomic<uint64_t>, kNumGasCauses>,

@@ -44,8 +44,35 @@ class Telemetry {
   EpochSeries& Epochs() { return epochs_; }
   const EpochSeries& Epochs() const { return epochs_; }
 
-  /// Closes one epoch row from the current attribution state.
-  const EpochRow& CloseEpoch(uint64_t ops) { return epochs_.Close(ops, gas_); }
+  /// Closes one epoch row from the current attribution state, sampling the
+  /// robustness counters (fault fires, retries, watchdog re-emits,
+  /// degradation level) out of the registry so exported series show when
+  /// faults hit and when the DO degraded.
+  const EpochRow& CloseEpoch(uint64_t ops) {
+    return epochs_.Close(ops, gas_, GatherRobustness());
+  }
+
+  /// Cumulative robustness counters as currently registered (all zero in
+  /// fault-free runs and with a disabled registry).
+  RobustnessTotals GatherRobustness() const {
+    RobustnessTotals totals;
+    for (const auto& snap : registry_.Snapshot()) {
+      if (snap.kind == InstrumentSnapshot::Kind::kCounter) {
+        if (snap.name == "fault.fires") {
+          totals.fault_fires += snap.counter_value;
+        } else if (snap.name == "sp.deliver_retries" ||
+                   snap.name == "do.update_retries") {
+          totals.retries += snap.counter_value;
+        } else if (snap.name == "do.watchdog_reemits") {
+          totals.watchdog_reemits += snap.counter_value;
+        }
+      } else if (snap.kind == InstrumentSnapshot::Kind::kGauge &&
+                 snap.name == "do.degraded") {
+        totals.degraded = snap.gauge_value;
+      }
+    }
+    return totals;
+  }
 
   /// Zeroes the Gas attribution and re-baselines the epoch series; called by
   /// Blockchain::ResetGasCounters so the matrix stays in lockstep with the

@@ -112,6 +112,39 @@ TEST(SpDaemon, MixedPresentAndAbsentBatch) {
   EXPECT_EQ(f.system.Consumer().misses_received(), 1u);
 }
 
+TEST(SpDaemon, RestartDoesNotReserveAnsweredHistory) {
+  // Regression: a restarted daemon once resumed at cursor 0 and re-served
+  // the whole answered history. A rebuilt daemon must re-derive the cursor
+  // from the chain's pending-request set — nothing pending means log tail.
+  Fixture f;
+  f.system.Consumer().QueueRead(MakeKey(0));
+  f.RunReads();
+  EXPECT_EQ(f.system.Daemon().PollAndServe(), 1u);
+  EXPECT_EQ(f.system.Consumer().values_received(), 1u);
+
+  SpDaemon restarted(f.system.Chain(), f.system.Sp(),
+                     f.system.ManagerAddress(), GrubSystem::kSpAccount);
+  EXPECT_EQ(restarted.PollAndServe(), 0u);
+  EXPECT_EQ(restarted.delivers_sent(), 0u);
+  EXPECT_EQ(f.system.Consumer().values_received(), 1u);
+}
+
+TEST(SpDaemon, RestartResumesAtTheOldestPendingRequest) {
+  // A crash with requests outstanding must neither skip nor duplicate them.
+  Fixture f;
+  f.system.Consumer().QueueRead(MakeKey(0));
+  f.RunReads();
+  EXPECT_EQ(f.system.Daemon().PollAndServe(), 1u);  // answered
+
+  f.system.Consumer().QueueRead(MakeKey(1));
+  f.RunReads();  // emitted but unanswered — the daemon "crashed" here
+
+  SpDaemon restarted(f.system.Chain(), f.system.Sp(),
+                     f.system.ManagerAddress(), GrubSystem::kSpAccount);
+  EXPECT_EQ(restarted.PollAndServe(), 1u);  // only the pending one
+  EXPECT_EQ(f.system.Consumer().values_received(), 2u);
+}
+
 TEST(SpDaemon, IgnoresForeignEvents) {
   // Events from other contracts must not confuse the watchdog.
   Fixture f;

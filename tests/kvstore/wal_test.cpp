@@ -112,6 +112,70 @@ TEST_F(WalTest, CorruptCrcStopsReplay) {
   EXPECT_EQ(seen, 1u);
 }
 
+TEST_F(WalTest, MoveConstructionStealsTheFileHandle) {
+  // The writer owns a raw POSIX fd: after a move exactly ONE object may
+  // close it. (A defaulted move once left both sides owning the handle.)
+  auto writer = WalWriter::Open(path_).value();
+  ASSERT_TRUE(writer.is_open());
+
+  WalWriter moved = std::move(writer);
+  EXPECT_TRUE(moved.is_open());
+  EXPECT_FALSE(writer.is_open());  // NOLINT(bugprone-use-after-move)
+
+  ASSERT_TRUE(moved.Append({false, ToBytes("k"), ToBytes("v")}).ok());
+  ASSERT_TRUE(moved.Sync().ok());
+  // The moved-from writer holds nothing and cannot write.
+  EXPECT_FALSE(writer.Append({false, ToBytes("x"), ToBytes("y")}).ok());
+
+  size_t seen = 0;
+  ASSERT_TRUE(ReplayWal(path_, [&](const WalRecord&) { ++seen; }).ok());
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST_F(WalTest, MoveAssignmentClosesTheOldHandleAndStealsTheNew) {
+  const std::string other_path = path_ + ".other";
+  fs::remove(other_path);
+  {
+    auto a = WalWriter::Open(path_).value();
+    auto b = WalWriter::Open(other_path).value();
+    b = std::move(a);
+    EXPECT_FALSE(a.is_open());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(b.is_open());
+    // b now writes to path_ (the stolen handle), not to its original file.
+    ASSERT_TRUE(b.Append({false, ToBytes("stolen"), ToBytes("v")}).ok());
+    ASSERT_TRUE(b.Sync().ok());
+  }  // both destructors run: the fd must be closed exactly once
+
+  size_t in_first = 0, in_other = 0;
+  ASSERT_TRUE(ReplayWal(path_, [&](const WalRecord&) { ++in_first; }).ok());
+  ASSERT_TRUE(
+      ReplayWal(other_path, [&](const WalRecord&) { ++in_other; }).ok());
+  EXPECT_EQ(in_first, 1u);
+  EXPECT_EQ(in_other, 0u);
+  fs::remove(other_path);
+}
+
+TEST_F(WalTest, AppendTornWritesExactlyThePrefix) {
+  const WalRecord good{false, ToBytes("good"), ToBytes("v1")};
+  const WalRecord torn{false, ToBytes("torn"), ToBytes("v2")};
+  const size_t good_size = EncodeWalRecord(good).size();
+  const size_t torn_size = EncodeWalRecord(torn).size();
+  {
+    auto writer = WalWriter::Open(path_).value();
+    ASSERT_TRUE(writer.Append(good).ok());
+    ASSERT_TRUE(writer.AppendTorn(torn, torn_size / 2).ok());
+    ASSERT_TRUE(writer.Sync().ok());
+  }
+  EXPECT_EQ(fs::file_size(path_), good_size + torn_size / 2);
+
+  std::vector<Bytes> keys;
+  ASSERT_TRUE(
+      ReplayWal(path_, [&](const WalRecord& r) { keys.push_back(r.key); })
+          .ok());
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], ToBytes("good"));
+}
+
 TEST_F(WalTest, AppendAfterReopenContinuesLog) {
   {
     auto writer = WalWriter::Open(path_).value();

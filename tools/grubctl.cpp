@@ -14,6 +14,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "grub/system.h"
@@ -39,6 +41,8 @@ struct Args {
   bool telemetry = false;
   bool gas_breakdown = false;   // implies telemetry
   std::string metrics_out;      // implies telemetry; .csv = CSV, else JSONL
+  std::string faults;           // fault schedule (FaultInjector::Parse)
+  uint64_t fault_seed = 42;
   bool help = false;
 };
 
@@ -62,7 +66,14 @@ void PrintUsage() {
       "                  --telemetry)\n"
       "  --metrics-out F write the per-epoch attribution series to F —\n"
       "                  CSV if F ends in .csv, JSON-lines otherwise\n"
-      "                  (implies --telemetry)\n");
+      "                  (implies --telemetry)\n"
+      "  --faults S      fault schedule, e.g.\n"
+      "                  'sp.deliver.drop@3,chain.reorg~0.05' — rules are\n"
+      "                  point@N (Nth hit), point%%N (every Nth), point~P\n"
+      "                  (probability P), point* (always); suffixes xM (max\n"
+      "                  fires) and +S (skip first S hits)\n"
+      "  --fault-seed N  seed for probabilistic fault rules  (default 42);\n"
+      "                  same seed + schedule reproduces the run exactly\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args& args) {
@@ -100,6 +111,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.gas_breakdown = true;
     } else if (!std::strcmp(argv[i], "--metrics-out")) {
       args.metrics_out = next("--metrics-out");
+    } else if (!std::strcmp(argv[i], "--faults")) {
+      args.faults = next("--faults");
+    } else if (!std::strcmp(argv[i], "--fault-seed")) {
+      args.fault_seed = std::strtoull(next("--fault-seed"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       args.help = true;
     } else {
@@ -202,6 +217,8 @@ int main(int argc, char** argv) {
   options.scan_mode = args.range_scans ? core::ScanMode::kRangeProof
                                        : core::ScanMode::kExpandPointReads;
   options.enable_telemetry = want_telemetry;
+  options.fault_schedule = args.faults;
+  options.fault_seed = args.fault_seed;
 
   auto trace = MakeWorkload(args);
   auto stats = workload::ComputeStats(trace);
@@ -213,10 +230,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.scans),
               stats.ReadWriteRatio());
 
-  core::GrubSystem system(
-      options,
-      MakePolicy(args.policy, trace, options.chain_params.gas));
+  std::unique_ptr<core::GrubSystem> system_ptr;
+  try {
+    system_ptr = std::make_unique<core::GrubSystem>(
+        options, MakePolicy(args.policy, trace, options.chain_params.gas));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  core::GrubSystem& system = *system_ptr;
   std::printf("policy:   %s\n", system.Do().Policy().Name().c_str());
+  if (system.Faults() != nullptr) {
+    std::printf("faults:   %s (seed %llu)\n", args.faults.c_str(),
+                static_cast<unsigned long long>(args.fault_seed));
+  }
 
   std::vector<std::pair<Bytes, Bytes>> preload;
   preload.reserve(args.records);
@@ -258,6 +285,27 @@ int main(int argc, char** argv) {
                   system.Consumer().values_received()),
               static_cast<unsigned long long>(
                   system.Consumer().misses_received()));
+
+  if (system.Faults() != nullptr) {
+    std::printf("injected: ");
+    bool first = true;
+    for (const auto& [point, fires] : system.Faults()->FireCounts()) {
+      if (fires == 0) continue;
+      std::printf("%s%s x%llu", first ? "" : ", ", point.c_str(),
+                  static_cast<unsigned long long>(fires));
+      first = false;
+    }
+    if (first) std::printf("(no fault fired)");
+    std::printf("\n");
+    std::printf("recovery: %llu deliver retries, %llu update retries, "
+                "%llu watchdog re-emits%s\n",
+                static_cast<unsigned long long>(
+                    system.Daemon().deliver_retries()),
+                static_cast<unsigned long long>(system.Do().update_retries()),
+                static_cast<unsigned long long>(
+                    system.Do().watchdog_reemits()),
+                system.Do().degraded() ? " (still degraded)" : "");
+  }
 
   if (args.gas_breakdown) {
     std::printf("\n");
