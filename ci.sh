@@ -44,4 +44,35 @@ diff /tmp/grub_gas_default.txt /tmp/grub_gas_nofaults.txt
   > /tmp/grub_gas_dormant.txt
 diff /tmp/grub_gas_default.txt /tmp/grub_gas_dormant.txt
 
+# Trace determinism: trace content carries no wall clock — block-height
+# timestamps and a monotone sequence counter only — so two identical runs
+# (same seed, schedule, workload) must export byte-identical traces in both
+# formats, even while faults fire.
+echo "=== trace determinism: identical runs diff clean ==="
+TRACE_ARGS=("${BENCH_ARGS[@]}" --faults 'sp.deliver.drop@2,chain.reorg%6')
+./build/tools/grubctl "${TRACE_ARGS[@]}" --trace-out /tmp/grub_trace_a.json > /dev/null
+./build/tools/grubctl "${TRACE_ARGS[@]}" --trace-out /tmp/grub_trace_b.json > /dev/null
+diff /tmp/grub_trace_a.json /tmp/grub_trace_b.json
+./build/tools/grubctl "${TRACE_ARGS[@]}" --trace-out /tmp/grub_trace_a.jsonl > /dev/null
+./build/tools/grubctl "${TRACE_ARGS[@]}" --trace-out /tmp/grub_trace_b.jsonl > /dev/null
+diff /tmp/grub_trace_a.jsonl /tmp/grub_trace_b.jsonl
+
+# Gas identity: turning tracing on must not move a single Gas number — trace
+# ids never ride in calldata or event data.
+echo "=== gas identity: tracing on vs off ==="
+./build/tools/grubctl "${BENCH_ARGS[@]}" --trace-out /tmp/grub_trace_gas.jsonl \
+  | grep -v '^trace:' > /tmp/grub_gas_traced.txt
+diff /tmp/grub_gas_default.txt /tmp/grub_gas_traced.txt
+
+# GRUB_TELEMETRY=OFF: every instrumentation site compiled out. The telemetry
+# test binaries intentionally fail in this mode (they test the
+# instrumentation), so build the CLI only and hold it to the same Gas output
+# as the instrumented build.
+echo "=== build-notelem: configure + grubctl only ==="
+cmake -B build-notelem -S . -DGRUB_TELEMETRY=OFF
+cmake --build build-notelem -j "${JOBS}" --target grubctl
+echo "=== gas identity: GRUB_TELEMETRY=OFF vs default build ==="
+./build-notelem/tools/grubctl "${BENCH_ARGS[@]}" > /tmp/grub_gas_notelem.txt
+diff /tmp/grub_gas_default.txt /tmp/grub_gas_notelem.txt
+
 echo "=== all passes green ==="

@@ -134,6 +134,7 @@ uint64_t Blockchain::ReorgNonFinalBlocks() {
   std::vector<PendingTx> orphaned;
   for (size_t b = blocks_.size() - depth; b < blocks_.size(); ++b) {
     for (Transaction& tx : blocks_[b].transactions) {
+      tx.reorg_replay = true;
       orphaned.push_back(PendingTx{std::move(tx), /*submit_time=*/0});
     }
   }
@@ -154,6 +155,12 @@ uint64_t Blockchain::ReorgNonFinalBlocks() {
 #endif
   snapshots_.erase(snapshots_.end() - static_cast<long>(depth),
                    snapshots_.end());
+#if GRUB_TELEMETRY
+  if (telemetry_ != nullptr && telemetry_->Trace() != nullptr) {
+    telemetry_->Trace()->GlobalEvent("chain.reorg", CurrentBlockNumber(),
+                                     "depth=" + std::to_string(depth));
+  }
+#endif
   return depth;
 }
 
@@ -212,6 +219,18 @@ Receipt Blockchain::ExecuteTransaction(Transaction& tx,
   receipt.gas_used = meter.Used();
   receipt.breakdown = meter.Breakdown();
   total_breakdown_ += meter.Breakdown();
+#if GRUB_TELEMETRY
+  if (telemetry_ != nullptr && tx.trace_id != 0 &&
+      telemetry_->Trace() != nullptr &&
+      (tx.reorg_replay || !receipt.status.ok())) {
+    // An ordinary successful execution is already recorded by the owning
+    // span's completion; only the exceptional outcomes (replays, rejections)
+    // earn a per-transaction event.
+    telemetry_->Trace()->Annotate(
+        tx.trace_id, tx.reorg_replay ? "tx.replayed" : "tx.executed",
+        block_number, std::string("ok=") + (receipt.status.ok() ? "1" : "0"));
+  }
+#endif
   return receipt;
 }
 

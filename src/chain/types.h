@@ -38,6 +38,14 @@ struct Transaction {
   /// contract would re-read. Never metered and never set by senders.
   Bytes replay_payload;
 
+  /// Telemetry-only: the trace span this transaction belongs to (0 = none).
+  /// Rides outside calldata so tracing cannot change the metered Gas; the
+  /// chain uses it to annotate the owning span at execution time.
+  uint64_t trace_id = 0;
+  /// Telemetry-only: set when a reorg returned this transaction to the
+  /// mempool, so its re-execution is annotated as a replay, not a fresh run.
+  bool reorg_replay = false;
+
   /// Bytes charged as calldata: args plus a 4-byte selector, mirroring the
   /// Solidity ABI.
   uint64_t CalldataBytes() const { return calldata.size() + 4; }

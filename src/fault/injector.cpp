@@ -175,9 +175,13 @@ bool FaultInjector::Fire(std::string_view point) {
   if (fired) {
     state.fires += 1;
     if (metrics_ != nullptr) {
-      metrics_
-          ->GetCounter("fault.fires", {{"point", std::string(point)}})
-          .Increment();
+      // Labeled handle resolved once per point, not per fire.
+      if (state.fires_counter == nullptr) {
+        state.fires_counter = &metrics_->GetCounter(
+            "fault.fires", {{"point", std::string(point)}});
+      }
+      state.fires_counter->Increment();
+      total_fires_counter_->Increment();
     }
   }
   return fired;
@@ -209,6 +213,10 @@ std::map<std::string, uint64_t> FaultInjector::FireCounts() const {
 
 void FaultInjector::SetMetrics(telemetry::MetricsRegistry* registry) {
   metrics_ = registry;
+  total_fires_counter_ =
+      registry == nullptr ? nullptr : &registry->GetCounter("fault.fires_total");
+  // Cached labeled handles belong to the previous registry; drop them.
+  for (auto& [name, state] : points_) state.fires_counter = nullptr;
 }
 
 }  // namespace grub::fault

@@ -35,6 +35,7 @@
 #include "fault/config.h"
 
 namespace grub::telemetry {
+class Counter;
 class MetricsRegistry;
 }  // namespace grub::telemetry
 
@@ -86,8 +87,11 @@ class FaultInjector {
   const std::vector<FaultRule>& Rules() const { return rules_; }
   uint64_t seed() const { return seed_; }
 
-  /// Mirror fires into `fault.fires{point=...}` counters. Pass nullptr to
-  /// detach. The registry must outlive the injector.
+  /// Mirror fires into `fault.fires{point=...}` counters plus an unlabeled
+  /// `fault.fires_total` aggregate (the handle GatherRobustness caches — the
+  /// labeled family is created lazily per point and can't be enumerated
+  /// cheaply). Pass nullptr to detach. The registry must outlive the
+  /// injector.
   void SetMetrics(telemetry::MetricsRegistry* registry);
 
  private:
@@ -96,6 +100,7 @@ class FaultInjector {
     uint64_t fires = 0;
     std::unique_ptr<Rng> rng;  // created lazily on first probabilistic draw
     std::vector<uint64_t> rule_fires;  // parallel to rules_, lazily sized
+    telemetry::Counter* fires_counter = nullptr;  // cached labeled handle
   };
 
   PointState& StateOf(std::string_view point);
@@ -104,6 +109,7 @@ class FaultInjector {
   std::vector<FaultRule> rules_;
   std::map<std::string, PointState, std::less<>> points_;
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Counter* total_fires_counter_ = nullptr;
 };
 
 }  // namespace grub::fault

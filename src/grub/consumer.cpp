@@ -49,7 +49,8 @@ Status ConsumerContract::Call(chain::CallContext& ctx,
   if (function == kRunFn) {
     std::vector<Bytes> batch;
     std::vector<std::pair<Bytes, Bytes>> scans;
-    if (!ctx.ReplayPayload().empty()) {
+    const bool is_replay = !ctx.ReplayPayload().empty();
+    if (is_replay) {
       DecodeBatch(ctx.ReplayPayload(), batch, scans);
     } else {
       batch = std::move(queued_);
@@ -59,6 +60,19 @@ Status ConsumerContract::Call(chain::CallContext& ctx,
       ctx.RecordReplayPayload(EncodeBatch(batch, scans));
     }
     for (const auto& key : batch) {
+#if GRUB_TELEMETRY
+      // A reorg replay re-issues a request whose span is already open (or
+      // answered); annotate it instead of opening a duplicate.
+      if (tracer_ != nullptr) {
+        if (is_replay) {
+          tracer_->AnnotateRequest(key, /*is_scan=*/false, "reorg.replay",
+                                   ctx.BlockNumber());
+        } else {
+          tracer_->BeginRequest(key, /*is_scan=*/false, Bytes{},
+                                ctx.BlockNumber());
+        }
+      }
+#endif
       Bytes gget_args =
           StorageManagerContract::EncodeGGet(key, address(), kOnDataFn);
       auto result = ctx.InternalCall(manager_, StorageManagerContract::kGGetFn,
@@ -66,6 +80,17 @@ Status ConsumerContract::Call(chain::CallContext& ctx,
       if (!result.ok()) return result.status();
     }
     for (const auto& [start, end] : scans) {
+#if GRUB_TELEMETRY
+      if (tracer_ != nullptr) {
+        if (is_replay) {
+          tracer_->AnnotateRequest(start, /*is_scan=*/true, "reorg.replay",
+                                   ctx.BlockNumber());
+        } else {
+          tracer_->BeginRequest(start, /*is_scan=*/true, end,
+                                ctx.BlockNumber());
+        }
+      }
+#endif
       Bytes gscan_args = StorageManagerContract::EncodeGScan(
           start, end, address(), kOnDataFn);
       auto result = ctx.InternalCall(
@@ -80,6 +105,11 @@ Status ConsumerContract::Call(chain::CallContext& ctx,
     Bytes key = r.Blob();
     Bytes value = r.Blob();
     const bool found = r.U64() != 0;
+#if GRUB_TELEMETRY
+    if (tracer_ != nullptr) {
+      tracer_->CompleteRequest(key, ctx.BlockNumber(), found);
+    }
+#endif
     if (found) {
       values_received_ += 1;
       received_.emplace_back(std::move(key), std::move(value));

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "chain/blockchain.h"
+#include "telemetry/tracing.h"
 
 namespace grub::core {
 
@@ -49,6 +50,10 @@ class ConsumerContract : public chain::Contract {
   }
   void ClearReceived() { received_.clear(); }
 
+  /// Request-scoped tracing: a span opens per issued gGet/gScan and closes
+  /// when the callback fires. Null (the default) skips all recording.
+  void SetTracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+
   static constexpr const char* kRunFn = "run";
   static constexpr const char* kOnDataFn = "onData";
 
@@ -59,6 +64,7 @@ class ConsumerContract : public chain::Contract {
   uint64_t values_received_ = 0;
   uint64_t misses_received_ = 0;
   std::vector<std::pair<Bytes, Bytes>> received_;
+  telemetry::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace grub::core

@@ -37,9 +37,8 @@ void DoClient::SetMetrics(telemetry::MetricsRegistry* registry) {
   degraded_gauge_ = &registry->GetGauge("do.degraded");
 }
 
-void DoClient::NoteFlip(const Bytes& key, ads::ReplState before) {
+void DoClient::NoteFlip(ads::ReplState before, ads::ReplState after) {
   if (flips_nr_to_r_ == nullptr) return;
-  const ads::ReplState after = policy_->StateOf(key);
   if (before == after) return;
   if (after == ads::ReplState::kR) {
     flips_nr_to_r_->Increment();
@@ -48,14 +47,41 @@ void DoClient::NoteFlip(const Bytes& key, ads::ReplState before) {
   }
 }
 
+void DoClient::EnsureEpochSpan() {
+  if (tracer_ == nullptr || epoch_span_ != 0) return;
+  epoch_span_ = tracer_->BeginSpan(telemetry::SpanKind::kEpoch,
+                                   chain_.CurrentBlockNumber());
+  tracer_->SetAttr(epoch_span_, "epoch", std::to_string(epoch_));
+}
+
+void DoClient::RecordFlipAudit(const Bytes& key, ads::ReplState before,
+                               ads::ReplState after, const char* op) {
+  if (tracer_ == nullptr) return;
+  if (before == after) return;
+  // Name() concatenates the parameter list on every call; flips are frequent
+  // enough under write-heavy feeds that the audit path uses the cached copy.
+  if (policy_name_.empty()) policy_name_ = policy_->Name();
+  tracer_->RecordFlip(policy_name_, key, after == ads::ReplState::kR, op,
+                      policy_->AuditBefore(), policy_->AuditAfter(),
+                      chain_.CurrentBlockNumber(), epoch_);
+}
+
 void DoClient::BufferPut(Bytes key, Bytes value) {
   // The monitor observes local writes as they arrive (§3.2); the decision
   // propagates to the SP as advisory state immediately (Gas-free), while
   // the authenticated state bit syncs with the next update() transaction.
   const ads::ReplState before = policy_->StateOf(key);
   policy_->Observe(workload::Operation::Write(key, {}));
-  NoteFlip(key, before);
-  sp_.SetAdvisoryState(key, policy_->StateOf(key));
+  const ads::ReplState after = policy_->StateOf(key);
+  NoteFlip(before, after);
+#if GRUB_TELEMETRY
+  RecordFlipAudit(key, before, after, "write");
+  // Opening the span is all a buffered put records: the span's begin block IS
+  // the first put, and EndEpoch summarizes the batch ("puts" attr). A
+  // per-write event here would put an allocation on the feed's write path.
+  if (tracer_ != nullptr) EnsureEpochSpan();
+#endif
+  sp_.SetAdvisoryState(key, after);
   touched_.insert(key);
   pending_writes_.push_back(BufferedWrite{std::move(key), std::move(value)});
 }
@@ -66,8 +92,12 @@ void DoClient::NoteRead(const Bytes& key) {
   // the integrity source — see MonitorChainHistory).
   const ads::ReplState before = policy_->StateOf(key);
   policy_->Observe(workload::Operation::Read(key));
-  NoteFlip(key, before);
-  sp_.SetAdvisoryState(key, policy_->StateOf(key));
+  const ads::ReplState after = policy_->StateOf(key);
+  NoteFlip(before, after);
+#if GRUB_TELEMETRY
+  RecordFlipAudit(key, before, after, "read");
+#endif
+  sp_.SetAdvisoryState(key, after);
   touched_.insert(key);
 }
 
@@ -184,18 +214,39 @@ chain::Receipt DoClient::EndEpoch() {
       replicas_on_chain_.erase(key);
     }
   }
+  const size_t puts_this_epoch = pending_writes_.size();
   pending_writes_.clear();
 
+#if GRUB_TELEMETRY
+  if (tracer_ != nullptr) {
+    // EndEpoch can fire with nothing buffered (driver-forced close); the
+    // span then covers just the update() transaction.
+    EnsureEpochSpan();
+    tracer_->SetAttr(epoch_span_, "puts", std::to_string(puts_this_epoch));
+    tracer_->SetAttr(epoch_span_, "replicated",
+                     std::to_string(replicated_updates.size()));
+    tracer_->SetAttr(epoch_span_, "evictions",
+                     std::to_string(evictions.size()));
+  }
+#endif
   chain::Receipt receipt = SubmitUpdate(
       StorageManagerContract::EncodeUpdate(ads_do_.Root(), epoch_,
                                            replicated_updates, evictions),
-      telemetry::GasCause::kUpdateRoot);
+      telemetry::GasCause::kUpdateRoot, epoch_span_);
+#if GRUB_TELEMETRY
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(epoch_span_, chain_.CurrentBlockNumber(),
+                     receipt.ok() || chain::IsDelayedReceipt(receipt));
+    epoch_span_ = 0;
+  }
+#endif
   epoch_ += 1;
   return receipt;
 }
 
 chain::Receipt DoClient::SubmitUpdate(Bytes calldata,
-                                      telemetry::GasCause cause) {
+                                      telemetry::GasCause cause,
+                                      uint64_t trace_span) {
   // A lost update is resubmitted with the IDENTICAL calldata — the epoch
   // digest was signed once; a retry is the same update, not a new epoch.
   chain::Receipt receipt;
@@ -208,10 +259,22 @@ chain::Receipt DoClient::SubmitUpdate(Bytes calldata,
       if (update_retries_counter_ != nullptr) {
         update_retries_counter_->Increment();
       }
+      if (tracer_ != nullptr && trace_span != 0) {
+        tracer_->Annotate(trace_span, "update.retry",
+                          chain_.CurrentBlockNumber(),
+                          "attempt=" + std::to_string(attempt));
+      }
 #endif
       chain_.AdvanceTime(options_.retry_backoff_sec << (attempt - 2));
     }
     if (GRUB_FAULT_POINT(faults_, "do.update.drop")) {
+#if GRUB_TELEMETRY
+      if (tracer_ != nullptr && trace_span != 0) {
+        tracer_->Annotate(trace_span, "update.drop",
+                          chain_.CurrentBlockNumber(),
+                          "attempt=" + std::to_string(attempt));
+      }
+#endif
       continue;  // lost before reaching the mempool
     }
     chain::Transaction tx;
@@ -220,6 +283,9 @@ chain::Receipt DoClient::SubmitUpdate(Bytes calldata,
     tx.function = StorageManagerContract::kUpdateFn;
     tx.cause = cause;
     tx.calldata = calldata;
+#if GRUB_TELEMETRY
+    tx.trace_id = trace_span;
+#endif
     receipt = chain_.SubmitAndMine(std::move(tx));
     if (chain::IsDroppedReceipt(receipt)) continue;  // lost in the mempool
     break;
@@ -268,6 +334,19 @@ void DoClient::CheckReadLiveness() {
       tx.calldata = StorageManagerContract::EncodeGGet(
           req.key, req.callback_contract, req.callback_function);
     }
+#if GRUB_TELEMETRY
+    if (tracer_ != nullptr) {
+      // Tag the transaction with the starved request's span so the chain
+      // annotates it at execution, and record the re-emission itself before
+      // submitting — a replica hit closes the span synchronously inside
+      // SubmitAndMine.
+      tx.trace_id = tracer_->OpenRequestId(req.key, req.is_scan);
+      tracer_->AnnotateRequest(req.key, req.is_scan, "watchdog.reemit",
+                               chain_.CurrentBlockNumber(),
+                               "pending_since=" +
+                                   std::to_string(req.block_number));
+    }
+#endif
     chain::Receipt receipt = chain_.SubmitAndMine(std::move(tx));
     if (chain::IsDroppedReceipt(receipt)) {
       // The re-emission itself was lost; keep the original pending entry so
@@ -300,6 +379,10 @@ void DoClient::Degrade(const std::vector<PendingRequest>& stale) {
   degraded_ = true;
 #if GRUB_TELEMETRY
   if (degraded_gauge_ != nullptr) degraded_gauge_->Set(1);
+  if (tracer_ != nullptr) {
+    tracer_->GlobalEvent("do.degrade", chain_.CurrentBlockNumber(),
+                         "forced=" + std::to_string(forced.size()));
+  }
 #endif
   if (forced.empty()) return;
 
@@ -318,6 +401,9 @@ void DoClient::Undegrade() {
   stale_rounds_ = 0;
 #if GRUB_TELEMETRY
   if (degraded_gauge_ != nullptr) degraded_gauge_->Set(0);
+  if (tracer_ != nullptr) {
+    tracer_->GlobalEvent("do.undegrade", chain_.CurrentBlockNumber());
+  }
 #endif
   // Hand the forced keys back to the policy: mark them touched so the next
   // epoch close evicts any the policy wants off chain.

@@ -29,6 +29,7 @@
 #include "grub/storage_manager.h"
 #include "kvstore/db.h"
 #include "telemetry/metrics.h"
+#include "telemetry/tracing.h"
 
 namespace grub::core {
 
@@ -120,11 +121,30 @@ class DoClient {
   /// (do.update.drop). Null detaches.
   void SetFaultInjector(fault::FaultInjector* faults) { faults_ = faults; }
 
+  /// Request-scoped tracing: buffered puts open an epoch span that closes at
+  /// the update() transaction, every policy flip emits an audit record with
+  /// the counter state that justified it, and watchdog re-emits annotate the
+  /// starved request's span. Null (the default) skips all recording.
+  void SetTracer(telemetry::Tracer* tracer) {
+    tracer_ = tracer;
+    // Flip-only audit capture inside Observe(): the per-op hot path stays
+    // free of counter-string formatting.
+    policy_->EnableAudit(tracer != nullptr);
+  }
+
  private:
   void MonitorChainHistory();
   /// Submits an update() transaction, resubmitting the identical calldata
-  /// with deterministic backoff when the transaction is lost.
-  chain::Receipt SubmitUpdate(Bytes calldata, telemetry::GasCause cause);
+  /// with deterministic backoff when the transaction is lost. `trace_span`
+  /// (0 = none) receives retry/drop annotations and rides the transaction.
+  chain::Receipt SubmitUpdate(Bytes calldata, telemetry::GasCause cause,
+                              uint64_t trace_span = 0);
+  /// Opens the current epoch's span on first use (tracing only).
+  void EnsureEpochSpan();
+  /// Emits the policy-audit record for an observation that flipped `key`,
+  /// with the counter evidence the policy captured around the flip.
+  void RecordFlipAudit(const Bytes& key, ads::ReplState before,
+                       ads::ReplState after, const char* op);
   /// Force-replicates starved keys and flips into degraded mode.
   void Degrade(const std::vector<PendingRequest>& stale);
   /// Leaves degraded mode; forced keys return to policy control.
@@ -132,7 +152,7 @@ class DoClient {
   Result<Bytes> CachedValue(const Bytes& key) const;
   /// Compares a key's policy state before/after an Observe and bumps the
   /// matching flip counter (no-op without metrics).
-  void NoteFlip(const Bytes& key, ads::ReplState before);
+  void NoteFlip(ads::ReplState before, ads::ReplState after);
 
   chain::Blockchain& chain_;
   ads::AdsSp& sp_;
@@ -159,6 +179,9 @@ class DoClient {
   // Read-liveness watchdog / degradation state.
   RequestTracker tracker_;
   fault::FaultInjector* faults_ = nullptr;  // not owned; may be null
+  telemetry::Tracer* tracer_ = nullptr;     // not owned; may be null
+  uint64_t epoch_span_ = 0;                 // open epoch span (0 = none)
+  std::string policy_name_;  // cached Policy().Name() for audit records
   bool degraded_ = false;
   std::set<Bytes> forced_replicas_;  // degradation-pinned on-chain replicas
   uint64_t stale_rounds_ = 0;        // consecutive rounds with stale reads

@@ -1,21 +1,41 @@
 #include "grub/policy.h"
 
+#include <cstdio>
+
 namespace grub::core {
 
 using workload::OpType;
+
+namespace {
+
+// %g keeps integral parameters terse ("2" not "2.000000") while preserving
+// fractional ones — names feed metric labels and audit records.
+std::string FormatParam(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
 
 // --- MemorylessPolicy (Algorithm 1) ---
 
 void MemorylessPolicy::Observe(const workload::Operation& op) {
   State& s = states_[op.key];
+  const uint64_t old_reads = s.consecutive_reads;
+  const ads::ReplState old_state = s.state;
   if (op.type == OpType::kWrite) {
     s.consecutive_reads = 0;
     s.state = ads::ReplState::kNR;
-    return;
+  } else {
+    if (s.consecutive_reads < k_) s.consecutive_reads += 1;
+    s.state =
+        s.consecutive_reads >= k_ ? ads::ReplState::kR : ads::ReplState::kNR;
   }
-  if (s.consecutive_reads < k_) s.consecutive_reads += 1;
-  s.state =
-      s.consecutive_reads >= k_ ? ads::ReplState::kR : ads::ReplState::kNR;
+  if (audit_ && s.state != old_state) {
+    audit_before_ = "consecutive_reads=" + std::to_string(old_reads);
+    audit_after_ = "consecutive_reads=" + std::to_string(s.consecutive_reads);
+  }
 }
 
 ads::ReplState MemorylessPolicy::StateOf(const Bytes& key) const {
@@ -23,10 +43,31 @@ ads::ReplState MemorylessPolicy::StateOf(const Bytes& key) const {
   return it == states_.end() ? ads::ReplState::kNR : it->second.state;
 }
 
+std::string MemorylessPolicy::CounterState(const Bytes& key) const {
+  auto it = states_.find(key);
+  const uint64_t reads = it == states_.end() ? 0 : it->second.consecutive_reads;
+  return "consecutive_reads=" + std::to_string(reads);
+}
+
 // --- MemorizingPolicy (Algorithm 2) ---
+
+std::string MemorizingPolicy::Name() const {
+  return "memorizing(K'=" + FormatParam(k_prime_) + ",D=" + FormatParam(d_) +
+         ")";
+}
+
+std::string MemorizingPolicy::CounterState(const Bytes& key) const {
+  auto it = states_.find(key);
+  const double r = it == states_.end() ? 0 : it->second.r_count;
+  const double w = it == states_.end() ? 0 : it->second.w_count;
+  return "r=" + FormatParam(r) + ",w=" + FormatParam(w);
+}
 
 void MemorizingPolicy::Observe(const workload::Operation& op) {
   State& s = states_[op.key];
+  const double old_r = s.r_count;
+  const double old_w = s.w_count;
+  const ads::ReplState old_state = s.state;
   if (op.type == OpType::kWrite) {
     s.w_count += 1;
   } else {
@@ -47,6 +88,11 @@ void MemorizingPolicy::Observe(const workload::Operation& op) {
     s.r_count = 0;
     s.w_count = k_prime_ > 0 ? d_ / k_prime_ : 0;
   }
+  if (audit_ && s.state != old_state) {
+    audit_before_ = "r=" + FormatParam(old_r) + ",w=" + FormatParam(old_w);
+    audit_after_ =
+        "r=" + FormatParam(s.r_count) + ",w=" + FormatParam(s.w_count);
+  }
 }
 
 ads::ReplState MemorizingPolicy::StateOf(const Bytes& key) const {
@@ -56,11 +102,39 @@ ads::ReplState MemorizingPolicy::StateOf(const Bytes& key) const {
 
 // --- AdaptiveKPolicy (Appendix C.3) ---
 
+namespace {
+
+std::string RenderAdaptiveState(const std::vector<uint64_t>& runs,
+                                uint64_t reads_since_write) {
+  std::string out = "runs=[";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(runs[i]);
+  }
+  out += "],reads_since_write=" + std::to_string(reads_since_write);
+  if (!runs.empty()) {
+    double sum = 0;
+    for (uint64_t run : runs) sum += static_cast<double>(run);
+    out += ",predicted_k=" +
+           FormatParam(sum / static_cast<double>(runs.size()));
+  }
+  return out;
+}
+
+}  // namespace
+
 void AdaptiveKPolicy::Observe(const workload::Operation& op) {
   State& s = states_[op.key];
   if (op.type != OpType::kWrite) {
     s.reads_since_write += 1;
     return;
+  }
+  // Only writes can flip (below); reads on the hot path above pay nothing
+  // for audit mode.
+  const ads::ReplState old_state = s.state;
+  std::string before;
+  if (audit_) {
+    before = RenderAdaptiveState(s.recent_read_runs, s.reads_since_write);
   }
 
   // Close the read-run of the previous write and keep the trailing window.
@@ -79,11 +153,28 @@ void AdaptiveKPolicy::Observe(const workload::Operation& op) {
   const bool replicate =
       repeat_hypothesis_ ? prediction_clears : !prediction_clears;
   s.state = replicate ? ads::ReplState::kR : ads::ReplState::kNR;
+  if (audit_ && s.state != old_state) {
+    audit_before_ = std::move(before);
+    audit_after_ = RenderAdaptiveState(s.recent_read_runs, s.reads_since_write);
+  }
 }
 
 ads::ReplState AdaptiveKPolicy::StateOf(const Bytes& key) const {
   auto it = states_.find(key);
   return it == states_.end() ? ads::ReplState::kNR : it->second.state;
+}
+
+std::string AdaptiveKPolicy::Name() const {
+  return std::string(repeat_hypothesis_ ? "adaptive-K1" : "adaptive-K2") +
+         "(threshold=" + FormatParam(threshold_) +
+         ",window=" + std::to_string(window_) + ")";
+}
+
+std::string AdaptiveKPolicy::CounterState(const Bytes& key) const {
+  auto it = states_.find(key);
+  if (it == states_.end()) return "runs=[],reads_since_write=0";
+  return RenderAdaptiveState(it->second.recent_read_runs,
+                             it->second.reads_since_write);
 }
 
 // --- OfflineOptimalPolicy ---
@@ -128,15 +219,29 @@ void OfflineOptimalPolicy::Observe(const workload::Operation& op) {
   auto it = states_.find(op.key);
   if (it == states_.end()) return;
   State& s = it->second;
+  const ads::ReplState old_state = s.state;
+  const size_t old_next = s.next_write;
   if (s.next_write < s.decisions.size()) {
     s.state = s.decisions[s.next_write];
     s.next_write += 1;
+  }
+  if (audit_ && s.state != old_state) {
+    const std::string total = "/" + std::to_string(s.decisions.size());
+    audit_before_ = "next_write=" + std::to_string(old_next) + total;
+    audit_after_ = "next_write=" + std::to_string(s.next_write) + total;
   }
 }
 
 ads::ReplState OfflineOptimalPolicy::StateOf(const Bytes& key) const {
   auto it = states_.find(key);
   return it == states_.end() ? ads::ReplState::kNR : it->second.state;
+}
+
+std::string OfflineOptimalPolicy::CounterState(const Bytes& key) const {
+  auto it = states_.find(key);
+  if (it == states_.end()) return "next_write=0/0";
+  return "next_write=" + std::to_string(it->second.next_write) + "/" +
+         std::to_string(it->second.decisions.size());
 }
 
 }  // namespace grub::core

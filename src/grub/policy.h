@@ -43,7 +43,33 @@ class ReplicationPolicy {
   /// Desired replication state of `key` right now.
   virtual ads::ReplState StateOf(const Bytes& key) const = 0;
 
+  /// Self-describing name: policy family plus the parameters that govern its
+  /// decisions, so exported series and audit records need no side channel.
   virtual std::string Name() const = 0;
+
+  /// Deterministic "k=v,..." rendering of the per-key decision counters (the
+  /// evidence behind StateOf). Empty for stateless policies. Audit records
+  /// capture this before AND after the observation that flips a key.
+  virtual std::string CounterState(const Bytes& key) const {
+    (void)key;
+    return "";
+  }
+
+  /// Audit mode: when enabled, Observe() captures the CounterState evidence
+  /// around any observation that flips a key's state. Flips are rare, so the
+  /// per-operation hot path pays nothing — callers must not pre-capture
+  /// counter strings per op. Enabled by the DO when a Tracer is attached.
+  void EnableAudit(bool on) { audit_ = on; }
+  /// Evidence of the most recent audited flip: counter state immediately
+  /// before / after the flipping observation. Valid right after an Observe()
+  /// that changed StateOf(key); empty when audit mode is off.
+  const std::string& AuditBefore() const { return audit_before_; }
+  const std::string& AuditAfter() const { return audit_after_; }
+
+ protected:
+  bool audit_ = false;
+  std::string audit_before_;
+  std::string audit_after_;
 };
 
 /// Map keyed by byte strings (ordered; policies are consulted per epoch).
@@ -59,6 +85,7 @@ class MemorylessPolicy : public ReplicationPolicy {
   std::string Name() const override {
     return "memoryless(K=" + std::to_string(k_) + ")";
   }
+  std::string CounterState(const Bytes& key) const override;
 
  private:
   struct State {
@@ -75,7 +102,8 @@ class MemorizingPolicy : public ReplicationPolicy {
 
   void Observe(const workload::Operation& op) override;
   ads::ReplState StateOf(const Bytes& key) const override;
-  std::string Name() const override { return "memorizing"; }
+  std::string Name() const override;
+  std::string CounterState(const Bytes& key) const override;
 
  private:
   struct State {
@@ -100,9 +128,8 @@ class AdaptiveKPolicy : public ReplicationPolicy {
 
   void Observe(const workload::Operation& op) override;
   ads::ReplState StateOf(const Bytes& key) const override;
-  std::string Name() const override {
-    return repeat_hypothesis_ ? "adaptive-K1" : "adaptive-K2";
-  }
+  std::string Name() const override;
+  std::string CounterState(const Bytes& key) const override;
 
  private:
   struct State {
@@ -137,6 +164,7 @@ class OfflineOptimalPolicy : public ReplicationPolicy {
   void Observe(const workload::Operation& op) override;
   ads::ReplState StateOf(const Bytes& key) const override;
   std::string Name() const override { return "offline-optimal"; }
+  std::string CounterState(const Bytes& key) const override;
 
  private:
   struct State {

@@ -73,6 +73,11 @@ size_t SpDaemon::PollAndServe() {
     // from the chain's pending-request set.
     RecoverCursor();
     consecutive_failures_ += 1;
+#if GRUB_TELEMETRY
+    if (tracer_ != nullptr) {
+      tracer_->GlobalEvent("sp.crash", chain_.CurrentBlockNumber());
+    }
+#endif
     return 0;
   }
   // A reorg can rewind the event log below our cursor; re-derive rather
@@ -155,9 +160,35 @@ size_t SpDaemon::PollAndServe() {
   size_t served = 0;
   for (const auto& entry : entries) served += entry.repeats;
 
+#if GRUB_TELEMETRY
+  // One span per deliver batch; drops/retries also annotate each request
+  // span the batch carries, so a starved gGet shows its own retry chain.
+  uint64_t deliver_span = 0;
+  auto annotate_entries = [&](const char* name, uint64_t block) {
+    if (tracer_ == nullptr) return;
+    for (const auto& entry : entries) {
+      tracer_->AnnotateRequest(entry.key,
+                               entry.kind == DeliverEntry::Kind::kScan, name,
+                               block);
+    }
+  };
+  if (tracer_ != nullptr) {
+    deliver_span = tracer_->BeginSpan(telemetry::SpanKind::kDeliver,
+                                      chain_.CurrentBlockNumber());
+    tracer_->SetAttr(deliver_span, "batch", std::to_string(entries.size()));
+    tracer_->SetAttr(deliver_span, "served", std::to_string(served));
+  }
+#endif
+
 #if GRUB_FAULTS
   if (GRUB_FAULT_POINT(faults_, "sp.proof.corrupt")) {
     CorruptFirstProof(entries);
+#if GRUB_TELEMETRY
+    if (tracer_ != nullptr) {
+      tracer_->Annotate(deliver_span, "proof.corrupt",
+                        chain_.CurrentBlockNumber());
+    }
+#endif
   }
 #endif
   const Bytes calldata = StorageManagerContract::EncodeDeliver(entries);
@@ -172,10 +203,24 @@ size_t SpDaemon::PollAndServe() {
       deliver_retries_ += 1;
 #if GRUB_TELEMETRY
       if (retries_counter_ != nullptr) retries_counter_->Increment();
+      if (tracer_ != nullptr) {
+        tracer_->Annotate(deliver_span, "deliver.retry",
+                          chain_.CurrentBlockNumber(),
+                          "attempt=" + std::to_string(attempt));
+        annotate_entries("deliver.retry", chain_.CurrentBlockNumber());
+      }
 #endif
       chain_.AdvanceTime(kRetryBackoffSec << (attempt - 2));
     }
     if (GRUB_FAULT_POINT(faults_, "sp.deliver.drop")) {
+#if GRUB_TELEMETRY
+      if (tracer_ != nullptr) {
+        tracer_->Annotate(deliver_span, "deliver.drop",
+                          chain_.CurrentBlockNumber(),
+                          "attempt=" + std::to_string(attempt));
+        annotate_entries("deliver.drop", chain_.CurrentBlockNumber());
+      }
+#endif
       continue;  // lost before reaching the mempool
     }
     chain::Transaction tx;
@@ -184,6 +229,9 @@ size_t SpDaemon::PollAndServe() {
     tx.function = StorageManagerContract::kDeliverFn;
     tx.cause = telemetry::GasCause::kDeliver;
     tx.calldata = calldata;
+#if GRUB_TELEMETRY
+    tx.trace_id = deliver_span;
+#endif
     {
       telemetry::TimerSpan deliver_timer(deliver_seconds_);
       receipt = chain_.SubmitAndMine(std::move(tx));
@@ -198,6 +246,14 @@ size_t SpDaemon::PollAndServe() {
     // (and re-serves) the same requests — they are still pending on chain.
     cursor_ = batch_start;
     consecutive_failures_ += 1;
+#if GRUB_TELEMETRY
+    if (tracer_ != nullptr) {
+      tracer_->Annotate(deliver_span, "deliver.lost",
+                        chain_.CurrentBlockNumber());
+      tracer_->EndSpan(deliver_span, chain_.CurrentBlockNumber(),
+                       /*completed=*/false);
+    }
+#endif
     return 0;
   }
   if (!receipt.ok() && !chain::IsDelayedReceipt(receipt)) {
@@ -206,6 +262,15 @@ size_t SpDaemon::PollAndServe() {
     // current state on the next poll.
     cursor_ = batch_start;
     consecutive_failures_ += 1;
+#if GRUB_TELEMETRY
+    if (tracer_ != nullptr) {
+      tracer_->Annotate(deliver_span, "deliver.rejected",
+                        chain_.CurrentBlockNumber());
+      annotate_entries("deliver.rejected", chain_.CurrentBlockNumber());
+      tracer_->EndSpan(deliver_span, chain_.CurrentBlockNumber(),
+                       /*completed=*/false);
+    }
+#endif
     return 0;
   }
   // A delayed deliver sits in the mempool and executes in an upcoming block;
@@ -215,6 +280,31 @@ size_t SpDaemon::PollAndServe() {
 #if GRUB_TELEMETRY
   if (requests_served_ != nullptr) requests_served_->Increment(served);
   if (delivers_counter_ != nullptr) delivers_counter_->Increment();
+  if (tracer_ != nullptr) {
+    const uint64_t now_block = chain_.CurrentBlockNumber();
+    if (chain::IsDelayedReceipt(receipt)) {
+      // Still in the mempool; the chain annotates the span again at actual
+      // execution via the transaction's trace id.
+      tracer_->Annotate(deliver_span, "deliver.delayed", now_block);
+    } else {
+      // Executed: gGet callbacks already closed their spans during
+      // SubmitAndMine (the serve annotation lands on the just-closed span);
+      // scans close here, at proof delivery.
+      for (const auto& entry : entries) {
+        if (entry.kind == DeliverEntry::Kind::kScan) {
+          tracer_->CompleteScan(entry.key, entry.end_key, now_block);
+        } else if (entry.repeats > 1) {
+          // The aggregation fact is the only thing the span can't already
+          // tell: its synthesized callback instant records the serve block,
+          // so single-repeat serves (the hot path) stay annotation-free.
+          tracer_->AnnotateRequest(entry.key, /*is_scan=*/false,
+                                   "deliver.serve", now_block,
+                                   "repeats=" + std::to_string(entry.repeats));
+        }
+      }
+    }
+    tracer_->EndSpan(deliver_span, now_block, /*completed=*/true);
+  }
 #endif
   return served;
 }

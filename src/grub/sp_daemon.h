@@ -22,6 +22,7 @@
 #include "grub/request_tracker.h"
 #include "grub/storage_manager.h"
 #include "telemetry/metrics.h"
+#include "telemetry/tracing.h"
 
 namespace grub::core {
 
@@ -71,6 +72,11 @@ class SpDaemon {
   /// (sp.crash, sp.deliver.drop, sp.proof.corrupt). Null detaches.
   void SetFaultInjector(fault::FaultInjector* faults) { faults_ = faults; }
 
+  /// Request-scoped tracing: each poll's deliver batch becomes a span, and
+  /// drops/retries/serves annotate the request spans they touch. Null (the
+  /// default) skips all recording.
+  void SetTracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   /// Re-derives the event cursor from the chain: everything before the
   /// oldest pending request is answered; with nothing pending, resume at the
@@ -91,6 +97,7 @@ class SpDaemon {
   uint64_t consecutive_failures_ = 0;
   RequestTracker tracker_;
   fault::FaultInjector* faults_ = nullptr;  // not owned; may be null
+  telemetry::Tracer* tracer_ = nullptr;     // not owned; may be null
 
   // Cached instruments (null = telemetry off).
   telemetry::Histogram* poll_seconds_ = nullptr;

@@ -33,12 +33,18 @@ GrubSystem::GrubSystem(SystemOptions options,
   daemon_ = std::make_unique<SpDaemon>(chain_, sp_, manager_address_, kSpAccount,
                                        options_.dedup_deliver_batch);
 
-  if (options_.enable_telemetry) {
+  if (options_.enable_telemetry || options_.enable_tracing) {
     telemetry_ = std::make_unique<telemetry::Telemetry>();
     chain_.SetTelemetry(telemetry_.get());
     sp_.SetMetrics(&telemetry_->Registry());
     do_client_->SetMetrics(&telemetry_->Registry());
     daemon_->SetMetrics(&telemetry_->Registry());
+  }
+  if (options_.enable_tracing) {
+    telemetry::Tracer& tracer = telemetry_->EnableTracing();
+    consumer_->SetTracer(&tracer);
+    daemon_->SetTracer(&tracer);
+    do_client_->SetTracer(&tracer);
   }
 
   if (!options_.fault_schedule.empty()) {

@@ -61,6 +61,11 @@ struct SystemOptions {
   /// snapshots in Drive, wall-clock instruments on SP/KV/DO. Off by default
   /// — enabling it never changes Gas results (asserted in tests).
   bool enable_telemetry = false;
+  /// Attach the request-scoped Tracer (implies a Telemetry bundle): spans
+  /// per gGet/gScan/deliver/epoch, policy-flip audit records, Chrome
+  /// JSON / JSONL export via Tracing(). Like enable_telemetry, never changes
+  /// Gas results (asserted in tests).
+  bool enable_tracing = false;
   /// Fault schedule (fault::FaultInjector::Parse grammar, e.g.
   /// "sp.deliver.drop@3,chain.reorg~0.05"). Empty = no injector: the fault
   /// points stay dormant and Gas results are bit-identical to a
@@ -114,6 +119,14 @@ class GrubSystem {
   /// The attached fault injector, or null when no schedule was given.
   fault::FaultInjector* Faults() { return faults_.get(); }
   const fault::FaultInjector* Faults() const { return faults_.get(); }
+
+  /// The attached Tracer, or null when `enable_tracing` is off.
+  telemetry::Tracer* Tracing() {
+    return telemetry_ == nullptr ? nullptr : telemetry_->Trace();
+  }
+  const telemetry::Tracer* Tracing() const {
+    return telemetry_ == nullptr ? nullptr : telemetry_->Trace();
+  }
 
   /// Issues a single read immediately (its own transaction + any deliver).
   void ReadNow(const Bytes& key);

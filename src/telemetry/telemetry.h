@@ -17,10 +17,13 @@
 // with it on, off, or absent.
 #pragma once
 
+#include <memory>
+
 #include "telemetry/config.h"
 #include "telemetry/epoch_series.h"
 #include "telemetry/gas_attribution.h"
 #include "telemetry/metrics.h"
+#include "telemetry/tracing.h"
 
 namespace grub::telemetry {
 
@@ -36,7 +39,21 @@ struct Span {
 
 class Telemetry {
  public:
-  explicit Telemetry(bool enabled = true) : registry_(enabled) {}
+  explicit Telemetry(bool enabled = true) : registry_(enabled) {
+    // Resolve the robustness instruments once: GatherRobustness runs on every
+    // epoch close, and a full-registry Snapshot() scan there is O(all
+    // instruments) per epoch. Handles stay valid for the registry's lifetime.
+    // A disabled registry hands out shared no-op instruments that unrelated
+    // increments also land on, so leave the handles null there — the old
+    // empty-Snapshot behavior returned all-zero totals, and so do we.
+    if (registry_.enabled()) {
+      fault_fires_ = &registry_.GetCounter("fault.fires_total");
+      deliver_retries_ = &registry_.GetCounter("sp.deliver_retries");
+      update_retries_ = &registry_.GetCounter("do.update_retries");
+      watchdog_reemits_ = &registry_.GetCounter("do.watchdog_reemits");
+      degraded_ = &registry_.GetGauge("do.degraded");
+    }
+  }
 
   MetricsRegistry& Registry() { return registry_; }
   GasAttribution& Gas() { return gas_; }
@@ -52,27 +69,26 @@ class Telemetry {
     return epochs_.Close(ops, gas_, GatherRobustness());
   }
 
-  /// Cumulative robustness counters as currently registered (all zero in
-  /// fault-free runs and with a disabled registry).
+  /// Cumulative robustness counters, read from the handles cached at
+  /// construction (all zero in fault-free runs and with a disabled registry).
   RobustnessTotals GatherRobustness() const {
     RobustnessTotals totals;
-    for (const auto& snap : registry_.Snapshot()) {
-      if (snap.kind == InstrumentSnapshot::Kind::kCounter) {
-        if (snap.name == "fault.fires") {
-          totals.fault_fires += snap.counter_value;
-        } else if (snap.name == "sp.deliver_retries" ||
-                   snap.name == "do.update_retries") {
-          totals.retries += snap.counter_value;
-        } else if (snap.name == "do.watchdog_reemits") {
-          totals.watchdog_reemits += snap.counter_value;
-        }
-      } else if (snap.kind == InstrumentSnapshot::Kind::kGauge &&
-                 snap.name == "do.degraded") {
-        totals.degraded = snap.gauge_value;
-      }
-    }
+    if (fault_fires_ == nullptr) return totals;
+    totals.fault_fires = fault_fires_->Value();
+    totals.retries = deliver_retries_->Value() + update_retries_->Value();
+    totals.watchdog_reemits = watchdog_reemits_->Value();
+    totals.degraded = degraded_->Value();
     return totals;
   }
+
+  /// Lazily creates the Tracer; components receive it via SetTracer and use
+  /// the null-pointer fast path when tracing is off.
+  Tracer& EnableTracing() {
+    if (!tracer_) tracer_ = std::make_unique<Tracer>();
+    return *tracer_;
+  }
+  Tracer* Trace() { return tracer_.get(); }
+  const Tracer* Trace() const { return tracer_.get(); }
 
   /// Zeroes the Gas attribution and re-baselines the epoch series; called by
   /// Blockchain::ResetGasCounters so the matrix stays in lockstep with the
@@ -86,6 +102,14 @@ class Telemetry {
   MetricsRegistry registry_;
   GasAttribution gas_;
   EpochSeries epochs_;
+  std::unique_ptr<Tracer> tracer_;
+
+  // Cached robustness handles (null when the registry is disabled).
+  Counter* fault_fires_ = nullptr;
+  Counter* deliver_retries_ = nullptr;
+  Counter* update_retries_ = nullptr;
+  Counter* watchdog_reemits_ = nullptr;
+  Gauge* degraded_ = nullptr;
 };
 
 }  // namespace grub::telemetry

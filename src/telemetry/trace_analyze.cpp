@@ -1,0 +1,209 @@
+#include "telemetry/trace_analyze.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+namespace grub::telemetry {
+
+uint64_t PercentileNearestRank(std::vector<uint64_t> sample, double p) {
+  if (sample.empty()) return 0;
+  std::sort(sample.begin(), sample.end());
+  if (p <= 0) return sample.front();
+  if (p >= 100) return sample.back();
+  // Nearest-rank: the smallest value with at least ceil(p/100 * N) samples
+  // at or below it.
+  const size_t rank = static_cast<size_t>(
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(sample.size()))));
+  return sample[rank - 1];
+}
+
+TraceSummary Summarize(const Tracer& tracer) {
+  TraceSummary summary;
+  std::vector<uint64_t> latencies;
+
+  for (const auto& span : tracer.Spans()) {
+    // Retry/drop events mirror onto every request span in the batch (so a
+    // starved gGet shows its own chain); count the resubmissions themselves
+    // only on the spans that own the retry loop.
+    if (span.kind == SpanKind::kDeliver || span.kind == SpanKind::kEpoch) {
+      const uint64_t retries = span.CountEvents("deliver.retry") +
+                               span.CountEvents("update.retry");
+      summary.total_retries += retries;
+      summary.max_retry_chain = std::max(summary.max_retry_chain, retries);
+      summary.deliver_drops += span.CountEvents("deliver.drop") +
+                               span.CountEvents("update.drop");
+    }
+    summary.watchdog_reemits += span.CountEvents("watchdog.reemit");
+    summary.reorg_replays += span.CountEvents("reorg.replay") +
+                             span.CountEvents("tx.replayed");
+    summary.dup_callbacks += span.CountEvents("callback.dup");
+
+    switch (span.kind) {
+      case SpanKind::kGet:
+        summary.gets += 1;
+        if (span.completed) {
+          summary.completed_gets += 1;
+          latencies.push_back(span.LatencyBlocks());
+        } else if (!span.closed) {
+          summary.open_gets += 1;
+        }
+        break;
+      case SpanKind::kScan:
+        summary.scans += 1;
+        if (span.completed) summary.completed_scans += 1;
+        break;
+      case SpanKind::kDeliver: {
+        summary.delivers += 1;
+        for (const auto& [k, v] : span.attrs) {
+          if (k == "batch") {
+            summary.deliver_batch_sizes[std::strtoull(v.c_str(), nullptr,
+                                                      10)] += 1;
+          }
+        }
+        break;
+      }
+      case SpanKind::kEpoch:
+        summary.epochs += 1;
+        break;
+    }
+  }
+
+  summary.get_latency_blocks.count = latencies.size();
+  if (!latencies.empty()) {
+    summary.get_latency_blocks.p50 = PercentileNearestRank(latencies, 50);
+    summary.get_latency_blocks.p90 = PercentileNearestRank(latencies, 90);
+    summary.get_latency_blocks.p99 = PercentileNearestRank(latencies, 99);
+    summary.get_latency_blocks.max =
+        *std::max_element(latencies.begin(), latencies.end());
+  }
+
+  for (const auto& event : tracer.GlobalEvents()) {
+    if (event.name == "chain.reorg") summary.reorgs += 1;
+  }
+
+  for (const auto& flip : tracer.Flips()) {
+    if (summary.policy.empty()) summary.policy = flip.policy;
+    FlipStats& stats = summary.flips_by_key[Tracer::RenderKey(flip.key)];
+    if (flip.to_replicated) {
+      stats.nr_to_r += 1;
+    } else {
+      stats.r_to_nr += 1;
+    }
+    stats.timeline.emplace_back(flip.block, flip.to_replicated);
+    summary.total_flips += 1;
+  }
+
+  summary.unmatched_callbacks = tracer.unmatched_callbacks();
+  return summary;
+}
+
+void PrintSummary(const TraceSummary& summary, std::FILE* out) {
+  std::fprintf(out, "=== trace summary ===\n");
+  std::fprintf(out,
+               "requests:  %llu gGets (%llu answered, %llu starved), "
+               "%llu gScans (%llu delivered)\n",
+               (unsigned long long)summary.gets,
+               (unsigned long long)summary.completed_gets,
+               (unsigned long long)summary.open_gets,
+               (unsigned long long)summary.scans,
+               (unsigned long long)summary.completed_scans);
+  std::fprintf(out,
+               "latency:   gGet blocks-to-callback p50=%llu p90=%llu "
+               "p99=%llu max=%llu  (n=%llu)\n",
+               (unsigned long long)summary.get_latency_blocks.p50,
+               (unsigned long long)summary.get_latency_blocks.p90,
+               (unsigned long long)summary.get_latency_blocks.p99,
+               (unsigned long long)summary.get_latency_blocks.max,
+               (unsigned long long)summary.get_latency_blocks.count);
+  std::fprintf(out, "delivers:  %llu batches, sizes ",
+               (unsigned long long)summary.delivers);
+  if (summary.deliver_batch_sizes.empty()) {
+    std::fprintf(out, "(none)");
+  } else {
+    bool first = true;
+    for (const auto& [size, count] : summary.deliver_batch_sizes) {
+      std::fprintf(out, "%s%llux%llu", first ? "" : " ",
+                   (unsigned long long)size, (unsigned long long)count);
+      first = false;
+    }
+  }
+  std::fprintf(out, "\n");
+  std::fprintf(out,
+               "recovery:  %llu retries (max chain %llu), %llu drops, "
+               "%llu watchdog re-emits, %llu reorgs, %llu replays, "
+               "%llu dup callbacks\n",
+               (unsigned long long)summary.total_retries,
+               (unsigned long long)summary.max_retry_chain,
+               (unsigned long long)summary.deliver_drops,
+               (unsigned long long)summary.watchdog_reemits,
+               (unsigned long long)summary.reorgs,
+               (unsigned long long)summary.reorg_replays,
+               (unsigned long long)summary.dup_callbacks);
+  if (summary.unmatched_callbacks != 0) {
+    std::fprintf(out, "warning:   %llu callbacks matched no request span\n",
+                 (unsigned long long)summary.unmatched_callbacks);
+  }
+  std::fprintf(out, "flips:     %llu total",
+               (unsigned long long)summary.total_flips);
+  if (!summary.policy.empty()) {
+    std::fprintf(out, "  (policy %s)", summary.policy.c_str());
+  }
+  std::fprintf(out, "\n");
+  for (const auto& [key, stats] : summary.flips_by_key) {
+    std::fprintf(out, "  %-24s nr->r %4llu  r->nr %4llu  timeline",
+                 key.c_str(), (unsigned long long)stats.nr_to_r,
+                 (unsigned long long)stats.r_to_nr);
+    // A long timeline elides its middle: first and last few flips locate the
+    // churn without flooding the terminal.
+    const size_t n = stats.timeline.size();
+    const size_t head = n > 8 ? 4 : n;
+    for (size_t i = 0; i < head; ++i) {
+      std::fprintf(out, " %c@%llu", stats.timeline[i].second ? 'R' : 'N',
+                   (unsigned long long)stats.timeline[i].first);
+    }
+    if (n > 8) {
+      std::fprintf(out, " ...");
+      for (size_t i = n - 4; i < n; ++i) {
+        std::fprintf(out, " %c@%llu", stats.timeline[i].second ? 'R' : 'N',
+                     (unsigned long long)stats.timeline[i].first);
+      }
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+void PrintFlipRegret(const TraceSummary& summary,
+                     const std::map<std::string, uint64_t>& oracle_flips,
+                     std::FILE* out) {
+  std::fprintf(out, "=== per-key flip regret vs offline optimal ===\n");
+  std::fprintf(out, "%-24s %8s %8s %8s\n", "", "actual", "oracle", "regret");
+  std::set<std::string> keys;
+  for (const auto& [key, stats] : summary.flips_by_key) keys.insert(key);
+  for (const auto& [key, flips] : oracle_flips) {
+    if (flips > 0) keys.insert(key);
+  }
+  uint64_t total_actual = 0, total_oracle = 0, total_regret = 0;
+  for (const auto& key : keys) {
+    auto it = summary.flips_by_key.find(key);
+    const uint64_t actual = it == summary.flips_by_key.end() ? 0
+                                                             : it->second.Total();
+    auto oracle_it = oracle_flips.find(key);
+    const uint64_t oracle =
+        oracle_it == oracle_flips.end() ? 0 : oracle_it->second;
+    const uint64_t regret = actual > oracle ? actual - oracle : 0;
+    total_actual += actual;
+    total_oracle += oracle;
+    total_regret += regret;
+    std::fprintf(out, "%-24s %8llu %8llu %8llu\n", key.c_str(),
+                 (unsigned long long)actual, (unsigned long long)oracle,
+                 (unsigned long long)regret);
+  }
+  std::fprintf(out, "%-24s %8llu %8llu %8llu\n", "total",
+               (unsigned long long)total_actual,
+               (unsigned long long)total_oracle,
+               (unsigned long long)total_regret);
+}
+
+}  // namespace grub::telemetry

@@ -1,0 +1,86 @@
+// Trace analyzer: turns a Tracer's span/event/audit stream into the summary
+// `grubctl --trace-summary` prints — gGet latency-in-blocks percentiles,
+// deliver batch-size distribution, retry-chain depth, fault/recovery event
+// counts, and per-key replication-flip timelines (comparable against an
+// OfflineOptimalPolicy replay for per-key regret).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/tracing.h"
+
+namespace grub::telemetry {
+
+/// Nearest-rank percentile over an unsorted sample (sorted internally).
+/// p in [0, 100]; returns 0 for an empty sample.
+uint64_t PercentileNearestRank(std::vector<uint64_t> sample, double p);
+
+struct LatencyStats {
+  uint64_t count = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+};
+
+/// Per-key flip history reconstructed from the audit records.
+struct FlipStats {
+  uint64_t nr_to_r = 0;
+  uint64_t r_to_nr = 0;
+  /// (block, to_replicated) in record order — the flip timeline.
+  std::vector<std::pair<uint64_t, bool>> timeline;
+
+  uint64_t Total() const { return nr_to_r + r_to_nr; }
+};
+
+struct TraceSummary {
+  // Request population.
+  uint64_t gets = 0;
+  uint64_t completed_gets = 0;
+  uint64_t open_gets = 0;  // never answered (starved at run end)
+  uint64_t scans = 0;
+  uint64_t completed_scans = 0;
+  uint64_t delivers = 0;
+  uint64_t epochs = 0;
+
+  /// Completed-gGet latency, in blocks from issuance to callback.
+  LatencyStats get_latency_blocks;
+
+  /// Deliver batch size (the span's "batch" attr) -> number of delivers.
+  std::map<uint64_t, uint64_t> deliver_batch_sizes;
+
+  /// Retry chains: deliver/update resubmissions per owning span.
+  uint64_t max_retry_chain = 0;
+  uint64_t total_retries = 0;
+
+  // Fault / recovery event counts across all spans.
+  uint64_t deliver_drops = 0;
+  uint64_t watchdog_reemits = 0;
+  uint64_t reorg_replays = 0;  // "reorg.replay" + "tx.replayed" events
+  uint64_t reorgs = 0;         // chain.reorg global events
+  uint64_t dup_callbacks = 0;
+  uint64_t unmatched_callbacks = 0;
+
+  // Policy audit.
+  std::map<std::string, FlipStats> flips_by_key;  // rendered key -> stats
+  uint64_t total_flips = 0;
+  std::string policy;  // from the first audit record, if any
+};
+
+TraceSummary Summarize(const Tracer& tracer);
+
+void PrintSummary(const TraceSummary& summary, std::FILE* out = stdout);
+
+/// Prints per-key flip counts next to an oracle's (e.g. an
+/// OfflineOptimalPolicy replayed over the same operation stream). The regret
+/// column is the excess flips the online policy paid over the oracle
+/// (saturating at 0 — fewer flips than the oracle is not a debt).
+void PrintFlipRegret(const TraceSummary& summary,
+                     const std::map<std::string, uint64_t>& oracle_flips,
+                     std::FILE* out = stdout);
+
+}  // namespace grub::telemetry

@@ -20,6 +20,7 @@
 
 #include "grub/system.h"
 #include "telemetry/table.h"
+#include "telemetry/trace_analyze.h"
 #include "workload/synthetic.h"
 #include "workload/ycsb.h"
 
@@ -41,6 +42,8 @@ struct Args {
   bool telemetry = false;
   bool gas_breakdown = false;   // implies telemetry
   std::string metrics_out;      // implies telemetry; .csv = CSV, else JSONL
+  std::string trace_out;        // implies tracing; .json = Chrome, else JSONL
+  bool trace_summary = false;   // implies tracing
   std::string faults;           // fault schedule (FaultInjector::Parse)
   uint64_t fault_seed = 42;
   bool help = false;
@@ -67,6 +70,13 @@ void PrintUsage() {
       "  --metrics-out F write the per-epoch attribution series to F —\n"
       "                  CSV if F ends in .csv, JSON-lines otherwise\n"
       "                  (implies --telemetry)\n"
+      "  --trace-out F   write the request-scoped trace to F — Chrome\n"
+      "                  trace-event JSON (Perfetto-loadable) if F ends in\n"
+      "                  .json, JSON-lines otherwise (implies tracing)\n"
+      "  --trace-summary print gGet latency-in-blocks percentiles, deliver\n"
+      "                  batch sizes, retry chains, and per-key flip counts\n"
+      "                  with regret vs the offline-optimal policy (implies\n"
+      "                  tracing)\n"
       "  --faults S      fault schedule, e.g.\n"
       "                  'sp.deliver.drop@3,chain.reorg~0.05' — rules are\n"
       "                  point@N (Nth hit), point%%N (every Nth), point~P\n"
@@ -111,6 +121,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.gas_breakdown = true;
     } else if (!std::strcmp(argv[i], "--metrics-out")) {
       args.metrics_out = next("--metrics-out");
+    } else if (!std::strcmp(argv[i], "--trace-out")) {
+      args.trace_out = next("--trace-out");
+    } else if (!std::strcmp(argv[i], "--trace-summary")) {
+      args.trace_summary = true;
     } else if (!std::strcmp(argv[i], "--faults")) {
       args.faults = next("--faults");
     } else if (!std::strcmp(argv[i], "--fault-seed")) {
@@ -195,6 +209,24 @@ workload::Trace MakeWorkload(const Args& args) {
   std::exit(2);
 }
 
+// Per-key flips a clairvoyant policy would pay on the same trace — the
+// baseline for the summary's regret column. Scans are skipped: the oracle
+// only flips at writes, and scan expansion needs the live key set.
+std::map<std::string, uint64_t> OracleFlips(const workload::Trace& trace,
+                                            const chain::GasSchedule& gas) {
+  core::OfflineOptimalPolicy oracle(trace, core::BreakEvenK(gas));
+  std::map<std::string, uint64_t> flips;
+  for (const auto& op : trace) {
+    if (op.type == workload::OpType::kScan) continue;
+    const ads::ReplState before = oracle.StateOf(op.key);
+    oracle.Observe(op);
+    if (oracle.StateOf(op.key) != before) {
+      flips[telemetry::Tracer::RenderKey(op.key)] += 1;
+    }
+  }
+  return flips;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,6 +240,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const bool want_tracing = !args.trace_out.empty() || args.trace_summary;
   const bool want_telemetry =
       args.telemetry || args.gas_breakdown || !args.metrics_out.empty();
 
@@ -217,6 +250,7 @@ int main(int argc, char** argv) {
   options.scan_mode = args.range_scans ? core::ScanMode::kRangeProof
                                        : core::ScanMode::kExpandPointReads;
   options.enable_telemetry = want_telemetry;
+  options.enable_tracing = want_tracing;
   options.fault_schedule = args.faults;
   options.fault_seed = args.fault_seed;
 
@@ -259,6 +293,7 @@ int main(int argc, char** argv) {
     system.Chain().ResetGasCounters();
     // Drop warm-up epochs so the exported series covers the measured pass.
     if (system.Metrics() != nullptr) system.Metrics()->Epochs().Clear();
+    if (system.Tracing() != nullptr) system.Tracing()->Clear();
   }
   auto epochs = system.Drive(trace);
 
@@ -329,6 +364,33 @@ int main(int argc, char** argv) {
     std::printf("metrics:   wrote %zu epoch rows to %s (%s)\n",
                 series.Rows().size(), args.metrics_out.c_str(),
                 csv ? "csv" : "jsonl");
+  }
+  if (!args.trace_out.empty()) {
+    std::ofstream out(args.trace_out, std::ios::trunc);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot open %s\n", args.trace_out.c_str());
+      return 1;
+    }
+    const telemetry::Tracer& tracer = *system.Tracing();
+    const bool chrome = args.trace_out.size() >= 5 &&
+                        args.trace_out.rfind(".json") ==
+                            args.trace_out.size() - 5;
+    if (chrome) {
+      tracer.WriteChromeJson(out);
+    } else {
+      tracer.WriteJsonLines(out);
+    }
+    std::printf("trace: wrote %zu spans, %zu events, %zu flips to %s (%s)\n",
+                tracer.Spans().size(), tracer.GlobalEvents().size(),
+                tracer.Flips().size(), args.trace_out.c_str(),
+                chrome ? "chrome-json" : "jsonl");
+  }
+  if (args.trace_summary) {
+    std::printf("\n");
+    const auto summary = telemetry::Summarize(*system.Tracing());
+    telemetry::PrintSummary(summary);
+    telemetry::PrintFlipRegret(summary,
+                               OracleFlips(trace, options.chain_params.gas));
   }
   return 0;
 }
