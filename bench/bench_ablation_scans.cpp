@@ -7,16 +7,31 @@
 // log(n)-sized proof per record.
 #include <cstdio>
 
+#include "bench_registry.h"
 #include "bench_util.h"
 #include "workload/ycsb.h"
 
-int main() {
-  using namespace grub;
-  using namespace grub::bench;
+namespace {
 
-  for (size_t store : {1u << 10, 1u << 14}) {
+using namespace grub;
+using namespace grub::bench;
+
+telemetry::BenchReport Run(const BenchOptions& opts) {
+  const size_t trace_ops = opts.quick ? 128 : 512;
+  const std::vector<size_t> stores =
+      opts.quick ? std::vector<size_t>{1u << 10}
+                 : std::vector<size_t>{1u << 10, 1u << 14};
+
+  telemetry::BenchReport report;
+  report.title = "Ablation: range proofs vs expanded point reads for scans";
+  report.SetConfig("workload", "ycsb:E");
+  report.SetConfig("scan_ops", static_cast<uint64_t>(trace_ops));
+
+  for (size_t store : stores) {
     std::printf("=== store of %zu records, scan-heavy workload (YCSB E, "
                 "len<=10, 256B records) ===\n", store);
+    auto& series =
+        report.AddSeries("store " + std::to_string(store) + " records");
     for (auto [label, mode] :
          std::initializer_list<std::pair<const char*, core::ScanMode>>{
              {"expand to point reads", core::ScanMode::kExpandPointReads},
@@ -25,7 +40,7 @@ int main() {
       config.max_scan_length = 10;
       workload::YcsbGenerator gen(config, store, 256, 5, /*key_space=*/256);
       workload::Trace trace;
-      gen.Generate(512, trace);
+      gen.Generate(trace_ops, trace);
 
       core::SystemOptions options;
       options.scan_mode = mode;
@@ -42,11 +57,21 @@ int main() {
                   static_cast<double>(system.TotalGas()) /
                       static_cast<double>(ops),
                   static_cast<unsigned long long>(system.TotalGas()));
+      const bool range = mode == core::ScanMode::kRangeProof;
+      series.Add(range ? "range proof" : "expand point reads", range ? 1 : 0)
+          .Ops(ops, system.TotalGas());
     }
     std::printf("\n");
   }
-  std::printf("expected: the range-proof mode wins, and its advantage grows "
-              "with store depth (per-record audit paths scale with log n; "
-              "the shared frontier does not).\n");
-  return 0;
+  report.notes.push_back(
+      "Expected: the range-proof mode wins, and its advantage grows with "
+      "store depth (per-record audit paths scale with log n; the shared "
+      "frontier does not).");
+  std::printf("%s\n", report.notes.back().c_str());
+  return report;
 }
+
+[[maybe_unused]] const int kRegistered = RegisterBench(
+    "ablation_scans", "Ablation: range proofs vs expanded scans", Run);
+
+}  // namespace

@@ -8,33 +8,56 @@
 // longest read run (the policy never replicates: BL1 behavior, constant).
 #include <cstdio>
 
+#include "bench_registry.h"
 #include "bench_util.h"
 
-int main() {
-  using namespace grub;
-  using namespace grub::bench;
+namespace {
 
-  const std::vector<uint64_t> ks = {1, 2, 4, 8, 16, 32, 64};
-  const std::vector<double> ratios = {2, 4, 8};
+using namespace grub;
+using namespace grub::bench;
+
+telemetry::BenchReport Run(const BenchOptions& opts) {
+  const std::vector<uint64_t> ks =
+      opts.quick ? std::vector<uint64_t>{1, 4, 16}
+                 : std::vector<uint64_t>{1, 2, 4, 8, 16, 32, 64};
+  const std::vector<double> ratios =
+      opts.quick ? std::vector<double>{2, 8} : std::vector<double>{2, 4, 8};
+  const size_t ops = opts.quick ? 128 : 512;
+
+  telemetry::BenchReport report;
+  report.title = "Figure 11: memoryless GRuB, Gas per op vs K";
+  report.SetConfig("workload", "fixed-ratio");
+  report.SetConfig("ops", static_cast<uint64_t>(ops));
 
   std::vector<std::string> columns;
   for (uint64_t k : ks) columns.push_back("K=" + std::to_string(k));
-  PrintHeader("Figure 11: memoryless GRuB, Gas per op vs K", columns);
+  PrintHeader(report.title, columns);
 
   core::SystemOptions options;
   for (double ratio : ratios) {
+    auto& series = report.AddSeries("ratio=" + GLabel(ratio));
     std::vector<double> row;
     for (uint64_t k : ks) {
-      auto trace = workload::FixedRatioTrace(ratio, 512, 32);
-      row.push_back(ConvergedGasPerOp(options, Memoryless(k), {}, trace, 32));
+      auto trace = workload::FixedRatioTrace(ratio, ops, 32);
+      const ConvergedRun run = ConvergedGas(options, Memoryless(k), trace, 32);
+      row.push_back(run.PerOp());
+      series.Add("K=" + std::to_string(k), static_cast<double>(k))
+          .Ops(run.ops, run.gas)
+          .Matrix(run.matrix);
     }
     char label[48];
     std::snprintf(label, sizeof(label), "Read to write ratio = %g", ratio);
     PrintRow(label, row, "%12.0f");
   }
 
-  std::printf("\nExpected (paper): rise to a peak near K = ratio, then fall "
-              "to the flat never-replicate cost; the peak K grows with the "
-              "ratio.\n");
-  return 0;
+  report.notes.push_back(
+      "Expected (paper): rise to a peak near K = ratio, then fall to the "
+      "flat never-replicate cost; the peak K grows with the ratio.");
+  std::printf("\n%s\n", report.notes.back().c_str());
+  return report;
 }
+
+[[maybe_unused]] const int kRegistered = RegisterBench(
+    "fig11_k_sweep", "Figure 11: memoryless GRuB Gas/op vs K", Run);
+
+}  // namespace

@@ -6,13 +6,30 @@
 // records read repeatedly trigger more replication).
 #include "ycsb_bench.h"
 
-int main() {
-  grub::bench::YcsbRunConfig config;
+namespace {
+
+using namespace grub;
+using namespace grub::bench;
+
+telemetry::BenchReport Run(const BenchOptions& opts) {
+  YcsbRunConfig config;
   config.workload_a = 'A';
   config.workload_b = 'E';
   config.record_bytes = 1024;
-  grub::bench::RunAndPrintMix(config);
-  std::printf("\nPaper: BL1 1400,290,302 (+25.7%%); BL2 1936,114,585 "
-              "(+73.8%%); GRuB 1114,217,927.\n");
-  return 0;
+  YcsbPaperTotals paper;
+  paper.bl1 = 1400290302;
+  paper.bl2 = 1936114585;
+  paper.grub = 1114217927;
+  auto report = RunMixBench(config, opts, /*k=*/4, paper);
+  report.title = "Figure 13a + Table 4 row A,E: mixed YCSB A/E, 1 KiB records";
+  report.notes.push_back(
+      "Paper: BL1 1400,290,302 (+25.7%); BL2 1936,114,585 (+73.8%); "
+      "GRuB 1114,217,927.");
+  std::printf("\n%s\n", report.notes.back().c_str());
+  return report;
 }
+
+[[maybe_unused]] const int kRegistered = RegisterBench(
+    "fig13a_ycsb_ae", "Figure 13a + Table 4: mixed YCSB A,E", Run);
+
+}  // namespace

@@ -4,13 +4,30 @@
 // Paper: BL1 1746.9M (+54.1%), BL2 1252.0M (+10.4%), GRuB 1133.9M.
 #include "ycsb_bench.h"
 
-int main() {
-  grub::bench::YcsbRunConfig config;
+namespace {
+
+using namespace grub;
+using namespace grub::bench;
+
+telemetry::BenchReport Run(const BenchOptions& opts) {
+  YcsbRunConfig config;
   config.workload_a = 'A';
   config.workload_b = 'F';
   config.record_bytes = 32;
-  grub::bench::RunAndPrintMix(config, /*k=*/1);
-  std::printf("\nPaper: BL1 1746,854,231 (+54.1%%); BL2 1252,009,322 "
-              "(+10.4%%); GRuB 1133,858,720.\n");
-  return 0;
+  YcsbPaperTotals paper;
+  paper.bl1 = 1746854231;
+  paper.bl2 = 1252009322;
+  paper.grub = 1133858720;
+  auto report = RunMixBench(config, opts, /*k=*/1, paper);
+  report.title = "Figure 13b + Table 4 row A,F: mixed YCSB A/F, 32 B records";
+  report.notes.push_back(
+      "Paper: BL1 1746,854,231 (+54.1%); BL2 1252,009,322 (+10.4%); "
+      "GRuB 1133,858,720.");
+  std::printf("\n%s\n", report.notes.back().c_str());
+  return report;
 }
+
+[[maybe_unused]] const int kRegistered = RegisterBench(
+    "fig13b_ycsb_af", "Figure 13b + Table 4: mixed YCSB A,F", Run);
+
+}  // namespace

@@ -8,42 +8,73 @@
 
 #include "ycsb_bench.h"
 
-int main() {
-  using namespace grub;
-  using namespace grub::bench;
+namespace {
 
+using namespace grub;
+using namespace grub::bench;
+
+telemetry::BenchReport Run(const BenchOptions& opts) {
   YcsbRunConfig config;
   config.workload_a = 'A';
   config.workload_b = 'B';
   config.record_bytes = 1024;
   config.record_count = 1 << 14;  // scaled for the sweep's runtime
   config.ops_per_phase = 2048;
+  if (opts.quick) config = QuickScale(config);
 
   core::SystemOptions options;
   options.ops_per_tx = 32;
   options.txs_per_epoch = 4;
 
-  const std::vector<double> ks = {1, 2, 4, 8, 16, 32, 64};
+  const std::vector<double> ks = opts.quick
+                                     ? std::vector<double>{1, 4, 16}
+                                     : std::vector<double>{1, 2, 4, 8, 16, 32,
+                                                           64};
 
-  auto gas_per_op = [&](const PolicyFactory& policy) {
-    auto result = RunYcsbMix(config, policy, options);
-    return result.total_ops
-               ? static_cast<double>(result.total_gas) /
-                     static_cast<double>(result.total_ops)
-               : 0.0;
+  telemetry::BenchReport report;
+  report.title = "Figure 14: Gas/op under mixed YCSB A,B vs parameter K";
+  report.SetConfig("workload", "ycsb:A,B");
+  report.SetConfig("records", static_cast<uint64_t>(config.record_count));
+  report.SetConfig("ops_per_phase", static_cast<uint64_t>(config.ops_per_phase));
+
+  auto run_mix = [&](const PolicyFactory& policy) {
+    return RunYcsbMix(config, policy, options);
   };
 
-  const double bl1 = gas_per_op(BL1());
-  const double bl2 = gas_per_op(BL2());
   std::printf("=== Figure 14: Gas/op under mixed YCSB A,B vs parameter K ===\n");
-  std::printf("%-28s %10.0f\n", "No replica (BL1)", bl1);
-  std::printf("%-28s %10.0f\n", "Always with replica (BL2)", bl2);
-  for (double k : ks) {
-    const double v = gas_per_op(Memoryless(static_cast<uint64_t>(k)));
-    std::printf("GRuB - memoryless K=%-8g %10.0f\n", k, v);
+  auto& baselines = report.AddSeries("static baselines");
+  {
+    const auto bl1 = run_mix(BL1());
+    std::printf("%-28s %10.0f\n", "No replica (BL1)",
+                static_cast<double>(bl1.total_gas) /
+                    static_cast<double>(bl1.total_ops));
+    baselines.Add("BL1", 0).Ops(bl1.total_ops, bl1.total_gas);
+    const auto bl2 = run_mix(BL2());
+    std::printf("%-28s %10.0f\n", "Always with replica (BL2)",
+                static_cast<double>(bl2.total_gas) /
+                    static_cast<double>(bl2.total_ops));
+    baselines.Add("BL2", 1).Ops(bl2.total_ops, bl2.total_gas);
   }
-  std::printf("\nExpected (paper): U-shape with the minimum at a small K "
-              "(K=2 on the paper's geometry), rising toward BL1 for large "
-              "K.\n");
-  return 0;
+
+  auto& sweep = report.AddSeries("GRuB memoryless, K sweep");
+  for (double k : ks) {
+    const auto result = run_mix(Memoryless(static_cast<uint64_t>(k)));
+    const double v = result.total_ops
+                         ? static_cast<double>(result.total_gas) /
+                               static_cast<double>(result.total_ops)
+                         : 0.0;
+    std::printf("GRuB - memoryless K=%-8g %10.0f\n", k, v);
+    sweep.Add("K=" + GLabel(k), k).Ops(result.total_ops, result.total_gas);
+  }
+
+  report.notes.push_back(
+      "Expected (paper): U-shape with the minimum at a small K (K=2 on the "
+      "paper's geometry), rising toward BL1 for large K.");
+  std::printf("\n%s\n", report.notes.back().c_str());
+  return report;
 }
+
+[[maybe_unused]] const int kRegistered = RegisterBench(
+    "fig14_ycsb_k", "Figure 14: mixed YCSB A,B Gas/op vs K", Run);
+
+}  // namespace

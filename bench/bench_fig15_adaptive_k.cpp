@@ -6,58 +6,90 @@
 // future-repeats-the-past does not hold for this workload.
 #include <cstdio>
 
+#include "bench_registry.h"
 #include "bench_util.h"
 #include "grub/policy.h"
 
-int main() {
-  using namespace grub;
-  using namespace grub::bench;
+namespace {
 
-  auto trace = workload::PriceOracleTrace({});
+using namespace grub;
+using namespace grub::bench;
+
+telemetry::BenchReport Run(const BenchOptions& opts) {
+  workload::PriceOracleOptions oracle_options;
+  if (opts.quick) oracle_options.write_count = 200;
+  auto trace = workload::PriceOracleTrace(oracle_options);
+  const size_t asset_count = opts.quick ? 512 : 4096;
 
   core::SystemOptions options;
   const double threshold = core::BreakEvenK(options.chain_params.gas);
 
+  telemetry::BenchReport report;
+  report.title = "Figure 15 + Table 5: adaptive-K policies, ethPriceOracle";
+  report.SetConfig("workload", "oracle");
+  report.SetConfig("assets", static_cast<uint64_t>(asset_count));
+
   struct Variant {
     std::string label;
     PolicyFactory policy;
+    double paper_m;  // Table 5 totals, millions of Gas
   };
   const std::vector<Variant> variants = {
-      {"Memoryless (K=1)", Memoryless(1)},
+      {"Memoryless (K=1)", Memoryless(1), 50.16},
       {"Memorizing (Adaptive K1)",
-       [threshold] { return std::make_unique<core::AdaptiveK1Policy>(threshold); }},
+       [threshold] { return std::make_unique<core::AdaptiveK1Policy>(threshold); },
+       50.61},
       {"Memorizing (Adaptive K2)",
-       [threshold] { return std::make_unique<core::AdaptiveK2Policy>(threshold); }},
+       [threshold] { return std::make_unique<core::AdaptiveK2Policy>(threshold); },
+       43.74},
   };
 
   std::printf("=== Figure 15: Gas per op per epoch (32 txs), first 20 epochs "
               "===\n");
   std::vector<uint64_t> totals;
+  std::vector<size_t> total_ops;
   for (const auto& variant : variants) {
     core::GrubSystem system(options, variant.policy());
     // Same 4096-asset setup as Fig. 5.
     std::vector<std::pair<Bytes, Bytes>> assets;
-    for (uint64_t i = 0; i < 4096; ++i) {
+    for (uint64_t i = 0; i < asset_count; ++i) {
       assets.emplace_back(workload::MakeKey(i), Bytes(32, 0x44));
     }
     system.Preload(assets);
     auto epochs = system.Drive(trace);
+    auto& series = report.AddSeries(variant.label + " (epochs)");
     std::printf("%-28s", variant.label.c_str());
     for (size_t i = 0; i < 20 && i < epochs.size(); ++i) {
       std::printf("%7.0f", epochs[i].PerOp());
+      series.Add("epoch " + std::to_string(i), static_cast<double>(i))
+          .Ops(epochs[i].ops, epochs[i].gas);
     }
     std::printf("\n");
     totals.push_back(system.TotalGas());
+    size_t ops = 0;
+    for (const auto& e : epochs) ops += e.ops;
+    total_ops.push_back(ops);
   }
 
   std::printf("\n=== Table 5: aggregated Gas (x10^6) ===\n");
+  auto& aggregate = report.AddSeries("Table 5: aggregated Gas");
   const double base = static_cast<double>(totals[0]);
   for (size_t i = 0; i < variants.size(); ++i) {
     const double total = static_cast<double>(totals[i]);
     std::printf("%-28s %8.2f (%+.1f%%)\n", variants[i].label.c_str(),
                 total / 1e6, (total / base - 1) * 100);
+    auto& row = aggregate.Add(variants[i].label, static_cast<double>(i))
+                    .Ops(total_ops[i], totals[i]);
+    if (!opts.quick) row.Paper(variants[i].paper_m * 1e6);
   }
-  std::printf("\nPaper: memoryless 50.16; Adaptive K1 50.61 (+0.8%%); "
-              "Adaptive K2 43.74 (-12.8%%).\n");
-  return 0;
+  report.notes.push_back(
+      "Paper: memoryless 50.16M; Adaptive K1 50.61M (+0.8%); Adaptive K2 "
+      "43.74M (-12.8%).");
+  std::printf("\n%s\n", report.notes.back().c_str());
+  return report;
 }
+
+[[maybe_unused]] const int kRegistered = RegisterBench(
+    "fig15_adaptive_k", "Figure 15 + Table 5: adaptive-K policies", Run);
+
+}  // namespace

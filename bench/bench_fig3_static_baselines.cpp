@@ -7,37 +7,57 @@
 // at ratio 256 and BL1 far cheaper at write-only.
 #include <cstdio>
 
+#include "bench_registry.h"
 #include "bench_util.h"
 
-int main() {
-  using namespace grub;
-  using namespace grub::bench;
+namespace {
 
-  const std::vector<double> ratios = {0, 0.125, 0.5, 1, 4, 16, 64, 256};
+using namespace grub;
+using namespace grub::bench;
+
+telemetry::BenchReport Run(const BenchOptions& opts) {
+  const std::vector<double> ratios =
+      opts.quick ? std::vector<double>{0, 1, 16}
+                 : std::vector<double>{0, 0.125, 0.5, 1, 4, 16, 64, 256};
+  const size_t ops = opts.quick ? 128 : 512;
   core::SystemOptions options;  // 32 ops/tx, 1 tx per epoch
 
+  telemetry::BenchReport report;
+  report.title = "Figure 3: static baselines, Gas per op (single 32B record)";
+  report.SetConfig("workload", "fixed-ratio");
+  report.SetConfig("ops", static_cast<uint64_t>(ops));
+  report.SetConfig("record_bytes", 32);
+  report.SetConfig("ops_per_tx", static_cast<uint64_t>(options.ops_per_tx));
+
   std::vector<std::string> columns;
-  for (double r : ratios) {
-    char buf[16];
-    std::snprintf(buf, sizeof(buf), "%g", r);
-    columns.push_back(buf);
-  }
-  PrintHeader("Figure 3: static baselines, Gas per op (single 32B record)",
-              columns);
+  for (double r : ratios) columns.push_back(GLabel(r));
+  PrintHeader(report.title, columns);
 
   for (const auto& [label, policy] :
        std::vector<std::pair<std::string, PolicyFactory>>{
            {"No replica (BL1)", BL1()}, {"Always with replica (BL2)", BL2()}}) {
+    auto& series = report.AddSeries(label);
     std::vector<double> row;
     for (double ratio : ratios) {
-      auto trace = workload::FixedRatioTrace(ratio, 512, 32);
-      row.push_back(ConvergedGasPerOp(options, policy, {}, trace, 32));
+      auto trace = workload::FixedRatioTrace(ratio, ops, 32);
+      const ConvergedRun run = ConvergedGas(options, policy, trace, 32);
+      row.push_back(run.PerOp());
+      series.Add("ratio=" + GLabel(ratio), ratio)
+          .Ops(run.ops, run.gas)
+          .Matrix(run.matrix);
     }
     PrintRow(label, row, "%12.0f");
   }
 
-  std::printf(
-      "\nExpected (paper): crossover near ratio 1.5-2; BL1 cheapest when "
-      "write-only; BL2 ~7x cheaper at ratio 256.\n");
-  return 0;
+  report.notes.push_back(
+      "Expected (paper): crossover near ratio 1.5-2; BL1 cheapest when "
+      "write-only; BL2 ~7x cheaper at ratio 256.");
+  std::printf("\n%s\n", report.notes.back().c_str());
+  return report;
 }
+
+[[maybe_unused]] const int kRegistered = RegisterBench(
+    "fig3_static_baselines",
+    "Figure 3: static baselines, Gas per op vs read-to-write ratio", Run);
+
+}  // namespace

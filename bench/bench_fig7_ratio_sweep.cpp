@@ -8,21 +8,29 @@
 // magnitude more than GRuB in read-intensive workloads.
 #include <cstdio>
 
+#include "bench_registry.h"
 #include "bench_util.h"
 
-int main() {
-  using namespace grub;
-  using namespace grub::bench;
+namespace {
 
-  const std::vector<double> ratios = {0, 0.125, 0.5, 1, 4, 16, 64, 256};
+using namespace grub;
+using namespace grub::bench;
+
+telemetry::BenchReport Run(const BenchOptions& opts) {
+  const std::vector<double> ratios =
+      opts.quick ? std::vector<double>{0.5, 4, 64}
+                 : std::vector<double>{0, 0.125, 0.5, 1, 4, 16, 64, 256};
+  const size_t ops = opts.quick ? 128 : 512;
+
+  telemetry::BenchReport report;
+  report.title = "Figure 7: Gas per op vs read-to-write ratio";
+  report.SetConfig("workload", "fixed-ratio");
+  report.SetConfig("ops", static_cast<uint64_t>(ops));
+  report.SetConfig("record_bytes", 32);
 
   std::vector<std::string> columns;
-  for (double r : ratios) {
-    char buf[16];
-    std::snprintf(buf, sizeof(buf), "%g", r);
-    columns.push_back(buf);
-  }
-  PrintHeader("Figure 7: Gas per op vs read-to-write ratio", columns);
+  for (double r : ratios) columns.push_back(GLabel(r));
+  PrintHeader(report.title, columns);
 
   struct Variant {
     std::string label;
@@ -33,6 +41,7 @@ int main() {
   core::SystemOptions base;
   const uint64_t k = static_cast<uint64_t>(core::BreakEvenK(
       base.chain_params.gas) + 0.5);
+  report.SetConfig("break_even_k", k);
 
   // GRuB converges to min(BL1,BL2) under repeating workloads via the
   // memorizing algorithm (K' = Eq. 1, D = 1); the BL3 baselines run the same
@@ -48,14 +57,18 @@ int main() {
 
   std::vector<std::vector<double>> table;
   for (const auto& variant : variants) {
+    auto& series = report.AddSeries(variant.label);
     std::vector<double> row;
     for (double ratio : ratios) {
       core::SystemOptions options = base;
       options.trace_reads_on_chain = variant.bl3_reads;
       options.trace_writes_on_chain = variant.bl3_writes;
-      auto trace = workload::FixedRatioTrace(ratio, 512, 32);
-      row.push_back(
-          ConvergedGasPerOp(options, variant.policy, {}, trace, 32));
+      auto trace = workload::FixedRatioTrace(ratio, ops, 32);
+      const ConvergedRun run = ConvergedGas(options, variant.policy, trace, 32);
+      row.push_back(run.PerOp());
+      series.Add("ratio=" + GLabel(ratio), ratio)
+          .Ops(run.ops, run.gas)
+          .Matrix(run.matrix);
     }
     PrintRow(variant.label, row, "%12.0f");
     table.push_back(row);
@@ -63,15 +76,28 @@ int main() {
 
   // GRuB's distance from the per-ratio optimum of the static baselines.
   std::vector<double> optimal, ratio_to_opt;
+  auto& ideal_series = report.AddSeries("min(BL1,BL2) [ideal]");
+  auto& rel_series = report.AddSeries("GRuB / ideal");
   for (size_t i = 0; i < ratios.size(); ++i) {
     optimal.push_back(std::min(table[0][i], table[1][i]));
     ratio_to_opt.push_back(table[4][i] / optimal.back());
+    ideal_series.Add("ratio=" + GLabel(ratios[i]), ratios[i])
+        .GasPerOp(optimal.back());
+    rel_series.Add("ratio=" + GLabel(ratios[i]), ratios[i])
+        .GasPerOp(ratio_to_opt.back());
   }
   PrintRow("min(BL1,BL2) [ideal]", optimal, "%12.0f");
   PrintRow("GRuB / ideal", ratio_to_opt, "%12.2f");
 
-  std::printf(
-      "\nExpected (paper): BL1-BL2 crossover near ratio 2; GRuB close to the "
-      "ideal on both sides; BL3 up to ~10x GRuB at high ratios.\n");
-  return 0;
+  report.notes.push_back(
+      "Expected (paper): BL1-BL2 crossover near ratio 2; GRuB close to the "
+      "ideal on both sides; BL3 up to ~10x GRuB at high ratios.");
+  std::printf("\n%s\n", report.notes.back().c_str());
+  return report;
 }
+
+[[maybe_unused]] const int kRegistered = RegisterBench(
+    "fig7_ratio_sweep",
+    "Figure 7: Gas/op ratio sweep for BL1/BL2/BL3/GRuB", Run);
+
+}  // namespace

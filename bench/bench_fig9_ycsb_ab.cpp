@@ -6,13 +6,30 @@
 // replication spike at the start of each B phase.
 #include "ycsb_bench.h"
 
-int main() {
-  grub::bench::YcsbRunConfig config;
+namespace {
+
+using namespace grub;
+using namespace grub::bench;
+
+telemetry::BenchReport Run(const BenchOptions& opts) {
+  YcsbRunConfig config;
   config.workload_a = 'A';
   config.workload_b = 'B';
   config.record_bytes = 1024;
-  grub::bench::RunAndPrintMix(config);
-  std::printf("\nPaper: BL1 1438,130,508 (+31.6%%); BL2 1588,684,289 "
-              "(+45.4%%); GRuB 1092,576,982.\n");
-  return 0;
+  YcsbPaperTotals paper;
+  paper.bl1 = 1438130508;
+  paper.bl2 = 1588684289;
+  paper.grub = 1092576982;
+  auto report = RunMixBench(config, opts, /*k=*/4, paper);
+  report.title = "Figure 9 + Table 4 row A,B: mixed YCSB A/B, 1 KiB records";
+  report.notes.push_back(
+      "Paper: BL1 1438,130,508 (+31.6%); BL2 1588,684,289 (+45.4%); "
+      "GRuB 1092,576,982.");
+  std::printf("\n%s\n", report.notes.back().c_str());
+  return report;
 }
+
+[[maybe_unused]] const int kRegistered = RegisterBench(
+    "fig9_ycsb_ab", "Figure 9 + Table 4: mixed YCSB A,B", Run);
+
+}  // namespace

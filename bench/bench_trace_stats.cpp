@@ -5,12 +5,16 @@
 #include <map>
 #include <vector>
 
+#include "bench_registry.h"
 #include "workload/synthetic.h"
 
 namespace {
 
-void PrintDistribution(const char* title, const grub::workload::TraceStats& s,
-                       const std::vector<std::pair<int, double>>& paper) {
+using grub::bench::BenchOptions;
+
+void ReportDistribution(const char* title, const grub::workload::TraceStats& s,
+                        const std::vector<std::pair<int, double>>& paper,
+                        grub::telemetry::BenchSeries& series) {
   std::printf("\n=== %s ===\n", title);
   std::printf("writes=%llu reads=%llu (%.3f reads per write)\n",
               static_cast<unsigned long long>(s.writes),
@@ -25,31 +29,44 @@ void PrintDistribution(const char* title, const grub::workload::TraceStats& s,
       if (count == static_cast<int>(n)) paper_pct = p;
     }
     std::printf("%6zu %11.2f%% %11.2f%%\n", n, pct, paper_pct);
+    auto& row = series.Add(std::to_string(n) + " reads",
+                           static_cast<double>(n))
+                    .Ops(s.reads_after_write[n], 0)
+                    .GasPerOp(pct);
+    if (paper_pct > 0) row.Paper(paper_pct);
   }
 }
 
-}  // namespace
-
-int main() {
+grub::telemetry::BenchReport Run(const BenchOptions& opts) {
   using namespace grub::workload;
 
+  grub::telemetry::BenchReport report;
+  report.title = "Tables 1 & 6 / Figures 2 & 16: trace reads-per-write";
+  report.SetConfig("workload", "trace synthesizers");
+  report.notes.push_back(
+      "gas_per_op rows carry the percentage of writes with that many "
+      "following reads (gas_total is unused); ops is the raw bucket count.");
+
   auto oracle = PriceOracleTrace({});
-  PrintDistribution(
+  ReportDistribution(
       "Table 1 / Fig 2: ethPriceOracle reads-per-write", ComputeStats(oracle),
       {{0, 70.4}, {1, 16.0}, {2, 6.46}, {3, 2.91}, {4, 1.52},
        {5, 0.76}, {6, 0.63}, {7, 0.25}, {8, 0.13}, {9, 0.25},
-       {10, 0.13}, {12, 0.13}, {13, 0.25}, {17, 0.13}, {20, 0.13}});
+       {10, 0.13}, {12, 0.13}, {13, 0.25}, {17, 0.13}, {20, 0.13}},
+      report.AddSeries("ethPriceOracle reads-per-write (%)"));
 
   BtcRelayOptions btc;
-  btc.write_count = 20000;
+  btc.write_count = opts.quick ? 2000 : 20000;
+  report.SetConfig("btcrelay_writes", static_cast<uint64_t>(btc.write_count));
   // The global reads-after-write histogram is lag-shuffled; compare the
   // per-write sampled distribution instead by regenerating with zero lag.
   btc.read_lag_writes = 0;
   auto relay = BtcRelayTrace(btc);
-  PrintDistribution("Table 6 / Fig 16a: BtcRelay reads-per-write",
-                    ComputeStats(relay),
-                    {{0, 93.7}, {1, 5.30}, {2, 0.77}, {3, 0.15},
-                     {4, 0.05}, {5, 0.04}, {6, 0.02}, {7, 0.01}});
+  ReportDistribution("Table 6 / Fig 16a: BtcRelay reads-per-write",
+                     ComputeStats(relay),
+                     {{0, 93.7}, {1, 5.30}, {2, 0.77}, {3, 0.15},
+                      {4, 0.05}, {5, 0.04}, {6, 0.02}, {7, 0.01}},
+                     report.AddSeries("BtcRelay reads-per-write (%)"));
 
   // Fig 16b proxy: with the default 24-write lag (~4 hours at one block per
   // 10 minutes), report the realized lag distribution.
@@ -70,13 +87,21 @@ int main() {
       lag_n += 1;
     }
   }
+  const double mean_lag =
+      lag_n ? static_cast<double>(lag_sum) / static_cast<double>(lag_n) : 0.0;
   std::printf("\n=== Fig 16b proxy: read lag ===\n");
   std::printf("mean read lag: %.1f blocks (~%.1f hours at 10 min/block; "
               "paper: ~4 hours)\n",
-              lag_n ? static_cast<double>(lag_sum) / static_cast<double>(lag_n)
-                    : 0.0,
-              lag_n ? static_cast<double>(lag_sum) /
-                          static_cast<double>(lag_n) / 6.0
-                    : 0.0);
-  return 0;
+              mean_lag, mean_lag / 6.0);
+  report.AddSeries("BtcRelay read lag (blocks)")
+      .Add("mean lag", 0)
+      .Ops(lag_n, 0)
+      .GasPerOp(mean_lag)
+      .Paper(24.0);
+  return report;
 }
+
+[[maybe_unused]] const int kRegistered = grub::bench::RegisterBench(
+    "trace_stats", "Tables 1 & 6: trace reads-per-write distributions", Run);
+
+}  // namespace

@@ -2,12 +2,14 @@
 //
 // Every bench binary prints the same rows/series the paper reports, as
 // aligned text tables (and the raw numbers, so EXPERIMENTS.md can quote
-// paper-vs-measured).
+// paper-vs-measured), and registers itself with bench_registry.h so
+// grub-bench can emit the machine-readable BENCH_*.json artifacts.
 #pragma once
 
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -35,32 +37,67 @@ inline PolicyFactory Memorizing(double k_prime, double d) {
   };
 }
 
+/// One converged measurement with the raw integers and the attribution
+/// matrix (for BENCH_*.json rows), not just the derived Gas/op.
+struct ConvergedRun {
+  uint64_t ops = 0;
+  uint64_t gas = 0;
+  telemetry::GasMatrix matrix;
+
+  double PerOp() const {
+    return ops == 0 ? 0.0
+                    : static_cast<double>(gas) / static_cast<double>(ops);
+  }
+};
+
 /// Converged per-operation Gas (§5.1): warm-up pass, reset, measured pass.
-/// Measured through the telemetry registry: the per-epoch attribution series
-/// is the source of both Gas and op counts (its row sum equals the chain's
-/// metered total — asserted in tests/telemetry).
-inline double ConvergedGasPerOp(const core::SystemOptions& options,
-                                const PolicyFactory& policy,
-                                const workload::Trace& preload_and_trace_key,
-                                const workload::Trace& trace,
-                                size_t record_bytes) {
-  (void)preload_and_trace_key;
+/// Preloads every key the trace touches (one `record_bytes`-sized record
+/// each), then measures through the telemetry registry: the per-epoch
+/// attribution series is the source of both Gas and op counts (its row sum
+/// equals the chain's metered total — asserted in tests/telemetry).
+inline ConvergedRun ConvergedGas(const core::SystemOptions& options,
+                                 const PolicyFactory& policy,
+                                 const workload::Trace& trace,
+                                 size_t record_bytes) {
   core::SystemOptions instrumented = options;
   instrumented.enable_telemetry = true;
   core::GrubSystem system(instrumented, policy());
-  system.Preload({{workload::MakeKey(0), Bytes(record_bytes, 0x11)}});
+
+  std::set<Bytes> keys;
+  for (const auto& op : trace) keys.insert(op.key);
+  std::vector<std::pair<Bytes, Bytes>> preload;
+  preload.reserve(keys.size());
+  for (const Bytes& key : keys) {
+    preload.emplace_back(key, Bytes(record_bytes, 0x11));
+  }
+  system.Preload(preload);
+
   system.Drive(trace);
   system.Chain().ResetGasCounters();
   system.Metrics()->Epochs().Clear();  // drop warm-up rows
   system.Drive(trace);
-  const auto& rows = system.Metrics()->Epochs().Rows();
-  uint64_t ops = 0, gas = 0;
-  for (const auto& row : rows) {
-    ops += row.ops;
-    gas += row.GasTotal();
+
+  ConvergedRun run;
+  for (const auto& row : system.Metrics()->Epochs().Rows()) {
+    run.ops += row.ops;
+    run.gas += row.GasTotal();
+    run.matrix += row.gas;
   }
-  return ops == 0 ? 0.0
-                  : static_cast<double>(gas) / static_cast<double>(ops);
+  return run;
+}
+
+inline double ConvergedGasPerOp(const core::SystemOptions& options,
+                                const PolicyFactory& policy,
+                                const workload::Trace& trace,
+                                size_t record_bytes) {
+  return ConvergedGas(options, policy, trace, record_bytes).PerOp();
+}
+
+/// "%g"-rendered number for column headers and report row labels.
+inline std::string GLabel(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
 }
 
 /// Prints one table row of doubles (thin wrapper over the shared telemetry

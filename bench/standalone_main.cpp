@@ -1,0 +1,9 @@
+// main() for the historical per-figure bench binaries. Each binary compiles
+// exactly one bench TU next to this file, so StandaloneMain finds one
+// registered bench and the old `./bench_fig7_ratio_sweep` invocation prints
+// the same tables it always did (plus --json-out for the JSON artifact).
+#include "bench_registry.h"
+
+int main(int argc, char** argv) {
+  return grub::bench::StandaloneMain(argc, argv);
+}

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_registry.h"
 #include "bench_util.h"
 #include "workload/ycsb.h"
 
@@ -71,10 +72,41 @@ inline YcsbRunResult RunYcsbMix(const YcsbRunConfig& config,
   return result;
 }
 
-inline void RunAndPrintMix(const YcsbRunConfig& config, uint64_t k = 4) {
+/// Shrinks the paper-scale mix to the quick-gate size (still four phases,
+/// still deterministic — only smaller).
+inline YcsbRunConfig QuickScale(YcsbRunConfig config) {
+  config.record_count = 1 << 10;
+  config.key_space = 1 << 7;
+  config.ops_per_phase = 512;
+  return config;
+}
+
+/// Paper-published Table 4 totals for one mix row (0 = not published).
+struct YcsbPaperTotals {
+  double bl1 = 0, bl2 = 0, grub = 0;
+};
+
+/// Runs the BL1/BL2/GRuB variants of one mix, prints the per-epoch table and
+/// the Table 4 aggregates, and returns the machine-readable report.
+inline telemetry::BenchReport RunMixBench(const YcsbRunConfig& config_in,
+                                          const BenchOptions& opts,
+                                          uint64_t k,
+                                          const YcsbPaperTotals& paper) {
+  const YcsbRunConfig config =
+      opts.quick ? QuickScale(config_in) : config_in;
   core::SystemOptions options;
   options.ops_per_tx = 32;
   options.txs_per_epoch = 4;  // "every four transactions (or an epoch)"
+
+  telemetry::BenchReport report;
+  report.SetConfig("workload",
+                   std::string("ycsb:") + config.workload_a + "," +
+                       config.workload_b);
+  report.SetConfig("records", static_cast<uint64_t>(config.record_count));
+  report.SetConfig("key_space", static_cast<uint64_t>(config.key_space));
+  report.SetConfig("record_bytes", static_cast<uint64_t>(config.record_bytes));
+  report.SetConfig("ops_per_phase", static_cast<uint64_t>(config.ops_per_phase));
+  report.SetConfig("k", k);
 
   // Fig. 14's U-curve bottoms at K = 4 on this repo's cost geometry for
   // 1 KiB records (the paper's prototype bottomed at K = 2). Callers pick
@@ -83,9 +115,12 @@ inline void RunAndPrintMix(const YcsbRunConfig& config, uint64_t k = 4) {
   struct Variant {
     std::string label;
     PolicyFactory policy;
+    double paper_total;
   };
   const std::vector<Variant> variants = {
-      {"BL1", BL1()}, {"BL2", BL2()}, {"GRuB", Memoryless(k)}};
+      {"BL1", BL1(), paper.bl1},
+      {"BL2", BL2(), paper.bl2},
+      {"GRuB", Memoryless(k), paper.grub}};
 
   std::printf("=== Mixed YCSB workloads %c,%c (%zu-byte records): Gas/op per "
               "epoch (4 txs) ===\n",
@@ -94,11 +129,14 @@ inline void RunAndPrintMix(const YcsbRunConfig& config, uint64_t k = 4) {
   std::vector<YcsbRunResult> results;
   for (const auto& variant : variants) {
     auto result = RunYcsbMix(config, variant.policy, options);
+    auto& series = report.AddSeries(variant.label + " (epochs)");
     std::printf("%-6s", variant.label.c_str());
     const size_t show = std::min<size_t>(result.epochs.size(), 32);
     const size_t stride = std::max<size_t>(1, result.epochs.size() / show);
     for (size_t i = 0; i < result.epochs.size(); i += stride) {
       std::printf("%7.0f", result.epochs[i].PerOp());
+      series.Add("epoch " + std::to_string(i), static_cast<double>(i))
+          .Ops(result.epochs[i].ops, result.epochs[i].gas);
     }
     std::printf("\n");
     results.push_back(std::move(result));
@@ -106,13 +144,21 @@ inline void RunAndPrintMix(const YcsbRunConfig& config, uint64_t k = 4) {
 
   std::printf("\n=== Table 4 row (%c,%c): aggregated Gas ===\n",
               config.workload_a, config.workload_b);
+  auto& aggregate = report.AddSeries("Table 4: aggregated Gas");
   const double grub = static_cast<double>(results[2].total_gas);
   for (size_t i = 0; i < variants.size(); ++i) {
     const double total = static_cast<double>(results[i].total_gas);
     std::printf("%-6s %15.0f (%+.1f%% vs GRuB)   [%s]\n",
                 variants[i].label.c_str(), total, (total / grub - 1) * 100,
                 results[i].breakdown.ToString().c_str());
+    auto& row = aggregate.Add(variants[i].label, static_cast<double>(i))
+                    .Ops(results[i].total_ops, results[i].total_gas);
+    // Paper totals describe the full-scale run only.
+    if (!opts.quick && variants[i].paper_total > 0) {
+      row.Paper(variants[i].paper_total);
+    }
   }
+  return report;
 }
 
 }  // namespace grub::bench

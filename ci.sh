@@ -75,4 +75,42 @@ echo "=== gas identity: GRUB_TELEMETRY=OFF vs default build ==="
 ./build-notelem/tools/grubctl "${BENCH_ARGS[@]}" > /tmp/grub_gas_notelem.txt
 diff /tmp/grub_gas_default.txt /tmp/grub_gas_notelem.txt
 
+# Quick-bench gate: the pinned --quick configuration of every registered
+# bench, without wall-clock fields, compared Gas-EXACTLY against the
+# checked-in baseline. The simulator is deterministic, so any delta is a
+# real cost change — if it is intentional, refresh the baseline (see
+# EXPERIMENTS.md, "Refreshing the quick baselines"):
+#   ./build/bench/grub-bench --all --quick --no-timing \
+#       --combined quick --out-dir bench/baselines
+# and commit the rewritten bench/baselines/BENCH_quick.json with the change
+# that moved the numbers.
+echo "=== quick-bench: run pinned subset ==="
+rm -rf /tmp/grub_quick_bench && mkdir -p /tmp/grub_quick_bench
+./build/bench/grub-bench --all --quick --no-timing \
+  --combined quick --out-dir /tmp/grub_quick_bench > /tmp/grub_quick_bench/run.log
+echo "=== quick-bench: byte-identical across repeated runs ==="
+mkdir -p /tmp/grub_quick_bench2
+./build/bench/grub-bench --all --quick --no-timing \
+  --combined quick --out-dir /tmp/grub_quick_bench2 > /dev/null
+cmp /tmp/grub_quick_bench/BENCH_quick.json /tmp/grub_quick_bench2/BENCH_quick.json
+echo "=== quick-bench: Gas-exact compare vs bench/baselines ==="
+if ! ./build/bench/grub-bench --compare bench/baselines/BENCH_quick.json \
+    /tmp/grub_quick_bench/BENCH_quick.json; then
+  echo "quick-bench gate FAILED: Gas moved vs bench/baselines/BENCH_quick.json."
+  echo "If the change is intentional, refresh the baseline:"
+  echo "  ./build/bench/grub-bench --all --quick --no-timing --combined quick --out-dir bench/baselines"
+  echo "and commit it together with the change that moved the numbers."
+  exit 1
+fi
+# Negative control: the comparator must actually catch a Gas delta — a gate
+# that cannot fail is no gate.
+echo "=== quick-bench: tampered baseline must fail the compare ==="
+sed 's/"gas_total":\([0-9]*\)/"gas_total":9\1/' \
+  /tmp/grub_quick_bench/BENCH_quick.json > /tmp/grub_quick_bench/tampered.json
+if ./build/bench/grub-bench --compare bench/baselines/BENCH_quick.json \
+    /tmp/grub_quick_bench/tampered.json > /dev/null; then
+  echo "quick-bench self-check FAILED: comparator accepted a tampered report"
+  exit 1
+fi
+
 echo "=== all passes green ==="

@@ -1,0 +1,362 @@
+#include "telemetry/json.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "telemetry/table.h"
+
+namespace grub::telemetry {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Number(std::string raw) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.string_ = std::move(raw);
+  return v;
+}
+
+JsonValue JsonValue::NumberU64(uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return Number(buf);
+}
+
+JsonValue JsonValue::NumberDouble(double value) {
+  return Number(FormatJsonDouble(value));
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+uint64_t JsonValue::AsU64() const {
+  return std::strtoull(string_.c_str(), nullptr, 10);
+}
+
+int64_t JsonValue::AsI64() const {
+  return std::strtoll(string_.c_str(), nullptr, 10);
+}
+
+double JsonValue::AsDouble() const {
+  return std::strtod(string_.c_str(), nullptr);
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::FindOfKind(const std::string& key,
+                                       Kind kind) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->kind() == kind) ? v : nullptr;
+}
+
+void JsonValue::Write(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      return;
+    case Kind::kBool:
+      os << (bool_ ? "true" : "false");
+      return;
+    case Kind::kNumber:
+      os << string_;
+      return;
+    case Kind::kString:
+      os << '"' << JsonEscape(string_) << '"';
+      return;
+    case Kind::kArray:
+      os << '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i != 0) os << ',';
+        items_[i].Write(os);
+      }
+      os << ']';
+      return;
+    case Kind::kObject:
+      os << '{';
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i != 0) os << ',';
+        os << '"' << JsonEscape(members_[i].first) << "\":";
+        members_[i].second.Write(os);
+      }
+      os << '}';
+      return;
+  }
+}
+
+std::string JsonValue::ToString() const {
+  std::ostringstream os;
+  Write(os);
+  return os.str();
+}
+
+namespace {
+
+/// Recursive-descent parser over the document text.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    Status s = ParseValue(v, 0);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        Status status = ParseString(s);
+        if (!status.ok()) return status;
+        out = JsonValue::String(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::Bool(true), out);
+      case 'f':
+        return ParseLiteral("false", JsonValue::Bool(false), out);
+      case 'n':
+        return ParseLiteral("null", JsonValue::Null(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(const char* word, JsonValue value, JsonValue& out) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Error(std::string("expected '") + word + "'");
+      }
+    }
+    out = std::move(value);
+    return Status::Ok();
+  }
+
+  Status ParseNumber(JsonValue& out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Error("invalid number");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("digits expected after decimal point");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("digits expected in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out = JsonValue::Number(text_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string& out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // The repo's own writers only escape control characters below 0x20 as
+          // \u00XX; decode the BMP code point as UTF-8 for generality.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+  }
+
+  Status ParseArray(JsonValue& out, int depth) {
+    Consume('[');
+    out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      JsonValue item;
+      Status s = ParseValue(item, depth + 1);
+      if (!s.ok()) return s;
+      out.Append(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseObject(JsonValue& out, int depth) {
+    Consume('{');
+    out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      Status s = ParseString(key);
+      if (!s.ok()) return s;
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      s = ParseValue(value, depth + 1);
+      if (!s.ok()) return s;
+      out.Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+std::string FormatJsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  // Integral values (the common case: Gas totals, op counts) print exactly.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  // Shortest precision that round-trips.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  return buf;
+}
+
+}  // namespace grub::telemetry

@@ -1,0 +1,93 @@
+// Minimal JSON document model: enough to read back the repo's own exports
+// (BENCH_*.json bench reports, grubctl --json summaries) without an external
+// dependency.
+//
+// Two properties the bench comparator relies on:
+//   * numbers keep their source text (`raw`), so integer fields round-trip
+//     exactly — u64 Gas totals never pass through a double;
+//   * object members preserve insertion order, so serializing a parsed
+//     document reproduces the original field order (golden-file friendly).
+//
+// Writing stays with the hand-rolled serializers (report.cpp, epoch_series,
+// tracing): they control field order and float formatting; this header only
+// adds the read side plus shared number formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace grub::telemetry {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue String(std::string s);
+  /// Number from source/canonical text (no validation beyond the parser's).
+  static JsonValue Number(std::string raw);
+  static JsonValue NumberU64(uint64_t v);
+  static JsonValue NumberDouble(double v);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  bool AsBool() const { return bool_; }
+  const std::string& AsString() const { return string_; }
+  /// The number's source text (exact; what exact-compare should use).
+  const std::string& NumberRaw() const { return string_; }
+  uint64_t AsU64() const;
+  int64_t AsI64() const;
+  double AsDouble() const;
+
+  std::vector<JsonValue>& Items() { return items_; }
+  const std::vector<JsonValue>& Items() const { return items_; }
+  std::vector<Member>& Members() { return members_; }
+  const std::vector<Member>& Members() const { return members_; }
+
+  /// First member with `key`, or nullptr. Objects only.
+  const JsonValue* Find(const std::string& key) const;
+  /// Find + kind guard: nullptr when absent or of a different kind.
+  const JsonValue* FindOfKind(const std::string& key, Kind kind) const;
+
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+  void Set(std::string key, JsonValue v) {
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// Compact (no whitespace) serialization; numbers emit their raw text.
+  void Write(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string string_;  // string payload or number raw text
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Errors carry a byte offset and a short description.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Shortest-round-trip-ish double formatting shared by every JSON writer:
+/// integers print without a decimal point, others through "%.17g" trimmed to
+/// the shortest form that still parses back to the same double.
+std::string FormatJsonDouble(double v);
+
+}  // namespace grub::telemetry

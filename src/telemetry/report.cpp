@@ -1,0 +1,478 @@
+#include "telemetry/report.h"
+
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/json.h"
+#include "telemetry/table.h"
+
+namespace grub::telemetry {
+
+namespace {
+
+void WriteString(std::ostream& os, const std::string& s) {
+  os << '"' << JsonEscape(s) << '"';
+}
+
+/// Sparse "component/cause" -> amount map: only non-zero cells serialize, so
+/// the artifact stays readable and the exact compare still covers every cell
+/// (an absent key reads back as zero).
+void WriteMatrix(std::ostream& os, const GasMatrix& matrix) {
+  os << '{';
+  bool first = true;
+  for (size_t c = 0; c < kNumGasComponents; ++c) {
+    for (size_t w = 0; w < kNumGasCauses; ++w) {
+      const uint64_t amount = matrix.cells[c][w];
+      if (amount == 0) continue;
+      if (!first) os << ',';
+      first = false;
+      os << '"' << Name(static_cast<GasComponent>(c)) << '/'
+         << Name(static_cast<GasCause>(w)) << "\":" << amount;
+    }
+  }
+  os << '}';
+}
+
+bool LookupComponent(const std::string& name, size_t& out) {
+  for (size_t c = 0; c < kNumGasComponents; ++c) {
+    if (name == Name(static_cast<GasComponent>(c))) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LookupCause(const std::string& name, size_t& out) {
+  for (size_t w = 0; w < kNumGasCauses; ++w) {
+    if (name == Name(static_cast<GasCause>(w))) {
+      out = w;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ParseMatrix(const JsonValue& object, GasMatrix& out) {
+  for (const auto& [key, value] : object.Members()) {
+    const auto slash = key.find('/');
+    size_t c = 0, w = 0;
+    if (slash == std::string::npos || !value.is_number() ||
+        !LookupComponent(key.substr(0, slash), c) ||
+        !LookupCause(key.substr(slash + 1), w)) {
+      return Status::InvalidArgument("bench report: bad gas cell '" + key +
+                                     "'");
+    }
+    out.cells[c][w] = value.AsU64();
+  }
+  return Status::Ok();
+}
+
+std::string RenderU64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+}  // namespace
+
+BenchRow& BenchRow::Ops(uint64_t n, uint64_t gas_sum) {
+  ops = n;
+  gas_total = gas_sum;
+  gas_per_op = n == 0 ? 0.0
+                      : static_cast<double>(gas_sum) / static_cast<double>(n);
+  return *this;
+}
+
+BenchRow& BenchRow::Matrix(const GasMatrix& m) {
+  gas = m;
+  has_gas_matrix = true;
+  return *this;
+}
+
+BenchRow& BenchSeries::Add(std::string row_label, double x) {
+  BenchRow row;
+  row.label = std::move(row_label);
+  row.x = x;
+  rows.push_back(std::move(row));
+  return rows.back();
+}
+
+void BenchReport::SetConfig(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : config) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  config.emplace_back(key, value);
+}
+
+void BenchReport::SetConfig(const std::string& key, uint64_t value) {
+  SetConfig(key, RenderU64(value));
+}
+
+BenchSeries& BenchReport::AddSeries(std::string label) {
+  BenchSeries s;
+  s.label = std::move(label);
+  series.push_back(std::move(s));
+  return series.back();
+}
+
+void BenchReport::WriteJson(std::ostream& os) const {
+  os << "{\"name\":";
+  WriteString(os, name);
+  os << ",\"title\":";
+  WriteString(os, title);
+  os << ",\"config\":{";
+  for (size_t i = 0; i < config.size(); ++i) {
+    if (i != 0) os << ',';
+    WriteString(os, config[i].first);
+    os << ':';
+    WriteString(os, config[i].second);
+  }
+  os << "},\"series\":[";
+  for (size_t s = 0; s < series.size(); ++s) {
+    if (s != 0) os << ',';
+    os << "{\"label\":";
+    WriteString(os, series[s].label);
+    os << ",\"rows\":[";
+    for (size_t r = 0; r < series[s].rows.size(); ++r) {
+      const BenchRow& row = series[s].rows[r];
+      if (r != 0) os << ',';
+      os << "{\"label\":";
+      WriteString(os, row.label);
+      os << ",\"x\":" << FormatJsonDouble(row.x) << ",\"ops\":" << row.ops
+         << ",\"gas_total\":" << row.gas_total
+         << ",\"gas_per_op\":" << FormatJsonDouble(row.gas_per_op);
+      if (row.has_paper) os << ",\"paper\":" << FormatJsonDouble(row.paper);
+      if (row.ops_per_sec != 0) {
+        os << ",\"ops_per_sec\":" << FormatJsonDouble(row.ops_per_sec);
+      }
+      if (row.has_gas_matrix) {
+        os << ",\"gas\":";
+        WriteMatrix(os, row.gas);
+      }
+      os << '}';
+    }
+    os << "]}";
+  }
+  os << "],\"notes\":[";
+  for (size_t i = 0; i < notes.size(); ++i) {
+    if (i != 0) os << ',';
+    WriteString(os, notes[i]);
+  }
+  os << ']';
+  if (wall_seconds != 0) {
+    os << ",\"wall_seconds\":" << FormatJsonDouble(wall_seconds);
+  }
+  if (failed) os << ",\"failed\":true";
+  os << '}';
+}
+
+void BenchReportFile::WriteJson(std::ostream& os) const {
+  os << "{\"grub_bench_schema\":" << schema_version << ",\n\"reports\":[\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (i != 0) os << ",\n";
+    reports[i].WriteJson(os);
+  }
+  os << "\n]}\n";
+}
+
+const BenchReport* BenchReportFile::Find(const std::string& name) const {
+  for (const auto& report : reports) {
+    if (report.name == name) return &report;
+  }
+  return nullptr;
+}
+
+Result<BenchReportFile> BenchReportFile::Parse(const std::string& text) {
+  Result<JsonValue> parsed = ParseJson(text);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::InvalidArgument("bench report: top level is not an object");
+  }
+  const JsonValue* version =
+      root.FindOfKind("grub_bench_schema", JsonValue::Kind::kNumber);
+  if (version == nullptr) {
+    return Status::InvalidArgument(
+        "bench report: missing grub_bench_schema version");
+  }
+  BenchReportFile file;
+  file.schema_version = static_cast<int>(version->AsI64());
+  if (file.schema_version != kBenchReportSchemaVersion) {
+    return Status::FailedPrecondition(
+        "bench report schema v" + std::to_string(file.schema_version) +
+        " != supported v" + std::to_string(kBenchReportSchemaVersion) +
+        " (refresh the baseline with the current grub-bench)");
+  }
+  const JsonValue* reports =
+      root.FindOfKind("reports", JsonValue::Kind::kArray);
+  if (reports == nullptr) {
+    return Status::InvalidArgument("bench report: missing reports array");
+  }
+  for (const JsonValue& entry : reports->Items()) {
+    if (!entry.is_object()) {
+      return Status::InvalidArgument("bench report: report is not an object");
+    }
+    BenchReport report;
+    if (const auto* v = entry.FindOfKind("name", JsonValue::Kind::kString)) {
+      report.name = v->AsString();
+    }
+    if (const auto* v = entry.FindOfKind("title", JsonValue::Kind::kString)) {
+      report.title = v->AsString();
+    }
+    if (const auto* v = entry.FindOfKind("config", JsonValue::Kind::kObject)) {
+      for (const auto& [key, value] : v->Members()) {
+        report.config.emplace_back(
+            key, value.is_string() ? value.AsString() : value.ToString());
+      }
+    }
+    if (const auto* v = entry.FindOfKind("notes", JsonValue::Kind::kArray)) {
+      for (const JsonValue& note : v->Items()) {
+        if (note.is_string()) report.notes.push_back(note.AsString());
+      }
+    }
+    if (const auto* v =
+            entry.FindOfKind("wall_seconds", JsonValue::Kind::kNumber)) {
+      report.wall_seconds = v->AsDouble();
+    }
+    if (const auto* v = entry.FindOfKind("failed", JsonValue::Kind::kBool)) {
+      report.failed = v->AsBool();
+    }
+    if (const auto* all = entry.FindOfKind("series", JsonValue::Kind::kArray)) {
+      for (const JsonValue& series_json : all->Items()) {
+        if (!series_json.is_object()) continue;
+        BenchSeries series;
+        if (const auto* v =
+                series_json.FindOfKind("label", JsonValue::Kind::kString)) {
+          series.label = v->AsString();
+        }
+        if (const auto* rows =
+                series_json.FindOfKind("rows", JsonValue::Kind::kArray)) {
+          for (const JsonValue& row_json : rows->Items()) {
+            if (!row_json.is_object()) continue;
+            BenchRow row;
+            if (const auto* v =
+                    row_json.FindOfKind("label", JsonValue::Kind::kString)) {
+              row.label = v->AsString();
+            }
+            if (const auto* v =
+                    row_json.FindOfKind("x", JsonValue::Kind::kNumber)) {
+              row.x = v->AsDouble();
+            }
+            if (const auto* v =
+                    row_json.FindOfKind("ops", JsonValue::Kind::kNumber)) {
+              row.ops = v->AsU64();
+            }
+            if (const auto* v = row_json.FindOfKind(
+                    "gas_total", JsonValue::Kind::kNumber)) {
+              row.gas_total = v->AsU64();
+            }
+            if (const auto* v = row_json.FindOfKind(
+                    "gas_per_op", JsonValue::Kind::kNumber)) {
+              row.gas_per_op = v->AsDouble();
+            }
+            if (const auto* v = row_json.FindOfKind(
+                    "ops_per_sec", JsonValue::Kind::kNumber)) {
+              row.ops_per_sec = v->AsDouble();
+            }
+            if (const auto* v =
+                    row_json.FindOfKind("paper", JsonValue::Kind::kNumber)) {
+              row.paper = v->AsDouble();
+              row.has_paper = true;
+            }
+            if (const auto* v =
+                    row_json.FindOfKind("gas", JsonValue::Kind::kObject)) {
+              Status s = ParseMatrix(*v, row.gas);
+              if (!s.ok()) return s;
+              row.has_gas_matrix = true;
+            }
+            series.rows.push_back(std::move(row));
+          }
+        }
+        report.series.push_back(std::move(series));
+      }
+    }
+    file.reports.push_back(std::move(report));
+  }
+  return file;
+}
+
+Result<BenchReportFile> BenchReportFile::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open bench report: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return Parse(text.str());
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+bool CompareResult::ok() const {
+  return structural.empty() && RegressionCount() == 0;
+}
+
+size_t CompareResult::RegressionCount() const {
+  size_t n = 0;
+  for (const auto& delta : deltas) n += delta.regression ? 1 : 0;
+  return n;
+}
+
+namespace {
+
+struct RowContext {
+  CompareResult* result;
+  const CompareOptions* options;
+  std::string bench, series, row;
+};
+
+void AddDelta(const RowContext& ctx, const std::string& field,
+              std::string baseline, std::string current, bool regression) {
+  ctx.result->deltas.push_back(BenchDelta{ctx.bench, ctx.series, ctx.row,
+                                          field, std::move(baseline),
+                                          std::move(current), regression});
+}
+
+void CompareU64(const RowContext& ctx, const std::string& field, uint64_t base,
+                uint64_t now) {
+  if (base != now) {
+    AddDelta(ctx, field, RenderU64(base), RenderU64(now), /*regression=*/true);
+  }
+}
+
+/// Gas-derived doubles are deterministic: compare the round-trip renderings,
+/// which are equal iff the doubles are bit-equal (FormatJsonDouble is exact).
+void CompareExactDouble(const RowContext& ctx, const std::string& field,
+                        double base, double now) {
+  const std::string base_s = FormatJsonDouble(base);
+  const std::string now_s = FormatJsonDouble(now);
+  if (base_s != now_s) AddDelta(ctx, field, base_s, now_s, true);
+}
+
+/// Wall-clock throughput: only a slowdown beyond the budget gates, and only
+/// when a budget is configured and both sides actually timed the row.
+void CompareThroughput(const RowContext& ctx, const std::string& field,
+                       double base, double now) {
+  if (ctx.options->time_tolerance_pct <= 0 || base <= 0 || now <= 0) return;
+  const double floor = base * (1.0 - ctx.options->time_tolerance_pct / 100.0);
+  if (now < floor) {
+    AddDelta(ctx, field, FormatJsonDouble(base), FormatJsonDouble(now), true);
+  }
+}
+
+void CompareRows(RowContext ctx, const BenchRow& base, const BenchRow& now) {
+  if (base.label != now.label) {
+    AddDelta(ctx, "label", base.label, now.label, true);
+    return;  // different point; field-by-field diff would be noise
+  }
+  CompareExactDouble(ctx, "x", base.x, now.x);
+  CompareU64(ctx, "ops", base.ops, now.ops);
+  CompareU64(ctx, "gas_total", base.gas_total, now.gas_total);
+  CompareExactDouble(ctx, "gas_per_op", base.gas_per_op, now.gas_per_op);
+  if (base.has_paper || now.has_paper) {
+    CompareExactDouble(ctx, "paper", base.has_paper ? base.paper : 0,
+                       now.has_paper ? now.paper : 0);
+  }
+  if (base.has_gas_matrix || now.has_gas_matrix) {
+    for (size_t c = 0; c < kNumGasComponents; ++c) {
+      for (size_t w = 0; w < kNumGasCauses; ++w) {
+        if (base.gas.cells[c][w] == now.gas.cells[c][w]) continue;
+        CompareU64(ctx,
+                   std::string("gas.") + Name(static_cast<GasComponent>(c)) +
+                       "/" + Name(static_cast<GasCause>(w)),
+                   base.gas.cells[c][w], now.gas.cells[c][w]);
+      }
+    }
+  }
+  CompareThroughput(ctx, "ops_per_sec", base.ops_per_sec, now.ops_per_sec);
+}
+
+}  // namespace
+
+CompareResult CompareReportFiles(const BenchReportFile& baseline,
+                                 const BenchReportFile& current,
+                                 const CompareOptions& options) {
+  CompareResult result;
+  for (const BenchReport& base : baseline.reports) {
+    const BenchReport* now = current.Find(base.name);
+    if (now == nullptr) {
+      result.structural.push_back("bench '" + base.name +
+                                  "' missing from current run");
+      continue;
+    }
+    RowContext bench_ctx{&result, &options, base.name, "", ""};
+    // Config drift means the two runs measured different setups: flag it so
+    // a silently re-parameterized bench cannot pass as "same numbers".
+    {
+      auto render = [](const BenchReport& r) {
+        std::string s;
+        for (const auto& [k, v] : r.config) s += k + "=" + v + ";";
+        return s;
+      };
+      const std::string base_cfg = render(base), now_cfg = render(*now);
+      if (base_cfg != now_cfg) {
+        AddDelta(bench_ctx, "config", base_cfg, now_cfg, true);
+      }
+    }
+    for (const BenchSeries& base_series : base.series) {
+      const BenchSeries* now_series = nullptr;
+      for (const BenchSeries& s : now->series) {
+        if (s.label == base_series.label) {
+          now_series = &s;
+          break;
+        }
+      }
+      if (now_series == nullptr) {
+        result.structural.push_back("bench '" + base.name + "': series '" +
+                                    base_series.label +
+                                    "' missing from current run");
+        continue;
+      }
+      if (base_series.rows.size() != now_series->rows.size()) {
+        result.structural.push_back(
+            "bench '" + base.name + "': series '" + base_series.label +
+            "' row count " + std::to_string(base_series.rows.size()) +
+            " -> " + std::to_string(now_series->rows.size()));
+        continue;
+      }
+      for (size_t i = 0; i < base_series.rows.size(); ++i) {
+        CompareRows(RowContext{&result, &options, base.name,
+                               base_series.label, base_series.rows[i].label},
+                    base_series.rows[i], now_series->rows[i]);
+      }
+    }
+  }
+  return result;
+}
+
+void PrintCompare(const CompareResult& result, std::FILE* out) {
+  for (const auto& note : result.structural) {
+    std::fprintf(out, "STRUCTURAL  %s\n", note.c_str());
+  }
+  if (!result.deltas.empty()) {
+    std::fprintf(out, "%-10s %-28s %-24s %-20s %-22s %16s %16s\n", "", "bench",
+                 "series", "row", "field", "baseline", "current");
+    for (const auto& delta : result.deltas) {
+      std::fprintf(out, "%-10s %-28s %-24s %-20s %-22s %16s %16s\n",
+                   delta.regression ? "REGRESSION" : "delta",
+                   delta.bench.c_str(), delta.series.c_str(), delta.row.c_str(),
+                   delta.field.c_str(), delta.baseline.c_str(),
+                   delta.current.c_str());
+    }
+  }
+  if (result.ok()) {
+    std::fprintf(out, "compare: OK — no Gas deltas\n");
+  } else {
+    std::fprintf(out, "compare: FAIL — %zu regression(s), %zu structural\n",
+                 result.RegressionCount(), result.structural.size());
+  }
+}
+
+}  // namespace grub::telemetry

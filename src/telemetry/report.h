@@ -1,0 +1,148 @@
+// BenchReport: the machine-readable result model behind every BENCH_*.json
+// artifact the bench observatory emits.
+//
+// A report mirrors one figure/table reproduction: named series (one per
+// policy/baseline curve) of rows (one per x-axis point), each row carrying
+// the measured integers (ops, total Gas), the derived Gas/op, optionally the
+// full component x cause attribution matrix, the paper's expected value
+// where the figure publishes one, and wall-clock throughput where the bench
+// times itself.
+//
+// Schema contract: `schema_version` is bumped on any field
+// rename/removal/semantic change (additions are backward-compatible); the
+// golden-file test pins the serialized shape so a bump is always a
+// deliberate, reviewed act. The simulator is deterministic, so every
+// non-wall-clock field is byte-stable across same-seed runs — which is what
+// lets CompareReportFiles diff Gas EXACTLY and treat any delta as a real
+// behavior change, not noise.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/gas_attribution.h"
+
+namespace grub::telemetry {
+
+inline constexpr int kBenchReportSchemaVersion = 1;
+
+/// One measured point of one series.
+struct BenchRow {
+  std::string label;  // x-axis point, e.g. "ratio=4", "K=8", "epoch 12"
+  double x = 0;       // numeric x where the axis has one (else row index)
+  uint64_t ops = 0;
+  uint64_t gas_total = 0;
+  /// Derived Gas/op; kept explicit so consumers never re-derive.
+  double gas_per_op = 0;
+  /// Wall-clock throughput; 0 = not timed. Excluded from exact compare.
+  double ops_per_sec = 0;
+  /// Paper-published value for this point (same unit as `gas_per_op` unless
+  /// the series says otherwise); only serialized when `has_paper` is set.
+  double paper = 0;
+  bool has_paper = false;
+  /// Component x cause attribution for this point; only serialized when
+  /// `has_gas_matrix` is set (micro-rows like per-epoch points skip it).
+  GasMatrix gas;
+  bool has_gas_matrix = false;
+
+  BenchRow& Ops(uint64_t n, uint64_t gas_sum);
+  BenchRow& GasPerOp(double v) { gas_per_op = v; return *this; }
+  BenchRow& OpsPerSec(double v) { ops_per_sec = v; return *this; }
+  BenchRow& Paper(double v) { paper = v; has_paper = true; return *this; }
+  BenchRow& Matrix(const GasMatrix& m);
+};
+
+struct BenchSeries {
+  std::string label;  // e.g. "BL1", "GRuB (memorizing K'=2,D=1)"
+  std::vector<BenchRow> rows;
+
+  BenchRow& Add(std::string label, double x);
+};
+
+struct BenchReport {
+  std::string name;   // slug: "fig7_ratio_sweep" -> BENCH_fig7_ratio_sweep.json
+  std::string title;  // human title, the bench's table heading
+  /// Ordered run configuration (workload, policy parameters, record counts,
+  /// seeds) — everything needed to reproduce the numbers.
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<BenchSeries> series;
+  /// Free-text observations (the "Expected (paper): ..." lines).
+  std::vector<std::string> notes;
+  /// Wall-clock seconds the bench took; 0 = not timed (deterministic mode).
+  double wall_seconds = 0;
+  /// A self-checking bench (e.g. the tracing-overhead gate) failed its own
+  /// acceptance bound; runners exit non-zero when set.
+  bool failed = false;
+
+  void SetConfig(const std::string& key, const std::string& value);
+  void SetConfig(const std::string& key, uint64_t value);
+  BenchSeries& AddSeries(std::string label);
+
+  /// Serializes one report as a standalone JSON document (one line, stable
+  /// field order). Wall-clock fields (`wall_seconds`, `ops_per_sec`) are
+  /// omitted when zero, so a deterministic run is byte-identical across
+  /// repeats.
+  void WriteJson(std::ostream& os) const;
+};
+
+/// The on-disk container: every BENCH_*.json file holds a version header and
+/// 1..N reports (N > 1 for the combined quick-subset artifact).
+struct BenchReportFile {
+  int schema_version = kBenchReportSchemaVersion;
+  std::vector<BenchReport> reports;
+
+  void WriteJson(std::ostream& os) const;
+  const BenchReport* Find(const std::string& name) const;
+
+  static Result<BenchReportFile> Parse(const std::string& text);
+  static Result<BenchReportFile> Load(const std::string& path);
+};
+
+// ---------------------------------------------------------------------------
+// Regression comparison
+// ---------------------------------------------------------------------------
+
+struct CompareOptions {
+  /// Allowed relative slowdown of wall-clock fields, in percent. 0 disables
+  /// wall-clock gating entirely (the CI default: quick baselines are written
+  /// without timing, and machine speed is not a property of a PR).
+  double time_tolerance_pct = 0;
+};
+
+struct BenchDelta {
+  std::string bench, series, row;
+  std::string field;       // "ops" | "gas_total" | "gas_per_op" | ...
+  std::string baseline, current;  // rendered values
+  bool regression = false;  // true: fails the gate (Gas-exact or over budget)
+};
+
+struct CompareResult {
+  std::vector<BenchDelta> deltas;        // every difference found
+  std::vector<std::string> structural;   // missing benches/series/rows
+  bool ok() const;
+  size_t RegressionCount() const;
+};
+
+/// Diffs `current` against `baseline`. Gas fields (ops, gas_total,
+/// gas_per_op, attribution cells, paper annotations) compare EXACTLY —
+/// the simulator is deterministic, so any delta is a real behavior change
+/// and flags as a regression in either direction (improvements refresh the
+/// baseline deliberately). Wall-clock fields gate only when
+/// `time_tolerance_pct` > 0, and only on slowdowns beyond the budget.
+/// Benches present in `current` but not in `baseline` are ignored (a new
+/// bench lands in the next deliberate baseline refresh); a baseline bench
+/// missing from `current` is a structural failure.
+CompareResult CompareReportFiles(const BenchReportFile& baseline,
+                                 const BenchReportFile& current,
+                                 const CompareOptions& options = {});
+
+/// Human-readable regression table ("how it failed" + refresh hint lives
+/// with the caller).
+void PrintCompare(const CompareResult& result, std::FILE* out);
+
+}  // namespace grub::telemetry

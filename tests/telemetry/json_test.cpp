@@ -1,0 +1,118 @@
+// JsonValue parser/serializer: exact number round-trips (the property the
+// Gas-exact bench comparator rests on), ordered members, escape handling,
+// and the error paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "telemetry/json.h"
+
+namespace grub::telemetry {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->AsBool());
+  EXPECT_FALSE(ParseJson("false")->AsBool());
+  EXPECT_EQ(ParseJson("\"hi\"")->AsString(), "hi");
+  EXPECT_EQ(ParseJson("42")->AsU64(), 42u);
+  EXPECT_DOUBLE_EQ(ParseJson("-2.5e2")->AsDouble(), -250.0);
+}
+
+TEST(Json, NumbersKeepSourceText) {
+  // Max u64 does not fit a double; the raw text must survive untouched.
+  const std::string max_u64 = "18446744073709551615";
+  Result<JsonValue> v = ParseJson(max_u64);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->NumberRaw(), max_u64);
+  EXPECT_EQ(v->AsU64(), 18446744073709551615ull);
+  EXPECT_EQ(v->ToString(), max_u64);
+}
+
+TEST(Json, ObjectMembersPreserveOrder) {
+  Result<JsonValue> v = ParseJson("{\"z\":1,\"a\":2,\"m\":3}");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->Members().size(), 3u);
+  EXPECT_EQ(v->Members()[0].first, "z");
+  EXPECT_EQ(v->Members()[1].first, "a");
+  EXPECT_EQ(v->Members()[2].first, "m");
+  EXPECT_EQ(v->ToString(), "{\"z\":1,\"a\":2,\"m\":3}");
+}
+
+TEST(Json, FindAndFindOfKind) {
+  Result<JsonValue> v = ParseJson("{\"a\":1,\"b\":\"s\"}");
+  ASSERT_TRUE(v.ok());
+  ASSERT_NE(v->Find("a"), nullptr);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+  EXPECT_NE(v->FindOfKind("a", JsonValue::Kind::kNumber), nullptr);
+  EXPECT_EQ(v->FindOfKind("a", JsonValue::Kind::kString), nullptr);
+  EXPECT_NE(v->FindOfKind("b", JsonValue::Kind::kString), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  Result<JsonValue> v = ParseJson(R"("line\n\ttab \"q\" \\ Aé")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "line\n\ttab \"q\" \\ A\xC3\xA9");
+}
+
+TEST(Json, NestedArraysAndObjectsRoundTrip) {
+  const std::string doc =
+      "{\"rows\":[{\"ops\":128,\"gas_total\":888840},"
+      "{\"ops\":64,\"gas_total\":0}],\"ok\":true,\"note\":null}";
+  Result<JsonValue> v = ParseJson(doc);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToString(), doc);  // compact writer reproduces the source
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("\"bad \\x escape\"").ok());
+}
+
+TEST(Json, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(ParseJson(deep).ok());
+  // But reasonable nesting is fine.
+  EXPECT_TRUE(ParseJson("[[[[[[[[[[1]]]]]]]]]]").ok());
+}
+
+TEST(Json, ErrorsCarryByteOffset) {
+  Result<JsonValue> v = ParseJson("{\"a\":@}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().ToString().find("offset"), std::string::npos);
+}
+
+TEST(FormatJsonDouble, IntegralValuesPrintWithoutPoint) {
+  EXPECT_EQ(FormatJsonDouble(0), "0");
+  EXPECT_EQ(FormatJsonDouble(2), "2");
+  EXPECT_EQ(FormatJsonDouble(-17), "-17");
+  EXPECT_EQ(FormatJsonDouble(888840), "888840");
+}
+
+TEST(FormatJsonDouble, RoundTripsExactly) {
+  for (double v : {0.1, 1.0 / 3.0, 6944.0625, 56.7, 1e-9, 3.141592653589793,
+                   1e300, -2.5}) {
+    const std::string s = FormatJsonDouble(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(FormatJsonDouble, EqualStringsIffEqualDoubles) {
+  // The comparator uses string equality of renderings as bit-equality of the
+  // doubles; adjacent representable values must render differently.
+  const double a = 6944.0625;
+  const double b = std::nextafter(a, 1e9);
+  EXPECT_NE(FormatJsonDouble(a), FormatJsonDouble(b));
+  EXPECT_EQ(FormatJsonDouble(a), FormatJsonDouble(6944.0625));
+}
+
+}  // namespace
+}  // namespace grub::telemetry

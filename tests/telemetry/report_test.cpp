@@ -1,0 +1,191 @@
+// BenchReport: serialization round-trip and the Gas-exact comparator that
+// gates CI — any Gas delta is a regression, wall-clock only against an
+// explicit tolerance, structural drift always flagged.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/report.h"
+
+namespace grub::telemetry {
+namespace {
+
+BenchReportFile MakeFile() {
+  BenchReportFile file;
+  BenchReport report;
+  report.name = "fig_test";
+  report.title = "a test figure";
+  report.SetConfig("workload", "fixed-ratio");
+  report.SetConfig("ops", uint64_t{128});
+  auto& series = report.AddSeries("ratio=2");
+  auto& row = series.Add("K=1", 1).Ops(128, 888840).Paper(56.7);
+  GasMatrix m;
+  m.cells[0][1] = 84000;   // tx-base/gGet-sync
+  m.cells[4][1] = 73600;   // sload/gGet-sync
+  row.Matrix(m);
+  series.Add("K=2", 2).Ops(128, 700000).OpsPerSec(1000);
+  report.notes.push_back("a note");
+  file.reports.push_back(std::move(report));
+  return file;
+}
+
+std::string Render(const BenchReportFile& file) {
+  std::ostringstream out;
+  file.WriteJson(out);
+  return out.str();
+}
+
+TEST(BenchReport, SerializeParseRoundTrip) {
+  const BenchReportFile file = MakeFile();
+  const std::string text = Render(file);
+  Result<BenchReportFile> parsed = BenchReportFile::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->reports.size(), 1u);
+  const BenchReport& report = parsed->reports[0];
+  EXPECT_EQ(report.name, "fig_test");
+  EXPECT_EQ(report.title, "a test figure");
+  ASSERT_EQ(report.config.size(), 2u);
+  EXPECT_EQ(report.config[1].second, "128");
+  ASSERT_EQ(report.series.size(), 1u);
+  ASSERT_EQ(report.series[0].rows.size(), 2u);
+  EXPECT_EQ(report.series[0].rows[0].gas_total, 888840u);
+  EXPECT_TRUE(report.series[0].rows[0].has_paper);
+  EXPECT_TRUE(report.series[0].rows[0].has_gas_matrix);
+  EXPECT_EQ(report.series[0].rows[0].gas.cells[4][1], 73600u);
+  EXPECT_DOUBLE_EQ(report.series[0].rows[1].ops_per_sec, 1000.0);
+
+  // Serializing the parse reproduces the document byte-for-byte: nothing is
+  // lost or reordered on a round-trip (what baseline refresh relies on).
+  EXPECT_EQ(Render(*parsed), text);
+}
+
+TEST(BenchReport, OpsComputesGasPerOp) {
+  BenchRow row;
+  row.Ops(128, 888840);
+  EXPECT_DOUBLE_EQ(row.gas_per_op, 6944.0625);
+  row.Ops(0, 5);
+  EXPECT_DOUBLE_EQ(row.gas_per_op, 0.0);
+}
+
+TEST(BenchReport, RejectsUnknownSchemaVersion) {
+  std::string text = Render(MakeFile());
+  const std::string needle = "\"grub_bench_schema\":1";
+  text.replace(text.find(needle), needle.size(), "\"grub_bench_schema\":2");
+  Result<BenchReportFile> parsed = BenchReportFile::Parse(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("refresh the baseline"),
+            std::string::npos);
+}
+
+TEST(BenchReport, FindByName) {
+  const BenchReportFile file = MakeFile();
+  EXPECT_NE(file.Find("fig_test"), nullptr);
+  EXPECT_EQ(file.Find("nope"), nullptr);
+}
+
+TEST(Compare, IdenticalFilesAreOk) {
+  const BenchReportFile file = MakeFile();
+  const CompareResult result = CompareReportFiles(file, file);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.deltas.empty());
+  EXPECT_TRUE(result.structural.empty());
+}
+
+TEST(Compare, AnyGasDeltaIsARegression) {
+  const BenchReportFile baseline = MakeFile();
+  BenchReportFile current = MakeFile();
+  current.reports[0].series[0].rows[0].Ops(128, 888841);  // +1 Gas
+
+  const CompareResult result = CompareReportFiles(baseline, current);
+  EXPECT_FALSE(result.ok());
+  ASSERT_GE(result.RegressionCount(), 1u);
+  bool found = false;
+  for (const auto& delta : result.deltas) {
+    if (delta.field == "gas_total") {
+      found = true;
+      EXPECT_EQ(delta.baseline, "888840");
+      EXPECT_EQ(delta.current, "888841");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Compare, MatrixCellDeltaNamesTheCell) {
+  const BenchReportFile baseline = MakeFile();
+  BenchReportFile current = MakeFile();
+  current.reports[0].series[0].rows[0].gas.cells[4][1] += 5;
+
+  const CompareResult result = CompareReportFiles(baseline, current);
+  EXPECT_FALSE(result.ok());
+  bool found = false;
+  for (const auto& delta : result.deltas) {
+    if (delta.field == "gas.sload/gGet-sync") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Compare, MissingBenchAndSeriesAreStructural) {
+  const BenchReportFile baseline = MakeFile();
+  BenchReportFile current;
+  EXPECT_FALSE(CompareReportFiles(baseline, current).ok());
+
+  current = MakeFile();
+  current.reports[0].series.clear();
+  const CompareResult result = CompareReportFiles(baseline, current);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.structural.size(), 1u);
+  EXPECT_NE(result.structural[0].find("ratio=2"), std::string::npos);
+}
+
+TEST(Compare, RowCountChangeIsStructural) {
+  const BenchReportFile baseline = MakeFile();
+  BenchReportFile current = MakeFile();
+  current.reports[0].series[0].rows.pop_back();
+  const CompareResult result = CompareReportFiles(baseline, current);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.structural.size(), 1u);
+}
+
+TEST(Compare, ConfigDriftIsARegression) {
+  const BenchReportFile baseline = MakeFile();
+  BenchReportFile current = MakeFile();
+  current.reports[0].SetConfig("ops", uint64_t{256});
+  const CompareResult result = CompareReportFiles(baseline, current);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_EQ(result.deltas[0].field, "config");
+}
+
+TEST(Compare, RowLabelMismatchReportsOnce) {
+  const BenchReportFile baseline = MakeFile();
+  BenchReportFile current = MakeFile();
+  current.reports[0].series[0].rows[0].label = "K=9";
+  current.reports[0].series[0].rows[0].Ops(1, 1);  // would be noise
+  const CompareResult result = CompareReportFiles(baseline, current);
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_EQ(result.deltas[0].field, "label");
+}
+
+TEST(Compare, WallClockOnlyGatedWithTolerance) {
+  const BenchReportFile baseline = MakeFile();
+  BenchReportFile current = MakeFile();
+  current.reports[0].series[0].rows[1].OpsPerSec(500);  // 50% slower
+
+  // No tolerance configured: wall-clock is informational, not gated.
+  EXPECT_TRUE(CompareReportFiles(baseline, current).ok());
+
+  CompareOptions options;
+  options.time_tolerance_pct = 10;
+  EXPECT_FALSE(CompareReportFiles(baseline, current, options).ok());
+
+  // Within tolerance passes.
+  current.reports[0].series[0].rows[1].OpsPerSec(950);  // 5% slower
+  EXPECT_TRUE(CompareReportFiles(baseline, current, options).ok());
+
+  // A missing measurement on either side never gates.
+  current.reports[0].series[0].rows[1].OpsPerSec(0);
+  EXPECT_TRUE(CompareReportFiles(baseline, current, options).ok());
+}
+
+}  // namespace
+}  // namespace grub::telemetry

@@ -1,0 +1,119 @@
+// Golden-file pins for the machine-readable export schemas:
+//   * EpochSeries CSV        (column set + order)
+//   * EpochSeries JSON-lines (field set + order)
+//   * BenchReport JSON       (the BENCH_*.json shape, schema_version 1)
+//
+// A diff here means a consumer-visible schema change: either revert it, or
+// bump kBenchReportSchemaVersion / update the goldens DELIBERATELY by
+// rerunning with GRUB_UPDATE_GOLDEN=1 in the environment:
+//
+//   GRUB_UPDATE_GOLDEN=1 ./build/tests/schema_golden_test
+//
+// and reviewing the rewritten files under tests/telemetry/golden/.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/epoch_series.h"
+#include "telemetry/report.h"
+
+#ifndef GRUB_GOLDEN_DIR
+#error "GRUB_GOLDEN_DIR must point at tests/telemetry/golden"
+#endif
+
+namespace grub::telemetry {
+namespace {
+
+std::string GoldenPath(const char* file) {
+  return std::string(GRUB_GOLDEN_DIR) + "/" + file;
+}
+
+void CheckAgainstGolden(const char* file, const std::string& actual) {
+  const std::string path = GoldenPath(file);
+  if (std::getenv("GRUB_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << "cannot rewrite " << path;
+    out << actual;
+    GTEST_SKIP() << "rewrote " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "missing golden file " << path
+                            << " (generate with GRUB_UPDATE_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "serialized schema drifted from " << path
+      << " — bump kBenchReportSchemaVersion or refresh the golden "
+         "deliberately (GRUB_UPDATE_GOLDEN=1), and expect to refresh "
+         "bench/baselines/ too";
+}
+
+/// Deterministic two-epoch series touching the robustness columns.
+EpochSeries MakeSeries() {
+  GasAttribution attribution;
+  EpochSeries series;
+  {
+    GasSpan span(GasCause::kGGetSync);
+    attribution.Record(GasComponent::kTxBase, 21000);
+    attribution.Record(GasComponent::kSload, 200);
+  }
+  series.Close(32, attribution);
+  {
+    GasSpan span(GasCause::kDeliver);
+    attribution.Record(GasComponent::kCalldata, 1088);
+  }
+  RobustnessTotals robustness;
+  robustness.fault_fires = 2;
+  robustness.retries = 1;
+  robustness.degraded = 1;
+  series.Close(8, attribution, robustness);
+  return series;
+}
+
+TEST(SchemaGolden, EpochSeriesCsv) {
+  std::ostringstream out;
+  MakeSeries().WriteCsv(out);
+  CheckAgainstGolden("epoch_series.csv", out.str());
+}
+
+TEST(SchemaGolden, EpochSeriesJsonLines) {
+  std::ostringstream out;
+  MakeSeries().WriteJsonLines(out);
+  CheckAgainstGolden("epoch_series.jsonl", out.str());
+}
+
+TEST(SchemaGolden, BenchReportJson) {
+  BenchReportFile file;
+  BenchReport report;
+  report.name = "golden_bench";
+  report.title = "schema pin";
+  report.SetConfig("workload", "fixed-ratio");
+  report.SetConfig("ops", uint64_t{128});
+  auto& series = report.AddSeries("GRuB");
+  GasMatrix m;
+  m.cells[0][1] = 21000;  // tx-base/gGet-sync
+  m.cells[4][2] = 600;    // sload/deliver
+  series.Add("ratio=4", 4).Ops(128, 888840).Paper(6900).Matrix(m);
+  series.Add("ratio=8", 8).Ops(64, 0);
+  auto& timed = report.AddSeries("throughput");
+  timed.Add("GRuB", 0).Ops(128, 888840).OpsPerSec(1234.5);
+  report.notes.push_back("Expected (paper): a note.");
+  file.reports.push_back(report);
+
+  // A second report pins the multi-report container shape (the quick gate's
+  // combined BENCH_quick.json).
+  BenchReport failed;
+  failed.name = "golden_failed";
+  failed.title = "failure flag pin";
+  failed.failed = true;
+  file.reports.push_back(failed);
+
+  std::ostringstream out;
+  file.WriteJson(out);
+  CheckAgainstGolden("bench_report.json", out.str());
+}
+
+}  // namespace
+}  // namespace grub::telemetry

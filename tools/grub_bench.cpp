@@ -1,0 +1,179 @@
+// grub-bench: the unified benchmark observatory runner.
+//
+//   grub-bench --list                      enumerate registered benches
+//   grub-bench --all [--quick]             run everything, write BENCH_*.json
+//   grub-bench --only 'fig1*' --only fig7_ratio_sweep
+//   grub-bench --quick --combined quick    one BENCH_quick.json for the gate
+//   grub-bench --compare old.json new.json Gas-exact regression diff
+//
+// Every run prints the familiar text tables AND writes machine-readable
+// BENCH_<name>.json artifacts (schema: telemetry/report.h). The simulator is
+// deterministic, so `--compare` treats ANY Gas delta as a real regression;
+// wall-clock is only gated when --time-tolerance is given.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_registry.h"
+#include "telemetry/report.h"
+
+namespace {
+
+using grub::bench::AllBenches;
+using grub::bench::BenchInfo;
+using grub::bench::BenchOptions;
+using grub::bench::GlobMatch;
+using grub::bench::RunBench;
+using grub::bench::WriteReportFile;
+
+int Usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: grub-bench [MODE] [OPTIONS]\n"
+      "modes:\n"
+      "  --list                 list registered benches and exit\n"
+      "  --all                  run every registered bench (default if any\n"
+      "                         run option is given)\n"
+      "  --only GLOB            run benches matching GLOB ('*'/'?'); repeatable\n"
+      "  --compare OLD NEW      diff two report files; exit 1 on regression\n"
+      "options:\n"
+      "  --quick                pinned small deterministic configs (CI gate)\n"
+      "  --no-timing            omit wall-clock fields -> byte-identical JSON\n"
+      "  --out-dir DIR          where BENCH_*.json go (default: .)\n"
+      "  --combined STEM        also write one BENCH_<STEM>.json holding all\n"
+      "                         selected reports (the quick gate's format)\n"
+      "  --no-json              text tables only, write no artifacts\n"
+      "  --time-tolerance PCT   with --compare: flag ops/sec drops > PCT%%\n");
+  return 2;
+}
+
+int RunCompare(const std::string& baseline_path, const std::string& current_path,
+               double time_tolerance_pct) {
+  auto baseline = grub::telemetry::BenchReportFile::Load(baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "cannot load baseline %s: %s\n", baseline_path.c_str(),
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  auto current = grub::telemetry::BenchReportFile::Load(current_path);
+  if (!current.ok()) {
+    std::fprintf(stderr, "cannot load current %s: %s\n", current_path.c_str(),
+                 current.status().ToString().c_str());
+    return 2;
+  }
+  grub::telemetry::CompareOptions options;
+  options.time_tolerance_pct = time_tolerance_pct;
+  const auto result =
+      grub::telemetry::CompareReportFiles(*baseline, *current, options);
+  grub::telemetry::PrintCompare(result, stdout);
+  return result.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false, all = false, json = true, run_requested = false;
+  BenchOptions options;
+  std::string out_dir = ".";
+  std::string combined_stem;
+  std::vector<std::string> globs;
+  std::string compare_old, compare_new;
+  double time_tolerance_pct = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(arg, "--list")) {
+      list = true;
+    } else if (!std::strcmp(arg, "--all")) {
+      all = run_requested = true;
+    } else if (!std::strcmp(arg, "--only")) {
+      globs.push_back(next("--only"));
+      run_requested = true;
+    } else if (!std::strcmp(arg, "--quick")) {
+      options.quick = true;
+      run_requested = true;
+    } else if (!std::strcmp(arg, "--no-timing")) {
+      options.timing = false;
+    } else if (!std::strcmp(arg, "--out-dir")) {
+      out_dir = next("--out-dir");
+    } else if (!std::strcmp(arg, "--combined")) {
+      combined_stem = next("--combined");
+    } else if (!std::strcmp(arg, "--no-json")) {
+      json = false;
+    } else if (!std::strcmp(arg, "--compare")) {
+      compare_old = next("--compare");
+      compare_new = next("--compare");
+    } else if (!std::strcmp(arg, "--time-tolerance")) {
+      time_tolerance_pct = std::strtod(next("--time-tolerance"), nullptr);
+    } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+      Usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage(stderr);
+    }
+  }
+
+  if (!compare_old.empty()) {
+    return RunCompare(compare_old, compare_new, time_tolerance_pct);
+  }
+
+  if (list) {
+    for (const BenchInfo* bench : AllBenches()) {
+      std::printf("%-24s %s\n", bench->name.c_str(), bench->title.c_str());
+    }
+    return 0;
+  }
+
+  if (!run_requested) return Usage(stderr);
+
+  std::vector<const BenchInfo*> selected;
+  for (const BenchInfo* bench : AllBenches()) {
+    if (all && globs.empty()) {
+      selected.push_back(bench);
+      continue;
+    }
+    for (const std::string& glob : globs) {
+      if (GlobMatch(glob, bench->name)) {
+        selected.push_back(bench);
+        break;
+      }
+    }
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "no benches selected (see --list)\n");
+    return 2;
+  }
+
+  int failures = 0;
+  std::vector<grub::telemetry::BenchReport> reports;
+  for (size_t i = 0; i < selected.size(); ++i) {
+    std::printf("%s--- [%zu/%zu] %s ---\n", i ? "\n" : "", i + 1,
+                selected.size(), selected[i]->name.c_str());
+    grub::telemetry::BenchReport report = RunBench(*selected[i], options);
+    if (report.failed) {
+      ++failures;
+      std::fprintf(stderr, "bench %s FAILED\n", report.name.c_str());
+    }
+    if (json && combined_stem.empty()) {
+      const std::string path = WriteReportFile(out_dir, report.name, {report});
+      if (path.empty()) return 1;
+      std::printf("wrote %s\n", path.c_str());
+    }
+    reports.push_back(std::move(report));
+  }
+  if (json && !combined_stem.empty()) {
+    const std::string path = WriteReportFile(out_dir, combined_stem, reports);
+    if (path.empty()) return 1;
+    std::printf("\nwrote %s (%zu reports)\n", path.c_str(), reports.size());
+  }
+  return failures == 0 ? 0 : 1;
+}

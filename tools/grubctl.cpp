@@ -19,6 +19,8 @@
 #include <string>
 
 #include "grub/system.h"
+#include "telemetry/json.h"
+#include "telemetry/report.h"
 #include "telemetry/table.h"
 #include "telemetry/trace_analyze.h"
 #include "workload/synthetic.h"
@@ -46,6 +48,7 @@ struct Args {
   bool trace_summary = false;   // implies tracing
   std::string faults;           // fault schedule (FaultInjector::Parse)
   uint64_t fault_seed = 42;
+  bool json = false;  // machine-readable summary instead of the text report
   bool help = false;
 };
 
@@ -83,7 +86,11 @@ void PrintUsage() {
       "                  (probability P), point* (always); suffixes xM (max\n"
       "                  fires) and +S (skip first S hits)\n"
       "  --fault-seed N  seed for probabilistic fault rules  (default 42);\n"
-      "                  same seed + schedule reproduces the run exactly\n");
+      "                  same seed + schedule reproduces the run exactly\n"
+      "  --json          print one machine-readable JSON summary on stdout\n"
+      "                  instead of the text report (implies --telemetry):\n"
+      "                  gas totals, component x cause breakdown, per-epoch\n"
+      "                  series, activity and robustness counters\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args& args) {
@@ -129,6 +136,8 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.faults = next("--faults");
     } else if (!std::strcmp(argv[i], "--fault-seed")) {
       args.fault_seed = std::strtoull(next("--fault-seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--json")) {
+      args.json = true;
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       args.help = true;
     } else {
@@ -241,8 +250,11 @@ int main(int argc, char** argv) {
   }
 
   const bool want_tracing = !args.trace_out.empty() || args.trace_summary;
-  const bool want_telemetry =
-      args.telemetry || args.gas_breakdown || !args.metrics_out.empty();
+  const bool want_telemetry = args.telemetry || args.gas_breakdown ||
+                              !args.metrics_out.empty() || args.json;
+  // With --json, stdout carries exactly one JSON document; the usual text
+  // report is suppressed (auxiliary file writes still happen).
+  const bool text = !args.json;
 
   core::SystemOptions options;
   options.ops_per_tx = args.ops_per_tx;
@@ -256,13 +268,15 @@ int main(int argc, char** argv) {
 
   auto trace = MakeWorkload(args);
   auto stats = workload::ComputeStats(trace);
-  std::printf("workload: %s  (%llu writes, %llu reads, %llu scans; "
-              "%.2f reads/write)\n",
-              args.workload.c_str(),
-              static_cast<unsigned long long>(stats.writes),
-              static_cast<unsigned long long>(stats.reads),
-              static_cast<unsigned long long>(stats.scans),
-              stats.ReadWriteRatio());
+  if (text) {
+    std::printf("workload: %s  (%llu writes, %llu reads, %llu scans; "
+                "%.2f reads/write)\n",
+                args.workload.c_str(),
+                static_cast<unsigned long long>(stats.writes),
+                static_cast<unsigned long long>(stats.reads),
+                static_cast<unsigned long long>(stats.scans),
+                stats.ReadWriteRatio());
+  }
 
   std::unique_ptr<core::GrubSystem> system_ptr;
   try {
@@ -273,10 +287,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   core::GrubSystem& system = *system_ptr;
-  std::printf("policy:   %s\n", system.Do().Policy().Name().c_str());
-  if (system.Faults() != nullptr) {
-    std::printf("faults:   %s (seed %llu)\n", args.faults.c_str(),
-                static_cast<unsigned long long>(args.fault_seed));
+  if (text) {
+    std::printf("policy:   %s\n", system.Do().Policy().Name().c_str());
+    if (system.Faults() != nullptr) {
+      std::printf("faults:   %s (seed %llu)\n", args.faults.c_str(),
+                  static_cast<unsigned long long>(args.fault_seed));
+    }
   }
 
   std::vector<std::pair<Bytes, Bytes>> preload;
@@ -285,8 +301,10 @@ int main(int argc, char** argv) {
     preload.emplace_back(workload::MakeKey(i), Bytes(args.record_bytes, 0x11));
   }
   system.Preload(preload);
-  std::printf("preload:  %zu records x %zu bytes\n\n", args.records,
-              args.record_bytes);
+  if (text) {
+    std::printf("preload:  %zu records x %zu bytes\n\n", args.records,
+                args.record_bytes);
+  }
 
   if (args.converged) {
     system.Drive(trace);
@@ -297,31 +315,35 @@ int main(int argc, char** argv) {
   }
   auto epochs = system.Drive(trace);
 
-  std::printf("Gas/op per epoch:");
-  const size_t stride = std::max<size_t>(1, epochs.size() / 24);
-  for (size_t i = 0; i < epochs.size(); i += stride) {
-    std::printf(" %.0f", epochs[i].PerOp());
-  }
-  std::printf("\n\n");
-
   size_t ops = 0;
   for (const auto& e : epochs) ops += e.ops;
-  std::printf("total:     %llu Gas over %zu ops  (%.0f Gas/op)\n",
-              static_cast<unsigned long long>(system.TotalGas()), ops,
-              ops ? static_cast<double>(system.TotalGas()) /
-                        static_cast<double>(ops)
-                  : 0.0);
-  std::printf("breakdown: %s\n", system.TotalBreakdown().ToString().c_str());
-  std::printf("activity:  %llu delivers, %zu replicas on chain, "
-              "%llu values / %llu misses delivered\n",
-              static_cast<unsigned long long>(system.Daemon().delivers_sent()),
-              system.Do().OnChainReplicas().size(),
-              static_cast<unsigned long long>(
-                  system.Consumer().values_received()),
-              static_cast<unsigned long long>(
-                  system.Consumer().misses_received()));
 
-  if (system.Faults() != nullptr) {
+  if (text) {
+    std::printf("Gas/op per epoch:");
+    const size_t stride = std::max<size_t>(1, epochs.size() / 24);
+    for (size_t i = 0; i < epochs.size(); i += stride) {
+      std::printf(" %.0f", epochs[i].PerOp());
+    }
+    std::printf("\n\n");
+
+    std::printf("total:     %llu Gas over %zu ops  (%.0f Gas/op)\n",
+                static_cast<unsigned long long>(system.TotalGas()), ops,
+                ops ? static_cast<double>(system.TotalGas()) /
+                          static_cast<double>(ops)
+                    : 0.0);
+    std::printf("breakdown: %s\n", system.TotalBreakdown().ToString().c_str());
+    std::printf("activity:  %llu delivers, %zu replicas on chain, "
+                "%llu values / %llu misses delivered\n",
+                static_cast<unsigned long long>(
+                    system.Daemon().delivers_sent()),
+                system.Do().OnChainReplicas().size(),
+                static_cast<unsigned long long>(
+                    system.Consumer().values_received()),
+                static_cast<unsigned long long>(
+                    system.Consumer().misses_received()));
+  }
+
+  if (text && system.Faults() != nullptr) {
     std::printf("injected: ");
     bool first = true;
     for (const auto& [point, fires] : system.Faults()->FireCounts()) {
@@ -342,7 +364,92 @@ int main(int argc, char** argv) {
                 system.Do().degraded() ? " (still degraded)" : "");
   }
 
-  if (args.gas_breakdown) {
+  if (args.json) {
+    using telemetry::JsonValue;
+    JsonValue root = JsonValue::Object();
+    {
+      JsonValue workload = JsonValue::Object();
+      workload.Set("spec", JsonValue::String(args.workload));
+      workload.Set("writes", JsonValue::NumberU64(stats.writes));
+      workload.Set("reads", JsonValue::NumberU64(stats.reads));
+      workload.Set("scans", JsonValue::NumberU64(stats.scans));
+      root.Set("workload", std::move(workload));
+    }
+    root.Set("policy", JsonValue::String(system.Do().Policy().Name()));
+    {
+      JsonValue gas = JsonValue::Object();
+      gas.Set("total", JsonValue::NumberU64(system.TotalGas()));
+      gas.Set("ops", JsonValue::NumberU64(ops));
+      gas.Set("per_op",
+              JsonValue::NumberDouble(
+                  ops ? static_cast<double>(system.TotalGas()) /
+                            static_cast<double>(ops)
+                      : 0.0));
+      // Sparse component x cause attribution, same cell naming as the
+      // BENCH_*.json schema ("component/cause": amount, zero cells absent).
+      JsonValue matrix = JsonValue::Object();
+      const telemetry::GasMatrix snapshot = system.Metrics()->Gas().Snapshot();
+      for (size_t c = 0; c < telemetry::kNumGasComponents; ++c) {
+        for (size_t w = 0; w < telemetry::kNumGasCauses; ++w) {
+          if (snapshot.cells[c][w] == 0) continue;
+          matrix.Set(
+              std::string(
+                  telemetry::Name(static_cast<telemetry::GasComponent>(c))) +
+                  "/" +
+                  telemetry::Name(static_cast<telemetry::GasCause>(w)),
+              JsonValue::NumberU64(snapshot.cells[c][w]));
+        }
+      }
+      gas.Set("breakdown", std::move(matrix));
+      root.Set("gas", std::move(gas));
+    }
+    {
+      JsonValue rows = JsonValue::Array();
+      for (const auto& e : epochs) {
+        JsonValue row = JsonValue::Object();
+        row.Set("ops", JsonValue::NumberU64(e.ops));
+        row.Set("gas", JsonValue::NumberU64(e.gas));
+        rows.Append(std::move(row));
+      }
+      root.Set("epochs", std::move(rows));
+    }
+    {
+      JsonValue activity = JsonValue::Object();
+      activity.Set("delivers",
+                   JsonValue::NumberU64(system.Daemon().delivers_sent()));
+      activity.Set("replicas_on_chain",
+                   JsonValue::NumberU64(system.Do().OnChainReplicas().size()));
+      activity.Set("values_received",
+                   JsonValue::NumberU64(system.Consumer().values_received()));
+      activity.Set("misses_received",
+                   JsonValue::NumberU64(system.Consumer().misses_received()));
+      root.Set("activity", std::move(activity));
+    }
+    {
+      const telemetry::RobustnessTotals totals =
+          system.Metrics()->GatherRobustness();
+      JsonValue robustness = JsonValue::Object();
+      robustness.Set("fault_fires", JsonValue::NumberU64(totals.fault_fires));
+      robustness.Set("retries", JsonValue::NumberU64(totals.retries));
+      robustness.Set("watchdog_reemits",
+                     JsonValue::NumberU64(totals.watchdog_reemits));
+      robustness.Set("degraded",
+                     JsonValue::Bool(system.Do().degraded()));
+      if (system.Faults() != nullptr) {
+        JsonValue fires = JsonValue::Object();
+        for (const auto& [point, count] : system.Faults()->FireCounts()) {
+          if (count != 0) fires.Set(point, JsonValue::NumberU64(count));
+        }
+        robustness.Set("fault_schedule", JsonValue::String(args.faults));
+        robustness.Set("fault_seed", JsonValue::NumberU64(args.fault_seed));
+        robustness.Set("fires_by_point", std::move(fires));
+      }
+      root.Set("robustness", std::move(robustness));
+    }
+    std::printf("%s\n", root.ToString().c_str());
+  }
+
+  if (args.gas_breakdown && text) {
     std::printf("\n");
     telemetry::PrintGasBreakdown(system.Metrics()->Gas().Snapshot());
   }
@@ -361,9 +468,11 @@ int main(int argc, char** argv) {
     } else {
       series.WriteJsonLines(out);
     }
-    std::printf("metrics:   wrote %zu epoch rows to %s (%s)\n",
-                series.Rows().size(), args.metrics_out.c_str(),
-                csv ? "csv" : "jsonl");
+    if (text) {
+      std::printf("metrics:   wrote %zu epoch rows to %s (%s)\n",
+                  series.Rows().size(), args.metrics_out.c_str(),
+                  csv ? "csv" : "jsonl");
+    }
   }
   if (!args.trace_out.empty()) {
     std::ofstream out(args.trace_out, std::ios::trunc);
@@ -380,12 +489,14 @@ int main(int argc, char** argv) {
     } else {
       tracer.WriteJsonLines(out);
     }
-    std::printf("trace: wrote %zu spans, %zu events, %zu flips to %s (%s)\n",
-                tracer.Spans().size(), tracer.GlobalEvents().size(),
-                tracer.Flips().size(), args.trace_out.c_str(),
-                chrome ? "chrome-json" : "jsonl");
+    if (text) {
+      std::printf("trace: wrote %zu spans, %zu events, %zu flips to %s (%s)\n",
+                  tracer.Spans().size(), tracer.GlobalEvents().size(),
+                  tracer.Flips().size(), args.trace_out.c_str(),
+                  chrome ? "chrome-json" : "jsonl");
+    }
   }
-  if (args.trace_summary) {
+  if (args.trace_summary && text) {
     std::printf("\n");
     const auto summary = telemetry::Summarize(*system.Tracing());
     telemetry::PrintSummary(summary);
