@@ -113,4 +113,27 @@ if ./build/bench/grub-bench --compare bench/baselines/BENCH_quick.json \
   exit 1
 fi
 
+# Shard gates. (1) The 4-shard Merkle-forest quick bench must hold its own
+# scaling assertions (root-update Gas flat across the keyspace sweep, no
+# superlinear growth under sustained load) — StandaloneMain exits non-zero
+# when the report carries the failure flag. Its Gas numbers are also pinned:
+# scale_shards is part of BENCH_quick.json, so the quick-bench gate above
+# already compares them exactly.
+echo "=== shard gate: bench_scale_shards --quick (4-shard forest) ==="
+./build/bench/bench_scale_shards --quick --no-timing > /tmp/grub_shard_quick.log
+
+# (2) shards=1 Gas-identity: every pre-forest bench drives the legacy
+# single-tree layout (shards defaults to 1), so its Gas must be bit-identical
+# to bench/baselines/BENCH_quick_preshard.json — the quick baseline captured
+# from the tree BEFORE the sharded control plane landed. The comparator walks
+# the baseline's benches, so the extra scale_shards report in the current run
+# is not a mismatch. This file is a historical artifact: never refresh it.
+echo "=== shard gate: shards=1 Gas-identity vs pre-shard baseline ==="
+if ! ./build/bench/grub-bench --compare bench/baselines/BENCH_quick_preshard.json \
+    /tmp/grub_quick_bench/BENCH_quick.json; then
+  echo "shard gate FAILED: the single-shard configuration no longer matches"
+  echo "the pre-shard baseline — the forest refactor leaked into legacy Gas."
+  exit 1
+fi
+
 echo "=== all passes green ==="

@@ -1,6 +1,7 @@
 #include "ads/do.h"
 
 #include <algorithm>
+#include <map>
 
 #include "ads/verify.h"
 
@@ -33,6 +34,60 @@ void AdsDo::ApplyLocal(size_t pos, bool existed, const FeedRecord& record) {
     }
     mirror_.Rebuild(std::move(leaves));
   }
+}
+
+void AdsDo::ApplyBatchLocal(const std::vector<FeedRecord>& records) {
+  struct BytesLess {
+    bool operator()(const Bytes& a, const Bytes& b) const {
+      return Compare(a, b) < 0;
+    }
+  };
+  std::map<Bytes, Hash256, BytesLess> batch;  // key -> leaf, last write wins
+  for (const auto& r : records) batch[r.key] = r.LeafHash();
+
+  std::vector<Bytes> keys;
+  std::vector<Hash256> leaves;
+  keys.reserve(keys_.size() + batch.size());
+  leaves.reserve(keys_.size() + batch.size());
+  auto it = batch.begin();
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    while (it != batch.end() && Compare(it->first, keys_[i]) < 0) {
+      keys.push_back(it->first);
+      leaves.push_back(it->second);
+      ++it;
+    }
+    if (it != batch.end() && Compare(it->first, keys_[i]) == 0) {
+      leaves.push_back(it->second);
+      ++it;
+    } else {
+      leaves.push_back(mirror_.Leaf(i));
+    }
+    keys.push_back(std::move(keys_[i]));
+  }
+  for (; it != batch.end(); ++it) {
+    keys.push_back(it->first);
+    leaves.push_back(it->second);
+  }
+  keys_ = std::move(keys);
+  mirror_.Rebuild(std::move(leaves));
+}
+
+Status AdsDo::VerifiedBatchPut(AdsSp& sp,
+                               const std::vector<FeedRecord>& records) {
+  if (records.empty()) return Status::Ok();
+  ApplyBatchLocal(records);
+  auto sp_root = sp.ApplyPutBatch(records);
+  if (!sp_root.ok()) return sp_root.status();
+  if (*sp_root != Root()) {
+    return Status::IntegrityViolation("SP root diverged after batch update");
+  }
+  return Status::Ok();
+}
+
+void AdsDo::BulkLoad(AdsSp& sp, const std::vector<FeedRecord>& records) {
+  if (records.empty()) return;
+  ApplyBatchLocal(records);
+  sp.BulkLoad(records);
 }
 
 Status AdsDo::VerifiedPut(AdsSp& sp, const FeedRecord& record) {

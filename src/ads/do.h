@@ -31,8 +31,20 @@ class AdsDo {
   /// Verified delete (tombstoning a key out of the tree).
   Status VerifiedDelete(AdsSp& sp, ByteSpan key);
 
+  /// Batch update: applies `records` (arrival order, last write per key
+  /// wins) to the local mirror and the SP with ONE tree rebuild each, then
+  /// compares roots. Skips the per-record SP pre-proofs — root equality
+  /// after the batch gives the same divergence detection, settled at the
+  /// batch boundary instead of per record.
+  Status VerifiedBatchPut(AdsSp& sp, const std::vector<FeedRecord>& records);
+
   /// Bootstrap load without SP round-trips (initial dataset).
   void UnverifiedPut(AdsSp& sp, const FeedRecord& record);
+
+  /// Bootstrap load of a whole dataset: one mirror rebuild + one SP rebuild
+  /// (the per-record UnverifiedPut loop rebuilds per mid-array insert).
+  /// Produces the same tree as the loop — same leaves, same capacity.
+  void BulkLoad(AdsSp& sp, const std::vector<FeedRecord>& records);
 
   Hash256 Root() const { return mirror_.Root(); }
   size_t RecordCount() const { return keys_.size(); }
@@ -46,6 +58,7 @@ class AdsDo {
  private:
   size_t LowerBound(ByteSpan key) const;
   void ApplyLocal(size_t pos, bool existed, const FeedRecord& record);
+  void ApplyBatchLocal(const std::vector<FeedRecord>& records);
 
   MacSigner signer_;
   MerkleTree mirror_;        // leaf hashes only

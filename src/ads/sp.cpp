@@ -63,6 +63,33 @@ Result<Hash256> AdsSp::ApplyPut(const FeedRecord& record) {
   return tree_.Root();
 }
 
+Result<Hash256> AdsSp::ApplyPutBatch(const std::vector<FeedRecord>& records) {
+  if (records.empty()) return tree_.Root();
+  std::map<Bytes, FeedRecord, BytesLess> batch;
+  for (const auto& r : records) batch[r.key] = r;  // last write wins
+
+  std::vector<FeedRecord> merged;
+  merged.reserve(records_.size() + batch.size());
+  auto it = batch.begin();
+  for (auto& existing : records_) {
+    while (it != batch.end() && Compare(it->first, existing.key) < 0) {
+      merged.push_back(it->second);
+      ++it;
+    }
+    if (it != batch.end() && Compare(it->first, existing.key) == 0) {
+      merged.push_back(it->second);
+      ++it;
+    } else {
+      merged.push_back(std::move(existing));
+    }
+  }
+  for (; it != batch.end(); ++it) merged.push_back(it->second);
+  records_ = std::move(merged);
+  RebuildTree();
+  for (const auto& r : records) PersistRecord(r);
+  return tree_.Root();
+}
+
 Status AdsSp::ApplyDelete(ByteSpan key) {
   const size_t pos = LowerBound(key);
   if (pos >= records_.size() || Compare(records_[pos].key, key) != 0) {

@@ -34,6 +34,18 @@ class AdsSp {
   /// replication state). Returns the new root.
   Result<Hash256> ApplyPut(const FeedRecord& record);
 
+  /// Applies a whole update batch (arrival order, last write per key wins)
+  /// with a single tree rebuild, and persists every record. Returns the new
+  /// root. The final tree is identical to applying the puts one by one —
+  /// Rebuild and incremental Append/SetLeaf agree on capacity (bit_ceil) and
+  /// leaves — just without the per-put O(n) mid-insert rebuilds.
+  Result<Hash256> ApplyPutBatch(const std::vector<FeedRecord>& records);
+
+  /// Bootstrap load: ApplyPutBatch without the root hand-back (preload path).
+  void BulkLoad(const std::vector<FeedRecord>& records) {
+    (void)ApplyPutBatch(records);
+  }
+
   /// Removes a key entirely (rare; the feeds overwrite rather than delete).
   Status ApplyDelete(ByteSpan key);
 

@@ -47,6 +47,7 @@ void Blockchain::TakeBlockSnapshot() {
   snap.call_history_size = call_history_.size();
   snap.next_log_index = next_log_index_;
   snap.total_breakdown = total_breakdown_;
+  snap.gas_by_contract = gas_by_contract_;
   snap.last_block_time = last_block_time_;
 #if GRUB_TELEMETRY
   if (telemetry_ != nullptr) snap.gas_matrix = telemetry_->Gas().Snapshot();
@@ -149,6 +150,7 @@ uint64_t Blockchain::ReorgNonFinalBlocks() {
   call_history_.resize(snap.call_history_size);
   next_log_index_ = snap.next_log_index;
   total_breakdown_ = snap.total_breakdown;
+  gas_by_contract_ = snap.gas_by_contract;
   last_block_time_ = snap.last_block_time;
 #if GRUB_TELEMETRY
   if (telemetry_ != nullptr) telemetry_->Gas().Restore(snap.gas_matrix);
@@ -219,6 +221,7 @@ Receipt Blockchain::ExecuteTransaction(Transaction& tx,
   receipt.gas_used = meter.Used();
   receipt.breakdown = meter.Breakdown();
   total_breakdown_ += meter.Breakdown();
+  gas_by_contract_[tx.to] += meter.Used();
 #if GRUB_TELEMETRY
   if (telemetry_ != nullptr && tx.trace_id != 0 &&
       telemetry_->Trace() != nullptr &&

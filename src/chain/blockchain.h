@@ -82,11 +82,19 @@ class Blockchain {
 
   uint64_t TotalGasUsed() const { return total_breakdown_.Total(); }
   const GasBreakdown& TotalBreakdown() const { return total_breakdown_; }
+  /// Cumulative Gas metered by transactions sent TO `contract` (multi-feed
+  /// tenancy attribution: each feed's costs are the sum over its own
+  /// contracts). Internal calls meter into their outer transaction's target.
+  uint64_t GasUsedBy(Address contract) const {
+    auto it = gas_by_contract_.find(contract);
+    return it == gas_by_contract_.end() ? 0 : it->second;
+  }
   /// Resets cumulative Gas counters (experiment phase boundaries). The
   /// attached telemetry attribution resets in lockstep so its matrix total
   /// always equals TotalGasUsed().
   void ResetGasCounters() {
     total_breakdown_ = GasBreakdown{};
+    gas_by_contract_.clear();
     // Snapshots straddling a counter reset would restore pre-reset totals;
     // a reorg cannot cross an experiment phase boundary.
     snapshots_.clear();
@@ -162,12 +170,14 @@ class Blockchain {
     size_t call_history_size = 0;
     uint64_t next_log_index = 0;
     GasBreakdown total_breakdown;
+    std::unordered_map<Address, uint64_t> gas_by_contract;
     TimeSec last_block_time = 0;
     telemetry::GasMatrix gas_matrix;  // zero unless telemetry was attached
   };
   std::deque<BlockSnapshot> snapshots_;
 
   GasBreakdown total_breakdown_;
+  std::unordered_map<Address, uint64_t> gas_by_contract_;
   fault::FaultInjector* faults_ = nullptr;     // not owned; may be null
   telemetry::Telemetry* telemetry_ = nullptr;  // not owned; may be null
   // Events recorded during the currently executing transaction (moved into

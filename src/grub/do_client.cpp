@@ -1,22 +1,28 @@
 #include "grub/do_client.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "chain/abi.h"
+#include "shard/forest.h"
 
 namespace grub::core {
 
-DoClient::DoClient(chain::Blockchain& chain, ads::AdsSp& sp, Options options,
-                   std::unique_ptr<ReplicationPolicy> policy)
+DoClient::DoClient(chain::Blockchain& chain, shard::ShardedAdsSp& sp,
+                   Options options, std::unique_ptr<ReplicationPolicy> policy)
     : chain_(chain),
       sp_(sp),
       options_(options),
       policy_(std::move(policy)),
-      ads_do_(ToBytes("grub-do-signing-key")),
+      ads_do_(sp.Map(), ToBytes("grub-do-signing-key")),
       tracker_(options.storage_manager) {
   auto db = kv::KVStore::Open(kv::Options{}, "");
   if (!db.ok()) throw std::runtime_error("DoClient: value cache open failed");
   value_cache_ = std::move(db).value();
+  // The policy keeps per-key decision state partitioned the same way the
+  // forest is: one arena bucket per shard.
+  policy_->BindShards(&sp_.Map());
+  per_shard_update_gas_.assign(sp_.ShardCount(), 0);
 }
 
 void DoClient::SetMetrics(telemetry::MetricsRegistry* registry) {
@@ -107,10 +113,11 @@ Result<Bytes> DoClient::CachedValue(const Bytes& key) const {
 
 void DoClient::Preload(const std::vector<std::pair<Bytes, Bytes>>& records) {
   auto& genesis = chain_.MutableStorageOf(options_.storage_manager);
+  std::vector<ads::FeedRecord> feed_records;
+  feed_records.reserve(records.size());
   for (const auto& [key, value] : records) {
     const ads::ReplState state = policy_->StateOf(key);
-    ads::FeedRecord record{key, value, state};
-    ads_do_.UnverifiedPut(sp_, record);
+    feed_records.push_back(ads::FeedRecord{key, value, state});
     (void)value_cache_->Put(key, value);
     known_keys_.insert(key);
     // Genesis-warm the contract slots (converged-cost methodology: the
@@ -121,9 +128,30 @@ void DoClient::Preload(const std::vector<std::pair<Bytes, Bytes>>& records) {
     StorageManagerContract::PreloadReplica(genesis, key, value, live);
     if (live) replicas_on_chain_.insert(key);
   }
-  SubmitUpdate(
-      StorageManagerContract::EncodeUpdate(ads_do_.Root(), epoch_, {}, {}),
-      telemetry::GasCause::kUpdateRoot);
+  // Bulk-load the forest: one rebuild per shard instead of a per-record
+  // insert loop (which is quadratic on large keyspaces). The final trees are
+  // identical — same sorted leaves, same bit_ceil capacity — so the
+  // published digest matches the legacy path bit-for-bit.
+  ads_do_.BulkLoad(sp_, feed_records);
+  const std::vector<uint32_t> touched_shards = ads_do_.TakeTouchedShards();
+  last_epoch_touched_shards_ = touched_shards.size();
+  if (sp_.ShardCount() == 1) {
+    SubmitUpdate(StorageManagerContract::EncodeUpdate(ads_do_.RootOfRoots(),
+                                                      epoch_, {}, {}),
+                 telemetry::GasCause::kUpdateRoot);
+  } else {
+    // One genesis update carrying every populated shard root: the contract
+    // verifies the rollup against unset (zero == empty-tree) slots plus
+    // these, then stores them all.
+    std::vector<std::pair<uint64_t, Hash256>> roots;
+    roots.reserve(touched_shards.size());
+    for (uint32_t s : touched_shards) {
+      roots.emplace_back(s, ads_do_.ShardRoot(s));
+    }
+    SubmitUpdate(StorageManagerContract::EncodeUpdateSharded(
+                     ads_do_.RootOfRoots(), epoch_, roots, {}, {}),
+                 telemetry::GasCause::kUpdateRoot);
+  }
   epoch_ += 1;
   // Skip monitor processing of history up to now (preload is not workload).
   call_history_cursor_ = chain_.CallHistory().size();
@@ -177,17 +205,44 @@ chain::Receipt DoClient::EndEpoch() {
   touched_.clear();
 
   // 2. Actuate on the ADS: apply writes carrying their decided state (the
-  // authenticated state bit syncs here).
-  for (auto& write : pending_writes_) {
-    const ads::ReplState state = policy_->StateOf(write.key);
-    ads::FeedRecord record{write.key, write.value, state};
-    Status s = ads_do_.VerifiedPut(sp_, record);
-    if (!s.ok()) {
-      throw std::runtime_error("DoClient: verified put failed: " +
-                               s.ToString());
+  // authenticated state bit syncs here). Single-shard deployments keep the
+  // legacy per-record verified-put protocol (per-record SP pre-proofs);
+  // sharded ones batch per shard — one rebuild on each side per touched
+  // shard, with divergence detection at batch granularity (root equality).
+  const size_t shard_count = sp_.ShardCount();
+  std::vector<Hash256> pre_roots(shard_count);
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    pre_roots[s] = ads_do_.ShardRoot(s);
+  }
+  if (shard_count == 1) {
+    for (auto& write : pending_writes_) {
+      const ads::ReplState state = policy_->StateOf(write.key);
+      ads::FeedRecord record{write.key, write.value, state};
+      Status s = ads_do_.VerifiedPut(sp_, record);
+      if (!s.ok()) {
+        throw std::runtime_error("DoClient: verified put failed: " +
+                                 s.ToString());
+      }
+      (void)value_cache_->Put(write.key, write.value);
+      known_keys_.insert(write.key);
     }
-    (void)value_cache_->Put(write.key, write.value);
-    known_keys_.insert(write.key);
+  } else {
+    std::vector<std::vector<ads::FeedRecord>> batches(shard_count);
+    for (auto& write : pending_writes_) {
+      const ads::ReplState state = policy_->StateOf(write.key);
+      batches[sp_.Map().ShardOf(write.key)].push_back(
+          ads::FeedRecord{write.key, write.value, state});
+      (void)value_cache_->Put(write.key, write.value);
+      known_keys_.insert(write.key);
+    }
+    for (uint32_t s = 0; s < shard_count; ++s) {
+      if (batches[s].empty()) continue;
+      Status st = ads_do_.VerifiedBatchPut(sp_, s, batches[s]);
+      if (!st.ok()) {
+        throw std::runtime_error("DoClient: verified batch put failed: " +
+                                 st.ToString());
+      }
+    }
   }
 
   // 3. Build the update() transaction. Written records whose decided state
@@ -229,10 +284,21 @@ chain::Receipt DoClient::EndEpoch() {
                      std::to_string(evictions.size()));
   }
 #endif
-  chain::Receipt receipt = SubmitUpdate(
-      StorageManagerContract::EncodeUpdate(ads_do_.Root(), epoch_,
-                                           replicated_updates, evictions),
-      telemetry::GasCause::kUpdateRoot, epoch_span_);
+  std::vector<uint32_t> tree_touched = ads_do_.TakeTouchedShards();
+  last_epoch_touched_shards_ = tree_touched.size();
+  chain::Receipt receipt;
+  if (shard_count == 1) {
+    receipt = SubmitUpdate(
+        StorageManagerContract::EncodeUpdate(ads_do_.RootOfRoots(), epoch_,
+                                             replicated_updates, evictions),
+        telemetry::GasCause::kUpdateRoot, epoch_span_);
+    if (receipt.ok() || chain::IsDelayedReceipt(receipt)) {
+      per_shard_update_gas_[0] += receipt.gas_used;
+    }
+  } else {
+    receipt = SubmitShardedEpochUpdates(std::move(pre_roots), tree_touched,
+                                        replicated_updates, evictions);
+  }
 #if GRUB_TELEMETRY
   if (tracer_ != nullptr) {
     tracer_->EndSpan(epoch_span_, chain_.CurrentBlockNumber(),
@@ -241,6 +307,66 @@ chain::Receipt DoClient::EndEpoch() {
   }
 #endif
   epoch_ += 1;
+  return receipt;
+}
+
+chain::Receipt DoClient::SubmitShardedEpochUpdates(
+    std::vector<Hash256> pre_roots, const std::vector<uint32_t>& tree_touched,
+    const std::vector<ads::FeedRecord>& replicated,
+    const std::vector<Bytes>& evictions) {
+  const size_t shard_count = sp_.ShardCount();
+  // Partition the replica/eviction suffixes by shard (arrival order is
+  // preserved within each shard, matching the legacy single-tx ordering).
+  std::vector<std::vector<ads::FeedRecord>> rep_by_shard(shard_count);
+  for (const auto& record : replicated) {
+    rep_by_shard[sp_.Map().ShardOf(record.key)].push_back(record);
+  }
+  std::vector<std::vector<Bytes>> evict_by_shard(shard_count);
+  for (const auto& key : evictions) {
+    evict_by_shard[sp_.Map().ShardOf(key)].push_back(key);
+  }
+
+  // A shard is involved if its tree changed or it carries replica traffic.
+  std::vector<bool> has_root(shard_count, false);
+  for (uint32_t s : tree_touched) has_root[s] = true;
+  std::vector<uint32_t> involved;
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    if (has_root[s] || !rep_by_shard[s].empty() || !evict_by_shard[s].empty()) {
+      involved.push_back(s);
+    }
+  }
+
+  if (involved.empty()) {
+    // Nothing changed anywhere; publish the (unchanged) digest alone so the
+    // epoch boundary is still visible on chain — the legacy behavior.
+    return SubmitUpdate(StorageManagerContract::EncodeUpdateSharded(
+                            ads_do_.RootOfRoots(), epoch_, {}, {}, {}),
+                        telemetry::GasCause::kUpdateRoot, epoch_span_);
+  }
+
+  // One update() per involved shard, each carrying the INCREMENTAL
+  // root-of-roots: the digest after that transaction's shard root lands,
+  // computed over the roots the contract will hold at that point. Every tx
+  // therefore verifies on its own, the final stored digest equals the
+  // post-epoch root-of-roots, and receipts meter per-shard Gas exactly.
+  // This is why the epoch's Gas scales with TOUCHED shards, not keyspace.
+  std::vector<Hash256> chain_roots = std::move(pre_roots);
+  chain::Receipt receipt;
+  for (uint32_t s : involved) {
+    std::vector<std::pair<uint64_t, Hash256>> roots;
+    if (has_root[s]) {
+      chain_roots[s] = ads_do_.ShardRoot(s);
+      roots.emplace_back(s, chain_roots[s]);
+    }
+    const Hash256 digest = shard::ComputeRootOfRoots(chain_roots);
+    receipt = SubmitUpdate(
+        StorageManagerContract::EncodeUpdateSharded(
+            digest, epoch_, roots, rep_by_shard[s], evict_by_shard[s]),
+        telemetry::GasCause::kUpdateRoot, epoch_span_);
+    if (receipt.ok() || chain::IsDelayedReceipt(receipt)) {
+      per_shard_update_gas_[s] += receipt.gas_used;
+    }
+  }
   return receipt;
 }
 
@@ -386,9 +512,16 @@ void DoClient::Degrade(const std::vector<PendingRequest>& stale) {
 #endif
   if (forced.empty()) return;
 
-  chain::Receipt receipt = SubmitUpdate(
-      StorageManagerContract::EncodeUpdate(ads_do_.Root(), epoch_, forced, {}),
-      telemetry::GasCause::kRecovery);
+  // Roots are unchanged mid-epoch (batches apply at EndEpoch), so the
+  // current digest verifies; the transaction only publishes replicas.
+  Bytes calldata =
+      sp_.ShardCount() == 1
+          ? StorageManagerContract::EncodeUpdate(ads_do_.RootOfRoots(), epoch_,
+                                                 forced, {})
+          : StorageManagerContract::EncodeUpdateSharded(
+                ads_do_.RootOfRoots(), epoch_, {}, forced, {});
+  chain::Receipt receipt =
+      SubmitUpdate(std::move(calldata), telemetry::GasCause::kRecovery);
   if (!receipt.ok() && !chain::IsDelayedReceipt(receipt)) return;
   for (const auto& record : forced) {
     forced_replicas_.insert(record.key);

@@ -19,15 +19,15 @@
 #pragma once
 
 #include <set>
+#include <vector>
 
-#include "ads/do.h"
-#include "ads/sp.h"
 #include "chain/blockchain.h"
 #include "fault/injector.h"
 #include "grub/policy.h"
 #include "grub/request_tracker.h"
 #include "grub/storage_manager.h"
 #include "kvstore/db.h"
+#include "shard/forest.h"
 #include "telemetry/metrics.h"
 #include "telemetry/tracing.h"
 
@@ -53,7 +53,10 @@ class DoClient {
     chain::TimeSec retry_backoff_sec = 2;
   };
 
-  DoClient(chain::Blockchain& chain, ads::AdsSp& sp, Options options,
+  /// `sp` carries the shard layout: the DO mirrors it with one tree per
+  /// shard and binds the policy's arenas to the same map. A single-shard
+  /// forest is the legacy deployment bit-for-bit.
+  DoClient(chain::Blockchain& chain, shard::ShardedAdsSp& sp, Options options,
            std::unique_ptr<ReplicationPolicy> policy);
 
   /// Buffers one data update for the current epoch (a gPuts item).
@@ -90,8 +93,21 @@ class DoClient {
   /// the monitor).
   const std::set<Bytes>& OnChainReplicas() const { return replicas_on_chain_; }
 
-  /// The DO's ADS root (what the next update() will publish).
-  Hash256 Root() const { return ads_do_.Root(); }
+  /// The DO's ADS digest (what the next update() will publish): the shard
+  /// root itself in a single-shard deployment, else the root-of-roots.
+  Hash256 Root() const { return ads_do_.RootOfRoots(); }
+
+  /// Shards whose Merkle trees changed in the last closed epoch (or
+  /// preload). Feeds the telemetry epoch column and the scaling benches.
+  size_t LastEpochTouchedShards() const { return last_epoch_touched_shards_; }
+
+  /// Cumulative Gas of the update() transactions attributed to each shard
+  /// (indexed by shard; single-shard deployments use index 0). Sharded
+  /// epochs send one update per involved shard, so receipts meter this
+  /// exactly.
+  const std::vector<uint64_t>& PerShardUpdateGas() const {
+    return per_shard_update_gas_;
+  }
 
   /// Read-liveness watchdog: scans the chain for requests that have been
   /// pending longer than `watchdog_timeout_blocks` and re-emits them
@@ -145,6 +161,16 @@ class DoClient {
   /// with the counter evidence the policy captured around the flip.
   void RecordFlipAudit(const Bytes& key, ads::ReplState before,
                        ads::ReplState after, const char* op);
+  /// Sends the epoch's sharded update transactions: one update() per shard
+  /// with tree changes or replica/eviction traffic, each carrying the
+  /// incremental root-of-roots after that shard's root lands. `pre_roots`
+  /// are the shard roots before this epoch's batches were applied (== what
+  /// the contract currently stores). Returns the last receipt.
+  chain::Receipt SubmitShardedEpochUpdates(
+      std::vector<Hash256> pre_roots,
+      const std::vector<uint32_t>& tree_touched,
+      const std::vector<ads::FeedRecord>& replicated,
+      const std::vector<Bytes>& evictions);
   /// Force-replicates starved keys and flips into degraded mode.
   void Degrade(const std::vector<PendingRequest>& stale);
   /// Leaves degraded mode; forced keys return to policy control.
@@ -155,10 +181,10 @@ class DoClient {
   void NoteFlip(ads::ReplState before, ads::ReplState after);
 
   chain::Blockchain& chain_;
-  ads::AdsSp& sp_;
+  shard::ShardedAdsSp& sp_;
   Options options_;
   std::unique_ptr<ReplicationPolicy> policy_;
-  ads::AdsDo ads_do_;
+  shard::ShardedAdsDo ads_do_;
 
   // DO-local copy of current values (it produced them), in the embedded
   // KVStore — used to re-encode records on state-only flips.
@@ -187,6 +213,8 @@ class DoClient {
   uint64_t stale_rounds_ = 0;        // consecutive rounds with stale reads
   uint64_t update_retries_ = 0;
   uint64_t watchdog_reemits_ = 0;
+  size_t last_epoch_touched_shards_ = 0;
+  std::vector<uint64_t> per_shard_update_gas_;  // indexed by shard
 
   // Cached instruments (null = telemetry off).
   telemetry::Counter* flips_nr_to_r_ = nullptr;

@@ -1,0 +1,124 @@
+// Multi-feed tenancy: several independent GRuB data feeds sharing ONE chain.
+//
+// Real deployments co-locate feeds (a price oracle, a block-header relay, a
+// KV application) on the same blockchain: each feed is its own
+// StorageManagerContract + consumer + DO control plane + SP watchdog, with
+// its own shard layout and replication policy, but every transaction lands
+// in the shared chain's blocks and Gas ledger. MultiFeedSystem assembles
+// that: feeds are isolated by construction (disjoint contracts, disjoint
+// accounts, disjoint shard sets), and per-feed Gas is attributed exactly via
+// Blockchain::GasUsedBy on each feed's two contract addresses — internal
+// calls (gGet from a consumer, callbacks from a deliver) meter into the
+// outer transaction's target, which is always one of the owning feed's
+// contracts.
+//
+// The driver interleaves the feeds' traces round-robin at transaction-group
+// granularity, so blocks mix feeds the way a shared chain would.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "grub/consumer.h"
+#include "grub/do_client.h"
+#include "grub/policy.h"
+#include "grub/sp_daemon.h"
+#include "grub/storage_manager.h"
+#include "shard/forest.h"
+#include "workload/trace.h"
+
+namespace grub::core {
+
+struct FeedOptions {
+  std::string name;
+  /// Shard layout (same semantics as SystemOptions::shards/shard_boundaries).
+  size_t shards = 1;
+  std::vector<Bytes> shard_boundaries;
+  size_t ops_per_tx = 32;
+  size_t txs_per_epoch = 1;
+};
+
+/// Per-feed results after driving.
+struct FeedStats {
+  std::string name;
+  uint64_t gas = 0;  // manager + consumer Gas (exact, via GasUsedBy)
+  uint64_t manager_gas = 0;
+  uint64_t consumer_gas = 0;
+  size_t ops = 0;
+  size_t epochs = 0;
+  size_t shards = 0;
+  /// Cumulative update() Gas per shard (the DO's receipts).
+  std::vector<uint64_t> per_shard_update_gas;
+
+  double PerOp() const {
+    return ops == 0 ? 0.0 : static_cast<double>(gas) / static_cast<double>(ops);
+  }
+};
+
+class MultiFeedSystem {
+ public:
+  explicit MultiFeedSystem(chain::ChainParams params = {});
+  ~MultiFeedSystem();
+
+  /// Deploys one feed (contracts + control plane) on the shared chain and
+  /// returns its index. Call before Preload/Drive.
+  size_t AddFeed(FeedOptions options,
+                 std::unique_ptr<ReplicationPolicy> policy);
+
+  /// Bulk-loads one feed's records (unmetered genesis + one update()).
+  void Preload(size_t feed,
+               const std::vector<std::pair<Bytes, Bytes>>& records);
+  /// Zeroes the chain's Gas counters; call once after all preloads.
+  void ResetGasCounters() { chain_.ResetGasCounters(); }
+
+  /// Drives one trace per feed (index-aligned; a feed may have an empty
+  /// trace), interleaving round-robin one transaction group at a time.
+  void DriveAll(const std::vector<workload::Trace>& traces);
+
+  /// Per-feed Gas/ops totals since the last ResetGasCounters.
+  std::vector<FeedStats> Stats() const;
+
+  size_t FeedCount() const { return feeds_.size(); }
+  chain::Blockchain& Chain() { return chain_; }
+  DoClient& Do(size_t feed) { return *feeds_[feed]->do_client; }
+  ConsumerContract& Consumer(size_t feed) { return *feeds_[feed]->consumer; }
+  const shard::ShardMap& Shards(size_t feed) const {
+    return feeds_[feed]->sp.Map();
+  }
+  chain::Address ManagerAddress(size_t feed) const {
+    return feeds_[feed]->manager_address;
+  }
+
+ private:
+  struct Feed {
+    FeedOptions options;
+    shard::ShardedAdsSp sp;
+    chain::Address manager_address = chain::kNullAddress;
+    chain::Address consumer_address = chain::kNullAddress;
+    chain::Address do_account = chain::kNullAddress;
+    chain::Address sp_account = chain::kNullAddress;
+    chain::Address user_account = chain::kNullAddress;
+    ConsumerContract* consumer = nullptr;  // owned by the chain
+    std::unique_ptr<DoClient> do_client;
+    std::unique_ptr<SpDaemon> daemon;
+    std::set<Bytes> live_keys;
+    size_t ops_driven = 0;
+    size_t epochs_closed = 0;
+
+    explicit Feed(shard::ShardMap map) : sp(std::move(map)) {}
+  };
+
+  void FlushReadGroup(Feed& feed);
+  /// Feeds `count` operations from `trace` starting at `cursor` into the
+  /// feed's group/epoch machinery; returns ops consumed.
+  size_t DriveGroup(Feed& feed, const workload::Trace& trace, size_t& cursor,
+                    size_t& ops_in_epoch, size_t& groups_in_epoch);
+
+  chain::Blockchain chain_;
+  std::vector<std::unique_ptr<Feed>> feeds_;
+};
+
+}  // namespace grub::core

@@ -21,7 +21,7 @@ std::string FormatParam(double v) {
 // --- MemorylessPolicy (Algorithm 1) ---
 
 void MemorylessPolicy::Observe(const workload::Operation& op) {
-  State& s = states_[op.key];
+  State& s = states_.At(op.key);
   const uint64_t old_reads = s.consecutive_reads;
   const ads::ReplState old_state = s.state;
   if (op.type == OpType::kWrite) {
@@ -39,13 +39,13 @@ void MemorylessPolicy::Observe(const workload::Operation& op) {
 }
 
 ads::ReplState MemorylessPolicy::StateOf(const Bytes& key) const {
-  auto it = states_.find(key);
-  return it == states_.end() ? ads::ReplState::kNR : it->second.state;
+  const State* s = states_.Find(key);
+  return s == nullptr ? ads::ReplState::kNR : s->state;
 }
 
 std::string MemorylessPolicy::CounterState(const Bytes& key) const {
-  auto it = states_.find(key);
-  const uint64_t reads = it == states_.end() ? 0 : it->second.consecutive_reads;
+  const State* s = states_.Find(key);
+  const uint64_t reads = s == nullptr ? 0 : s->consecutive_reads;
   return "consecutive_reads=" + std::to_string(reads);
 }
 
@@ -57,14 +57,14 @@ std::string MemorizingPolicy::Name() const {
 }
 
 std::string MemorizingPolicy::CounterState(const Bytes& key) const {
-  auto it = states_.find(key);
-  const double r = it == states_.end() ? 0 : it->second.r_count;
-  const double w = it == states_.end() ? 0 : it->second.w_count;
+  const State* s = states_.Find(key);
+  const double r = s == nullptr ? 0 : s->r_count;
+  const double w = s == nullptr ? 0 : s->w_count;
   return "r=" + FormatParam(r) + ",w=" + FormatParam(w);
 }
 
 void MemorizingPolicy::Observe(const workload::Operation& op) {
-  State& s = states_[op.key];
+  State& s = states_.At(op.key);
   const double old_r = s.r_count;
   const double old_w = s.w_count;
   const ads::ReplState old_state = s.state;
@@ -96,8 +96,8 @@ void MemorizingPolicy::Observe(const workload::Operation& op) {
 }
 
 ads::ReplState MemorizingPolicy::StateOf(const Bytes& key) const {
-  auto it = states_.find(key);
-  return it == states_.end() ? ads::ReplState::kNR : it->second.state;
+  const State* s = states_.Find(key);
+  return s == nullptr ? ads::ReplState::kNR : s->state;
 }
 
 // --- AdaptiveKPolicy (Appendix C.3) ---
@@ -124,7 +124,7 @@ std::string RenderAdaptiveState(const std::vector<uint64_t>& runs,
 }  // namespace
 
 void AdaptiveKPolicy::Observe(const workload::Operation& op) {
-  State& s = states_[op.key];
+  State& s = states_.At(op.key);
   if (op.type != OpType::kWrite) {
     s.reads_since_write += 1;
     return;
@@ -160,8 +160,8 @@ void AdaptiveKPolicy::Observe(const workload::Operation& op) {
 }
 
 ads::ReplState AdaptiveKPolicy::StateOf(const Bytes& key) const {
-  auto it = states_.find(key);
-  return it == states_.end() ? ads::ReplState::kNR : it->second.state;
+  const State* s = states_.Find(key);
+  return s == nullptr ? ads::ReplState::kNR : s->state;
 }
 
 std::string AdaptiveKPolicy::Name() const {
@@ -171,10 +171,9 @@ std::string AdaptiveKPolicy::Name() const {
 }
 
 std::string AdaptiveKPolicy::CounterState(const Bytes& key) const {
-  auto it = states_.find(key);
-  if (it == states_.end()) return "runs=[],reads_since_write=0";
-  return RenderAdaptiveState(it->second.recent_read_runs,
-                             it->second.reads_since_write);
+  const State* s = states_.Find(key);
+  if (s == nullptr) return "runs=[],reads_since_write=0";
+  return RenderAdaptiveState(s->recent_read_runs, s->reads_since_write);
 }
 
 // --- OfflineOptimalPolicy ---
@@ -210,15 +209,15 @@ OfflineOptimalPolicy::OfflineOptimalPolicy(const workload::Trace& trace,
                                 ? ads::ReplState::kR
                                 : ads::ReplState::kNR);
     }
-    states_.emplace(key, std::move(s));
+    states_.At(key) = std::move(s);
   }
 }
 
 void OfflineOptimalPolicy::Observe(const workload::Operation& op) {
   if (op.type != OpType::kWrite) return;
-  auto it = states_.find(op.key);
-  if (it == states_.end()) return;
-  State& s = it->second;
+  State* found = states_.Find(op.key);
+  if (found == nullptr) return;
+  State& s = *found;
   const ads::ReplState old_state = s.state;
   const size_t old_next = s.next_write;
   if (s.next_write < s.decisions.size()) {
@@ -233,15 +232,15 @@ void OfflineOptimalPolicy::Observe(const workload::Operation& op) {
 }
 
 ads::ReplState OfflineOptimalPolicy::StateOf(const Bytes& key) const {
-  auto it = states_.find(key);
-  return it == states_.end() ? ads::ReplState::kNR : it->second.state;
+  const State* s = states_.Find(key);
+  return s == nullptr ? ads::ReplState::kNR : s->state;
 }
 
 std::string OfflineOptimalPolicy::CounterState(const Bytes& key) const {
-  auto it = states_.find(key);
-  if (it == states_.end()) return "next_write=0/0";
-  return "next_write=" + std::to_string(it->second.next_write) + "/" +
-         std::to_string(it->second.decisions.size());
+  const State* s = states_.Find(key);
+  if (s == nullptr) return "next_write=0/0";
+  return "next_write=" + std::to_string(s->next_write) + "/" +
+         std::to_string(s->decisions.size());
 }
 
 }  // namespace grub::core

@@ -26,8 +26,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ads/record.h"
+#include "shard/arena.h"
 #include "workload/trace.h"
 
 namespace grub::core {
@@ -46,6 +48,18 @@ class ReplicationPolicy {
   /// Self-describing name: policy family plus the parameters that govern its
   /// decisions, so exported series and audit records need no side channel.
   virtual std::string Name() const = 0;
+
+  /// Binds the policy's per-key state to a shard layout: stateful policies
+  /// keep one arena bucket per shard instead of one monolithic map. Null (or
+  /// never calling this) keeps the legacy single-bucket layout. Re-binding
+  /// redistributes existing entries, so it is safe after precomputation
+  /// (OfflineOptimal fills its state in the constructor). Decisions are
+  /// per-key and unaffected by the layout.
+  virtual void BindShards(const shard::ShardMap* map) { (void)map; }
+
+  /// Entries per arena bucket (one per bound shard); empty for stateless
+  /// policies. Feeds the per-shard run summary.
+  virtual std::vector<size_t> ArenaSizes() const { return {}; }
 
   /// Deterministic "k=v,..." rendering of the per-key decision counters (the
   /// evidence behind StateOf). Empty for stateless policies. Audit records
@@ -76,6 +90,16 @@ class ReplicationPolicy {
 template <typename V>
 using KeyMap = std::map<Bytes, V>;
 
+/// Per-bucket entry counts of a policy arena (ArenaSizes boilerplate).
+template <typename V>
+std::vector<size_t> ArenaSizesOf(const shard::ShardedArena<V>& arena) {
+  std::vector<size_t> sizes(arena.BucketCount());
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    sizes[s] = arena.BucketAt(s).size();
+  }
+  return sizes;
+}
+
 class MemorylessPolicy : public ReplicationPolicy {
  public:
   explicit MemorylessPolicy(uint64_t k) : k_(k) {}
@@ -86,6 +110,10 @@ class MemorylessPolicy : public ReplicationPolicy {
     return "memoryless(K=" + std::to_string(k_) + ")";
   }
   std::string CounterState(const Bytes& key) const override;
+  void BindShards(const shard::ShardMap* map) override { states_.Bind(map); }
+  std::vector<size_t> ArenaSizes() const override {
+    return ArenaSizesOf(states_);
+  }
 
  private:
   struct State {
@@ -93,7 +121,7 @@ class MemorylessPolicy : public ReplicationPolicy {
     ads::ReplState state = ads::ReplState::kNR;
   };
   uint64_t k_;
-  KeyMap<State> states_;
+  shard::ShardedArena<State> states_;
 };
 
 class MemorizingPolicy : public ReplicationPolicy {
@@ -104,6 +132,10 @@ class MemorizingPolicy : public ReplicationPolicy {
   ads::ReplState StateOf(const Bytes& key) const override;
   std::string Name() const override;
   std::string CounterState(const Bytes& key) const override;
+  void BindShards(const shard::ShardMap* map) override { states_.Bind(map); }
+  std::vector<size_t> ArenaSizes() const override {
+    return ArenaSizesOf(states_);
+  }
 
  private:
   struct State {
@@ -113,7 +145,7 @@ class MemorizingPolicy : public ReplicationPolicy {
   };
   double k_prime_;
   double d_;
-  KeyMap<State> states_;
+  shard::ShardedArena<State> states_;
 };
 
 /// Shared base for the two adaptive-K heuristics.
@@ -130,6 +162,10 @@ class AdaptiveKPolicy : public ReplicationPolicy {
   ads::ReplState StateOf(const Bytes& key) const override;
   std::string Name() const override;
   std::string CounterState(const Bytes& key) const override;
+  void BindShards(const shard::ShardMap* map) override { states_.Bind(map); }
+  std::vector<size_t> ArenaSizes() const override {
+    return ArenaSizesOf(states_);
+  }
 
  private:
   struct State {
@@ -140,7 +176,7 @@ class AdaptiveKPolicy : public ReplicationPolicy {
   double threshold_;
   size_t window_;
   bool repeat_hypothesis_;
-  KeyMap<State> states_;
+  shard::ShardedArena<State> states_;
 };
 
 class AdaptiveK1Policy : public AdaptiveKPolicy {
@@ -165,6 +201,10 @@ class OfflineOptimalPolicy : public ReplicationPolicy {
   ads::ReplState StateOf(const Bytes& key) const override;
   std::string Name() const override { return "offline-optimal"; }
   std::string CounterState(const Bytes& key) const override;
+  void BindShards(const shard::ShardMap* map) override { states_.Bind(map); }
+  std::vector<size_t> ArenaSizes() const override {
+    return ArenaSizesOf(states_);
+  }
 
  private:
   struct State {
@@ -172,7 +212,7 @@ class OfflineOptimalPolicy : public ReplicationPolicy {
     size_t next_write = 0;
     ads::ReplState state = ads::ReplState::kNR;
   };
-  KeyMap<State> states_;
+  shard::ShardedArena<State> states_;
 };
 
 class StaticPolicy : public ReplicationPolicy {

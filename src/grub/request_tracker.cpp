@@ -60,9 +60,17 @@ void RequestTracker::FoldDeliver(const chain::CallRecord& call) {
     uint64_t remaining = entry->repeats;
     for (auto it = pending_.begin(); it != pending_.end() && remaining > 0;) {
       const PendingRequest& p = it->second;
+      // A sharded deployment splits one scan request into one deliver entry
+      // per shard crossed; all parts ride the same (atomic) deliver
+      // transaction, so the request is served exactly when its LAST part
+      // lands: same end key, start at or after the requested start. With a
+      // single shard the part is the whole range and this degenerates to
+      // exact equality.
+      const bool range_matches =
+          is_scan ? (p.end_key == entry->end_key && p.key <= entry->key)
+                  : p.key == entry->key;
       const bool matches =
-          p.is_scan == is_scan && p.key == entry->key &&
-          (!is_scan || p.end_key == entry->end_key) &&
+          p.is_scan == is_scan && range_matches &&
           p.callback_contract == entry->callback_contract &&
           p.callback_function == entry->callback_function;
       if (matches) {

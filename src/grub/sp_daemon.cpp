@@ -105,10 +105,22 @@ size_t SpDaemon::PollAndServe() {
       entry.end_key = r.Blob();
       entry.callback_contract = r.U64();
       entry.callback_function = ToString(r.Blob());
-      auto scan = sp_.Scan(entry.key, entry.end_key);
-      if (!scan.ok()) continue;
-      entry.scan = std::move(scan).value();
-      entries.push_back(std::move(entry));
+      // A scan crossing shard boundaries is answered with one entry per
+      // shard part (each proven against its own shard root); the contract
+      // rejects entries that straddle a boundary. Single-shard deployments
+      // get exactly one part covering the requested range.
+      auto parts = sp_.ScanSharded(entry.key, entry.end_key);
+      if (!parts.ok()) continue;
+      for (auto& part : parts.value()) {
+        DeliverEntry part_entry;
+        part_entry.kind = DeliverEntry::Kind::kScan;
+        part_entry.key = part.start;
+        part_entry.end_key = part.end;
+        part_entry.callback_contract = entry.callback_contract;
+        part_entry.callback_function = entry.callback_function;
+        part_entry.scan = std::move(part.proof);
+        entries.push_back(std::move(part_entry));
+      }
       continue;
     }
     if (event.name != StorageManagerContract::kRequestEvent) {

@@ -16,7 +16,7 @@
 // the cursor back so the next poll rebuilds fresh proofs.
 #pragma once
 
-#include "ads/sp.h"
+#include "shard/forest.h"
 #include "chain/blockchain.h"
 #include "fault/injector.h"
 #include "grub/request_tracker.h"
@@ -35,7 +35,7 @@ class SpDaemon {
   /// Construction recovers the event cursor from chain state, so building a
   /// daemon mid-trace (an SP restart) resumes exactly where the previous
   /// instance left off.
-  SpDaemon(chain::Blockchain& chain, ads::AdsSp& sp,
+  SpDaemon(chain::Blockchain& chain, shard::ShardedAdsSp& sp,
            chain::Address storage_manager, chain::Address sp_account,
            bool dedup_batch = false)
       : chain_(chain),
@@ -87,7 +87,7 @@ class SpDaemon {
   static constexpr chain::TimeSec kRetryBackoffSec = 2;
 
   chain::Blockchain& chain_;
-  ads::AdsSp& sp_;
+  shard::ShardedAdsSp& sp_;
   chain::Address manager_;
   chain::Address sp_account_;
   bool dedup_batch_ = false;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "crypto/sha256.h"
+#include "shard/forest.h"
 #include "telemetry/telemetry.h"
 
 namespace grub::core {
@@ -25,6 +26,14 @@ Word StorageManagerContract::ValueBase(ByteSpan key) {
 
 Word StorageManagerContract::CounterSlot(ByteSpan key) {
   return Sha256::Digest2(ToBytes("grub.cnt"), key);
+}
+
+Word StorageManagerContract::ShardRootSlot(uint32_t s) {
+  Bytes index(8);
+  for (size_t b = 0; b < 8; ++b) {
+    index[b] = static_cast<uint8_t>(static_cast<uint64_t>(s) >> (56 - 8 * b));
+  }
+  return Sha256::Digest2(ToBytes("grub.shard.root"), index);
 }
 
 Status StorageManagerContract::Call(chain::CallContext& ctx,
@@ -63,6 +72,26 @@ Bytes StorageManagerContract::EncodeUpdate(
   AbiWriter w;
   w.Hash(digest);
   w.U64(epoch);
+  w.U64(replicated.size());
+  for (const auto& record : replicated) w.Blob(record.Serialize());
+  w.U64(evictions.size());
+  for (const auto& key : evictions) w.Blob(key);
+  return w.Take();
+}
+
+Bytes StorageManagerContract::EncodeUpdateSharded(
+    const Hash256& digest, uint64_t epoch,
+    const std::vector<std::pair<uint64_t, Hash256>>& shard_roots,
+    const std::vector<ads::FeedRecord>& replicated,
+    const std::vector<Bytes>& evictions) {
+  AbiWriter w;
+  w.Hash(digest);
+  w.U64(epoch);
+  w.U64(shard_roots.size());
+  for (const auto& [shard, root] : shard_roots) {
+    w.U64(shard);
+    w.Hash(root);
+  }
   w.U64(replicated.size());
   for (const auto& record : replicated) w.Blob(record.Serialize());
   w.U64(evictions.size());
@@ -116,6 +145,7 @@ Status StorageManagerContract::HandleUpdate(chain::CallContext& ctx,
   if (!config_.IsAuthorizedDo(ctx.Sender())) {
     return Status::FailedPrecondition("update: caller is not an authorized DO");
   }
+  if (config_.shard_map.Count() > 1) return HandleUpdateSharded(ctx, args);
   telemetry::Span update_span(telemetry::GasCause::kUpdateRoot);
   AbiReader r(args);
   const Hash256 digest = r.Hash();
@@ -123,7 +153,61 @@ Status StorageManagerContract::HandleUpdate(chain::CallContext& ctx,
   (void)epoch;
 
   ctx.Storage().SStore(RootSlot(), digest);
+  return ApplyReplicationSuffix(ctx, r);
+}
 
+Status StorageManagerContract::HandleUpdateSharded(chain::CallContext& ctx,
+                                                   ByteSpan args) {
+  AbiReader r(args);
+  const Hash256 digest = r.Hash();
+  const uint64_t epoch = r.U64();
+  (void)epoch;
+  const size_t shard_count = config_.shard_map.Count();
+  const uint64_t n_roots = r.U64();
+  std::vector<std::pair<uint64_t, Hash256>> provided;
+  provided.reserve(n_roots);
+  for (uint64_t i = 0; i < n_roots; ++i) {
+    const uint64_t shard = r.U64();
+    const Hash256 root = r.Hash();
+    if (shard >= shard_count) {
+      return Status::InvalidArgument("update: shard index out of range");
+    }
+    provided.emplace_back(shard, root);
+  }
+
+  {
+    // Verify the digest is the rollup of the stored shard roots merged with
+    // the provided ones, BEFORE storing anything — a failed call does not
+    // roll storage back in this model, so nothing may be written until the
+    // digest checks out. O(shard count) sloads + hashes, independent of the
+    // keyspace size. (An unset shard-root slot reads as the zero word, which
+    // IS the empty tree's root — genesis verifies without special cases.)
+    telemetry::Span rollup_span(telemetry::GasCause::kRootRollup);
+    std::vector<Hash256> roots(shard_count);
+    for (size_t shard = 0; shard < shard_count; ++shard) {
+      roots[shard] =
+          ctx.Storage().SLoad(ShardRootSlot(static_cast<uint32_t>(shard)));
+    }
+    for (const auto& [shard, root] : provided) roots[shard] = root;
+    const Hash256 recomputed = shard::ComputeRootOfRootsMetered(
+        roots, [&ctx](size_t bytes_hashed) {
+          ctx.Meter().ChargeHash(WordsForBytes(bytes_hashed));
+        });
+    if (recomputed != digest) {
+      return Status::IntegrityViolation("update: root-of-roots mismatch");
+    }
+  }
+
+  telemetry::Span update_span(telemetry::GasCause::kUpdateRoot);
+  ctx.Storage().SStore(RootSlot(), digest);
+  for (const auto& [shard, root] : provided) {
+    ctx.Storage().SStore(ShardRootSlot(static_cast<uint32_t>(shard)), root);
+  }
+  return ApplyReplicationSuffix(ctx, r);
+}
+
+Status StorageManagerContract::ApplyReplicationSuffix(chain::CallContext& ctx,
+                                                      AbiReader& r) {
   // Full-value updates for records whose replica lives on chain.
   const uint64_t n_updates = r.U64();
   for (uint64_t i = 0; i < n_updates; ++i) {
@@ -215,7 +299,25 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
                                              ByteSpan args) {
   telemetry::Span deliver_span(telemetry::GasCause::kDeliver);
   AbiReader r(args);
-  const Hash256 root = ctx.Storage().SLoad(RootSlot());
+  // Single-shard: the legacy behavior, one eager root sload. Sharded: proofs
+  // verify against the entry's shard root, each sloaded at most once per
+  // call on first reference — deliver Gas scales with the shards a batch
+  // touches, not with the shard count.
+  const size_t shard_count = config_.shard_map.Count();
+  std::vector<Hash256> roots(shard_count);
+  std::vector<bool> loaded(shard_count, false);
+  if (shard_count == 1) {
+    roots[0] = ctx.Storage().SLoad(RootSlot());
+    loaded[0] = true;
+  }
+  const auto root_for = [&](ByteSpan key) -> const Hash256& {
+    const uint32_t shard = config_.shard_map.ShardOf(key);
+    if (!loaded[shard]) {
+      roots[shard] = ctx.Storage().SLoad(ShardRootSlot(shard));
+      loaded[shard] = true;
+    }
+    return roots[shard];
+  };
 
   const auto hash_cost = [&ctx](size_t bytes_hashed) {
     ctx.Meter().ChargeHash(WordsForBytes(bytes_hashed));
@@ -227,8 +329,20 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
     if (!entry.ok()) return entry.status();
 
     if (entry->kind == DeliverEntry::Kind::kScan) {
-      if (!ads::VerifyScan(root, entry->key, entry->end_key, entry->scan,
-                           hash_cost)) {
+      if (shard_count > 1) {
+        // The scan subrange must stay inside its shard — its completeness
+        // proof only covers that shard's tree. The daemon splits cross-shard
+        // scans into per-shard entries.
+        const uint32_t shard = config_.shard_map.ShardOf(entry->key);
+        const Bytes upper = config_.shard_map.UpperBoundOf(shard);
+        if (!upper.empty() &&
+            (entry->end_key.empty() || Compare(entry->end_key, upper) > 0)) {
+          return Status::IntegrityViolation(
+              "deliver: scan crosses a shard boundary");
+        }
+      }
+      if (!ads::VerifyScan(root_for(entry->key), entry->key, entry->end_key,
+                           entry->scan, hash_cost)) {
         return Status::IntegrityViolation(
             "deliver: scan proof verification failed");
       }
@@ -247,7 +361,7 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
       if (Compare(proof.record.key, entry->key) != 0) {
         return Status::IntegrityViolation("deliver: key mismatch");
       }
-      if (!ads::VerifyQuery(root, proof, hash_cost)) {
+      if (!ads::VerifyQuery(root_for(entry->key), proof, hash_cost)) {
         return Status::IntegrityViolation("deliver: proof verification failed");
       }
       // Lazy replication: materialize the replica iff the SP's replicate
@@ -281,7 +395,8 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
         if (!s.ok()) return s;
       }
     } else {
-      if (!ads::VerifyAbsence(root, entry->key, entry->absence, hash_cost)) {
+      if (!ads::VerifyAbsence(root_for(entry->key), entry->key, entry->absence,
+                              hash_cost)) {
         return Status::IntegrityViolation(
             "deliver: absence proof verification failed");
       }

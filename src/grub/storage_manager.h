@@ -19,11 +19,13 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ads/verify.h"
 #include "chain/blockchain.h"
 #include "grub/codec.h"
+#include "shard/shard_map.h"
 
 namespace grub::core {
 
@@ -37,6 +39,13 @@ class StorageManagerContract : public chain::Contract {
     std::vector<chain::Address> additional_do_accounts;
     bool trace_reads_on_chain = false;   // BL3 variants
     bool trace_writes_on_chain = false;
+    /// The keyspace partition this deployment commits to. The contract holds
+    /// its own copy (determinism: DO, SP and contract must agree on
+    /// ShardOf). A single-shard map (the default) keeps the legacy layout
+    /// and calldata formats bit-identical: one root slot, EncodeUpdate.
+    /// With more shards the contract keeps one root slot per shard plus the
+    /// root-of-roots, and update() switches to EncodeUpdateSharded.
+    shard::ShardMap shard_map;
 
     bool IsAuthorizedDo(chain::Address sender) const {
       if (sender == do_address) return true;
@@ -65,6 +74,15 @@ class StorageManagerContract : public chain::Contract {
   static Bytes EncodeUpdate(const Hash256& digest, uint64_t epoch,
                             const std::vector<ads::FeedRecord>& replicated,
                             const std::vector<Bytes>& evictions);
+  /// Sharded update: `digest` is the root-of-roots; `shard_roots` carries
+  /// the new root of every shard whose tree changed (untouched shards keep
+  /// their stored roots). The replicated/evictions suffix is the legacy
+  /// layout unchanged.
+  static Bytes EncodeUpdateSharded(
+      const Hash256& digest, uint64_t epoch,
+      const std::vector<std::pair<uint64_t, Hash256>>& shard_roots,
+      const std::vector<ads::FeedRecord>& replicated,
+      const std::vector<Bytes>& evictions);
   static Bytes EncodeGGet(ByteSpan key, chain::Address callback_contract,
                           const std::string& callback_function);
   static Bytes EncodeGScan(ByteSpan start, ByteSpan end,
@@ -79,11 +97,19 @@ class StorageManagerContract : public chain::Contract {
   static constexpr const char* kRequestEvent = "request";
   static constexpr const char* kRequestScanEvent = "request_scan";
 
+  /// Storage slot of shard `s`'s root (sharded deployments only; the
+  /// single-shard layout keeps the legacy RootSlot). Exposed for tests.
+  static Word ShardRootSlot(uint32_t s);
+
  private:
   Status HandleUpdate(chain::CallContext& ctx, ByteSpan args);
+  Status HandleUpdateSharded(chain::CallContext& ctx, ByteSpan args);
   Status HandleGGet(chain::CallContext& ctx, ByteSpan args);
   Status HandleGScan(chain::CallContext& ctx, ByteSpan args);
   Status HandleDeliver(chain::CallContext& ctx, ByteSpan args);
+
+  /// The replicated-values + evictions suffix shared by both update layouts.
+  Status ApplyReplicationSuffix(chain::CallContext& ctx, chain::AbiReader& r);
 
   void ChargeTraceCounter(chain::CallContext& ctx, ByteSpan key);
   Status InvokeCallback(chain::CallContext& ctx, chain::Address contract,

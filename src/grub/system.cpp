@@ -1,5 +1,9 @@
 #include "grub/system.h"
 
+#include <algorithm>
+
+#include "workload/trace.h"
+
 namespace grub::core {
 
 double BreakEvenK(const chain::GasSchedule& gas) {
@@ -7,13 +11,38 @@ double BreakEvenK(const chain::GasSchedule& gas) {
          static_cast<double>(gas.OffchainReadPerWord());
 }
 
+shard::ShardMap MakeShardMap(const SystemOptions& options) {
+  if (!options.shard_boundaries.empty()) {
+    return shard::ShardMap(options.shard_boundaries);
+  }
+  if (options.shards > 1) return shard::ShardMap::Uniform(options.shards);
+  return shard::ShardMap();
+}
+
+std::vector<Bytes> IndexedKeyBoundaries(uint64_t key_count, size_t shards) {
+  std::vector<Bytes> boundaries;
+  if (shards <= 1 || key_count == 0) return boundaries;
+  boundaries.reserve(shards - 1);
+  for (size_t s = 1; s < shards; ++s) {
+    // Quantile start keys; MakeKey is order-preserving (fixed width), so
+    // these partition the indexed keyspace into near-equal ranges.
+    boundaries.push_back(workload::MakeKey(key_count * s / shards));
+  }
+  // Degenerate splits (more shards than keys) can repeat a quantile; the
+  // ShardMap constructor requires distinct boundaries.
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  return boundaries;
+}
+
 GrubSystem::GrubSystem(SystemOptions options,
                        std::unique_ptr<ReplicationPolicy> policy)
     : options_(options),
       chain_(options.chain_params),
-      sp_(options.sp_db_path) {
+      sp_(MakeShardMap(options), options.sp_db_path) {
   StorageManagerContract::Config config;
   config.do_address = kDoAccount;
+  config.shard_map = sp_.Map();
   config.trace_reads_on_chain =
       options_.trace_reads_on_chain || options_.trace_writes_on_chain;
   config.trace_writes_on_chain = options_.trace_writes_on_chain;
@@ -149,7 +178,11 @@ std::vector<EpochGas> GrubSystem::Drive(const workload::Trace& trace) {
     epoch.breakdown.other = sat_sub(epoch.breakdown.other,
                                     epoch_start_breakdown.other);
     epochs.push_back(epoch);
-    if (telemetry_ != nullptr) telemetry_->CloseEpoch(ops_in_epoch);
+    epochs.back().touched_shards = do_client_->LastEpochTouchedShards();
+    if (telemetry_ != nullptr) {
+      telemetry_->CloseEpoch(ops_in_epoch,
+                             do_client_->LastEpochTouchedShards());
+    }
     epoch_start_gas = chain_.TotalGasUsed();
     epoch_start_breakdown = chain_.TotalBreakdown();
     groups_in_epoch = 0;

@@ -23,7 +23,6 @@
 #include <memory>
 #include <set>
 
-#include "ads/sp.h"
 #include "chain/blockchain.h"
 #include "fault/injector.h"
 #include "grub/consumer.h"
@@ -31,6 +30,7 @@
 #include "grub/policy.h"
 #include "grub/sp_daemon.h"
 #include "grub/storage_manager.h"
+#include "shard/forest.h"
 #include "telemetry/telemetry.h"
 #include "workload/trace.h"
 
@@ -75,6 +75,18 @@ struct SystemOptions {
   /// Seed for the injector's probabilistic rules — same seed + schedule
   /// reproduces the identical failure (and recovery) sequence.
   uint64_t fault_seed = 42;
+  /// Number of key-range shards in the Merkle forest. 1 (the default) is the
+  /// legacy single-tree deployment, bit-identical in Gas and calldata. With
+  /// more shards the keyspace is range-partitioned (boundaries below or
+  /// ShardMap::Uniform), each shard keeps its own tree + on-chain root, and
+  /// the epoch update sends one transaction per touched shard.
+  size_t shards = 1;
+  /// Explicit shard boundaries (sorted, distinct; shard i covers
+  /// [boundaries[i-1], boundaries[i])). Overrides `shards` when non-empty.
+  /// Use IndexedKeyBoundaries() for workload::MakeKey keyspaces — ASCII
+  /// keys occupy a sliver of the u64 prefix space, so Uniform() would put
+  /// them all in shard 0.
+  std::vector<Bytes> shard_boundaries;
 };
 
 /// Gas measured over one epoch of driving.
@@ -82,6 +94,8 @@ struct EpochGas {
   uint64_t gas = 0;
   size_t ops = 0;
   chain::GasBreakdown breakdown;
+  /// Shards whose trees changed this epoch (1 at most in single-shard runs).
+  size_t touched_shards = 0;
 
   double PerOp() const {
     return ops == 0 ? 0.0 : static_cast<double>(gas) / static_cast<double>(ops);
@@ -104,7 +118,12 @@ class GrubSystem {
   }
 
   chain::Blockchain& Chain() { return chain_; }
-  ads::AdsSp& Sp() { return sp_; }
+  /// The first (single-shard deployments: only) shard's SP-side ADS —
+  /// existing call sites predate the forest and mean exactly this.
+  ads::AdsSp& Sp() { return sp_.Shard(0); }
+  /// The whole SP-side forest.
+  shard::ShardedAdsSp& ShardedSp() { return sp_; }
+  const shard::ShardMap& Shards() const { return sp_.Map(); }
   DoClient& Do() { return *do_client_; }
   ConsumerContract& Consumer() { return *consumer_; }
   SpDaemon& Daemon() { return *daemon_; }
@@ -145,7 +164,7 @@ class GrubSystem {
 
   SystemOptions options_;
   chain::Blockchain chain_;
-  ads::AdsSp sp_;
+  shard::ShardedAdsSp sp_;
   chain::Address manager_address_ = chain::kNullAddress;
   chain::Address consumer_address_ = chain::kNullAddress;
   ConsumerContract* consumer_ = nullptr;  // owned by chain_
@@ -159,5 +178,15 @@ class GrubSystem {
 
 /// Convenience: Eq. 1's K = C_update / C_read_off for a schedule.
 double BreakEvenK(const chain::GasSchedule& gas);
+
+/// Builds the ShardMap a SystemOptions describes (boundaries win over the
+/// uniform count). Exposed so benches/tools can inspect the layout.
+shard::ShardMap MakeShardMap(const SystemOptions& options);
+
+/// Shard boundaries that split the workload::MakeKey(0..key_count) keyspace
+/// into `shards` near-equal ranges. MakeKey emits fixed-width ASCII keys
+/// ("k%015llu"), which collapse into one uniform-prefix bucket — these
+/// boundaries are the MakeKey quantiles instead.
+std::vector<Bytes> IndexedKeyBoundaries(uint64_t key_count, size_t shards);
 
 }  // namespace grub::core

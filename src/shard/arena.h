@@ -1,0 +1,80 @@
+// ShardedArena: per-shard buckets for per-key control-plane state.
+//
+// The replication policies keep one entry per observed key. A single
+// std::map over the whole keyspace is the monolithic layout this subsystem
+// replaces: binding an arena to a ShardMap splits the entries into one
+// ordered map per shard, so per-shard state stays contiguous (the layout the
+// parallel-execution phase shards work over) while lookups remain
+// behavior-identical — policies never iterate across keys, only Find/At one.
+//
+// Unbound (or bound to a single-shard map) an arena is exactly one ordered
+// map: the legacy layout, bit-for-bit the same decision sequence.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "shard/shard_map.h"
+
+namespace grub::shard {
+
+template <typename V>
+class ShardedArena {
+ public:
+  struct BytesLess {
+    bool operator()(const Bytes& a, const Bytes& b) const {
+      return Compare(a, b) < 0;
+    }
+  };
+  using Bucket = std::map<Bytes, V, BytesLess>;
+
+  /// Binds (or re-binds) the arena to a shard layout; existing entries are
+  /// redistributed into the new buckets. Null = single bucket (legacy).
+  /// Safe to call after entries exist (OfflineOptimal precomputes its state
+  /// before the control plane binds it).
+  void Bind(const ShardMap* map) {
+    const size_t count = map == nullptr ? 1 : map->Count();
+    std::vector<Bucket> fresh(count);
+    for (auto& bucket : buckets_) {
+      for (auto& [key, value] : bucket) {
+        const size_t s = map == nullptr ? 0 : map->ShardOf(key);
+        fresh[s].emplace(key, std::move(value));
+      }
+    }
+    map_ = map;
+    buckets_ = std::move(fresh);
+  }
+
+  V* Find(const Bytes& key) {
+    Bucket& bucket = buckets_[IndexFor(key)];
+    auto it = bucket.find(key);
+    return it == bucket.end() ? nullptr : &it->second;
+  }
+  const V* Find(const Bytes& key) const {
+    const Bucket& bucket = buckets_[IndexFor(key)];
+    auto it = bucket.find(key);
+    return it == bucket.end() ? nullptr : &it->second;
+  }
+
+  /// Lookup-or-default-construct (the std::map operator[] idiom).
+  V& At(const Bytes& key) { return buckets_[IndexFor(key)][key]; }
+
+  size_t Size() const {
+    size_t n = 0;
+    for (const auto& bucket : buckets_) n += bucket.size();
+    return n;
+  }
+  size_t BucketCount() const { return buckets_.size(); }
+  const Bucket& BucketAt(size_t s) const { return buckets_[s]; }
+
+ private:
+  size_t IndexFor(const Bytes& key) const {
+    return map_ == nullptr ? 0 : map_->ShardOf(key);
+  }
+
+  const ShardMap* map_ = nullptr;          // not owned; may be null
+  std::vector<Bucket> buckets_{Bucket{}};  // never empty
+};
+
+}  // namespace grub::shard

@@ -21,7 +21,8 @@ const EpochRow& EpochSeries::Close(uint64_t ops,
 
 const EpochRow& EpochSeries::Close(uint64_t ops,
                                    const GasAttribution& attribution,
-                                   const RobustnessTotals& robustness) {
+                                   const RobustnessTotals& robustness,
+                                   uint64_t touched_shards) {
   const GasMatrix now = attribution.Snapshot();
   EpochRow row;
   row.epoch = rows_.size();
@@ -33,6 +34,7 @@ const EpochRow& EpochSeries::Close(uint64_t ops,
   row.watchdog_reemits = DeltaOrZero(robustness.watchdog_reemits,
                                      robustness_baseline_.watchdog_reemits);
   row.degraded = robustness.degraded;
+  row.touched_shards = touched_shards;
   baseline_ = now;
   robustness_baseline_ = robustness;
   rows_.push_back(row);
@@ -58,8 +60,8 @@ void EpochSeries::WriteCsv(std::ostream& os) const {
   for (size_t w = 0; w < kNumGasCauses; ++w) {
     header.push_back(std::string("cause_") + Name(static_cast<GasCause>(w)));
   }
-  header.insert(header.end(),
-                {"fault_fires", "retries", "watchdog_reemits", "degraded"});
+  header.insert(header.end(), {"fault_fires", "retries", "watchdog_reemits",
+                               "degraded", "touched_shards"});
   WriteCsvRow(os, header);
 
   for (const auto& row : rows_) {
@@ -77,7 +79,8 @@ void EpochSeries::WriteCsv(std::ostream& os) const {
     fields.insert(fields.end(),
                   {std::to_string(row.fault_fires), std::to_string(row.retries),
                    std::to_string(row.watchdog_reemits),
-                   std::to_string(row.degraded)});
+                   std::to_string(row.degraded),
+                   std::to_string(row.touched_shards)});
     WriteCsvRow(os, fields);
   }
 }
@@ -100,7 +103,8 @@ void EpochSeries::WriteJsonLines(std::ostream& os) const {
     os << "},\"fault_fires\":" << row.fault_fires
        << ",\"retries\":" << row.retries
        << ",\"watchdog_reemits\":" << row.watchdog_reemits
-       << ",\"degraded\":" << row.degraded << "}\n";
+       << ",\"degraded\":" << row.degraded
+       << ",\"touched_shards\":" << row.touched_shards << "}\n";
   }
 }
 

@@ -34,6 +34,10 @@ struct EpochRow {
   uint64_t retries = 0;
   uint64_t watchdog_reemits = 0;
   int64_t degraded = 0;  // level at close, not a delta
+  // Shards whose Merkle trees changed this epoch (1 at most in an unsharded
+  // deployment; the scaling benches pin per-epoch update Gas to this, not to
+  // the keyspace size).
+  uint64_t touched_shards = 0;
 
   uint64_t GasTotal() const { return gas.Total(); }
   double GasPerOp() const {
@@ -48,9 +52,11 @@ class EpochSeries {
   /// (or the last baseline reset) becomes the new row.
   const EpochRow& Close(uint64_t ops, const GasAttribution& attribution);
   /// As above, also recording the robustness counter deltas since the
-  /// previous close (`robustness` carries cumulative values).
+  /// previous close (`robustness` carries cumulative values) and the number
+  /// of shards whose trees changed this epoch.
   const EpochRow& Close(uint64_t ops, const GasAttribution& attribution,
-                        const RobustnessTotals& robustness);
+                        const RobustnessTotals& robustness,
+                        uint64_t touched_shards = 0);
 
   /// Re-baselines after a Gas-counter reset so the next row does not absorb
   /// pre-reset Gas. Clears nothing already recorded.

@@ -28,6 +28,7 @@ const char* Name(GasCause cause) {
     case GasCause::kReplicaEvict: return "replica-evict";
     case GasCause::kBl3Trace: return "BL3-trace";
     case GasCause::kRecovery: return "recovery";
+    case GasCause::kRootRollup: return "root-rollup";
   }
   return "?";
 }

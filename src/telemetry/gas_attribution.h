@@ -47,8 +47,10 @@ enum class GasCause : uint8_t {
   kBl3Trace,          // BL3 baselines' on-chain trace counters
   kRecovery,          // fault recovery: retries, watchdog re-emits,
                       // degradation force-replication
+  kRootRollup,        // sharded update: root-of-roots recomputation over the
+                      // stored shard roots (sloads + hashing)
 };
-inline constexpr size_t kNumGasCauses = 8;
+inline constexpr size_t kNumGasCauses = 9;
 
 const char* Name(GasComponent component);
 const char* Name(GasCause cause);

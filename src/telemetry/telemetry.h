@@ -65,8 +65,8 @@ class Telemetry {
   /// robustness counters (fault fires, retries, watchdog re-emits,
   /// degradation level) out of the registry so exported series show when
   /// faults hit and when the DO degraded.
-  const EpochRow& CloseEpoch(uint64_t ops) {
-    return epochs_.Close(ops, gas_, GatherRobustness());
+  const EpochRow& CloseEpoch(uint64_t ops, uint64_t touched_shards = 0) {
+    return epochs_.Close(ops, gas_, GatherRobustness(), touched_shards);
   }
 
   /// Cumulative robustness counters, read from the handles cached at

@@ -122,7 +122,7 @@ TEST(SpDaemon, RestartDoesNotReserveAnsweredHistory) {
   EXPECT_EQ(f.system.Daemon().PollAndServe(), 1u);
   EXPECT_EQ(f.system.Consumer().values_received(), 1u);
 
-  SpDaemon restarted(f.system.Chain(), f.system.Sp(),
+  SpDaemon restarted(f.system.Chain(), f.system.ShardedSp(),
                      f.system.ManagerAddress(), GrubSystem::kSpAccount);
   EXPECT_EQ(restarted.PollAndServe(), 0u);
   EXPECT_EQ(restarted.delivers_sent(), 0u);
@@ -139,7 +139,7 @@ TEST(SpDaemon, RestartResumesAtTheOldestPendingRequest) {
   f.system.Consumer().QueueRead(MakeKey(1));
   f.RunReads();  // emitted but unanswered — the daemon "crashed" here
 
-  SpDaemon restarted(f.system.Chain(), f.system.Sp(),
+  SpDaemon restarted(f.system.Chain(), f.system.ShardedSp(),
                      f.system.ManagerAddress(), GrubSystem::kSpAccount);
   EXPECT_EQ(restarted.PollAndServe(), 1u);  // only the pending one
   EXPECT_EQ(f.system.Consumer().values_received(), 2u);

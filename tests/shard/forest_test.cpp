@@ -1,0 +1,250 @@
+// Merkle forest: rollup identities, routed operations, touched-shard
+// tracking, batch protocol divergence detection, cross-shard scans.
+#include <gtest/gtest.h>
+
+#include "ads/verify.h"
+#include "shard/forest.h"
+#include "workload/trace.h"
+
+namespace grub::shard {
+namespace {
+
+using workload::MakeKey;
+
+ads::FeedRecord Rec(uint64_t i, const char* value,
+                    ads::ReplState state = ads::ReplState::kNR) {
+  return ads::FeedRecord{MakeKey(i), ToBytes(value), state};
+}
+
+ShardMap FourWay(uint64_t keys = 100) {
+  return ShardMap({MakeKey(keys / 4), MakeKey(keys / 2), MakeKey(3 * keys / 4)});
+}
+
+// --- rollup ---
+
+TEST(RootOfRoots, SingleShardIsIdentity) {
+  // The load-bearing identity: one shard adds NO hashing, so a single-shard
+  // forest commits to exactly the legacy single-tree root.
+  Hash256 root;
+  root.bytes.fill(0x5a);
+  EXPECT_EQ(ComputeRootOfRoots({root}), root);
+}
+
+TEST(RootOfRoots, MeteredAgreesWithUnmetered) {
+  std::vector<Hash256> roots(5);
+  for (size_t i = 0; i < roots.size(); ++i) roots[i].bytes.fill(uint8_t(i + 1));
+  size_t hashes = 0, bytes = 0;
+  const Hash256 metered = ComputeRootOfRootsMetered(roots, [&](size_t b) {
+    hashes++;
+    bytes += b;
+  });
+  EXPECT_EQ(metered, ComputeRootOfRoots(roots));
+  // 5 leaves pad to 8: 4 + 2 + 1 inner nodes, 65 bytes each.
+  EXPECT_EQ(hashes, 7u);
+  EXPECT_EQ(bytes, 7u * 65u);
+}
+
+TEST(RootOfRoots, SensitiveToEveryLeafAndToOrder) {
+  std::vector<Hash256> roots(4);
+  for (size_t i = 0; i < roots.size(); ++i) roots[i].bytes.fill(uint8_t(i + 1));
+  const Hash256 base = ComputeRootOfRoots(roots);
+  for (size_t i = 0; i < roots.size(); ++i) {
+    std::vector<Hash256> mutated = roots;
+    mutated[i].bytes.fill(0xee);
+    EXPECT_NE(ComputeRootOfRoots(mutated), base) << "leaf " << i;
+  }
+  std::vector<Hash256> swapped = roots;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_NE(ComputeRootOfRoots(swapped), base);
+}
+
+TEST(RootOfRoots, RollupPathVerifiesForestQuery) {
+  ShardedAdsSp sp(FourWay());
+  ShardedAdsDo ads_do(FourWay(), ToBytes("key"));
+  for (uint64_t i = 0; i < 100; i += 10) {
+    ASSERT_TRUE(ads_do.VerifiedPut(sp, Rec(i, "v")).ok());
+  }
+  std::vector<Hash256> roots;
+  for (size_t s = 0; s < sp.ShardCount(); ++s) roots.push_back(sp.ShardRoot(s));
+  const uint32_t shard = sp.Map().ShardOf(MakeKey(60));
+  auto proof = sp.Get(MakeKey(60));
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(VerifyForestQuery(sp.RootOfRoots(), sp.ShardCount(), shard,
+                                roots[shard], RollupPath(roots, shard),
+                                *proof));
+  // Wrong shard root: composite verification fails.
+  Hash256 forged = roots[shard];
+  forged.bytes[0] ^= 1;
+  EXPECT_FALSE(VerifyForestQuery(sp.RootOfRoots(), sp.ShardCount(), shard,
+                                 forged, RollupPath(roots, shard), *proof));
+}
+
+// --- forest vs single tree ---
+
+TEST(Forest, SingleShardForestEqualsPlainTree) {
+  ShardedAdsSp forest{ShardMap()};
+  ads::AdsSp plain;
+  ShardedAdsDo ads_do{ShardMap(), ToBytes("key")};
+  for (uint64_t i : {7, 2, 9, 4}) {
+    ASSERT_TRUE(ads_do.VerifiedPut(forest, Rec(i, "v")).ok());
+    ASSERT_TRUE(plain.ApplyPut(Rec(i, "v")).ok());
+  }
+  EXPECT_EQ(forest.RootOfRoots(), plain.Root());
+  EXPECT_EQ(forest.ShardRoot(0), plain.Root());
+  EXPECT_EQ(ads_do.RootOfRoots(), plain.Root());
+}
+
+TEST(Forest, RoutedOperationsLandInMappedShard) {
+  ShardedAdsSp sp(FourWay());
+  ShardedAdsDo ads_do(FourWay(), ToBytes("key"));
+  for (uint64_t i = 0; i < 100; i += 5) {
+    ASSERT_TRUE(ads_do.VerifiedPut(sp, Rec(i, "v")).ok());
+  }
+  EXPECT_EQ(sp.RecordCount(), 20u);
+  EXPECT_EQ(ads_do.RecordCount(), 20u);
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(sp.Shard(s).RecordCount(), 5u) << "shard " << s;
+    EXPECT_EQ(sp.ShardRoot(s), ads_do.ShardRoot(s)) << "shard " << s;
+  }
+  // Point proofs verify against the owning shard's root.
+  auto proof = sp.Get(MakeKey(55));
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(ads::VerifyQuery(
+      sp.ShardRoot(sp.Map().ShardOf(MakeKey(55))), *proof));
+  // Absence routes too.
+  auto absent = sp.ProveAbsent(MakeKey(56));
+  ASSERT_TRUE(absent.ok());
+  EXPECT_TRUE(ads::VerifyAbsence(sp.ShardRoot(sp.Map().ShardOf(MakeKey(56))),
+                                 MakeKey(56), *absent));
+}
+
+TEST(Forest, TouchedShardsTracksAndClears) {
+  ShardedAdsSp sp(FourWay());
+  ShardedAdsDo ads_do(FourWay(), ToBytes("key"));
+  ASSERT_TRUE(ads_do.VerifiedPut(sp, Rec(10, "v")).ok());   // shard 0
+  ASSERT_TRUE(ads_do.VerifiedPut(sp, Rec(80, "v")).ok());   // shard 3
+  ASSERT_TRUE(ads_do.VerifiedPut(sp, Rec(12, "v2")).ok());  // shard 0 again
+  EXPECT_EQ(ads_do.TakeTouchedShards(), (std::vector<uint32_t>{0, 3}));
+  EXPECT_TRUE(ads_do.TakeTouchedShards().empty());  // cleared
+  ASSERT_TRUE(ads_do.VerifiedPut(sp, Rec(30, "v")).ok());   // shard 1
+  EXPECT_EQ(ads_do.TakeTouchedShards(), (std::vector<uint32_t>{1}));
+}
+
+TEST(Forest, BatchPutMatchesPerRecordPuts) {
+  // The per-shard batch (one rebuild) must land on the same tree as the
+  // legacy per-record protocol — that equality is what lets batch roots
+  // stand in for per-record proofs.
+  ShardedAdsSp batch_sp(FourWay());
+  ShardedAdsDo batch_do(FourWay(), ToBytes("key"));
+  ShardedAdsSp seq_sp(FourWay());
+  ShardedAdsDo seq_do(FourWay(), ToBytes("key"));
+  std::vector<ads::FeedRecord> batch = {Rec(30, "a"), Rec(27, "b"),
+                                        Rec(30, "c"), Rec(49, "d")};
+  const uint32_t s = batch_sp.Map().ShardOf(MakeKey(30));
+  ASSERT_TRUE(batch_do.VerifiedBatchPut(batch_sp, s, batch).ok());
+  for (const auto& r : batch) ASSERT_TRUE(seq_do.VerifiedPut(seq_sp, r).ok());
+  EXPECT_EQ(batch_sp.RootOfRoots(), seq_sp.RootOfRoots());
+  EXPECT_EQ(batch_do.RootOfRoots(), seq_do.RootOfRoots());
+  // Last write per key won.
+  auto rec = batch_sp.Peek(MakeKey(30));
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->value, ToBytes("c"));
+}
+
+TEST(Forest, BatchPutDetectsSpDivergence) {
+  ShardedAdsSp sp(FourWay());
+  ShardedAdsDo ads_do(FourWay(), ToBytes("key"));
+  ASSERT_TRUE(ads_do.VerifiedPut(sp, Rec(30, "honest")).ok());
+  sp.Shard(1).ForkForTesting(MakeKey(30), ToBytes("forged"));
+  // The next batch's root comparison catches the fork.
+  EXPECT_FALSE(
+      ads_do.VerifiedBatchPut(sp, 1, {Rec(31, "v")}).ok());
+}
+
+TEST(Forest, BulkLoadEqualsIncrementalLoad) {
+  ShardedAdsSp bulk_sp(FourWay());
+  ShardedAdsDo bulk_do(FourWay(), ToBytes("key"));
+  ShardedAdsSp seq_sp(FourWay());
+  ShardedAdsDo seq_do(FourWay(), ToBytes("key"));
+  std::vector<ads::FeedRecord> records;
+  for (uint64_t i = 0; i < 100; i += 3) records.push_back(Rec(i, "v"));
+  bulk_do.BulkLoad(bulk_sp, records);
+  for (const auto& r : records) ASSERT_TRUE(seq_do.VerifiedPut(seq_sp, r).ok());
+  EXPECT_EQ(bulk_sp.RootOfRoots(), seq_sp.RootOfRoots());
+  EXPECT_EQ(bulk_do.RootOfRoots(), seq_do.RootOfRoots());
+  // Bulk load touches every shard that received records.
+  EXPECT_EQ(bulk_do.TakeTouchedShards(),
+            (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+// --- cross-shard scans ---
+
+TEST(ForestScan, SingleShardScanIsOnePart) {
+  ShardedAdsSp sp{ShardMap()};
+  ShardedAdsDo ads_do{ShardMap(), ToBytes("key")};
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ads_do.VerifiedPut(sp, Rec(i, "v")).ok());
+  }
+  auto parts = sp.ScanSharded(MakeKey(2), MakeKey(7));
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 1u);
+  EXPECT_EQ((*parts)[0].shard, 0u);
+  EXPECT_EQ((*parts)[0].proof.records.size(), 5u);
+  EXPECT_TRUE(ads::VerifyScan(sp.ShardRoot(0), MakeKey(2), MakeKey(7),
+                              (*parts)[0].proof));
+}
+
+TEST(ForestScan, CrossShardScanSplitsAtBoundaries) {
+  ShardedAdsSp sp(FourWay());
+  ShardedAdsDo ads_do(FourWay(), ToBytes("key"));
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ads_do.VerifiedPut(sp, Rec(i, "v")).ok());
+  }
+  // [20, 80) covers shards 0..3: each part scoped to its shard, each proof
+  // complete against that shard's root, records totaling the full range.
+  auto parts = sp.ScanSharded(MakeKey(20), MakeKey(80));
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 4u);
+  size_t total = 0;
+  uint64_t expect_next = 20;
+  for (const auto& part : *parts) {
+    EXPECT_TRUE(ads::VerifyScan(sp.ShardRoot(part.shard), part.start, part.end,
+                                part.proof))
+        << "shard " << part.shard;
+    for (const auto& rec : part.proof.records) {
+      EXPECT_EQ(rec.key, MakeKey(expect_next++));
+    }
+    total += part.proof.records.size();
+  }
+  EXPECT_EQ(total, 60u);
+  EXPECT_EQ(expect_next, 80u);
+  // Adjacent parts tile the range exactly: part[i].end == part[i+1].start.
+  for (size_t i = 0; i + 1 < parts->size(); ++i) {
+    EXPECT_EQ((*parts)[i].end, (*parts)[i + 1].start);
+  }
+  EXPECT_EQ((*parts)[0].start, MakeKey(20));
+  EXPECT_EQ((*parts)[3].end, MakeKey(80));
+}
+
+TEST(ForestScan, EmptySubrangePartsProveEmptiness) {
+  ShardedAdsSp sp(FourWay());
+  ShardedAdsDo ads_do(FourWay(), ToBytes("key"));
+  // Records only in shards 0 and 3; the middle shards are empty.
+  for (uint64_t i : {5, 90}) {
+    ASSERT_TRUE(ads_do.VerifiedPut(sp, Rec(i, "v")).ok());
+  }
+  auto parts = sp.ScanSharded(MakeKey(0), Bytes{});  // unbounded
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 4u);
+  for (const auto& part : *parts) {
+    EXPECT_TRUE(ads::VerifyScan(sp.ShardRoot(part.shard), part.start, part.end,
+                                part.proof))
+        << "shard " << part.shard;
+  }
+  EXPECT_EQ((*parts)[1].proof.records.size(), 0u);
+  EXPECT_EQ((*parts)[2].proof.records.size(), 0u);
+  EXPECT_TRUE((*parts)[3].end.empty());  // last part stays unbounded
+}
+
+}  // namespace
+}  // namespace grub::shard

@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "grub/multi_feed.h"
 #include "grub/system.h"
 #include "telemetry/json.h"
 #include "telemetry/report.h"
@@ -48,6 +49,8 @@ struct Args {
   bool trace_summary = false;   // implies tracing
   std::string faults;           // fault schedule (FaultInjector::Parse)
   uint64_t fault_seed = 42;
+  size_t shards = 1;     // Merkle-forest shard count (1 = legacy single tree)
+  std::string feeds;     // comma-separated workload specs -> multi-feed run
   bool json = false;  // machine-readable summary instead of the text report
   bool help = false;
 };
@@ -87,6 +90,14 @@ void PrintUsage() {
       "                  fires) and +S (skip first S hits)\n"
       "  --fault-seed N  seed for probabilistic fault rules  (default 42);\n"
       "                  same seed + schedule reproduces the run exactly\n"
+      "  --shards N      partition the keyspace into N Merkle-forest shards\n"
+      "                  (default 1 = the legacy single tree, Gas-identical);\n"
+      "                  boundaries are the preloaded-key quantiles\n"
+      "  --feeds LIST    comma-separated workload specs (--workload grammar);\n"
+      "                  deploys one isolated feed per spec on a SHARED chain\n"
+      "                  (own contracts/accounts/shards) and reports per-feed\n"
+      "                  Gas; all feeds use --policy/--records/--shards.\n"
+      "                  Incompatible with --faults/--trace-out/--converged\n"
       "  --json          print one machine-readable JSON summary on stdout\n"
       "                  instead of the text report (implies --telemetry):\n"
       "                  gas totals, component x cause breakdown, per-epoch\n"
@@ -136,6 +147,11 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.faults = next("--faults");
     } else if (!std::strcmp(argv[i], "--fault-seed")) {
       args.fault_seed = std::strtoull(next("--fault-seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      args.shards = std::strtoull(next("--shards"), nullptr, 10);
+      if (args.shards == 0) args.shards = 1;
+    } else if (!std::strcmp(argv[i], "--feeds")) {
+      args.feeds = next("--feeds");
     } else if (!std::strcmp(argv[i], "--json")) {
       args.json = true;
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
@@ -184,11 +200,11 @@ std::unique_ptr<core::ReplicationPolicy> MakePolicy(
   std::exit(2);
 }
 
-workload::Trace MakeWorkload(const Args& args) {
-  auto colon = args.workload.find(':');
-  const std::string name = args.workload.substr(0, colon);
+workload::Trace MakeWorkloadSpec(const Args& args, const std::string& spec) {
+  auto colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
   const std::string params =
-      colon == std::string::npos ? "" : args.workload.substr(colon + 1);
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
   if (name == "ratio") {
     const double ratio = params.empty() ? 4 : std::strtod(params.c_str(), nullptr);
     return workload::FixedRatioTrace(ratio, args.ops, args.record_bytes);
@@ -214,8 +230,12 @@ workload::Trace MakeWorkload(const Args& args) {
     gen_a.Generate(args.ops, trace);
     return trace;
   }
-  std::fprintf(stderr, "unknown workload: %s\n", args.workload.c_str());
+  std::fprintf(stderr, "unknown workload: %s\n", spec.c_str());
   std::exit(2);
+}
+
+workload::Trace MakeWorkload(const Args& args) {
+  return MakeWorkloadSpec(args, args.workload);
 }
 
 // Per-key flips a clairvoyant policy would pay on the same trace — the
@@ -236,6 +256,92 @@ std::map<std::string, uint64_t> OracleFlips(const workload::Trace& trace,
   return flips;
 }
 
+// --feeds: several isolated feeds on one shared chain, per-feed Gas exact.
+int RunMultiFeed(const Args& args) {
+  std::vector<std::string> specs;
+  for (size_t pos = 0; pos < args.feeds.size();) {
+    size_t comma = args.feeds.find(',', pos);
+    if (comma == std::string::npos) comma = args.feeds.size();
+    if (comma > pos) specs.push_back(args.feeds.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "--feeds: no workload specs\n");
+    return 2;
+  }
+
+  core::MultiFeedSystem system;
+  std::vector<workload::Trace> traces;
+  chain::GasSchedule gas;  // default schedule (matches SystemOptions)
+  for (const auto& spec : specs) {
+    workload::Trace trace = MakeWorkloadSpec(args, spec);
+    core::FeedOptions feed;
+    feed.name = spec;
+    feed.shards = args.shards;
+    feed.shard_boundaries =
+        core::IndexedKeyBoundaries(args.records, args.shards);
+    feed.ops_per_tx = args.ops_per_tx;
+    feed.txs_per_epoch = args.txs_per_epoch;
+    system.AddFeed(std::move(feed), MakePolicy(args.policy, trace, gas));
+    traces.push_back(std::move(trace));
+  }
+
+  std::vector<std::pair<Bytes, Bytes>> preload;
+  preload.reserve(args.records);
+  for (uint64_t i = 0; i < args.records; ++i) {
+    preload.emplace_back(workload::MakeKey(i), Bytes(args.record_bytes, 0x11));
+  }
+  for (size_t i = 0; i < specs.size(); ++i) system.Preload(i, preload);
+  system.ResetGasCounters();
+  system.DriveAll(traces);
+
+  const auto stats = system.Stats();
+  uint64_t total_gas = 0;
+  for (const auto& s : stats) total_gas += s.gas;
+
+  if (args.json) {
+    using telemetry::JsonValue;
+    JsonValue root = JsonValue::Object();
+    root.Set("policy", JsonValue::String(args.policy));
+    root.Set("total_gas", JsonValue::NumberU64(total_gas));
+    JsonValue feeds = JsonValue::Array();
+    for (const auto& s : stats) {
+      JsonValue feed = JsonValue::Object();
+      feed.Set("name", JsonValue::String(s.name));
+      feed.Set("gas", JsonValue::NumberU64(s.gas));
+      feed.Set("manager_gas", JsonValue::NumberU64(s.manager_gas));
+      feed.Set("consumer_gas", JsonValue::NumberU64(s.consumer_gas));
+      feed.Set("ops", JsonValue::NumberU64(s.ops));
+      feed.Set("per_op", JsonValue::NumberDouble(s.PerOp()));
+      feed.Set("epochs", JsonValue::NumberU64(s.epochs));
+      feed.Set("shards", JsonValue::NumberU64(s.shards));
+      JsonValue per_shard = JsonValue::Array();
+      for (uint64_t g : s.per_shard_update_gas) {
+        per_shard.Append(JsonValue::NumberU64(g));
+      }
+      feed.Set("per_shard_update_gas", std::move(per_shard));
+      feeds.Append(std::move(feed));
+    }
+    root.Set("feeds", std::move(feeds));
+    std::printf("%s\n", root.ToString().c_str());
+    return 0;
+  }
+
+  std::printf("multi-feed: %zu feeds on one chain, %zu shard(s) each\n\n",
+              stats.size(), static_cast<size_t>(args.shards));
+  for (const auto& s : stats) {
+    std::printf("  %-16s %10llu Gas / %6zu ops (%.0f Gas/op), "
+                "%zu epochs  [manager %llu + consumer %llu]\n",
+                s.name.c_str(), static_cast<unsigned long long>(s.gas), s.ops,
+                s.PerOp(), s.epochs,
+                static_cast<unsigned long long>(s.manager_gas),
+                static_cast<unsigned long long>(s.consumer_gas));
+  }
+  std::printf("\n  total: %llu Gas\n",
+              static_cast<unsigned long long>(total_gas));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -247,6 +353,16 @@ int main(int argc, char** argv) {
   if (args.help) {
     PrintUsage();
     return 0;
+  }
+
+  if (!args.feeds.empty()) {
+    if (!args.faults.empty() || !args.trace_out.empty() || args.converged) {
+      std::fprintf(stderr,
+                   "--feeds is incompatible with --faults/--trace-out/"
+                   "--converged\n");
+      return 2;
+    }
+    return RunMultiFeed(args);
   }
 
   const bool want_tracing = !args.trace_out.empty() || args.trace_summary;
@@ -265,6 +381,13 @@ int main(int argc, char** argv) {
   options.enable_tracing = want_tracing;
   options.fault_schedule = args.faults;
   options.fault_seed = args.fault_seed;
+  options.shards = args.shards;
+  if (args.shards > 1) {
+    // grubctl preloads MakeKey(0..records): use the key quantiles, not the
+    // uniform u64-prefix split (ASCII keys collapse into one prefix bucket).
+    options.shard_boundaries =
+        core::IndexedKeyBoundaries(args.records, args.shards);
+  }
 
   auto trace = MakeWorkload(args);
   auto stats = workload::ComputeStats(trace);
@@ -289,6 +412,9 @@ int main(int argc, char** argv) {
   core::GrubSystem& system = *system_ptr;
   if (text) {
     std::printf("policy:   %s\n", system.Do().Policy().Name().c_str());
+    if (args.shards > 1) {
+      std::printf("shards:   %zu\n", system.ShardedSp().ShardCount());
+    }
     if (system.Faults() != nullptr) {
       std::printf("faults:   %s (seed %llu)\n", args.faults.c_str(),
                   static_cast<unsigned long long>(args.fault_seed));
@@ -376,6 +502,8 @@ int main(int argc, char** argv) {
       root.Set("workload", std::move(workload));
     }
     root.Set("policy", JsonValue::String(system.Do().Policy().Name()));
+    root.Set("shards",
+             JsonValue::NumberU64(system.ShardedSp().ShardCount()));
     {
       JsonValue gas = JsonValue::Object();
       gas.Set("total", JsonValue::NumberU64(system.TotalGas()));
@@ -401,6 +529,13 @@ int main(int argc, char** argv) {
         }
       }
       gas.Set("breakdown", std::move(matrix));
+      if (system.ShardedSp().ShardCount() > 1) {
+        JsonValue per_shard = JsonValue::Array();
+        for (uint64_t g : system.Do().PerShardUpdateGas()) {
+          per_shard.Append(JsonValue::NumberU64(g));
+        }
+        gas.Set("per_shard_update", std::move(per_shard));
+      }
       root.Set("gas", std::move(gas));
     }
     {
@@ -409,6 +544,9 @@ int main(int argc, char** argv) {
         JsonValue row = JsonValue::Object();
         row.Set("ops", JsonValue::NumberU64(e.ops));
         row.Set("gas", JsonValue::NumberU64(e.gas));
+        if (system.ShardedSp().ShardCount() > 1) {
+          row.Set("touched_shards", JsonValue::NumberU64(e.touched_shards));
+        }
         rows.Append(std::move(row));
       }
       root.Set("epochs", std::move(rows));
