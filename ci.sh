@@ -29,6 +29,12 @@ run_pass build-asan \
 echo "=== build-asan: fault matrix (ctest -L fault) ==="
 ctest --test-dir build-asan -L fault --output-on-failure -j "${JOBS}"
 
+# Adversary matrix: the Byzantine-SP suites (label `adversary`) under the
+# sanitizers — forged proofs, quorum failover, and parole walk rejection
+# paths full of partially-consumed batches, exactly where lifetime bugs hide.
+echo "=== build-asan: adversary matrix (ctest -L adversary) ==="
+ctest --test-dir build-asan -L adversary --output-on-failure -j "${JOBS}"
+
 # Gas identity: a GRUB_FAULTS=OFF build must produce bit-identical bench
 # output to the default build when no schedule is active — the fail-point
 # instrumentation itself must never perturb the paper's cost numbers.
@@ -43,6 +49,18 @@ diff /tmp/grub_gas_default.txt /tmp/grub_gas_nofaults.txt
   | grep -v -e '^faults:' -e '^injected:' -e '^recovery:' \
   > /tmp/grub_gas_dormant.txt
 diff /tmp/grub_gas_default.txt /tmp/grub_gas_dormant.txt
+
+# Quorum identity: an honest multi-SP deployment must not move a single Gas
+# number relative to the classic single-SP feed, in the default AND the
+# GRUB_FAULTS=OFF build — standby replicas cost nothing until a failover
+# promotes one. Only the quorum summary lines are new; strip them and diff.
+echo "=== gas identity: honest 2-replica quorum vs single SP ==="
+./build/tools/grubctl "${BENCH_ARGS[@]}" --sps 2 \
+  | grep -v -e '^quorum:' -e '^  sp[0-9]' > /tmp/grub_gas_quorum.txt
+diff /tmp/grub_gas_default.txt /tmp/grub_gas_quorum.txt
+./build-nofaults/tools/grubctl "${BENCH_ARGS[@]}" --sps 2 \
+  | grep -v -e '^quorum:' -e '^  sp[0-9]' > /tmp/grub_gas_quorum_nofaults.txt
+diff /tmp/grub_gas_default.txt /tmp/grub_gas_quorum_nofaults.txt
 
 # Trace determinism: trace content carries no wall clock — block-height
 # timestamps and a monotone sequence counter only — so two identical runs

@@ -7,11 +7,17 @@
 // Every verifier recomputes leaf hashes from the claimed record bytes (never
 // trusting supplied hashes), so domain separation in MerkleTree makes node/
 // leaf confusion infeasible.
+//
+// Two forms per proof kind: Check* returns a typed ProofReject telling WHICH
+// forgery class the proof fell into (the Byzantine-SP detection surface the
+// contract reports and the adversary tests pin down); Verify* is the legacy
+// boolean wrapper (kNone == true).
 #pragma once
 
 #include <functional>
 
 #include "ads/proofs.h"
+#include "common/status.h"
 
 namespace grub::ads {
 
@@ -21,17 +27,63 @@ using HashCostFn = std::function<void(size_t bytes_hashed)>;
 
 inline void NoHashCost(size_t) {}
 
+/// Why a proof was rejected — the typed detection verdict. Every adversarial
+/// forgery class maps onto one of these, so a rejection is attributable, not
+/// just a bare `false`.
+enum class ProofReject {
+  kNone = 0,         // proof verified
+  kMalformedPath,    // sibling/complement shape disagrees with the committed
+                     // tree (truncated or padded path, bad capacity)
+  kIndexOutOfRange,  // claimed leaf index outside the tree capacity
+  kRootMismatch,     // recomputed root differs from the committed one: a
+                     // bit-flipped node, a stale root, a forked tree, or a
+                     // proof spliced in from another shard
+  kWindowShape,      // range window empty or structurally impossible
+  kOrdering,         // window keys not strictly ascending
+  kKeyPresent,       // absence proof carries the key it claims absent
+  kWindowPlacement,  // window not anchored around the key / below capacity
+  kRangeStraddle,    // scan record outside the requested [start, end)
+  kOmission,         // neighbour bounds admit an omitted in-range record
+};
+
+/// Stable slug for logs, statuses and test assertions ("root-mismatch", ...).
+const char* Name(ProofReject reason);
+
+/// Renders a rejection as the typed Status the contract returns:
+/// kIntegrityViolation with "<what> proof rejected: <reason>". kNone -> Ok.
+Status RejectStatus(ProofReject reason, const char* what);
+
 /// Membership: `proof.record` is the leaf at `proof.index` under `root`.
-bool VerifyQuery(const Hash256& root, const QueryProof& proof,
-                 const HashCostFn& cost = NoHashCost);
+ProofReject CheckQuery(const Hash256& root, const QueryProof& proof,
+                       const HashCostFn& cost = NoHashCost);
 
 /// Absence of `key` under `root`.
-bool VerifyAbsence(const Hash256& root, ByteSpan key, const AbsenceProof& proof,
-                   const HashCostFn& cost = NoHashCost);
+ProofReject CheckAbsence(const Hash256& root, ByteSpan key,
+                         const AbsenceProof& proof,
+                         const HashCostFn& cost = NoHashCost);
 
 /// Completeness of a scan: proof.records are exactly the records with
 /// start <= key < end (end empty = unbounded) under `root`.
-bool VerifyScan(const Hash256& root, ByteSpan start, ByteSpan end,
-                const ScanProof& proof, const HashCostFn& cost = NoHashCost);
+ProofReject CheckScan(const Hash256& root, ByteSpan start, ByteSpan end,
+                      const ScanProof& proof,
+                      const HashCostFn& cost = NoHashCost);
+
+// Boolean wrappers (legacy call sites and off-chain checks).
+inline bool VerifyQuery(const Hash256& root, const QueryProof& proof,
+                        const HashCostFn& cost = NoHashCost) {
+  return CheckQuery(root, proof, cost) == ProofReject::kNone;
+}
+
+inline bool VerifyAbsence(const Hash256& root, ByteSpan key,
+                          const AbsenceProof& proof,
+                          const HashCostFn& cost = NoHashCost) {
+  return CheckAbsence(root, key, proof, cost) == ProofReject::kNone;
+}
+
+inline bool VerifyScan(const Hash256& root, ByteSpan start, ByteSpan end,
+                       const ScanProof& proof,
+                       const HashCostFn& cost = NoHashCost) {
+  return CheckScan(root, start, end, proof, cost) == ProofReject::kNone;
+}
 
 }  // namespace grub::ads

@@ -75,6 +75,13 @@ class MeteredStorage {
   /// computes key derivation in cheap arithmetic once the base is hashed).
   static Word SlotKey(const Word& base, uint64_t index);
 
+  /// Unmetered view of the backing store, for contract bookkeeping that must
+  /// not perturb the paper's Gas numbers (e.g. the storage manager's
+  /// pending-request ledger guarding against replayed delivers). The backing
+  /// store is part of the chain's block snapshots, so writes here stay
+  /// reorg-consistent — unlike contract C++ members.
+  ContractStorage& Backing() { return backing_; }
+
  private:
   ContractStorage& backing_;
   GasMeter& meter_;

@@ -1,0 +1,132 @@
+#include "fault/adversary.h"
+
+#include <array>
+#include <cctype>
+
+namespace grub::fault {
+
+namespace {
+
+constexpr std::array<AdversaryClass, kNumAdversaryClasses> kAllClasses = {
+    AdversaryClass::kForge,      AdversaryClass::kTruncate,
+    AdversaryClass::kStaleRoot,  AdversaryClass::kEquivocate,
+    AdversaryClass::kOmit,       AdversaryClass::kReplay,
+};
+
+/// Splits `spec` on `sep`, trimming surrounding whitespace.
+std::vector<std::string> SplitTrimmed(std::string_view spec, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(sep, start);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view part = spec.substr(start, end - start);
+    while (!part.empty() && std::isspace(static_cast<unsigned char>(part.front()))) {
+      part.remove_prefix(1);
+    }
+    while (!part.empty() && std::isspace(static_cast<unsigned char>(part.back()))) {
+      part.remove_suffix(1);
+    }
+    parts.emplace_back(part);
+    if (end == spec.size()) break;
+    start = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+const char* Name(AdversaryClass c) {
+  switch (c) {
+    case AdversaryClass::kForge: return "forge";
+    case AdversaryClass::kTruncate: return "truncate";
+    case AdversaryClass::kStaleRoot: return "stale-root";
+    case AdversaryClass::kEquivocate: return "equivocate";
+    case AdversaryClass::kOmit: return "omit";
+    case AdversaryClass::kReplay: return "replay";
+  }
+  return "?";
+}
+
+std::string PointName(AdversaryClass c) {
+  return std::string("adv.") + Name(c);
+}
+
+Result<std::unique_ptr<SpAdversary>> SpAdversary::Parse(std::string_view spec,
+                                                        uint64_t seed) {
+  if (spec.empty()) {
+    return Status::InvalidArgument(
+        "adversary: empty spec (omit the adversary for an honest SP)");
+  }
+  // Rewrite each rule's leading class slug into its fail-point name, then
+  // hand the whole schedule to the fault parser — the trigger grammar
+  // (@N, %N, ~P, *, xM, +S) is inherited unchanged.
+  std::string rewritten;
+  for (const std::string& rule : SplitTrimmed(spec, ',')) {
+    if (rule.empty()) {
+      return Status::InvalidArgument("adversary: empty rule in spec");
+    }
+    size_t slug_len = 0;
+    while (slug_len < rule.size() &&
+           (std::islower(static_cast<unsigned char>(rule[slug_len])) ||
+            rule[slug_len] == '-')) {
+      ++slug_len;
+    }
+    const std::string slug = rule.substr(0, slug_len);
+    bool known = false;
+    for (AdversaryClass c : kAllClasses) known = known || slug == Name(c);
+    if (!known) {
+      return Status::InvalidArgument("adversary: unknown attack class '" +
+                                     slug + "' in rule '" + rule + "'");
+    }
+    if (!rewritten.empty()) rewritten += ',';
+    rewritten += "adv." + rule;
+  }
+  auto injector = FaultInjector::Parse(rewritten, seed);
+  if (!injector.ok()) return injector.status();
+  return std::unique_ptr<SpAdversary>(
+      new SpAdversary(std::string(spec), std::move(injector).value()));
+}
+
+Result<std::vector<std::unique_ptr<SpAdversary>>> ParseMulti(
+    std::string_view spec, uint64_t seed, size_t replicas) {
+  std::vector<std::unique_ptr<SpAdversary>> out(replicas);
+  if (spec.empty()) return out;
+  for (const std::string& group : SplitTrimmed(spec, ';')) {
+    if (group.empty()) {
+      return Status::InvalidArgument("adversary: empty replica group");
+    }
+    size_t replica = 0;
+    std::string_view rules = group;
+    // "<replica>:" prefix; a bare group targets replica 0.
+    const size_t colon = group.find(':');
+    if (colon != std::string::npos) {
+      const std::string index = group.substr(0, colon);
+      if (index.empty() ||
+          index.find_first_not_of("0123456789") != std::string::npos) {
+        return Status::InvalidArgument("adversary: bad replica index '" +
+                                       index + "'");
+      }
+      replica = static_cast<size_t>(std::stoull(index));
+      rules = std::string_view(group).substr(colon + 1);
+    }
+    if (replica >= replicas) {
+      return Status::InvalidArgument(
+          "adversary: replica index " + std::to_string(replica) +
+          " out of range (quorum has " + std::to_string(replicas) + ")");
+    }
+    if (out[replica] != nullptr) {
+      return Status::InvalidArgument("adversary: duplicate spec for replica " +
+                                     std::to_string(replica));
+    }
+    // Offset the seed per replica so two armed replicas draw independent
+    // probabilistic streams (the per-point FNV split only separates points).
+    auto adversary = SpAdversary::Parse(rules, seed + 0x9E3779B97F4A7C15ull *
+                                                         (replica + 1));
+    if (!adversary.ok()) return adversary.status();
+    out[replica] = std::move(adversary).value();
+  }
+  return out;
+}
+
+}  // namespace grub::fault

@@ -35,6 +35,7 @@ size_t MultiFeedSystem::AddFeed(FeedOptions options,
   StorageManagerContract::Config config;
   config.do_address = feed->do_account;
   config.shard_map = feed->sp.Map();
+  config.enforce_request_ledger = true;
   feed->manager_address =
       chain_.Deploy(std::make_unique<StorageManagerContract>(config));
 
@@ -47,8 +48,13 @@ size_t MultiFeedSystem::AddFeed(FeedOptions options,
   do_options.storage_manager = feed->manager_address;
   feed->do_client = std::make_unique<DoClient>(chain_, feed->sp, do_options,
                                                std::move(policy));
-  feed->daemon = std::make_unique<SpDaemon>(
-      chain_, feed->sp, feed->manager_address, feed->sp_account);
+  QuorumOptions quorum_options;
+  quorum_options.replicas = options.sp_replicas;
+  quorum_options.adversary_spec = options.adversary_spec;
+  quorum_options.adversary_seed = options.adversary_seed;
+  feed->quorum = std::make_unique<SpQuorum>(
+      chain_, feed->sp, feed->manager_address, feed->sp_account,
+      quorum_options);
 
   feed->options = std::move(options);
   feeds_.push_back(std::move(feed));
@@ -73,7 +79,7 @@ void MultiFeedSystem::FlushReadGroup(Feed& feed) {
   chain_.SubmitAndMine(std::move(tx));
   // Only the owning feed's daemon polls: another feed's watchdog ignores
   // these request events (contract filter), which the isolation test pins.
-  feed.daemon->PollAndServe();
+  feed.quorum->PollAndServe();
   feed.do_client->CheckReadLiveness();
 }
 

@@ -26,6 +26,7 @@
 #include "grub/do_client.h"
 #include "grub/policy.h"
 #include "grub/sp_daemon.h"
+#include "grub/sp_quorum.h"
 #include "grub/storage_manager.h"
 #include "shard/forest.h"
 #include "workload/trace.h"
@@ -39,6 +40,11 @@ struct FeedOptions {
   std::vector<Bytes> shard_boundaries;
   size_t ops_per_tx = 32;
   size_t txs_per_epoch = 1;
+  /// SP watchdog replicas for this feed (see sp_quorum.h); 1 = classic.
+  size_t sp_replicas = 1;
+  /// Per-replica Byzantine spec (fault::ParseMulti grammar; empty = honest).
+  std::string adversary_spec;
+  uint64_t adversary_seed = 42;
 };
 
 /// Per-feed results after driving.
@@ -91,6 +97,8 @@ class MultiFeedSystem {
   chain::Address ManagerAddress(size_t feed) const {
     return feeds_[feed]->manager_address;
   }
+  SpQuorum& Quorum(size_t feed) { return *feeds_[feed]->quorum; }
+  const SpQuorum& Quorum(size_t feed) const { return *feeds_[feed]->quorum; }
 
  private:
   struct Feed {
@@ -103,7 +111,7 @@ class MultiFeedSystem {
     chain::Address user_account = chain::kNullAddress;
     ConsumerContract* consumer = nullptr;  // owned by the chain
     std::unique_ptr<DoClient> do_client;
-    std::unique_ptr<SpDaemon> daemon;
+    std::unique_ptr<SpQuorum> quorum;
     std::set<Bytes> live_keys;
     size_t ops_driven = 0;
     size_t epochs_closed = 0;

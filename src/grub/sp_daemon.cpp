@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "chain/abi.h"
+#include "crypto/sha256.h"
 #include "telemetry/timer.h"
 
 namespace grub::core {
@@ -13,6 +14,7 @@ void SpDaemon::SetMetrics(telemetry::MetricsRegistry* registry) {
   if (registry == nullptr) {
     poll_seconds_ = prove_seconds_ = deliver_seconds_ = nullptr;
     requests_served_ = delivers_counter_ = retries_counter_ = nullptr;
+    rejections_counter_ = nullptr;
     return;
   }
   auto bounds = telemetry::DefaultLatencyBounds();
@@ -22,6 +24,7 @@ void SpDaemon::SetMetrics(telemetry::MetricsRegistry* registry) {
   requests_served_ = &registry->GetCounter("sp.requests_served");
   delivers_counter_ = &registry->GetCounter("sp.delivers_sent");
   retries_counter_ = &registry->GetCounter("sp.deliver_retries");
+  rejections_counter_ = &registry->GetCounter("sp.deliver_rejections");
 }
 
 void SpDaemon::RecoverCursor() {
@@ -65,14 +68,66 @@ void CorruptFirstProof(std::vector<DeliverEntry>& entries) {
 
 }  // namespace
 
+#if GRUB_FAULTS
+void SpDaemon::MutateEntries(std::vector<DeliverEntry>& entries) {
+  if (adversary_->Fire(fault::AdversaryClass::kStaleRoot)) {
+    // Re-serve the oldest proof this daemon ever built for a batched key. If
+    // the root has moved since, the contract's root comparison catches it; if
+    // nothing was cached (or nothing moved) the attack fizzles — still a
+    // counted fire, still deterministic.
+    for (auto& entry : entries) {
+      if (entry.kind != DeliverEntry::Kind::kQuery) continue;
+      auto it = stale_proofs_.find(entry.key);
+      if (it != stale_proofs_.end()) {
+        entry.query = it->second;
+        break;
+      }
+    }
+  }
+  if (adversary_->Fire(fault::AdversaryClass::kEquivocate)) {
+    // Equivocation: a self-consistent FORK — a one-leaf tree holding a
+    // forged record. Internally coherent (every structural check passes,
+    // unlike a bit-flip), so only the comparison against the DO-committed
+    // root can expose it.
+    for (auto& entry : entries) {
+      if (entry.kind != DeliverEntry::Kind::kQuery) continue;
+      if (entry.query.record.value.empty()) {
+        entry.query.record.value = ToBytes("forked-value");
+      } else {
+        for (auto& b : entry.query.record.value) b ^= 0xA5;
+      }
+      entry.query.index = 0;
+      entry.query.capacity = 1;
+      entry.query.path.siblings.clear();
+      break;
+    }
+  }
+  if (adversary_->Fire(fault::AdversaryClass::kTruncate)) {
+    // Truncated Merkle path: drop the topmost sibling.
+    for (auto& entry : entries) {
+      if (entry.kind == DeliverEntry::Kind::kQuery &&
+          !entry.query.path.siblings.empty()) {
+        entry.query.path.siblings.pop_back();
+        break;
+      }
+    }
+  }
+  if (adversary_->Fire(fault::AdversaryClass::kForge)) {
+    CorruptFirstProof(entries);
+  }
+}
+#endif
+
 size_t SpDaemon::PollAndServe() {
   telemetry::TimerSpan poll_timer(poll_seconds_);
+  last_outcome_ = DeliverOutcome::kIdle;
   if (GRUB_FAULT_POINT(faults_, "sp.crash")) {
     // Crash/restart: the process dies between polls and comes back with no
     // in-memory state. Nothing is served this cycle; the cursor re-derives
     // from the chain's pending-request set.
     RecoverCursor();
     consecutive_failures_ += 1;
+    last_outcome_ = DeliverOutcome::kCrashed;
 #if GRUB_TELEMETRY
     if (tracer_ != nullptr) {
       tracer_->GlobalEvent("sp.crash", chain_.CurrentBlockNumber());
@@ -192,7 +247,41 @@ size_t SpDaemon::PollAndServe() {
   }
 #endif
 
+  Bytes calldata;
 #if GRUB_FAULTS
+  if (adversary_ != nullptr) {
+    // Stock pre-mutation ammunition: the first proof ever served per key —
+    // it goes genuinely stale once the root moves on.
+    for (const auto& entry : entries) {
+      if (entry.kind == DeliverEntry::Kind::kQuery) {
+        stale_proofs_.emplace(entry.key, entry.query);
+      }
+    }
+    if (adversary_->Fire(fault::AdversaryClass::kOmit)) {
+      // Selective omission: swallow the batch but keep the cursor advanced —
+      // the daemon PRETENDS it served. The requests starve until the DO's
+      // liveness watchdog or the quorum's stall detector notices.
+      last_outcome_ = DeliverOutcome::kOmitted;
+#if GRUB_TELEMETRY
+      if (tracer_ != nullptr) {
+        tracer_->Annotate(deliver_span, "adv.omit",
+                          chain_.CurrentBlockNumber());
+        tracer_->EndSpan(deliver_span, chain_.CurrentBlockNumber(),
+                         /*completed=*/false);
+      }
+#endif
+      return 0;
+    }
+    if (!last_good_calldata_.empty() &&
+        adversary_->Fire(fault::AdversaryClass::kReplay)) {
+      // Replay: resubmit the last ACCEPTED deliver verbatim. Every proof in
+      // it still verifies against the current root — only the contract's
+      // pending-request ledger can tell it was already answered.
+      calldata = last_good_calldata_;
+    } else {
+      MutateEntries(entries);
+    }
+  }
   if (GRUB_FAULT_POINT(faults_, "sp.proof.corrupt")) {
     CorruptFirstProof(entries);
 #if GRUB_TELEMETRY
@@ -203,7 +292,32 @@ size_t SpDaemon::PollAndServe() {
 #endif
   }
 #endif
-  const Bytes calldata = StorageManagerContract::EncodeDeliver(entries);
+  if (calldata.empty()) {
+    calldata = StorageManagerContract::EncodeDeliver(entries);
+  }
+
+  if (last_rejected_digest_.has_value() &&
+      Sha256::Digest(calldata) == *last_rejected_digest_) {
+    // The contract already rejected this exact deliver, and its verdict is
+    // deterministic in (calldata, on-chain roots): re-sending burns Gas for
+    // a foregone rejection. Count it without submitting; the quarantine
+    // lifts as soon as state movement changes the rebuilt batch (or a
+    // failover hands the requests to a replica with clean proofs).
+    cursor_ = batch_start;
+    consecutive_failures_ += 1;
+    deliver_rejections_ += 1;
+    last_outcome_ = DeliverOutcome::kRejected;
+#if GRUB_TELEMETRY
+    if (rejections_counter_ != nullptr) rejections_counter_->Increment();
+    if (tracer_ != nullptr) {
+      tracer_->Annotate(deliver_span, "deliver.quarantined",
+                        chain_.CurrentBlockNumber());
+      tracer_->EndSpan(deliver_span, chain_.CurrentBlockNumber(),
+                       /*completed=*/false);
+    }
+#endif
+    return 0;
+  }
 
   // Submit, resubmitting with deterministic exponential backoff when the
   // transaction is lost (daemon-side or in the mempool). The calldata is
@@ -258,6 +372,7 @@ size_t SpDaemon::PollAndServe() {
     // (and re-serves) the same requests — they are still pending on chain.
     cursor_ = batch_start;
     consecutive_failures_ += 1;
+    last_outcome_ = DeliverOutcome::kLost;
 #if GRUB_TELEMETRY
     if (tracer_ != nullptr) {
       tracer_->Annotate(deliver_span, "deliver.lost",
@@ -269,12 +384,17 @@ size_t SpDaemon::PollAndServe() {
     return 0;
   }
   if (!receipt.ok() && !chain::IsDelayedReceipt(receipt)) {
-    // Included but rejected (a proof failed verification — corrupt or built
-    // against a stale root). The requests remain unanswered; re-prove from
-    // current state on the next poll.
+    // Included but rejected (a proof failed verification — corrupt, forged,
+    // stale, or a replayed batch). The requests remain unanswered; re-prove
+    // from current state on the next poll, but quarantine this calldata so
+    // the retry path can never re-send the provably-bad proof.
     cursor_ = batch_start;
     consecutive_failures_ += 1;
+    deliver_rejections_ += 1;
+    last_outcome_ = DeliverOutcome::kRejected;
+    last_rejected_digest_ = Sha256::Digest(calldata);
 #if GRUB_TELEMETRY
+    if (rejections_counter_ != nullptr) rejections_counter_->Increment();
     if (tracer_ != nullptr) {
       tracer_->Annotate(deliver_span, "deliver.rejected",
                         chain_.CurrentBlockNumber());
@@ -289,6 +409,11 @@ size_t SpDaemon::PollAndServe() {
   // its requests are served then, but the daemon's work is done either way.
   consecutive_failures_ = 0;
   delivers_sent_ += 1;
+  last_outcome_ = DeliverOutcome::kServed;
+  last_rejected_digest_.reset();
+#if GRUB_FAULTS
+  if (adversary_ != nullptr) last_good_calldata_ = calldata;
+#endif
 #if GRUB_TELEMETRY
   if (requests_served_ != nullptr) requests_served_->Increment(served);
   if (delivers_counter_ != nullptr) delivers_counter_->Increment();

@@ -16,8 +16,12 @@
 // the cursor back so the next poll rebuilds fresh proofs.
 #pragma once
 
+#include <map>
+#include <optional>
+
 #include "shard/forest.h"
 #include "chain/blockchain.h"
+#include "fault/adversary.h"
 #include "fault/injector.h"
 #include "grub/request_tracker.h"
 #include "grub/storage_manager.h"
@@ -25,6 +29,19 @@
 #include "telemetry/tracing.h"
 
 namespace grub::core {
+
+/// How the last poll cycle ended — the typed signal the quorum coordinator
+/// keys failover decisions on. kRejected is the PROVEN-misbehaviour outcome
+/// (the contract rejected a proof); kLost/kCrashed are mere liveness noise.
+enum class DeliverOutcome {
+  kIdle = 0,  // nothing to serve
+  kServed,    // deliver included and accepted (or delayed in the mempool)
+  kCrashed,   // the poll crashed before serving
+  kLost,      // every submission attempt was lost in transit
+  kRejected,  // included but rejected by on-chain verification — or skipped
+              // because this exact deliver was already rejected
+  kOmitted,   // a Byzantine daemon swallowed the batch without serving it
+};
 
 class SpDaemon {
  public:
@@ -56,11 +73,18 @@ class SpDaemon {
 
   /// Total deliver transactions sent (observability).
   uint64_t delivers_sent() const { return delivers_sent_; }
-  /// Deliver resubmissions after a lost transaction.
+  /// Deliver resubmissions after a lost transaction. Rejected delivers are
+  /// NEVER resubmitted (rejection is deterministic in calldata + roots), so
+  /// this counts only transit losses.
   uint64_t deliver_retries() const { return deliver_retries_; }
+  /// Delivers provably rejected by on-chain verification, including polls
+  /// short-circuited by the no-resend guard. The quorum's blacklist signal.
+  uint64_t deliver_rejections() const { return deliver_rejections_; }
   /// Poll cycles since the last successful deliver that ended in failure
   /// (crash, exhausted retries, rejected deliver). Resets on success.
   uint64_t consecutive_failures() const { return consecutive_failures_; }
+  /// How the most recent PollAndServe ended.
+  DeliverOutcome last_outcome() const { return last_outcome_; }
 
   /// Installs wall-clock/throughput instruments for the poll -> prove ->
   /// deliver pipeline (sp.poll_seconds, sp.prove_seconds,
@@ -77,11 +101,31 @@ class SpDaemon {
   /// default) skips all recording.
   void SetTracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Arms this replica with a Byzantine behaviour model (null = honest).
+  /// Mutations only happen in GRUB_FAULTS builds; elsewhere the attached
+  /// adversary is inert and the pipeline is bit-identical to honest.
+  void SetAdversary(fault::SpAdversary* adversary) { adversary_ = adversary; }
+  fault::SpAdversary* Adversary() { return adversary_; }
+
+  /// Failover entry point: a standby promoted to active re-derives its
+  /// cursor from chain state and forgets the no-resend quarantine (its own
+  /// proofs are not the rejected ones).
+  void Reactivate() {
+    RecoverCursor();
+    last_rejected_digest_.reset();
+  }
+
  private:
   /// Re-derives the event cursor from the chain: everything before the
   /// oldest pending request is answered; with nothing pending, resume at the
   /// log tail. This is the crash-recovery path — and the constructor's.
   void RecoverCursor();
+
+#if GRUB_FAULTS
+  /// Applies the armed adversary's proof mutations (forge / truncate /
+  /// stale-root / equivocate) to the outgoing batch.
+  void MutateEntries(std::vector<DeliverEntry>& entries);
+#endif
 
   static constexpr uint64_t kMaxDeliverAttempts = 3;
   static constexpr chain::TimeSec kRetryBackoffSec = 2;
@@ -94,10 +138,23 @@ class SpDaemon {
   uint64_t cursor_ = 0;  // next event log index to inspect
   uint64_t delivers_sent_ = 0;
   uint64_t deliver_retries_ = 0;
+  uint64_t deliver_rejections_ = 0;
   uint64_t consecutive_failures_ = 0;
+  DeliverOutcome last_outcome_ = DeliverOutcome::kIdle;
   RequestTracker tracker_;
-  fault::FaultInjector* faults_ = nullptr;  // not owned; may be null
-  telemetry::Tracer* tracer_ = nullptr;     // not owned; may be null
+  fault::FaultInjector* faults_ = nullptr;      // not owned; may be null
+  fault::SpAdversary* adversary_ = nullptr;     // not owned; null = honest
+  telemetry::Tracer* tracer_ = nullptr;         // not owned; may be null
+
+  /// Digest of the last deliver the contract rejected. While the rebuilt
+  /// calldata still matches, submission is skipped — re-sending a provably
+  /// bad proof burns Gas for a foregone verdict.
+  std::optional<Hash256> last_rejected_digest_;
+  /// Adversary ammunition, maintained only while an adversary is armed: the
+  /// first proof ever served per key (goes stale once the root moves) and
+  /// the last accepted deliver calldata (for replay).
+  std::map<Bytes, ads::QueryProof> stale_proofs_;
+  Bytes last_good_calldata_;
 
   // Cached instruments (null = telemetry off).
   telemetry::Histogram* poll_seconds_ = nullptr;
@@ -106,6 +163,7 @@ class SpDaemon {
   telemetry::Counter* requests_served_ = nullptr;
   telemetry::Counter* delivers_counter_ = nullptr;
   telemetry::Counter* retries_counter_ = nullptr;
+  telemetry::Counter* rejections_counter_ = nullptr;
 };
 
 }  // namespace grub::core

@@ -1,6 +1,7 @@
 #include "grub/storage_manager.h"
 
 #include <cstring>
+#include <map>
 
 #include "crypto/sha256.h"
 #include "shard/forest.h"
@@ -26,6 +27,31 @@ Word StorageManagerContract::ValueBase(ByteSpan key) {
 
 Word StorageManagerContract::CounterSlot(ByteSpan key) {
   return Sha256::Digest2(ToBytes("grub.cnt"), key);
+}
+
+Word StorageManagerContract::PendingSlot(ByteSpan key,
+                                         chain::Address callback_contract,
+                                         const std::string& callback_function) {
+  // Fingerprint of one outstanding point request: the ledger guarding
+  // deliver() against replayed or unsolicited entries counts per identity,
+  // exactly the identity the SP daemon's dedup and the request tracker use.
+  AbiWriter w;
+  w.Blob(key);
+  w.U64(callback_contract);
+  w.Blob(ToBytes(callback_function));
+  return Sha256::Digest2(ToBytes("grub.pending"), w.Take());
+}
+
+void StorageManagerContract::NotePendingRequest(
+    chain::CallContext& ctx, ByteSpan key, chain::Address callback_contract,
+    const std::string& callback_function) {
+  // Unmetered bookkeeping: the ledger is a detection aid, not part of the
+  // paper's protocol, so it must not move a single Gas number. It lives in
+  // the backing ContractStorage (snapshotted across reorgs), never in C++
+  // member state.
+  chain::ContractStorage& backing = ctx.Storage().Backing();
+  const Word slot = PendingSlot(key, callback_contract, callback_function);
+  backing.Store(slot, Word::FromU64(backing.Load(slot).ToU64() + 1));
 }
 
 Word StorageManagerContract::ShardRootSlot(uint32_t s) {
@@ -270,6 +296,9 @@ Status StorageManagerContract::HandleGGet(chain::CallContext& ctx,
   w.U64(callback_contract);
   w.Blob(ToBytes(callback_function));
   ctx.EmitEvent(kRequestEvent, w.Take());
+  if (config_.enforce_request_ledger) {
+    NotePendingRequest(ctx, key, callback_contract, callback_function);
+  }
   return Status::Ok();
 }
 
@@ -319,14 +348,49 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
     return roots[shard];
   };
 
-  const auto hash_cost = [&ctx](size_t bytes_hashed) {
-    ctx.Meter().ChargeHash(WordsForBytes(bytes_hashed));
+  // Verification hashes are buffered and settled after the verdict so a
+  // rejected proof's hash work books under kProofReject while the honest
+  // path replays the exact legacy charge sequence under the ambient
+  // kDeliver span — attribution moves, Gas totals never do.
+  std::vector<size_t> pending_hashes;
+  const auto buffered_cost = [&pending_hashes](size_t bytes_hashed) {
+    pending_hashes.push_back(bytes_hashed);
   };
+  const auto settle_hashes = [&](ads::ProofReject verdict) {
+    telemetry::Span span(verdict == ads::ProofReject::kNone
+                             ? telemetry::GasCause::kDeliver
+                             : telemetry::GasCause::kProofReject);
+    for (size_t bytes : pending_hashes) {
+      ctx.Meter().ChargeHash(WordsForBytes(bytes));
+    }
+    pending_hashes.clear();
+  };
+
+  // Replay guard (enforce_request_ledger deployments): claims against the
+  // unmetered pending ledger accumulate here and are written back only
+  // after the whole batch verifies — a failed call does not roll storage
+  // back in this chain model, so partial decrements would leak counts.
+  chain::ContractStorage& backing = ctx.Storage().Backing();
+  std::map<Word, uint64_t> claimed;
 
   const uint64_t n = r.U64();
   for (uint64_t i = 0; i < n; ++i) {
     auto entry = DecodeDeliverEntry(r);
     if (!entry.ok()) return entry.status();
+
+    if (config_.enforce_request_ledger &&
+        entry->kind != DeliverEntry::Kind::kScan) {
+      // Checked before any verification is paid for: a replayed delivery is
+      // detectable from the ledger alone.
+      const Word slot = PendingSlot(entry->key, entry->callback_contract,
+                                    entry->callback_function);
+      uint64_t& taken = claimed[slot];
+      taken += entry->repeats;
+      if (backing.Load(slot).ToU64() < taken) {
+        return Status::IntegrityViolation(
+            "deliver: replayed or unsolicited point request");
+      }
+    }
 
     if (entry->kind == DeliverEntry::Kind::kScan) {
       if (shard_count > 1) {
@@ -341,10 +405,12 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
               "deliver: scan crosses a shard boundary");
         }
       }
-      if (!ads::VerifyScan(root_for(entry->key), entry->key, entry->end_key,
-                           entry->scan, hash_cost)) {
-        return Status::IntegrityViolation(
-            "deliver: scan proof verification failed");
+      const ads::ProofReject verdict =
+          ads::CheckScan(root_for(entry->key), entry->key, entry->end_key,
+                         entry->scan, buffered_cost);
+      settle_hashes(verdict);
+      if (verdict != ads::ProofReject::kNone) {
+        return ads::RejectStatus(verdict, "deliver: scan");
       }
       for (uint64_t rep = 0; rep < entry->repeats; ++rep) {
         for (const auto& record : entry->scan.records) {
@@ -361,8 +427,11 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
       if (Compare(proof.record.key, entry->key) != 0) {
         return Status::IntegrityViolation("deliver: key mismatch");
       }
-      if (!ads::VerifyQuery(root_for(entry->key), proof, hash_cost)) {
-        return Status::IntegrityViolation("deliver: proof verification failed");
+      const ads::ProofReject verdict =
+          ads::CheckQuery(root_for(entry->key), proof, buffered_cost);
+      settle_hashes(verdict);
+      if (verdict != ads::ProofReject::kNone) {
+        return ads::RejectStatus(verdict, "deliver: query");
       }
       // Lazy replication: materialize the replica iff the SP's replicate
       // instruction says R (Listing 2; Gas-only trust).
@@ -395,10 +464,11 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
         if (!s.ok()) return s;
       }
     } else {
-      if (!ads::VerifyAbsence(root_for(entry->key), entry->key, entry->absence,
-                              hash_cost)) {
-        return Status::IntegrityViolation(
-            "deliver: absence proof verification failed");
+      const ads::ProofReject verdict = ads::CheckAbsence(
+          root_for(entry->key), entry->key, entry->absence, buffered_cost);
+      settle_hashes(verdict);
+      if (verdict != ads::ProofReject::kNone) {
+        return ads::RejectStatus(verdict, "deliver: absence");
       }
       for (uint64_t rep = 0; rep < entry->repeats; ++rep) {
         Status s = InvokeCallback(ctx, entry->callback_contract,
@@ -407,6 +477,11 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
         if (!s.ok()) return s;
       }
     }
+  }
+  // Whole batch verified and every callback ran: consume the answered
+  // requests from the ledger (unmetered, like the increments).
+  for (const auto& [slot, taken] : claimed) {
+    backing.Store(slot, Word::FromU64(backing.Load(slot).ToU64() - taken));
   }
   return Status::Ok();
 }

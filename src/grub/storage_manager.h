@@ -46,6 +46,14 @@ class StorageManagerContract : public chain::Contract {
     /// With more shards the contract keeps one root slot per shard plus the
     /// root-of-roots, and update() switches to EncodeUpdateSharded.
     shard::ShardMap shard_map;
+    /// Harden deliver() with the unmetered pending-request ledger: every
+    /// point entry must answer an outstanding gGet miss (counted per
+    /// key/callback identity in backing storage), so a replayed or
+    /// unsolicited delivery reverts instead of re-invoking callbacks. Off by
+    /// default — handcrafted-deliver unit fixtures stay valid, and the
+    /// ledger never touches Gas either way — but the reference systems
+    /// (GrubSystem / MultiFeedSystem) always switch it on.
+    bool enforce_request_ledger = false;
 
     bool IsAuthorizedDo(chain::Address sender) const {
       if (sender == do_address) return true;
@@ -120,6 +128,14 @@ class StorageManagerContract : public chain::Contract {
   static Word LenSlot(ByteSpan key);
   static Word ValueBase(ByteSpan key);
   static Word CounterSlot(ByteSpan key);
+  static Word PendingSlot(ByteSpan key, chain::Address callback_contract,
+                          const std::string& callback_function);
+
+  /// Counts an emitted gGet miss in the pending ledger (unmetered; only when
+  /// enforce_request_ledger is on).
+  void NotePendingRequest(chain::CallContext& ctx, ByteSpan key,
+                          chain::Address callback_contract,
+                          const std::string& callback_function);
 
   Config config_;
 };

@@ -46,6 +46,9 @@ GrubSystem::GrubSystem(SystemOptions options,
   config.trace_reads_on_chain =
       options_.trace_reads_on_chain || options_.trace_writes_on_chain;
   config.trace_writes_on_chain = options_.trace_writes_on_chain;
+  // The reference deployment always arms the pending-request ledger: it is
+  // unmetered (no Gas drift) and makes replayed delivers provably rejected.
+  config.enforce_request_ledger = true;
   manager_address_ =
       chain_.Deploy(std::make_unique<StorageManagerContract>(config));
 
@@ -59,7 +62,15 @@ GrubSystem::GrubSystem(SystemOptions options,
   do_client_ =
       std::make_unique<DoClient>(chain_, sp_, do_options, std::move(policy));
 
-  daemon_ = std::make_unique<SpDaemon>(chain_, sp_, manager_address_, kSpAccount,
+  QuorumOptions quorum_options;
+  quorum_options.replicas = options_.sp_replicas;
+  quorum_options.adversary_spec = options_.adversary_spec;
+  quorum_options.adversary_seed = options_.adversary_seed;
+  quorum_options.blacklist_after_rejections =
+      options_.blacklist_after_rejections;
+  quorum_options.liveness_timeout_polls = options_.liveness_timeout_polls;
+  quorum_ = std::make_unique<SpQuorum>(chain_, sp_, manager_address_,
+                                       kSpAccount, quorum_options,
                                        options_.dedup_deliver_batch);
 
   if (options_.enable_telemetry || options_.enable_tracing) {
@@ -67,12 +78,12 @@ GrubSystem::GrubSystem(SystemOptions options,
     chain_.SetTelemetry(telemetry_.get());
     sp_.SetMetrics(&telemetry_->Registry());
     do_client_->SetMetrics(&telemetry_->Registry());
-    daemon_->SetMetrics(&telemetry_->Registry());
+    quorum_->SetMetrics(&telemetry_->Registry());
   }
   if (options_.enable_tracing) {
     telemetry::Tracer& tracer = telemetry_->EnableTracing();
     consumer_->SetTracer(&tracer);
-    daemon_->SetTracer(&tracer);
+    quorum_->SetTracer(&tracer);
     do_client_->SetTracer(&tracer);
   }
 
@@ -87,7 +98,7 @@ GrubSystem::GrubSystem(SystemOptions options,
     if (telemetry_ != nullptr) faults_->SetMetrics(&telemetry_->Registry());
     chain_.SetFaultInjector(faults_.get());
     sp_.SetFaultInjector(faults_.get());
-    daemon_->SetFaultInjector(faults_.get());
+    quorum_->SetFaultInjector(faults_.get());
     do_client_->SetFaultInjector(faults_.get());
   }
 }
@@ -118,7 +129,7 @@ void GrubSystem::FlushReadGroup() {
   tx.cause = telemetry::GasCause::kGGetSync;
   tx.calldata = ConsumerContract::EncodeRun(consumer_->QueuedCount());
   chain_.SubmitAndMine(std::move(tx));
-  daemon_->PollAndServe();
+  quorum_->PollAndServe();
   // After the SP had its chance: re-emit starved reads, degrade/un-degrade.
   // Fault-free runs find nothing pending and spend no Gas here.
   do_client_->CheckReadLiveness();

@@ -29,6 +29,7 @@
 #include "grub/do_client.h"
 #include "grub/policy.h"
 #include "grub/sp_daemon.h"
+#include "grub/sp_quorum.h"
 #include "grub/storage_manager.h"
 #include "shard/forest.h"
 #include "telemetry/telemetry.h"
@@ -87,6 +88,20 @@ struct SystemOptions {
   /// keys occupy a sliver of the u64 prefix space, so Uniform() would put
   /// them all in shard 0.
   std::vector<Bytes> shard_boundaries;
+  /// SP watchdog replicas (the Byzantine-SP quorum; see sp_quorum.h). 1 is
+  /// the classic single-watchdog deployment, bit-identical in Gas and
+  /// transactions to the pre-quorum pipeline.
+  size_t sp_replicas = 1;
+  /// Per-replica Byzantine behaviour spec (fault::ParseMulti grammar, e.g.
+  /// "forge@2" or "0:omit*;1:replay@1"). Empty = all replicas honest. The
+  /// constructor throws std::invalid_argument on a malformed spec; attacks
+  /// only mutate delivers in GRUB_FAULTS builds.
+  std::string adversary_spec;
+  /// Seed for probabilistic adversary triggers (defaults to fault_seed).
+  uint64_t adversary_seed = 42;
+  /// Quorum failover thresholds (see QuorumOptions).
+  uint64_t blacklist_after_rejections = 2;
+  uint64_t liveness_timeout_polls = 3;
 };
 
 /// Gas measured over one epoch of driving.
@@ -126,7 +141,12 @@ class GrubSystem {
   const shard::ShardMap& Shards() const { return sp_.Map(); }
   DoClient& Do() { return *do_client_; }
   ConsumerContract& Consumer() { return *consumer_; }
-  SpDaemon& Daemon() { return *daemon_; }
+  /// The ACTIVE watchdog daemon — single-replica deployments have exactly
+  /// one, so existing call sites keep their meaning under the quorum.
+  SpDaemon& Daemon() { return quorum_->Active(); }
+  /// The multi-SP coordinator (always present; N=1 is a pass-through).
+  SpQuorum& Quorum() { return *quorum_; }
+  const SpQuorum& Quorum() const { return *quorum_; }
   chain::Address ManagerAddress() const { return manager_address_; }
   chain::Address ConsumerAddress() const { return consumer_address_; }
 
@@ -171,7 +191,7 @@ class GrubSystem {
   std::unique_ptr<telemetry::Telemetry> telemetry_;  // null = disabled
   std::unique_ptr<fault::FaultInjector> faults_;     // null = no schedule
   std::unique_ptr<DoClient> do_client_;
-  std::unique_ptr<SpDaemon> daemon_;
+  std::unique_ptr<SpQuorum> quorum_;
 
   std::set<Bytes> live_keys_;  // for scan expansion/bounds
 };

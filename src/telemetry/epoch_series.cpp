@@ -34,6 +34,10 @@ const EpochRow& EpochSeries::Close(uint64_t ops,
   row.watchdog_reemits = DeltaOrZero(robustness.watchdog_reemits,
                                      robustness_baseline_.watchdog_reemits);
   row.degraded = robustness.degraded;
+  row.deliver_rejections = DeltaOrZero(robustness.deliver_rejections,
+                                       robustness_baseline_.deliver_rejections);
+  row.sp_failovers = DeltaOrZero(robustness.sp_failovers,
+                                 robustness_baseline_.sp_failovers);
   row.touched_shards = touched_shards;
   baseline_ = now;
   robustness_baseline_ = robustness;
@@ -60,8 +64,9 @@ void EpochSeries::WriteCsv(std::ostream& os) const {
   for (size_t w = 0; w < kNumGasCauses; ++w) {
     header.push_back(std::string("cause_") + Name(static_cast<GasCause>(w)));
   }
-  header.insert(header.end(), {"fault_fires", "retries", "watchdog_reemits",
-                               "degraded", "touched_shards"});
+  header.insert(header.end(),
+                {"fault_fires", "retries", "watchdog_reemits", "degraded",
+                 "deliver_rejections", "sp_failovers", "touched_shards"});
   WriteCsvRow(os, header);
 
   for (const auto& row : rows_) {
@@ -80,6 +85,8 @@ void EpochSeries::WriteCsv(std::ostream& os) const {
                   {std::to_string(row.fault_fires), std::to_string(row.retries),
                    std::to_string(row.watchdog_reemits),
                    std::to_string(row.degraded),
+                   std::to_string(row.deliver_rejections),
+                   std::to_string(row.sp_failovers),
                    std::to_string(row.touched_shards)});
     WriteCsvRow(os, fields);
   }
@@ -104,6 +111,8 @@ void EpochSeries::WriteJsonLines(std::ostream& os) const {
        << ",\"retries\":" << row.retries
        << ",\"watchdog_reemits\":" << row.watchdog_reemits
        << ",\"degraded\":" << row.degraded
+       << ",\"deliver_rejections\":" << row.deliver_rejections
+       << ",\"sp_failovers\":" << row.sp_failovers
        << ",\"touched_shards\":" << row.touched_shards << "}\n";
   }
 }

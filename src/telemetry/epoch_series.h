@@ -23,6 +23,9 @@ struct RobustnessTotals {
   uint64_t retries = 0;           // deliver + update resubmissions
   uint64_t watchdog_reemits = 0;  // DO re-emitted stale read requests
   int64_t degraded = 0;           // degradation level at close (gauge, 0/1)
+  uint64_t deliver_rejections = 0;  // delivers the contract rejected (verified
+                                    // detections of a lying/forging SP)
+  uint64_t sp_failovers = 0;        // quorum switched the active SP replica
 };
 
 struct EpochRow {
@@ -34,6 +37,8 @@ struct EpochRow {
   uint64_t retries = 0;
   uint64_t watchdog_reemits = 0;
   int64_t degraded = 0;  // level at close, not a delta
+  uint64_t deliver_rejections = 0;
+  uint64_t sp_failovers = 0;
   // Shards whose Merkle trees changed this epoch (1 at most in an unsharded
   // deployment; the scaling benches pin per-epoch update Gas to this, not to
   // the keyspace size).

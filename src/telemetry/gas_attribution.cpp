@@ -29,6 +29,7 @@ const char* Name(GasCause cause) {
     case GasCause::kBl3Trace: return "BL3-trace";
     case GasCause::kRecovery: return "recovery";
     case GasCause::kRootRollup: return "root-rollup";
+    case GasCause::kProofReject: return "proof-reject";
   }
   return "?";
 }

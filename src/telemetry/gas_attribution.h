@@ -49,8 +49,10 @@ enum class GasCause : uint8_t {
                       // degradation force-replication
   kRootRollup,        // sharded update: root-of-roots recomputation over the
                       // stored shard roots (sloads + hashing)
+  kProofReject,       // hash work spent verifying a deliver proof the
+                      // contract then rejected (Byzantine SP detection cost)
 };
-inline constexpr size_t kNumGasCauses = 9;
+inline constexpr size_t kNumGasCauses = 10;
 
 const char* Name(GasComponent component);
 const char* Name(GasCause cause);

@@ -52,6 +52,8 @@ class Telemetry {
       update_retries_ = &registry_.GetCounter("do.update_retries");
       watchdog_reemits_ = &registry_.GetCounter("do.watchdog_reemits");
       degraded_ = &registry_.GetGauge("do.degraded");
+      deliver_rejections_ = &registry_.GetCounter("sp.deliver_rejections");
+      sp_failovers_ = &registry_.GetCounter("quorum.failovers");
     }
   }
 
@@ -78,6 +80,8 @@ class Telemetry {
     totals.retries = deliver_retries_->Value() + update_retries_->Value();
     totals.watchdog_reemits = watchdog_reemits_->Value();
     totals.degraded = degraded_->Value();
+    totals.deliver_rejections = deliver_rejections_->Value();
+    totals.sp_failovers = sp_failovers_->Value();
     return totals;
   }
 
@@ -110,6 +114,8 @@ class Telemetry {
   Counter* update_retries_ = nullptr;
   Counter* watchdog_reemits_ = nullptr;
   Gauge* degraded_ = nullptr;
+  Counter* deliver_rejections_ = nullptr;
+  Counter* sp_failovers_ = nullptr;
 };
 
 }  // namespace grub::telemetry

@@ -1,0 +1,113 @@
+// SpAdversary spec parsing and determinism: the Byzantine model reuses the
+// fault-schedule trigger grammar, so these tests pin the rewrite into
+// adv.<class> fail points, the multi-replica grouping grammar, and the
+// (seed, spec) reproducibility contract.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/adversary.h"
+
+namespace grub::fault {
+namespace {
+
+TEST(SpAdversary, ClassSlugsAndPointNamesAreStable) {
+  EXPECT_STREQ(Name(AdversaryClass::kForge), "forge");
+  EXPECT_STREQ(Name(AdversaryClass::kTruncate), "truncate");
+  EXPECT_STREQ(Name(AdversaryClass::kStaleRoot), "stale-root");
+  EXPECT_STREQ(Name(AdversaryClass::kEquivocate), "equivocate");
+  EXPECT_STREQ(Name(AdversaryClass::kOmit), "omit");
+  EXPECT_STREQ(Name(AdversaryClass::kReplay), "replay");
+  EXPECT_EQ(PointName(AdversaryClass::kStaleRoot), "adv.stale-root");
+}
+
+TEST(SpAdversary, ParsesEveryClassWithTriggerGrammar) {
+  auto adversary = SpAdversary::Parse(
+      "forge@2,truncate%3,stale-root~0.5,equivocate*,omit@1x2,replay*+3", 42);
+  ASSERT_TRUE(adversary.ok());
+  EXPECT_EQ((*adversary)->Spec(),
+            "forge@2,truncate%3,stale-root~0.5,equivocate*,omit@1x2,replay*+3");
+}
+
+TEST(SpAdversary, RejectsUnknownClassAndEmptySpecs) {
+  EXPECT_FALSE(SpAdversary::Parse("", 42).ok());
+  EXPECT_FALSE(SpAdversary::Parse("grind@1", 42).ok());
+  EXPECT_FALSE(SpAdversary::Parse("forge@1,,omit*", 42).ok());
+  // The trigger grammar is still enforced underneath the rewrite.
+  EXPECT_FALSE(SpAdversary::Parse("forge", 42).ok());
+}
+
+TEST(SpAdversary, NthHitRuleFiresExactlyOnTheNthOpportunity) {
+  auto adversary = SpAdversary::Parse("forge@2", 42);
+  ASSERT_TRUE(adversary.ok());
+  EXPECT_FALSE((*adversary)->Fire(AdversaryClass::kForge));
+  EXPECT_TRUE((*adversary)->Fire(AdversaryClass::kForge));
+  EXPECT_FALSE((*adversary)->Fire(AdversaryClass::kForge));
+  EXPECT_EQ((*adversary)->Fires(AdversaryClass::kForge), 1u);
+  EXPECT_EQ((*adversary)->TotalFires(), 1u);
+  // Classes not in the spec never fire.
+  EXPECT_FALSE((*adversary)->Fire(AdversaryClass::kOmit));
+}
+
+TEST(SpAdversary, ProbabilisticFiresAreSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    auto adversary = SpAdversary::Parse("omit~0.4", seed);
+    EXPECT_TRUE(adversary.ok());
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) {
+      pattern += (*adversary)->Fire(AdversaryClass::kOmit) ? '1' : '0';
+    }
+    return pattern;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // astronomically unlikely to collide
+}
+
+TEST(ParseMulti, EmptySpecMeansAllHonest) {
+  auto slots = ParseMulti("", 42, 3);
+  ASSERT_TRUE(slots.ok());
+  ASSERT_EQ(slots->size(), 3u);
+  for (const auto& slot : *slots) EXPECT_EQ(slot, nullptr);
+}
+
+TEST(ParseMulti, BareGroupTargetsReplicaZero) {
+  auto slots = ParseMulti("forge@1", 42, 2);
+  ASSERT_TRUE(slots.ok());
+  EXPECT_NE((*slots)[0], nullptr);
+  EXPECT_EQ((*slots)[1], nullptr);
+}
+
+TEST(ParseMulti, PrefixedGroupsBindTheirReplicas) {
+  auto slots = ParseMulti("1:omit*;2:replay@1,forge~0.1", 42, 4);
+  ASSERT_TRUE(slots.ok());
+  EXPECT_EQ((*slots)[0], nullptr);
+  ASSERT_NE((*slots)[1], nullptr);
+  ASSERT_NE((*slots)[2], nullptr);
+  EXPECT_EQ((*slots)[3], nullptr);
+  EXPECT_EQ((*slots)[1]->Spec(), "omit*");
+  EXPECT_EQ((*slots)[2]->Spec(), "replay@1,forge~0.1");
+}
+
+TEST(ParseMulti, RejectsOutOfRangeAndDuplicateReplicas) {
+  EXPECT_FALSE(ParseMulti("3:forge@1", 42, 3).ok());
+  EXPECT_FALSE(ParseMulti("0:forge@1;0:omit*", 42, 2).ok());
+  EXPECT_FALSE(ParseMulti("x:forge@1", 42, 2).ok());
+  EXPECT_FALSE(ParseMulti(";forge@1", 42, 2).ok());
+}
+
+TEST(ParseMulti, ArmedReplicasDrawIndependentStreams) {
+  // Same class, same probability, two replicas: their fire patterns must
+  // differ (per-replica seed offsets), or a symmetric attack would always
+  // strike both replicas in lockstep and failover could never help.
+  auto slots = ParseMulti("0:omit~0.5;1:omit~0.5", 42, 2);
+  ASSERT_TRUE(slots.ok());
+  std::string a, b;
+  for (int i = 0; i < 64; ++i) {
+    a += (*slots)[0]->Fire(AdversaryClass::kOmit) ? '1' : '0';
+    b += (*slots)[1]->Fire(AdversaryClass::kOmit) ? '1' : '0';
+  }
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace grub::fault

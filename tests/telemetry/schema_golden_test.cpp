@@ -16,8 +16,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "grub/system.h"
 #include "telemetry/epoch_series.h"
 #include "telemetry/report.h"
+#include "workload/trace.h"
 
 #ifndef GRUB_GOLDEN_DIR
 #error "GRUB_GOLDEN_DIR must point at tests/telemetry/golden"
@@ -64,10 +66,17 @@ EpochSeries MakeSeries() {
     GasSpan span(GasCause::kDeliver);
     attribution.Record(GasComponent::kCalldata, 1088);
   }
+  {
+    // A rejected deliver's verification work books under proof-reject.
+    GasSpan span(GasCause::kProofReject);
+    attribution.Record(GasComponent::kHash, 60);
+  }
   RobustnessTotals robustness;
   robustness.fault_fires = 2;
   robustness.retries = 1;
   robustness.degraded = 1;
+  robustness.deliver_rejections = 1;
+  robustness.sp_failovers = 1;
   series.Close(8, attribution, robustness);
   return series;
 }
@@ -113,6 +122,20 @@ TEST(SchemaGolden, BenchReportJson) {
   std::ostringstream out;
   file.WriteJson(out);
   CheckAgainstGolden("bench_report.json", out.str());
+}
+
+TEST(SchemaGolden, QuorumJson) {
+  // The SpQuorum summary grubctl embeds verbatim under --json "quorum".
+  // Honest replicas only: a Byzantine run's counters depend on GRUB_FAULTS,
+  // and this golden must hold in every build flavour.
+  core::SystemOptions options;
+  options.sp_replicas = 2;
+  core::GrubSystem system(options, core::MakeBL1());
+  system.Preload({{workload::MakeKey(0), Bytes(32, 0x01)},
+                  {workload::MakeKey(1), Bytes(32, 0x02)}});
+  system.ReadNow(workload::MakeKey(0));
+  system.ReadNow(workload::MakeKey(1));
+  CheckAgainstGolden("quorum.json", system.Quorum().ToJson());
 }
 
 }  // namespace

@@ -49,6 +49,8 @@ struct Args {
   bool trace_summary = false;   // implies tracing
   std::string faults;           // fault schedule (FaultInjector::Parse)
   uint64_t fault_seed = 42;
+  size_t sps = 1;        // SP watchdog replicas (quorum; 1 = classic)
+  std::string adversary;  // per-replica Byzantine spec (fault::ParseMulti)
   size_t shards = 1;     // Merkle-forest shard count (1 = legacy single tree)
   std::string feeds;     // comma-separated workload specs -> multi-feed run
   bool json = false;  // machine-readable summary instead of the text report
@@ -90,6 +92,17 @@ void PrintUsage() {
       "                  fires) and +S (skip first S hits)\n"
       "  --fault-seed N  seed for probabilistic fault rules  (default 42);\n"
       "                  same seed + schedule reproduces the run exactly\n"
+      "  --sps N         SP watchdog replicas (1..8, default 1); the quorum\n"
+      "                  coordinator blacklists a replica after verified\n"
+      "                  proof rejections or a liveness stall and fails over\n"
+      "                  deterministically. N=1 is Gas-identical to classic\n"
+      "  --adversary S   per-replica Byzantine spec, e.g. 'forge@2' or\n"
+      "                  '0:omit*;1:replay@1' — classes forge, truncate,\n"
+      "                  stale-root, equivocate, omit, replay with the\n"
+      "                  --faults rule grammar; '<i>:' prefixes bind a rule\n"
+      "                  group to replica i (bare group = replica 0).\n"
+      "                  Attacks mutate delivers only in GRUB_FAULTS builds.\n"
+      "                  Incompatible with --feeds; seeded by --fault-seed\n"
       "  --shards N      partition the keyspace into N Merkle-forest shards\n"
       "                  (default 1 = the legacy single tree, Gas-identical);\n"
       "                  boundaries are the preloaded-key quantiles\n"
@@ -147,6 +160,11 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.faults = next("--faults");
     } else if (!std::strcmp(argv[i], "--fault-seed")) {
       args.fault_seed = std::strtoull(next("--fault-seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--sps")) {
+      args.sps = std::strtoull(next("--sps"), nullptr, 10);
+      if (args.sps == 0) args.sps = 1;
+    } else if (!std::strcmp(argv[i], "--adversary")) {
+      args.adversary = next("--adversary");
     } else if (!std::strcmp(argv[i], "--shards")) {
       args.shards = std::strtoull(next("--shards"), nullptr, 10);
       if (args.shards == 0) args.shards = 1;
@@ -356,10 +374,11 @@ int main(int argc, char** argv) {
   }
 
   if (!args.feeds.empty()) {
-    if (!args.faults.empty() || !args.trace_out.empty() || args.converged) {
+    if (!args.faults.empty() || !args.trace_out.empty() || args.converged ||
+        !args.adversary.empty()) {
       std::fprintf(stderr,
                    "--feeds is incompatible with --faults/--trace-out/"
-                   "--converged\n");
+                   "--converged/--adversary\n");
       return 2;
     }
     return RunMultiFeed(args);
@@ -381,6 +400,9 @@ int main(int argc, char** argv) {
   options.enable_tracing = want_tracing;
   options.fault_schedule = args.faults;
   options.fault_seed = args.fault_seed;
+  options.sp_replicas = args.sps;
+  options.adversary_spec = args.adversary;
+  options.adversary_seed = args.fault_seed;
   options.shards = args.shards;
   if (args.shards > 1) {
     // grubctl preloads MakeKey(0..records): use the key quantiles, not the
@@ -418,6 +440,12 @@ int main(int argc, char** argv) {
     if (system.Faults() != nullptr) {
       std::printf("faults:   %s (seed %llu)\n", args.faults.c_str(),
                   static_cast<unsigned long long>(args.fault_seed));
+    }
+    if (args.sps > 1 || !args.adversary.empty()) {
+      std::printf("quorum:   %zu SP replicas%s%s%s\n",
+                  system.Quorum().ReplicaCount(),
+                  args.adversary.empty() ? "" : ", adversary '",
+                  args.adversary.c_str(), args.adversary.empty() ? "" : "'");
     }
   }
 
@@ -467,6 +495,24 @@ int main(int argc, char** argv) {
                     system.Consumer().values_received()),
                 static_cast<unsigned long long>(
                     system.Consumer().misses_received()));
+  }
+
+  if (text && (args.sps > 1 || !args.adversary.empty())) {
+    const core::SpQuorum& quorum = system.Quorum();
+    std::printf("quorum:   %llu failovers, %llu blacklists, active sp%zu\n",
+                static_cast<unsigned long long>(quorum.Failovers()),
+                static_cast<unsigned long long>(quorum.Blacklists()),
+                quorum.ActiveIndex());
+    for (size_t i = 0; i < quorum.ReplicaCount(); ++i) {
+      const core::SpDaemon& daemon = quorum.Replica(i);
+      std::printf("  sp%zu: %-11s %llu delivers, %llu rejected, "
+                  "blacklisted x%llu\n",
+                  i, core::Name(quorum.TrustOf(i)),
+                  static_cast<unsigned long long>(daemon.delivers_sent()),
+                  static_cast<unsigned long long>(quorum.RejectionsOf(i)),
+                  static_cast<unsigned long long>(
+                      quorum.BlacklistedCountOf(i)));
+    }
   }
 
   if (text && system.Faults() != nullptr) {
@@ -571,6 +617,10 @@ int main(int argc, char** argv) {
       robustness.Set("retries", JsonValue::NumberU64(totals.retries));
       robustness.Set("watchdog_reemits",
                      JsonValue::NumberU64(totals.watchdog_reemits));
+      robustness.Set("deliver_rejections",
+                     JsonValue::NumberU64(totals.deliver_rejections));
+      robustness.Set("sp_failovers",
+                     JsonValue::NumberU64(totals.sp_failovers));
       robustness.Set("degraded",
                      JsonValue::Bool(system.Do().degraded()));
       if (system.Faults() != nullptr) {
@@ -583,6 +633,12 @@ int main(int argc, char** argv) {
         robustness.Set("fires_by_point", std::move(fires));
       }
       root.Set("robustness", std::move(robustness));
+    }
+    if (args.sps > 1 || !args.adversary.empty()) {
+      // SpQuorum::ToJson is already a JSON document; parse-and-embed keeps
+      // one serializer (field order preserved — the golden test pins it).
+      auto quorum = telemetry::ParseJson(system.Quorum().ToJson());
+      if (quorum.ok()) root.Set("quorum", std::move(quorum).value());
     }
     std::printf("%s\n", root.ToString().c_str());
   }
