@@ -7,9 +7,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "bench_registry.h"
 #include "bench_util.h"
+#include "telemetry/profile.h"
 
 namespace {
 
@@ -93,62 +95,80 @@ telemetry::BenchReport Run(const BenchOptions& opts) {
         .Ops(trace.size(), system.Chain().CurrentBlockNumber());
   }
 
-  // --- tracing overhead gate ---
-  // The tracing contract is "observability that never distorts the
-  // simulation"; the wall-clock half of that is bounded here. Interleaved
+  // --- observability overhead gates ---
+  // The observability contract is "never distorts the simulation"; the
+  // wall-clock half of that is bounded here for BOTH instruments: the
+  // request tracer and the workload monitor + hot-path probes. Interleaved
   // minimum times shave scheduler noise off both sides. Wall-clock is
   // non-deterministic, so the whole gate is skipped under --no-timing
   // (where the report must be byte-identical across runs).
   if (opts.timing) {
     const int kRounds = opts.quick ? 5 : 25;
     constexpr int kDrivesPerRun = 4;  // lengthen the timed region vs noise
-    auto run_once = [&trace](bool tracing) {
+    enum class Instrument { kNone, kTracing, kMonitor };
+    auto run_once = [&trace](Instrument instrument) {
       core::SystemOptions options;
       options.enable_telemetry = true;
-      options.enable_tracing = tracing;
+      options.enable_tracing = instrument == Instrument::kTracing;
+      options.enable_workload_monitor = instrument == Instrument::kMonitor;
       core::GrubSystem system(options, Memorizing(2, 1)());
       system.Preload({{workload::MakeKey(0), Bytes(32, 0x11)}});
+#if GRUB_TELEMETRY
+      telemetry::ProfileRegistry::Enable(instrument == Instrument::kMonitor);
+#endif
       const auto start = std::chrono::steady_clock::now();
       for (int i = 0; i < kDrivesPerRun; ++i) {
         system.Drive(trace);
         // Each drive models one traced run (trace, export, reset): the gate
         // bounds steady-state per-op cost, not unbounded accumulation across
         // an artificially repeated workload.
-        if (tracing) system.Tracing()->Clear();
+        if (instrument == Instrument::kTracing) system.Tracing()->Clear();
       }
-      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                           start)
-          .count();
+      const double sec = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+#if GRUB_TELEMETRY
+      telemetry::ProfileRegistry::Enable(false);
+#endif
+      return sec;
     };
-    // Interference can only inflate a minimum-based measurement, never
-    // deflate it — so a failing window is re-measured (up to 3 windows) and
-    // the first clean one is accepted. A genuine regression fails all three.
-    double off_sec = 1e300, on_sec = 1e300, slowdown_pct = 0;
-    for (int attempt = 0; attempt < 3; ++attempt) {
-      off_sec = on_sec = 1e300;
-      for (int i = 0; i < kRounds; ++i) {
-        off_sec = std::min(off_sec, run_once(false));
-        on_sec = std::min(on_sec, run_once(true));
-      }
-      slowdown_pct = (on_sec - off_sec) / off_sec * 100.0;
-      if (slowdown_pct <= 5.0) break;
-    }
     const double ops_total = static_cast<double>(trace.size() * kDrivesPerRun);
-    const double off_ops = ops_total / off_sec;
-    const double on_ops = ops_total / on_sec;
-    std::printf("\n=== tracing overhead (best of %d) ===\n", kRounds);
-    std::printf("%-28s %12.0f ops/sec\n", "tracing off", off_ops);
-    std::printf("%-28s %12.0f ops/sec\n", "tracing on", on_ops);
-    std::printf("%-28s %+11.2f%%  (budget 5%%)\n", "slowdown", slowdown_pct);
-    auto& overhead = report.AddSeries("tracing overhead (wall-clock)");
-    overhead.Add("tracing off", 0).OpsPerSec(off_ops);
-    overhead.Add("tracing on", 1).OpsPerSec(on_ops);
-    if (slowdown_pct > 5.0) {
-      std::printf("FAIL: tracing slowdown %.2f%% exceeds the 5%% budget\n",
-                  slowdown_pct);
-      report.failed = true;
-      report.notes.push_back("FAIL: tracing slowdown exceeds the 5% budget");
-    }
+    auto gate = [&](const char* what, Instrument instrument,
+                    const char* on_label) {
+      // Interference can only inflate a minimum-based measurement, never
+      // deflate it — so a failing window is re-measured (up to 3 windows)
+      // and the first clean one is accepted. A genuine regression fails all
+      // three.
+      double off_sec = 1e300, on_sec = 1e300, slowdown_pct = 0;
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        off_sec = on_sec = 1e300;
+        for (int i = 0; i < kRounds; ++i) {
+          off_sec = std::min(off_sec, run_once(Instrument::kNone));
+          on_sec = std::min(on_sec, run_once(instrument));
+        }
+        slowdown_pct = (on_sec - off_sec) / off_sec * 100.0;
+        if (slowdown_pct <= 5.0) break;
+      }
+      const double off_ops = ops_total / off_sec;
+      const double on_ops = ops_total / on_sec;
+      std::printf("\n=== %s overhead (best of %d) ===\n", what, kRounds);
+      std::printf("%-28s %12.0f ops/sec\n", "instrumentation off", off_ops);
+      std::printf("%-28s %12.0f ops/sec\n", on_label, on_ops);
+      std::printf("%-28s %+11.2f%%  (budget 5%%)\n", "slowdown", slowdown_pct);
+      auto& overhead =
+          report.AddSeries(std::string(what) + " overhead (wall-clock)");
+      overhead.Add("instrumentation off", 0).OpsPerSec(off_ops);
+      overhead.Add(on_label, 1).OpsPerSec(on_ops);
+      if (slowdown_pct > 5.0) {
+        std::printf("FAIL: %s slowdown %.2f%% exceeds the 5%% budget\n", what,
+                    slowdown_pct);
+        report.failed = true;
+        report.notes.push_back(std::string("FAIL: ") + what +
+                               " slowdown exceeds the 5% budget");
+      }
+    };
+    gate("tracing", Instrument::kTracing, "tracing on");
+    gate("workload monitor", Instrument::kMonitor, "monitor + probes on");
   }
   return report;
 }

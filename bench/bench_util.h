@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "grub/system.h"
+#include "telemetry/percentile.h"
 #include "telemetry/table.h"
 #include "workload/synthetic.h"
 
@@ -91,6 +92,13 @@ inline double ConvergedGasPerOp(const core::SystemOptions& options,
                                 const workload::Trace& trace,
                                 size_t record_bytes) {
   return ConvergedGas(options, policy, trace, record_bytes).PerOp();
+}
+
+/// Nearest-rank percentile over a bench sample — the one shared
+/// implementation (telemetry/percentile.h), the same math the trace
+/// summary and the workload monitor report.
+inline double SamplePercentile(std::vector<double> sample, double p) {
+  return telemetry::PercentileNearestRankD(std::move(sample), p);
 }
 
 /// "%g"-rendered number for column headers and report row labels.

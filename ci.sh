@@ -93,6 +93,30 @@ echo "=== gas identity: GRUB_TELEMETRY=OFF vs default build ==="
 ./build-notelem/tools/grubctl "${BENCH_ARGS[@]}" > /tmp/grub_gas_notelem.txt
 diff /tmp/grub_gas_default.txt /tmp/grub_gas_notelem.txt
 
+# Workload observatory Gas identity: the monitor only observes, so running
+# with it live (--workload table + --watch snapshots) must not move a single
+# Gas number — enabled, and compiled out. The observatory table is the LAST
+# text section (header "=== workload observatory ===") and every watch line
+# starts {"block":, so both strip cleanly.
+echo "=== gas identity: workload monitor on vs off vs compiled out ==="
+./build/tools/grubctl "${BENCH_ARGS[@]}" --workload --watch 8 \
+  | grep -v '^{"block":' \
+  | sed '/^=== workload observatory/,$d' > /tmp/grub_gas_workload.txt
+diff /tmp/grub_gas_default.txt /tmp/grub_gas_workload.txt
+./build-notelem/tools/grubctl "${BENCH_ARGS[@]}" --workload --watch 8 \
+  | grep -v '^{"block":' \
+  | sed '/^=== workload observatory/,$d' > /tmp/grub_gas_workload_notelem.txt
+diff /tmp/grub_gas_default.txt /tmp/grub_gas_workload_notelem.txt
+
+# Watch determinism: block-height clocks only, so two same-seed runs stream
+# byte-identical snapshot lines.
+echo "=== watch determinism: identical runs cmp clean ==="
+./build/tools/grubctl "${BENCH_ARGS[@]}" --watch 8 \
+  | grep '^{"block":' > /tmp/grub_watch_a.jsonl
+./build/tools/grubctl "${BENCH_ARGS[@]}" --watch 8 \
+  | grep '^{"block":' > /tmp/grub_watch_b.jsonl
+cmp /tmp/grub_watch_a.jsonl /tmp/grub_watch_b.jsonl
+
 # Quick-bench gate: the pinned --quick configuration of every registered
 # bench, without wall-clock fields, compared Gas-EXACTLY against the
 # checked-in baseline. The simulator is deterministic, so any delta is a

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "crypto/sha256.h"
+#include "telemetry/profile.h"
 
 namespace grub {
 
@@ -38,6 +39,7 @@ MerkleTree::MerkleTree(std::vector<Hash256> leaves) {
 }
 
 void MerkleTree::Rebuild(std::vector<Hash256> leaves) {
+  GRUB_PROBE(telemetry::ProbeSite::kMerkleRebuild);
   leaf_count_ = leaves.size();
   const size_t capacity = CapacityFor(leaf_count_);
   leaves.resize(capacity, EmptyLeaf());

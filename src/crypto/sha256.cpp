@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "telemetry/profile.h"
+
 namespace grub {
 
 namespace {
@@ -127,12 +129,14 @@ Hash256 Sha256::Finish() {
 }
 
 Hash256 Sha256::Digest(ByteSpan data) {
+  GRUB_PROBE(telemetry::ProbeSite::kSha256Digest);
   Sha256 h;
   h.Update(data);
   return h.Finish();
 }
 
 Hash256 Sha256::Digest2(ByteSpan a, ByteSpan b) {
+  GRUB_PROBE(telemetry::ProbeSite::kSha256Digest);
   Sha256 h;
   h.Update(a);
   h.Update(b);

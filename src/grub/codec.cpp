@@ -1,5 +1,7 @@
 #include "grub/codec.h"
 
+#include "telemetry/profile.h"
+
 namespace grub::core {
 
 void EncodeQueryProof(chain::AbiWriter& w, const ads::QueryProof& proof) {
@@ -83,6 +85,7 @@ Result<ads::ScanProof> DecodeScanProof(chain::AbiReader& r) {
 }
 
 void EncodeDeliverEntry(chain::AbiWriter& w, const DeliverEntry& entry) {
+  GRUB_PROBE(telemetry::ProbeSite::kCodecEncode);
   w.U64(static_cast<uint64_t>(entry.kind));
   w.Blob(entry.key);
   switch (entry.kind) {
@@ -104,6 +107,7 @@ void EncodeDeliverEntry(chain::AbiWriter& w, const DeliverEntry& entry) {
 }
 
 Result<DeliverEntry> DecodeDeliverEntry(chain::AbiReader& r) {
+  GRUB_PROBE(telemetry::ProbeSite::kCodecDecode);
   DeliverEntry entry;
   const uint64_t kind = r.U64();
   if (kind > 2) return Status::InvalidArgument("DeliverEntry: bad kind");

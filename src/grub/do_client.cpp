@@ -44,8 +44,11 @@ void DoClient::SetMetrics(telemetry::MetricsRegistry* registry) {
 }
 
 void DoClient::NoteFlip(ads::ReplState before, ads::ReplState after) {
-  if (flips_nr_to_r_ == nullptr) return;
   if (before == after) return;
+#if GRUB_TELEMETRY
+  if (workload_ != nullptr) workload_->OnFlip(after == ads::ReplState::kR);
+#endif
+  if (flips_nr_to_r_ == nullptr) return;
   if (after == ads::ReplState::kR) {
     flips_nr_to_r_->Increment();
   } else {
@@ -81,6 +84,9 @@ void DoClient::BufferPut(Bytes key, Bytes value) {
   const ads::ReplState after = policy_->StateOf(key);
   NoteFlip(before, after);
 #if GRUB_TELEMETRY
+  if (workload_ != nullptr) {
+    workload_->OnWrite(key, chain_.CurrentBlockNumber());
+  }
   RecordFlipAudit(key, before, after, "write");
   // Opening the span is all a buffered put records: the span's begin block IS
   // the first put, and EndEpoch summarizes the batch ("puts" attr). A
@@ -101,6 +107,9 @@ void DoClient::NoteRead(const Bytes& key) {
   const ads::ReplState after = policy_->StateOf(key);
   NoteFlip(before, after);
 #if GRUB_TELEMETRY
+  if (workload_ != nullptr) {
+    workload_->OnRead(key, chain_.CurrentBlockNumber());
+  }
   RecordFlipAudit(key, before, after, "read");
 #endif
   sp_.SetAdvisoryState(key, after);

@@ -30,6 +30,7 @@
 #include "shard/forest.h"
 #include "telemetry/metrics.h"
 #include "telemetry/tracing.h"
+#include "telemetry/workload_monitor.h"
 
 namespace grub::core {
 
@@ -148,6 +149,13 @@ class DoClient {
     policy_->EnableAudit(tracer != nullptr);
   }
 
+  /// Streams each observed read/write (and every policy flip) into the
+  /// workload observatory. Observation-only — the monitor never feeds back
+  /// into policy decisions or Gas. Null (the default) skips all recording.
+  void SetWorkloadMonitor(telemetry::WorkloadMonitor* monitor) {
+    workload_ = monitor;
+  }
+
  private:
   void MonitorChainHistory();
   /// Submits an update() transaction, resubmitting the identical calldata
@@ -206,6 +214,7 @@ class DoClient {
   RequestTracker tracker_;
   fault::FaultInjector* faults_ = nullptr;  // not owned; may be null
   telemetry::Tracer* tracer_ = nullptr;     // not owned; may be null
+  telemetry::WorkloadMonitor* workload_ = nullptr;  // not owned; may be null
   uint64_t epoch_span_ = 0;                 // open epoch span (0 = none)
   std::string policy_name_;  // cached Policy().Name() for audit records
   bool degraded_ = false;

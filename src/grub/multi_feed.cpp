@@ -36,8 +36,9 @@ size_t MultiFeedSystem::AddFeed(FeedOptions options,
   config.do_address = feed->do_account;
   config.shard_map = feed->sp.Map();
   config.enforce_request_ledger = true;
-  feed->manager_address =
-      chain_.Deploy(std::make_unique<StorageManagerContract>(config));
+  auto manager = std::make_unique<StorageManagerContract>(config);
+  feed->manager = manager.get();
+  feed->manager_address = chain_.Deploy(std::move(manager));
 
   auto consumer = std::make_unique<ConsumerContract>(feed->manager_address);
   feed->consumer = consumer.get();
@@ -59,6 +60,31 @@ size_t MultiFeedSystem::AddFeed(FeedOptions options,
   feed->options = std::move(options);
   feeds_.push_back(std::move(feed));
   return feeds_.size() - 1;
+}
+
+void MultiFeedSystem::EnableWorkloadMonitors(size_t sketch_capacity,
+                                             uint64_t rate_window_blocks) {
+#if GRUB_TELEMETRY
+  for (auto& feed : feeds_) {
+    if (feed->workload != nullptr) continue;
+    telemetry::WorkloadMonitor::Options monitor_options;
+    const shard::ShardMap shard_map = feed->sp.Map();
+    monitor_options.shard_count = static_cast<uint32_t>(shard_map.Count());
+    monitor_options.shard_of = [shard_map](const Bytes& key) {
+      return shard_map.ShardOf(key);
+    };
+    monitor_options.sketch_capacity = sketch_capacity;
+    monitor_options.rate_window_blocks = rate_window_blocks;
+    feed->workload =
+        std::make_unique<telemetry::WorkloadMonitor>(std::move(monitor_options));
+    feed->do_client->SetWorkloadMonitor(feed->workload.get());
+    feed->quorum->SetWorkloadMonitor(feed->workload.get());
+    feed->manager->SetWorkloadMonitor(feed->workload.get());
+  }
+#else
+  (void)sketch_capacity;
+  (void)rate_window_blocks;
+#endif
 }
 
 void MultiFeedSystem::Preload(

@@ -100,6 +100,19 @@ class MultiFeedSystem {
   SpQuorum& Quorum(size_t feed) { return *feeds_[feed]->quorum; }
   const SpQuorum& Quorum(size_t feed) const { return *feeds_[feed]->quorum; }
 
+  /// Attaches one WorkloadMonitor per deployed feed (tenancy keeps the
+  /// observatories as isolated as the feeds: each monitor sees only its own
+  /// feed's reads/writes/delivers/chain-reads). Call after the last AddFeed;
+  /// observation-only, per-feed Gas stays exact. No-op in GRUB_TELEMETRY=0
+  /// builds.
+  void EnableWorkloadMonitors(size_t sketch_capacity = 64,
+                              uint64_t rate_window_blocks = 16);
+  /// Feed's monitor, or null before EnableWorkloadMonitors (and always in
+  /// GRUB_TELEMETRY=0 builds).
+  telemetry::WorkloadMonitor* Workload(size_t feed) {
+    return feeds_[feed]->workload.get();
+  }
+
  private:
   struct Feed {
     FeedOptions options;
@@ -110,8 +123,10 @@ class MultiFeedSystem {
     chain::Address sp_account = chain::kNullAddress;
     chain::Address user_account = chain::kNullAddress;
     ConsumerContract* consumer = nullptr;  // owned by the chain
+    StorageManagerContract* manager = nullptr;  // owned by the chain
     std::unique_ptr<DoClient> do_client;
     std::unique_ptr<SpQuorum> quorum;
+    std::unique_ptr<telemetry::WorkloadMonitor> workload;  // null = off
     std::set<Bytes> live_keys;
     size_t ops_driven = 0;
     size_t epochs_closed = 0;

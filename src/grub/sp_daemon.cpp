@@ -417,6 +417,9 @@ size_t SpDaemon::PollAndServe() {
 #if GRUB_TELEMETRY
   if (requests_served_ != nullptr) requests_served_->Increment(served);
   if (delivers_counter_ != nullptr) delivers_counter_->Increment();
+  if (workload_ != nullptr) {
+    workload_->OnDeliver(entries.size(), chain_.CurrentBlockNumber());
+  }
   if (tracer_ != nullptr) {
     const uint64_t now_block = chain_.CurrentBlockNumber();
     if (chain::IsDelayedReceipt(receipt)) {

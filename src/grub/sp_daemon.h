@@ -27,6 +27,7 @@
 #include "grub/storage_manager.h"
 #include "telemetry/metrics.h"
 #include "telemetry/tracing.h"
+#include "telemetry/workload_monitor.h"
 
 namespace grub::core {
 
@@ -101,6 +102,12 @@ class SpDaemon {
   /// default) skips all recording.
   void SetTracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Streams served deliver batches into the workload observatory
+  /// (observation-only; null skips recording).
+  void SetWorkloadMonitor(telemetry::WorkloadMonitor* monitor) {
+    workload_ = monitor;
+  }
+
   /// Arms this replica with a Byzantine behaviour model (null = honest).
   /// Mutations only happen in GRUB_FAULTS builds; elsewhere the attached
   /// adversary is inert and the pipeline is bit-identical to honest.
@@ -145,6 +152,7 @@ class SpDaemon {
   fault::FaultInjector* faults_ = nullptr;      // not owned; may be null
   fault::SpAdversary* adversary_ = nullptr;     // not owned; null = honest
   telemetry::Tracer* tracer_ = nullptr;         // not owned; may be null
+  telemetry::WorkloadMonitor* workload_ = nullptr;  // not owned; may be null
 
   /// Digest of the last deliver the contract rejected. While the rebuilt
   /// calldata still matches, submission is skipped — re-sending a provably

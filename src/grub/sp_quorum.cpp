@@ -76,6 +76,10 @@ void SpQuorum::SetTracer(telemetry::Tracer* tracer) {
   for (ReplicaState& rep : replicas_) rep.daemon->SetTracer(tracer);
 }
 
+void SpQuorum::SetWorkloadMonitor(telemetry::WorkloadMonitor* monitor) {
+  for (ReplicaState& rep : replicas_) rep.daemon->SetWorkloadMonitor(monitor);
+}
+
 void SpQuorum::Blacklist(const char* reason) {
   ReplicaState& rep = replicas_[active_];
   rep.trust = SpTrust::kBlacklisted;

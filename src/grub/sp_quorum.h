@@ -106,6 +106,10 @@ class SpQuorum {
   /// histogram (blocks from first rejection to blacklist).
   void SetMetrics(telemetry::MetricsRegistry* registry);
   void SetTracer(telemetry::Tracer* tracer);
+  /// Forwards the workload observatory to every replica daemon (served
+  /// deliver batches feed the monitor regardless of which replica is
+  /// active). Null detaches.
+  void SetWorkloadMonitor(telemetry::WorkloadMonitor* monitor);
 
   /// Deterministic JSON summary (grubctl --json `quorum` section, pinned by
   /// the golden-file regression test).

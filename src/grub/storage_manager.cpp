@@ -283,6 +283,9 @@ Status StorageManagerContract::HandleGGet(chain::CallContext& ctx,
 
   ctx.Meter().ChargeHash(WordsForBytes(key.size() + 32));
   const uint64_t len_tag = ctx.Storage().SLoad(LenSlot(key)).ToU64();
+#if GRUB_TELEMETRY
+  if (workload_ != nullptr) workload_->OnChainRead(len_tag != 0);
+#endif
   if (len_tag != 0) {
     // Replica hit: serve from contract storage.
     Bytes value = ctx.Storage().SLoadBytes(ValueBase(key), len_tag - 1);

@@ -26,6 +26,7 @@
 #include "chain/blockchain.h"
 #include "grub/codec.h"
 #include "shard/shard_map.h"
+#include "telemetry/workload_monitor.h"
 
 namespace grub::core {
 
@@ -109,6 +110,13 @@ class StorageManagerContract : public chain::Contract {
   /// single-shard layout keeps the legacy RootSlot). Exposed for tests.
   static Word ShardRootSlot(uint32_t s);
 
+  /// Streams gGet replica hit/miss outcomes into the workload observatory.
+  /// Observation-only — recorded after the Gas-metered serve/emit decision,
+  /// so chain Gas is untouched. Null (the default) skips recording.
+  void SetWorkloadMonitor(telemetry::WorkloadMonitor* monitor) {
+    workload_ = monitor;
+  }
+
  private:
   Status HandleUpdate(chain::CallContext& ctx, ByteSpan args);
   Status HandleUpdateSharded(chain::CallContext& ctx, ByteSpan args);
@@ -138,6 +146,7 @@ class StorageManagerContract : public chain::Contract {
                           const std::string& callback_function);
 
   Config config_;
+  telemetry::WorkloadMonitor* workload_ = nullptr;  // not owned; may be null
 };
 
 }  // namespace grub::core

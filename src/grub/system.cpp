@@ -49,8 +49,9 @@ GrubSystem::GrubSystem(SystemOptions options,
   // The reference deployment always arms the pending-request ledger: it is
   // unmetered (no Gas drift) and makes replayed delivers provably rejected.
   config.enforce_request_ledger = true;
-  manager_address_ =
-      chain_.Deploy(std::make_unique<StorageManagerContract>(config));
+  auto manager = std::make_unique<StorageManagerContract>(config);
+  manager_contract_ = manager.get();
+  manager_address_ = chain_.Deploy(std::move(manager));
 
   auto consumer = std::make_unique<ConsumerContract>(manager_address_);
   consumer_ = consumer.get();
@@ -86,6 +87,23 @@ GrubSystem::GrubSystem(SystemOptions options,
     quorum_->SetTracer(&tracer);
     do_client_->SetTracer(&tracer);
   }
+#if GRUB_TELEMETRY
+  if (options_.enable_workload_monitor) {
+    telemetry::WorkloadMonitor::Options monitor_options;
+    const shard::ShardMap shard_map = sp_.Map();
+    monitor_options.shard_count = static_cast<uint32_t>(shard_map.Count());
+    monitor_options.shard_of = [shard_map](const Bytes& key) {
+      return shard_map.ShardOf(key);
+    };
+    monitor_options.sketch_capacity = options_.workload_sketch_capacity;
+    monitor_options.rate_window_blocks = options_.workload_rate_window_blocks;
+    workload_ =
+        std::make_unique<telemetry::WorkloadMonitor>(std::move(monitor_options));
+    do_client_->SetWorkloadMonitor(workload_.get());
+    quorum_->SetWorkloadMonitor(workload_.get());
+    manager_contract_->SetWorkloadMonitor(workload_.get());
+  }
+#endif
 
   if (!options_.fault_schedule.empty()) {
     auto injector = fault::FaultInjector::Parse(options_.fault_schedule,
@@ -120,6 +138,39 @@ std::vector<Bytes> GrubSystem::ExpandScan(const Bytes& start,
   return keys;
 }
 
+void GrubSystem::EnableWorkloadOracle(const workload::Trace& trace) {
+  if (workload_ == nullptr) return;
+  oracle_ = std::make_unique<OfflineOptimalPolicy>(
+      trace, BreakEvenK(options_.chain_params.gas));
+}
+
+void GrubSystem::SetWatch(uint64_t every_blocks, std::ostream* out) {
+  watch_every_blocks_ = every_blocks;
+  watch_out_ = out;
+  watch_windows_emitted_ = 0;
+}
+
+void GrubSystem::ObserveOracle(const workload::Operation& op) {
+  if (oracle_ == nullptr || workload_ == nullptr) return;
+  const ads::ReplState before = oracle_->StateOf(op.key);
+  oracle_->Observe(op);
+  if (oracle_->StateOf(op.key) != before) workload_->OnOracleFlip();
+}
+
+void GrubSystem::MaybeEmitWatch() {
+  if (watch_out_ == nullptr || watch_every_blocks_ == 0 ||
+      workload_ == nullptr) {
+    return;
+  }
+  // One snapshot per crossed window; a burst of blocks emits only the latest
+  // window (the stream samples state, it does not replay history).
+  const uint64_t window = chain_.CurrentBlockNumber() / watch_every_blocks_;
+  if (window < watch_windows_emitted_) return;
+  *watch_out_ << workload_->SnapshotJsonLine(chain_.CurrentBlockNumber())
+              << "\n";
+  watch_windows_emitted_ = window + 1;
+}
+
 void GrubSystem::FlushReadGroup() {
   if (consumer_->QueuedCount() == 0) return;
   chain::Transaction tx;
@@ -133,6 +184,7 @@ void GrubSystem::FlushReadGroup() {
   // After the SP had its chance: re-emit starved reads, degrade/un-degrade.
   // Fault-free runs find nothing pending and spend no Gas here.
   do_client_->CheckReadLiveness();
+  MaybeEmitWatch();
 }
 
 void GrubSystem::ReadNow(const Bytes& key) {
@@ -190,9 +242,15 @@ std::vector<EpochGas> GrubSystem::Drive(const workload::Trace& trace) {
                                     epoch_start_breakdown.other);
     epochs.push_back(epoch);
     epochs.back().touched_shards = do_client_->LastEpochTouchedShards();
+    std::vector<double> shard_heat;
+    if (workload_ != nullptr) {
+      const uint64_t block = chain_.CurrentBlockNumber();
+      workload_->OnEpochClose(ops_in_epoch, epoch.gas, block);
+      shard_heat = workload_->ShardHeat(block);
+    }
     if (telemetry_ != nullptr) {
-      telemetry_->CloseEpoch(ops_in_epoch,
-                             do_client_->LastEpochTouchedShards());
+      telemetry_->CloseEpoch(ops_in_epoch, do_client_->LastEpochTouchedShards(),
+                             std::move(shard_heat));
     }
     epoch_start_gas = chain_.TotalGasUsed();
     epoch_start_breakdown = chain_.TotalBreakdown();
@@ -202,6 +260,11 @@ std::vector<EpochGas> GrubSystem::Drive(const workload::Trace& trace) {
 
   for (const auto& op : trace) {
     size_t op_weight = 1;
+    // The armed oracle replays point observations alongside the online
+    // policy (scans are skipped, matching the trace-summary regret
+    // baseline), so the monitor's regret counter streams instead of waiting
+    // for the post-run analyzer.
+    if (op.type != workload::OpType::kScan) ObserveOracle(op);
     switch (op.type) {
       case workload::OpType::kWrite:
         Write(op.key, op.value);

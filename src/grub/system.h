@@ -102,6 +102,16 @@ struct SystemOptions {
   /// Quorum failover thresholds (see QuorumOptions).
   uint64_t blacklist_after_rejections = 2;
   uint64_t liveness_timeout_polls = 3;
+  /// Attach the workload observatory: a per-feed WorkloadMonitor streaming
+  /// per-shard heat, hot-key sets, online K estimates, flip regret and
+  /// gas-per-op drift as the system runs (grubctl --workload / --watch).
+  /// Observation-only; never changes Gas results (asserted in tests and by
+  /// the ci.sh diff stage). In GRUB_TELEMETRY=0 builds the flag is inert.
+  bool enable_workload_monitor = false;
+  /// Heavy-hitter sketch capacity for the monitor.
+  size_t workload_sketch_capacity = 64;
+  /// Block window for the monitor's decayed rate estimators.
+  uint64_t workload_rate_window_blocks = 16;
 };
 
 /// Gas measured over one epoch of driving.
@@ -167,6 +177,24 @@ class GrubSystem {
     return telemetry_ == nullptr ? nullptr : telemetry_->Trace();
   }
 
+  /// The attached workload monitor, or null when `enable_workload_monitor`
+  /// is off (always null in GRUB_TELEMETRY=0 builds).
+  telemetry::WorkloadMonitor* Workload() { return workload_.get(); }
+  const telemetry::WorkloadMonitor* Workload() const { return workload_.get(); }
+
+  /// Arms the monitor's streaming-regret comparator: an OfflineOptimalPolicy
+  /// replay over `trace` runs alongside Drive, and every flip the clairvoyant
+  /// oracle would pay feeds WorkloadMonitor::OnOracleFlip (scans are skipped,
+  /// matching the trace-summary regret baseline — the oracle only flips at
+  /// point observations). Call before each Drive pass over the same trace;
+  /// no-op when the monitor is off.
+  void EnableWorkloadOracle(const workload::Trace& trace);
+
+  /// Streams one WorkloadMonitor JSONL snapshot to `out` every
+  /// `every_blocks` blocks during Drive (the grubctl --watch stream). Pass
+  /// null/0 to detach; no-op when the monitor is off.
+  void SetWatch(uint64_t every_blocks, std::ostream* out);
+
   /// Issues a single read immediately (its own transaction + any deliver).
   void ReadNow(const Bytes& key);
   /// Buffers a write into the DO's current epoch.
@@ -181,6 +209,11 @@ class GrubSystem {
  private:
   void FlushReadGroup();
   std::vector<Bytes> ExpandScan(const Bytes& start, uint32_t len) const;
+  /// Feeds one point observation to the armed oracle replay (no-op without
+  /// one) and forwards any flip to the monitor's regret accumulator.
+  void ObserveOracle(const workload::Operation& op);
+  /// Emits a --watch snapshot when the chain crossed into a new window.
+  void MaybeEmitWatch();
 
   SystemOptions options_;
   chain::Blockchain chain_;
@@ -188,10 +221,16 @@ class GrubSystem {
   chain::Address manager_address_ = chain::kNullAddress;
   chain::Address consumer_address_ = chain::kNullAddress;
   ConsumerContract* consumer_ = nullptr;  // owned by chain_
+  StorageManagerContract* manager_contract_ = nullptr;  // owned by chain_
   std::unique_ptr<telemetry::Telemetry> telemetry_;  // null = disabled
   std::unique_ptr<fault::FaultInjector> faults_;     // null = no schedule
   std::unique_ptr<DoClient> do_client_;
   std::unique_ptr<SpQuorum> quorum_;
+  std::unique_ptr<telemetry::WorkloadMonitor> workload_;  // null = off
+  std::unique_ptr<OfflineOptimalPolicy> oracle_;  // null = regret unarmed
+  uint64_t watch_every_blocks_ = 0;       // 0 = no watch stream
+  std::ostream* watch_out_ = nullptr;     // not owned; may be null
+  uint64_t watch_windows_emitted_ = 0;    // watch windows already snapshot
 
   std::set<Bytes> live_keys_;  // for scan expansion/bounds
 };

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "telemetry/profile.h"
 #include "telemetry/timer.h"
 
 namespace grub::kv {
@@ -114,6 +115,7 @@ Status KVStore::LogWrite(const WalRecord& record) {
 }
 
 Status KVStore::Put(ByteSpan key, ByteSpan value) {
+  GRUB_PROBE(telemetry::ProbeSite::kKvPut);
   telemetry::TimerSpan put_timer(put_seconds_);
   WalRecord record{.is_delete = false,
                    .key = Bytes(key.begin(), key.end()),
@@ -133,6 +135,7 @@ Status KVStore::Delete(ByteSpan key) {
 }
 
 Result<Bytes> KVStore::Get(ByteSpan key) const {
+  GRUB_PROBE(telemetry::ProbeSite::kKvGet);
   if (auto hit = memtable_.Get(key)) {
     if (!hit->has_value()) return Status::NotFound("deleted");
     return **hit;

@@ -1,7 +1,9 @@
 #include "telemetry/epoch_series.h"
 
+#include <algorithm>
 #include <string>
 
+#include "telemetry/json.h"
 #include "telemetry/table.h"
 
 namespace grub::telemetry {
@@ -22,7 +24,8 @@ const EpochRow& EpochSeries::Close(uint64_t ops,
 const EpochRow& EpochSeries::Close(uint64_t ops,
                                    const GasAttribution& attribution,
                                    const RobustnessTotals& robustness,
-                                   uint64_t touched_shards) {
+                                   uint64_t touched_shards,
+                                   std::vector<double> shard_heat) {
   const GasMatrix now = attribution.Snapshot();
   EpochRow row;
   row.epoch = rows_.size();
@@ -39,6 +42,7 @@ const EpochRow& EpochSeries::Close(uint64_t ops,
   row.sp_failovers = DeltaOrZero(robustness.sp_failovers,
                                  robustness_baseline_.sp_failovers);
   row.touched_shards = touched_shards;
+  row.shard_heat = std::move(shard_heat);
   baseline_ = now;
   robustness_baseline_ = robustness;
   rows_.push_back(row);
@@ -56,6 +60,13 @@ GasMatrix EpochSeries::RowSum() const {
 }
 
 void EpochSeries::WriteCsv(std::ostream& os) const {
+  // Heat columns appear only when a row carries heat, so pre-observatory
+  // exports (and monitor-off runs) keep the golden-pinned schema unchanged.
+  size_t heat_shards = 0;
+  for (const auto& row : rows_) {
+    heat_shards = std::max(heat_shards, row.shard_heat.size());
+  }
+
   std::vector<std::string> header = {"epoch", "ops", "gas_total", "gas_per_op"};
   for (size_t c = 0; c < kNumGasComponents; ++c) {
     header.push_back(std::string("component_") +
@@ -67,6 +78,9 @@ void EpochSeries::WriteCsv(std::ostream& os) const {
   header.insert(header.end(),
                 {"fault_fires", "retries", "watchdog_reemits", "degraded",
                  "deliver_rejections", "sp_failovers", "touched_shards"});
+  for (size_t s = 0; s < heat_shards; ++s) {
+    header.push_back("heat_shard" + std::to_string(s));
+  }
   WriteCsvRow(os, header);
 
   for (const auto& row : rows_) {
@@ -88,6 +102,11 @@ void EpochSeries::WriteCsv(std::ostream& os) const {
                    std::to_string(row.deliver_rejections),
                    std::to_string(row.sp_failovers),
                    std::to_string(row.touched_shards)});
+    for (size_t s = 0; s < heat_shards; ++s) {
+      fields.push_back(s < row.shard_heat.size()
+                           ? FormatJsonDouble(row.shard_heat[s])
+                           : "0");
+    }
     WriteCsvRow(os, fields);
   }
 }
@@ -113,7 +132,16 @@ void EpochSeries::WriteJsonLines(std::ostream& os) const {
        << ",\"degraded\":" << row.degraded
        << ",\"deliver_rejections\":" << row.deliver_rejections
        << ",\"sp_failovers\":" << row.sp_failovers
-       << ",\"touched_shards\":" << row.touched_shards << "}\n";
+       << ",\"touched_shards\":" << row.touched_shards;
+    if (!row.shard_heat.empty()) {
+      os << ",\"shard_heat\":[";
+      for (size_t s = 0; s < row.shard_heat.size(); ++s) {
+        if (s != 0) os << ',';
+        os << FormatJsonDouble(row.shard_heat[s]);
+      }
+      os << ']';
+    }
+    os << "}\n";
   }
 }
 

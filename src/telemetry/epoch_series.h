@@ -43,6 +43,11 @@ struct EpochRow {
   // deployment; the scaling benches pin per-epoch update Gas to this, not to
   // the keyspace size).
   uint64_t touched_shards = 0;
+  // Per-shard heat (decayed ops/block) sampled at epoch close by the
+  // workload monitor; empty when the monitor is off. Exports add
+  // heat_shard<i> columns only when some row carries heat, so monitor-off
+  // output stays byte-identical to the pre-observatory schema.
+  std::vector<double> shard_heat;
 
   uint64_t GasTotal() const { return gas.Total(); }
   double GasPerOp() const {
@@ -57,11 +62,13 @@ class EpochSeries {
   /// (or the last baseline reset) becomes the new row.
   const EpochRow& Close(uint64_t ops, const GasAttribution& attribution);
   /// As above, also recording the robustness counter deltas since the
-  /// previous close (`robustness` carries cumulative values) and the number
-  /// of shards whose trees changed this epoch.
+  /// previous close (`robustness` carries cumulative values), the number of
+  /// shards whose trees changed this epoch, and (when the workload monitor
+  /// is live) the per-shard heat snapshot at close.
   const EpochRow& Close(uint64_t ops, const GasAttribution& attribution,
                         const RobustnessTotals& robustness,
-                        uint64_t touched_shards = 0);
+                        uint64_t touched_shards = 0,
+                        std::vector<double> shard_heat = {});
 
   /// Re-baselines after a Gas-counter reset so the next row does not absorb
   /// pre-reset Gas. Clears nothing already recorded.

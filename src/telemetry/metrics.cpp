@@ -1,6 +1,8 @@
 #include "telemetry/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace grub::telemetry {
 
@@ -72,8 +74,25 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
     static Histogram noop({1.0});
     return noop;
   }
-  return GetOrCreate(histograms_, name, labels, labels_of_,
-                     std::move(upper_bounds));
+  // Same normalization the Histogram constructor applies, so an existing
+  // instrument can be compared against what this registration would build.
+  std::vector<double> normalized = upper_bounds;
+  std::sort(normalized.begin(), normalized.end());
+  normalized.erase(std::unique(normalized.begin(), normalized.end()),
+                   normalized.end());
+  Histogram& histogram = GetOrCreate(histograms_, name, labels, labels_of_,
+                                     std::move(upper_bounds));
+  if (histogram.UpperBounds() != normalized) {
+    // Silently handing back the first registration's buckets would make the
+    // second call site record into bounds it never asked for — corrupting
+    // the exported series with no error anywhere. Hard error instead.
+    std::fprintf(stderr,
+                 "MetricsRegistry::GetHistogram: '%s' re-registered with "
+                 "different bucket bounds\n",
+                 name.c_str());
+    std::abort();
+  }
+  return histogram;
 }
 
 std::vector<InstrumentSnapshot> MetricsRegistry::Snapshot() const {

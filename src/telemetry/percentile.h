@@ -1,0 +1,42 @@
+// Nearest-rank percentile, shared by every consumer that summarizes a
+// sample (trace analyzer latency digests, bench report rows, the workload
+// monitor's heat tables). One definition — the repo's exported percentiles
+// must all mean the same thing.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace grub::telemetry {
+
+namespace detail {
+template <typename T>
+T PercentileNearestRankImpl(std::vector<T> sample, double p) {
+  if (sample.empty()) return T{};
+  std::sort(sample.begin(), sample.end());
+  if (p <= 0) return sample.front();
+  if (p >= 100) return sample.back();
+  // Nearest-rank: the smallest value with at least ceil(p/100 * N) samples
+  // at or below it.
+  const size_t rank = static_cast<size_t>(
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(sample.size()))));
+  return sample[rank - 1];
+}
+}  // namespace detail
+
+/// Nearest-rank percentile over an unsorted sample (sorted internally).
+/// p in [0, 100]; returns 0 for an empty sample.
+inline uint64_t PercentileNearestRank(std::vector<uint64_t> sample, double p) {
+  return detail::PercentileNearestRankImpl(std::move(sample), p);
+}
+
+/// Double-sample variant (bench wall-clock and heat-score digests). Named
+/// distinctly: a braced sample like `{}` or `{42}` must keep resolving to
+/// the integer variant unambiguously.
+inline double PercentileNearestRankD(std::vector<double> sample, double p) {
+  return detail::PercentileNearestRankImpl(std::move(sample), p);
+}
+
+}  // namespace grub::telemetry

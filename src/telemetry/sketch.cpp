@@ -1,0 +1,139 @@
+#include "telemetry/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace grub::telemetry {
+
+std::optional<Bytes> SpaceSavingSketch::Touch(const Bytes& key, uint64_t w) {
+  total_ += w;
+  if (capacity_ == 0) return std::nullopt;
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.count += w;
+    return std::nullopt;
+  }
+  if (entries_.size() < capacity_) {
+    entries_[key] = Entry{w, 0};
+    return std::nullopt;
+  }
+
+  // Full: displace the minimum-count entry. The newcomer inherits the
+  // victim's count as both base and error bound (SpaceSaving invariant).
+  // Byte-order iteration makes the victim choice deterministic on ties.
+  auto victim = entries_.begin();
+  for (auto scan = entries_.begin(); scan != entries_.end(); ++scan) {
+    if (scan->second.count < victim->second.count) victim = scan;
+  }
+  const Bytes evicted = victim->first;
+  const uint64_t floor = victim->second.count;
+  entries_.erase(victim);
+  entries_[key] = Entry{floor + w, floor};
+  return evicted;
+}
+
+uint64_t SpaceSavingSketch::Estimate(const Bytes& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+uint64_t SpaceSavingSketch::ErrorOf(const Bytes& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.error;
+}
+
+std::vector<HotKey> SpaceSavingSketch::TopK(size_t k) const {
+  std::vector<HotKey> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.push_back(HotKey{key, entry.count, entry.error});
+  }
+  std::sort(out.begin(), out.end(), [](const HotKey& a, const HotKey& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+void BlockRateEstimator::Record(uint64_t block, uint64_t w) {
+  RollTo(block);
+  in_window_ += w;
+}
+
+double BlockRateEstimator::RateAt(uint64_t block) const {
+  const double rolled = RolledRate(block);
+  const uint64_t idx = block / window_blocks_;
+  if (started_ && idx == window_index_ && in_window_ > 0) {
+    // Blend the partial current window in at its elapsed-block weight so the
+    // rate responds within a window, not only at roll boundaries.
+    const uint64_t elapsed = (block % window_blocks_) + 1;
+    const double partial =
+        static_cast<double>(in_window_) / static_cast<double>(elapsed);
+    return (1.0 - alpha_) * rolled + alpha_ * partial;
+  }
+  return rolled;
+}
+
+void BlockRateEstimator::RollTo(uint64_t block) {
+  const uint64_t idx = block / window_blocks_;
+  if (!started_) {
+    started_ = true;
+    window_index_ = idx;
+    return;
+  }
+  if (idx <= window_index_) return;
+  // Fold the finished window, then decay across any empty gap windows with a
+  // bounded multiplication loop — no std::pow, whose libm rounding is not
+  // guaranteed identical across platforms.
+  const double finished =
+      static_cast<double>(in_window_) / static_cast<double>(window_blocks_);
+  rate_ = alpha_ * finished + (1.0 - alpha_) * rate_;
+  uint64_t gap = idx - window_index_ - 1;
+  const uint64_t kMaxDecaySteps = 64;  // (1-alpha)^64 is ~0 for any alpha>0
+  if (gap > kMaxDecaySteps) gap = kMaxDecaySteps;
+  for (uint64_t i = 0; i < gap; ++i) rate_ *= (1.0 - alpha_);
+  window_index_ = idx;
+  in_window_ = 0;
+}
+
+double BlockRateEstimator::RolledRate(uint64_t block) const {
+  if (!started_) return 0.0;
+  const uint64_t idx = block / window_blocks_;
+  if (idx <= window_index_) return rate_;
+  double r = rate_;
+  const double finished =
+      static_cast<double>(in_window_) / static_cast<double>(window_blocks_);
+  r = alpha_ * finished + (1.0 - alpha_) * r;
+  uint64_t gap = idx - window_index_ - 1;
+  const uint64_t kMaxDecaySteps = 64;
+  if (gap > kMaxDecaySteps) gap = kMaxDecaySteps;
+  for (uint64_t i = 0; i < gap; ++i) r *= (1.0 - alpha_);
+  return r;
+}
+
+bool EwmaDriftDetector::Update(double value) {
+  last_value_ = value;
+  samples_ += 1;
+  if (samples_ <= warmup_) {
+    // Seed phase: simple running mean, no flagging.
+    ewma_ += (value - ewma_) / static_cast<double>(samples_);
+    return false;
+  }
+  bool drifted = false;
+  const double base = std::fabs(ewma_);
+  if (base > 0.0) {
+    const double deviation_pct = std::fabs(value - ewma_) / base * 100.0;
+    if (deviation_pct > threshold_pct_) {
+      drifted = true;
+      drift_count_ += 1;
+      last_drift_sample_ = samples_ - 1;
+      last_drift_direction_ = value > ewma_ ? 1 : -1;
+    }
+  }
+  ewma_ = alpha_ * value + (1.0 - alpha_) * ewma_;
+  return drifted;
+}
+
+}  // namespace grub::telemetry

@@ -1,0 +1,138 @@
+// Streaming workload sketches: deterministic, bounded-memory estimators the
+// WorkloadMonitor builds on.
+//
+//  * SpaceSavingSketch — Metwally et al.'s heavy-hitter summary. Tracks at
+//    most `capacity` keys; a new key displaces the current minimum and
+//    inherits its count as the estimation error bound. Guarantees:
+//    estimate(k) >= true_count(k), estimate(k) - error(k) <= true_count(k),
+//    and any key with true_count > TotalWeight()/capacity is tracked.
+//  * BlockRateEstimator — block-height-windowed decayed event rate. Time is
+//    the chain's block height, NEVER the wall clock (the repo's determinism
+//    rule): two same-seed runs produce bit-identical rates. Events in the
+//    current window accumulate; when the window rolls, the finished window's
+//    ops-per-block folds into an EWMA, and empty gap windows decay it.
+//  * EwmaDriftDetector — flags samples that deviate from the running EWMA by
+//    more than a relative threshold (the gas-per-op cost-drift hook for
+//    non-stationary pricing, ROADMAP 5a).
+//
+// Everything here is observation-only and allocation-bounded; nothing feeds
+// back into simulation state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace grub::telemetry {
+
+/// One tracked heavy hitter: `count` overestimates the true frequency by at
+/// most `error` (the displaced minimum the key inherited on admission).
+struct HotKey {
+  Bytes key;
+  uint64_t count = 0;
+  uint64_t error = 0;
+};
+
+class SpaceSavingSketch {
+ public:
+  explicit SpaceSavingSketch(size_t capacity) : capacity_(capacity) {}
+
+  /// Counts one occurrence of `key` (weight `w`). Returns the key the sketch
+  /// evicted to admit a new one, so owners of per-key side state (the
+  /// monitor's K estimates) can drop theirs in lockstep.
+  std::optional<Bytes> Touch(const Bytes& key, uint64_t w = 1);
+
+  bool Contains(const Bytes& key) const { return entries_.count(key) != 0; }
+  /// Estimated count (0 when untracked). Overestimates by at most ErrorOf.
+  uint64_t Estimate(const Bytes& key) const;
+  uint64_t ErrorOf(const Bytes& key) const;
+
+  /// The k heaviest tracked keys, ordered by count descending with the byte
+  /// key ascending as the deterministic tie-break.
+  std::vector<HotKey> TopK(size_t k) const;
+
+  size_t TrackedCount() const { return entries_.size(); }
+  size_t Capacity() const { return capacity_; }
+  uint64_t TotalWeight() const { return total_; }
+
+ private:
+  struct Entry {
+    uint64_t count = 0;
+    uint64_t error = 0;
+  };
+
+  size_t capacity_;
+  uint64_t total_ = 0;
+  // Ordered map: iteration (min search, TopK ties) is deterministic.
+  std::map<Bytes, Entry> entries_;
+};
+
+class BlockRateEstimator {
+ public:
+  /// `window_blocks` is the averaging granularity; `alpha` the EWMA weight
+  /// of the most recently finished window.
+  explicit BlockRateEstimator(uint64_t window_blocks = 16, double alpha = 0.5)
+      : window_blocks_(window_blocks == 0 ? 1 : window_blocks), alpha_(alpha) {}
+
+  /// Counts `w` events at block height `block` (heights must not decrease
+  /// between calls; the chain only grows).
+  void Record(uint64_t block, uint64_t w = 1);
+
+  /// Decayed events-per-block as of `block`, blending the current partial
+  /// window with the rolled history. Pure (does not advance state).
+  double RateAt(uint64_t block) const;
+
+  uint64_t WindowBlocks() const { return window_blocks_; }
+
+ private:
+  /// Folds finished windows up to the one containing `block` into rate_.
+  void RollTo(uint64_t block);
+  /// rate_ as it would stand after rolling to `block`'s window.
+  double RolledRate(uint64_t block) const;
+
+  uint64_t window_blocks_;
+  double alpha_;
+  uint64_t window_index_ = 0;  // index of the window being accumulated
+  uint64_t in_window_ = 0;     // events in that window so far
+  double rate_ = 0.0;          // EWMA over finished windows (events/block)
+  bool started_ = false;
+};
+
+class EwmaDriftDetector {
+ public:
+  /// A sample deviating from the EWMA by more than `threshold_pct` percent
+  /// (relative) counts as one drift event. The first `warmup` samples seed
+  /// the EWMA and never flag.
+  EwmaDriftDetector(double alpha = 0.25, double threshold_pct = 25.0,
+                    uint64_t warmup = 4)
+      : alpha_(alpha), threshold_pct_(threshold_pct), warmup_(warmup) {}
+
+  /// Feeds one sample; returns true when it flagged as drift.
+  bool Update(double value);
+
+  double Ewma() const { return ewma_; }
+  double LastValue() const { return last_value_; }
+  uint64_t Samples() const { return samples_; }
+  uint64_t DriftCount() const { return drift_count_; }
+  /// Index (0-based sample number) of the last drift event; 0 if none yet —
+  /// disambiguate with DriftCount().
+  uint64_t LastDriftSample() const { return last_drift_sample_; }
+  /// +1 when the last drift overshot the EWMA, -1 undershot, 0 if none yet.
+  int LastDriftDirection() const { return last_drift_direction_; }
+
+ private:
+  double alpha_;
+  double threshold_pct_;
+  uint64_t warmup_;
+  double ewma_ = 0.0;
+  double last_value_ = 0.0;
+  uint64_t samples_ = 0;
+  uint64_t drift_count_ = 0;
+  uint64_t last_drift_sample_ = 0;
+  int last_drift_direction_ = 0;
+};
+
+}  // namespace grub::telemetry

@@ -66,9 +66,13 @@ class Telemetry {
   /// Closes one epoch row from the current attribution state, sampling the
   /// robustness counters (fault fires, retries, watchdog re-emits,
   /// degradation level) out of the registry so exported series show when
-  /// faults hit and when the DO degraded.
-  const EpochRow& CloseEpoch(uint64_t ops, uint64_t touched_shards = 0) {
-    return epochs_.Close(ops, gas_, GatherRobustness(), touched_shards);
+  /// faults hit and when the DO degraded. `shard_heat` is the workload
+  /// monitor's per-shard heat snapshot at close (empty when the monitor is
+  /// off — the exports then keep their pre-observatory schema).
+  const EpochRow& CloseEpoch(uint64_t ops, uint64_t touched_shards = 0,
+                             std::vector<double> shard_heat = {}) {
+    return epochs_.Close(ops, gas_, GatherRobustness(), touched_shards,
+                         std::move(shard_heat));
   }
 
   /// Cumulative robustness counters, read from the handles cached at

@@ -7,18 +7,6 @@
 
 namespace grub::telemetry {
 
-uint64_t PercentileNearestRank(std::vector<uint64_t> sample, double p) {
-  if (sample.empty()) return 0;
-  std::sort(sample.begin(), sample.end());
-  if (p <= 0) return sample.front();
-  if (p >= 100) return sample.back();
-  // Nearest-rank: the smallest value with at least ceil(p/100 * N) samples
-  // at or below it.
-  const size_t rank = static_cast<size_t>(
-      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(sample.size()))));
-  return sample[rank - 1];
-}
-
 TraceSummary Summarize(const Tracer& tracer) {
   TraceSummary summary;
   std::vector<uint64_t> latencies;

@@ -11,13 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/percentile.h"
 #include "telemetry/tracing.h"
 
 namespace grub::telemetry {
-
-/// Nearest-rank percentile over an unsorted sample (sorted internally).
-/// p in [0, 100]; returns 0 for an empty sample.
-uint64_t PercentileNearestRank(std::vector<uint64_t> sample, double p);
 
 struct LatencyStats {
   uint64_t count = 0;

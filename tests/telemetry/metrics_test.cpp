@@ -111,6 +111,38 @@ TEST(MetricsRegistry, ConcurrentHistogramRecordsLoseNothing) {
   EXPECT_DOUBLE_EQ(h.Sum(), 0.5 * static_cast<double>(h.Count()));
 }
 
+TEST(MetricsRegistry, HistogramIdentityIsSharedAcrossRegistrations) {
+  MetricsRegistry registry;
+  Histogram& a = registry.GetHistogram("lat", {{"op", "get"}}, {1.0, 2.0});
+  Histogram& b = registry.GetHistogram("lat", {{"op", "get"}}, {1.0, 2.0});
+  EXPECT_EQ(&a, &b);
+  a.Record(0.5);
+  EXPECT_EQ(b.Count(), 1u);
+
+  // Different labels or name: a distinct instrument, bounds need not match.
+  Histogram& c = registry.GetHistogram("lat", {{"op", "put"}}, {4.0});
+  EXPECT_NE(&a, &c);
+}
+
+TEST(MetricsRegistry, HistogramReregistrationNormalizesBounds) {
+  MetricsRegistry registry;
+  Histogram& a = registry.GetHistogram("lat", {}, {1.0, 2.0, 4.0});
+  // Unsorted/duplicated bounds normalize to the same bucket set — this is
+  // the SAME registration, not a conflict.
+  Histogram& b = registry.GetHistogram("lat", {}, {4.0, 1.0, 2.0, 2.0});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistryDeathTest, HistogramBoundsMismatchIsAHardError) {
+  // Silently handing back the first registration's buckets would let the
+  // second call site record into bounds it never asked for; the registry
+  // aborts instead.
+  MetricsRegistry registry;
+  registry.GetHistogram("lat", {}, {1.0, 2.0});
+  EXPECT_DEATH(registry.GetHistogram("lat", {}, {1.0, 8.0}),
+               "re-registered with different bucket bounds");
+}
+
 TEST(MetricsRegistry, GaugeSetAndAdd) {
   MetricsRegistry registry;
   Gauge& g = registry.GetGauge("replicas");

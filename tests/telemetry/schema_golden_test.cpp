@@ -19,6 +19,7 @@
 #include "grub/system.h"
 #include "telemetry/epoch_series.h"
 #include "telemetry/report.h"
+#include "telemetry/workload_monitor.h"
 #include "workload/trace.h"
 
 #ifndef GRUB_GOLDEN_DIR
@@ -81,6 +82,46 @@ EpochSeries MakeSeries() {
   return series;
 }
 
+/// Same two epochs, but with the workload monitor live: heat columns join
+/// the schema. The heatless goldens above double as the proof that
+/// monitor-off output is unchanged.
+EpochSeries MakeHeatSeries() {
+  EpochSeries series = MakeSeries();
+  GasAttribution attribution;
+  {
+    GasSpan span(GasCause::kGGetSync);
+    attribution.Record(GasComponent::kSload, 400);
+  }
+  series.ResetBaseline(GasAttribution{});
+  series.Close(16, attribution, RobustnessTotals{}, /*touched_shards=*/1,
+               /*shard_heat=*/{1.5, 0.25});
+  return series;
+}
+
+/// Deterministic monitor feed for the grubctl --json "workload.observatory"
+/// section and the --watch line schema.
+WorkloadMonitor MakeMonitor() {
+  WorkloadMonitor::Options options;
+  options.shard_count = 2;
+  options.shard_of = [](const Bytes& key) {
+    return static_cast<uint32_t>(key.empty() ? 0 : key[0] % 2);
+  };
+  options.sketch_capacity = 8;
+  options.rate_window_blocks = 4;
+  WorkloadMonitor monitor(options);
+  for (uint64_t b = 1; b <= 8; ++b) {
+    monitor.OnRead(Bytes{static_cast<uint8_t>(b % 3)}, b);
+    if (b % 4 == 0) monitor.OnWrite(Bytes{0}, b);
+  }
+  monitor.OnFlip(true);
+  monitor.OnOracleFlip();
+  monitor.OnDeliver(2, 4);
+  monitor.OnChainRead(/*replica_hit=*/true);
+  monitor.OnChainRead(/*replica_hit=*/false);
+  monitor.OnEpochClose(/*ops=*/10, /*gas=*/1000, /*block=*/8);
+  return monitor;
+}
+
 TEST(SchemaGolden, EpochSeriesCsv) {
   std::ostringstream out;
   MakeSeries().WriteCsv(out);
@@ -91,6 +132,29 @@ TEST(SchemaGolden, EpochSeriesJsonLines) {
   std::ostringstream out;
   MakeSeries().WriteJsonLines(out);
   CheckAgainstGolden("epoch_series.jsonl", out.str());
+}
+
+TEST(SchemaGolden, EpochSeriesHeatColumnsCsv) {
+  std::ostringstream out;
+  MakeHeatSeries().WriteCsv(out);
+  CheckAgainstGolden("epoch_series_heat.csv", out.str());
+}
+
+TEST(SchemaGolden, EpochSeriesHeatColumnsJsonLines) {
+  std::ostringstream out;
+  MakeHeatSeries().WriteJsonLines(out);
+  CheckAgainstGolden("epoch_series_heat.jsonl", out.str());
+}
+
+TEST(SchemaGolden, WorkloadObservatoryJson) {
+  // The pinned "observatory" object grubctl embeds under --json "workload".
+  CheckAgainstGolden("workload.json", MakeMonitor().ToJson(8).ToString());
+}
+
+TEST(SchemaGolden, WorkloadWatchLine) {
+  // One --watch JSONL snapshot; the {"block": prefix is the filter contract.
+  CheckAgainstGolden("workload_watch.jsonl",
+                     MakeMonitor().SnapshotJsonLine(8) + "\n");
 }
 
 TEST(SchemaGolden, BenchReportJson) {

@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -21,6 +22,7 @@
 #include "grub/multi_feed.h"
 #include "grub/system.h"
 #include "telemetry/json.h"
+#include "telemetry/profile.h"
 #include "telemetry/report.h"
 #include "telemetry/table.h"
 #include "telemetry/trace_analyze.h"
@@ -53,6 +55,9 @@ struct Args {
   std::string adversary;  // per-replica Byzantine spec (fault::ParseMulti)
   size_t shards = 1;     // Merkle-forest shard count (1 = legacy single tree)
   std::string feeds;     // comma-separated workload specs -> multi-feed run
+  bool workload_report = false;  // bare --workload: observatory table
+  uint64_t watch = 0;    // stream one observatory JSONL line every N blocks
+  bool profile = false;  // hot-path probe table (wall-clock, text only)
   bool json = false;  // machine-readable summary instead of the text report
   bool help = false;
 };
@@ -61,9 +66,13 @@ void PrintUsage() {
   std::puts(
       "usage: grubctl [options]\n"
       "  --policy P      bl1 | bl2 | memoryless:K | memorizing:K,D |\n"
-      "                  adaptive-k1 | adaptive-k2        (default memoryless:2)\n"
-      "  --workload W    ratio:R | ycsb:X | ycsb:X,Y | oracle | btcrelay\n"
-      "                                                    (default ratio:4)\n"
+      "                  adaptive-k1 | adaptive-k2 | offline\n"
+      "                                                   (default memoryless:2)\n"
+      "  --workload [W]  ratio:R | ycsb:X | ycsb:X,Y | oracle | btcrelay\n"
+      "                  (default ratio:4); BARE --workload (no value) keeps\n"
+      "                  the default spec and appends the workload-observatory\n"
+      "                  table (per-shard heat, hot keys, K estimates, flip\n"
+      "                  regret, gas drift) to the text report\n"
       "  --records N     preloaded store size              (default 1024)\n"
       "  --record-bytes N value size                       (default 32)\n"
       "  --key-space N   hot working subset for YCSB       (default = records)\n"
@@ -111,10 +120,22 @@ void PrintUsage() {
       "                  (own contracts/accounts/shards) and reports per-feed\n"
       "                  Gas; all feeds use --policy/--records/--shards.\n"
       "                  Incompatible with --faults/--trace-out/--converged\n"
+      "  --watch N       stream one deterministic workload-observatory JSONL\n"
+      "                  snapshot line ('{\"block\":...') to stdout every N\n"
+      "                  blocks while driving; same seed + flags reproduce\n"
+      "                  the stream byte-for-byte. Incompatible with --json\n"
+      "                  and --feeds\n"
+      "  --profile       enable the hot-path profiling probes (Merkle\n"
+      "                  rebuild, sha256, codec, kvstore) and append the\n"
+      "                  count/total/max ns table to the text report —\n"
+      "                  wall-clock, so never part of --json or --watch\n"
+      "                  output. Requires a GRUB_TELEMETRY build\n"
       "  --json          print one machine-readable JSON summary on stdout\n"
       "                  instead of the text report (implies --telemetry):\n"
       "                  gas totals, component x cause breakdown, per-epoch\n"
-      "                  series, activity and robustness counters\n");
+      "                  series, activity and robustness counters, and the\n"
+      "                  pinned workload.observatory section (GRUB_TELEMETRY\n"
+      "                  builds)\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args& args) {
@@ -129,7 +150,14 @@ bool ParseArgs(int argc, char** argv, Args& args) {
     if (!std::strcmp(argv[i], "--policy")) {
       args.policy = next("--policy");
     } else if (!std::strcmp(argv[i], "--workload")) {
-      args.workload = next("--workload");
+      // Bare `--workload` (no value, or the next token is another flag)
+      // requests the workload-observatory table; with a value it stays the
+      // workload spec selector.
+      if (i + 1 >= argc || !std::strncmp(argv[i + 1], "--", 2)) {
+        args.workload_report = true;
+      } else {
+        args.workload = argv[++i];
+      }
     } else if (!std::strcmp(argv[i], "--records")) {
       args.records = std::strtoull(next("--records"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--record-bytes")) {
@@ -170,6 +198,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       if (args.shards == 0) args.shards = 1;
     } else if (!std::strcmp(argv[i], "--feeds")) {
       args.feeds = next("--feeds");
+    } else if (!std::strcmp(argv[i], "--watch")) {
+      args.watch = std::strtoull(next("--watch"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      args.profile = true;
     } else if (!std::strcmp(argv[i], "--json")) {
       args.json = true;
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
@@ -310,6 +342,7 @@ int RunMultiFeed(const Args& args) {
     preload.emplace_back(workload::MakeKey(i), Bytes(args.record_bytes, 0x11));
   }
   for (size_t i = 0; i < specs.size(); ++i) system.Preload(i, preload);
+  if (args.workload_report) system.EnableWorkloadMonitors();
   system.ResetGasCounters();
   system.DriveAll(traces);
 
@@ -323,7 +356,8 @@ int RunMultiFeed(const Args& args) {
     root.Set("policy", JsonValue::String(args.policy));
     root.Set("total_gas", JsonValue::NumberU64(total_gas));
     JsonValue feeds = JsonValue::Array();
-    for (const auto& s : stats) {
+    for (size_t fi = 0; fi < stats.size(); ++fi) {
+      const auto& s = stats[fi];
       JsonValue feed = JsonValue::Object();
       feed.Set("name", JsonValue::String(s.name));
       feed.Set("gas", JsonValue::NumberU64(s.gas));
@@ -338,6 +372,11 @@ int RunMultiFeed(const Args& args) {
         per_shard.Append(JsonValue::NumberU64(g));
       }
       feed.Set("per_shard_update_gas", std::move(per_shard));
+      if (system.Workload(fi) != nullptr) {
+        feed.Set("observatory",
+                 system.Workload(fi)->ToJson(
+                     system.Chain().CurrentBlockNumber()));
+      }
       feeds.Append(std::move(feed));
     }
     root.Set("feeds", std::move(feeds));
@@ -357,6 +396,13 @@ int RunMultiFeed(const Args& args) {
   }
   std::printf("\n  total: %llu Gas\n",
               static_cast<unsigned long long>(total_gas));
+  if (args.workload_report) {
+    for (size_t fi = 0; fi < stats.size(); ++fi) {
+      if (system.Workload(fi) == nullptr) continue;
+      std::printf("feed %zu (%s):\n", fi, stats[fi].name.c_str());
+      system.Workload(fi)->PrintTable(system.Chain().CurrentBlockNumber());
+    }
+  }
   return 0;
 }
 
@@ -373,12 +419,16 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (args.watch > 0 && args.json) {
+    std::fprintf(stderr, "--watch is incompatible with --json\n");
+    return 2;
+  }
   if (!args.feeds.empty()) {
     if (!args.faults.empty() || !args.trace_out.empty() || args.converged ||
-        !args.adversary.empty()) {
+        !args.adversary.empty() || args.watch > 0) {
       std::fprintf(stderr,
                    "--feeds is incompatible with --faults/--trace-out/"
-                   "--converged/--adversary\n");
+                   "--converged/--adversary/--watch\n");
       return 2;
     }
     return RunMultiFeed(args);
@@ -404,6 +454,11 @@ int main(int argc, char** argv) {
   options.adversary_spec = args.adversary;
   options.adversary_seed = args.fault_seed;
   options.shards = args.shards;
+  // The observatory is on for the bare --workload table, the --watch stream,
+  // and --json (which pins a workload.observatory section). Gas-invisible by
+  // contract — ci.sh diffs the Gas report with the monitor on vs off.
+  options.enable_workload_monitor =
+      args.workload_report || args.watch > 0 || args.json;
   if (args.shards > 1) {
     // grubctl preloads MakeKey(0..records): use the key quantiles, not the
     // uniform u64-prefix split (ASCII keys collapse into one prefix bucket).
@@ -460,13 +515,22 @@ int main(int argc, char** argv) {
                 args.record_bytes);
   }
 
+#if GRUB_TELEMETRY
+  if (args.profile) telemetry::ProfileRegistry::Enable(true);
+#endif
+  if (system.Workload() != nullptr) system.EnableWorkloadOracle(trace);
   if (args.converged) {
     system.Drive(trace);
     system.Chain().ResetGasCounters();
     // Drop warm-up epochs so the exported series covers the measured pass.
     if (system.Metrics() != nullptr) system.Metrics()->Epochs().Clear();
     if (system.Tracing() != nullptr) system.Tracing()->Clear();
+    // Re-arm the clairvoyant replay so regret keeps tracking the monitor
+    // (the oracle is consumed per pass).
+    if (system.Workload() != nullptr) system.EnableWorkloadOracle(trace);
   }
+  // The watch stream covers the measured pass only.
+  if (args.watch > 0) system.SetWatch(args.watch, &std::cout);
   auto epochs = system.Drive(trace);
 
   size_t ops = 0;
@@ -545,6 +609,13 @@ int main(int argc, char** argv) {
       workload.Set("writes", JsonValue::NumberU64(stats.writes));
       workload.Set("reads", JsonValue::NumberU64(stats.reads));
       workload.Set("scans", JsonValue::NumberU64(stats.scans));
+      // Pinned observatory section (absent only in GRUB_TELEMETRY=OFF
+      // builds); the schema golden test locks the field order.
+      if (system.Workload() != nullptr) {
+        workload.Set("observatory",
+                     system.Workload()->ToJson(
+                         system.Chain().CurrentBlockNumber()));
+      }
       root.Set("workload", std::move(workload));
     }
     root.Set("policy", JsonValue::String(system.Do().Policy().Name()));
@@ -696,6 +767,35 @@ int main(int argc, char** argv) {
     telemetry::PrintSummary(summary);
     telemetry::PrintFlipRegret(summary,
                                OracleFlips(trace, options.chain_params.gas));
+  }
+#if GRUB_TELEMETRY
+  if (args.profile && text) {
+    std::printf("\nhot-path probes (wall-clock, ns):\n");
+    std::printf("  %-16s %10s %14s %12s\n", "site", "count", "total_ns",
+                "max_ns");
+    for (const auto& p : telemetry::ProfileRegistry::Snapshot()) {
+      std::printf("  %-16s %10llu %14llu %12llu\n", p.name,
+                  static_cast<unsigned long long>(p.count),
+                  static_cast<unsigned long long>(p.total_ns),
+                  static_cast<unsigned long long>(p.max_ns));
+    }
+  }
+#else
+  if (args.profile && text) {
+    std::printf("\nhot-path probes: compiled out "
+                "(rebuild with -DGRUB_TELEMETRY=ON)\n");
+  }
+#endif
+  // Kept last so scripts can strip everything from this header down and
+  // compare the Gas report with the observatory on vs off (ci.sh does).
+  if (args.workload_report && text) {
+    if (system.Workload() != nullptr) {
+      system.Workload()->PrintTable(system.Chain().CurrentBlockNumber());
+    } else {
+      std::printf("=== workload observatory ===\n"
+                  "(telemetry compiled out; rebuild with "
+                  "-DGRUB_TELEMETRY=ON)\n");
+    }
   }
   return 0;
 }
