@@ -200,18 +200,18 @@ Result<FeedRecord> AdsSp::Peek(ByteSpan key) const {
   return records_[pos];
 }
 
-void AdsSp::SetAdvisoryState(ByteSpan key, ReplState state) {
-  advisory_[Bytes(key.begin(), key.end())] = state;
+void AdsSp::SetAdvisoryTier(ByteSpan key, tier::StorageTier t) {
+  advisory_[Bytes(key.begin(), key.end())] = t;
 }
 
-ReplState AdsSp::EffectiveState(ByteSpan key) const {
+tier::StorageTier AdsSp::EffectiveTier(ByteSpan key) const {
   auto it = advisory_.find(Bytes(key.begin(), key.end()));
   if (it != advisory_.end()) return it->second;
   const size_t pos = LowerBound(key);
   if (pos < records_.size() && Compare(records_[pos].key, key) == 0) {
-    return records_[pos].state;
+    return tier::FromReplState(records_[pos].state);
   }
-  return ReplState::kNR;
+  return tier::StorageTier::kOffchain;
 }
 
 void AdsSp::TamperValueForTesting(ByteSpan key, ByteSpan forged_value) {

@@ -19,6 +19,7 @@
 #include "crypto/merkle.h"
 #include "fault/injector.h"
 #include "kvstore/db.h"
+#include "tier/tier.h"
 
 namespace grub::ads {
 
@@ -81,14 +82,24 @@ class AdsSp {
     if (db_ != nullptr) db_->SetFaultInjector(faults);
   }
 
-  /// Advisory replication state pushed by the DO's control plane between
-  /// root publications (§3.3, Listing 2: deliver's `replicate` flag is an
+  /// Advisory placement pushed by the DO's control plane between root
+  /// publications (§3.3, Listing 2: deliver's `replicate` flag is an
   /// SP-supplied instruction, trusted only for Gas, never for integrity).
-  /// The authenticated state bit in the record syncs at the next update.
-  void SetAdvisoryState(ByteSpan key, ReplState state);
-  /// Effective replication instruction for deliver: the advisory state if
-  /// one is pending, else the record's authenticated state.
-  ReplState EffectiveState(ByteSpan key) const;
+  /// Generalized to storage tiers; the authenticated record only carries
+  /// the binary projection (kR iff kStorage), which syncs at the next
+  /// update — the tier itself is authenticated by the on-chain digest pin.
+  void SetAdvisoryTier(ByteSpan key, tier::StorageTier t);
+  /// Effective placement instruction for deliver: the advisory tier if one
+  /// is pending, else the record's authenticated state projected to a tier.
+  tier::StorageTier EffectiveTier(ByteSpan key) const;
+
+  /// Binary wrappers over the tier advisory (legacy call sites).
+  void SetAdvisoryState(ByteSpan key, ReplState state) {
+    SetAdvisoryTier(key, tier::FromReplState(state));
+  }
+  ReplState EffectiveState(ByteSpan key) const {
+    return tier::ToReplState(EffectiveTier(key));
+  }
 
   // --- adversarial mutators for security tests ---
   /// Forges the stored value without touching the tree (proofs will not
@@ -114,7 +125,7 @@ class AdsSp {
   std::vector<FeedRecord> records_;  // key-sorted, indices = leaf indices
   MerkleTree tree_;
   std::unique_ptr<kv::KVStore> db_;
-  std::map<Bytes, ReplState, BytesLess> advisory_;
+  std::map<Bytes, tier::StorageTier, BytesLess> advisory_;
 };
 
 }  // namespace grub::ads

@@ -35,6 +35,7 @@ const char* Name(ProofReject reason) {
     case ProofReject::kWindowPlacement: return "window-placement";
     case ProofReject::kRangeStraddle: return "range-straddle";
     case ProofReject::kOmission: return "omission";
+    case ProofReject::kDigestMismatch: return "digest-mismatch";
   }
   return "?";
 }

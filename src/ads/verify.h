@@ -44,6 +44,8 @@ enum class ProofReject {
   kWindowPlacement,  // window not anchored around the key / below capacity
   kRangeStraddle,    // scan record outside the requested [start, end)
   kOmission,         // neighbour bounds admit an omitted in-range record
+  kDigestMismatch,   // log-tier deliver: hash of the delivered value differs
+                     // from the digest pinned on chain (or no pin exists)
 };
 
 /// Stable slug for logs, statuses and test assertions ("root-mismatch", ...).

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/bytes.h"
@@ -35,8 +37,28 @@ struct GasSchedule {
   uint64_t log_per_topic = 375;
   uint64_t log_per_byte = 8;
 
+  /// Ctx(X) is documented for X < 1000 words only (Table 2); beyond that
+  /// the linear formula is an unvalidated extrapolation, so metering it
+  /// would silently corrupt every measurement downstream. Hard boundary:
+  /// transaction builders must chunk (DoClient splits oversized epoch
+  /// updates, SpDaemon splits oversized deliver batches) — a breach here is
+  /// a bug, not an input error.
+  static constexpr uint64_t kMaxCalldataWords = 1000;
+  /// Largest calldata payload the formula covers: the last valid word
+  /// count, in bytes. Chunkers split against this budget.
+  static constexpr uint64_t kMaxCalldataBytes = (kMaxCalldataWords - 1) * 32;
+
   uint64_t TxCost(uint64_t calldata_bytes) const {
-    return tx_base + tx_per_word * WordsForBytes(calldata_bytes);
+    const uint64_t words = WordsForBytes(calldata_bytes);
+    if (words >= kMaxCalldataWords) {
+      std::fprintf(stderr,
+                   "GasSchedule::TxCost: %llu calldata words, but Ctx(X) is "
+                   "only valid for X < %llu — chunk the transaction\n",
+                   static_cast<unsigned long long>(words),
+                   static_cast<unsigned long long>(kMaxCalldataWords));
+      std::abort();
+    }
+    return tx_base + tx_per_word * words;
   }
   uint64_t InsertCost(uint64_t words) const {
     return sstore_insert_per_word * words;

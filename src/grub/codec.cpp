@@ -99,6 +99,9 @@ void EncodeDeliverEntry(chain::AbiWriter& w, const DeliverEntry& entry) {
       w.Blob(entry.end_key);
       EncodeScanProof(w, entry.scan);
       break;
+    case DeliverEntry::Kind::kDigest:
+      w.Blob(entry.value);
+      break;
   }
   w.U64(entry.callback_contract);
   w.Blob(ToBytes(entry.callback_function));
@@ -110,7 +113,7 @@ Result<DeliverEntry> DecodeDeliverEntry(chain::AbiReader& r) {
   GRUB_PROBE(telemetry::ProbeSite::kCodecDecode);
   DeliverEntry entry;
   const uint64_t kind = r.U64();
-  if (kind > 2) return Status::InvalidArgument("DeliverEntry: bad kind");
+  if (kind > 3) return Status::InvalidArgument("DeliverEntry: bad kind");
   entry.kind = static_cast<DeliverEntry::Kind>(kind);
   entry.key = r.Blob();
   switch (entry.kind) {
@@ -133,12 +136,59 @@ Result<DeliverEntry> DecodeDeliverEntry(chain::AbiReader& r) {
       entry.scan = std::move(scan).value();
       break;
     }
+    case DeliverEntry::Kind::kDigest:
+      entry.value = r.Blob();
+      break;
   }
   entry.callback_contract = r.U64();
   entry.callback_function = ToString(r.Blob());
   entry.repeats = r.U64();
   entry.replicate_hint = r.U64() != 0;
   return entry;
+}
+
+uint64_t EncodedRecordBytes(const ads::FeedRecord& record) {
+  // AbiWriter::Blob = u64 length + payload; the record payload is
+  // u8 state + u32 key length + key + u32 value length + value.
+  return 8 + 1 + 4 + record.key.size() + 4 + record.value.size();
+}
+
+void AppendReplicationSuffix(chain::AbiWriter& w,
+                             const std::vector<ads::FeedRecord>& replicated,
+                             const std::vector<Bytes>& evictions) {
+  w.U64(replicated.size());
+  for (const auto& record : replicated) w.Blob(record.Serialize());
+  w.U64(evictions.size());
+  for (const auto& key : evictions) w.Blob(key);
+}
+
+uint64_t ReplicationSuffixBytes(const std::vector<ads::FeedRecord>& replicated,
+                                const std::vector<Bytes>& evictions) {
+  uint64_t bytes = 8 + 8;  // the two counts
+  for (const auto& record : replicated) bytes += EncodedRecordBytes(record);
+  for (const auto& key : evictions) bytes += 8 + key.size();
+  return bytes;
+}
+
+void AppendTierSuffix(chain::AbiWriter& w, const TierSuffix& suffix) {
+  if (suffix.empty()) return;  // legacy layout: nothing appended
+  w.U64(suffix.entries.size());
+  for (const auto& entry : suffix.entries) {
+    w.U64(static_cast<uint64_t>(entry.tier));
+    w.Blob(entry.record.Serialize());
+  }
+  w.U64(suffix.unpins.size());
+  for (const auto& key : suffix.unpins) w.Blob(key);
+}
+
+uint64_t TierSuffixBytes(const TierSuffix& suffix) {
+  if (suffix.empty()) return 0;
+  uint64_t bytes = 8 + 8;  // the two counts
+  for (const auto& entry : suffix.entries) {
+    bytes += 8 + EncodedRecordBytes(entry.record);
+  }
+  for (const auto& key : suffix.unpins) bytes += 8 + key.size();
+  return bytes;
 }
 
 }  // namespace grub::core

@@ -5,18 +5,27 @@
 // benches charge the real encoded length.
 #pragma once
 
+#include <vector>
+
 #include "ads/proofs.h"
 #include "chain/abi.h"
 #include "chain/types.h"
 #include "common/status.h"
+#include "tier/tier.h"
 
 namespace grub::core {
 
 /// One entry of a (possibly batched) deliver transaction: a record with a
-/// membership proof, an absence proof for a missing key, or a whole range
-/// scan with a completeness proof (B.2.2's r2/r3).
+/// membership proof, an absence proof for a missing key, a whole range
+/// scan with a completeness proof (B.2.2's r2/r3), or a log-tier value
+/// verified against its on-chain digest pin (no Merkle path).
 struct DeliverEntry {
-  enum class Kind : uint8_t { kQuery = 0, kAbsence = 1, kScan = 2 };
+  enum class Kind : uint8_t {
+    kQuery = 0,
+    kAbsence = 1,
+    kScan = 2,
+    kDigest = 3,
+  };
 
   Kind kind = Kind::kQuery;
   ads::QueryProof query;      // kQuery
@@ -24,6 +33,8 @@ struct DeliverEntry {
   ads::ScanProof scan;        // kScan
   Bytes key;                  // queried key, or the scan's start key
   Bytes end_key;              // kScan: exclusive upper bound
+  Bytes value;                // kDigest: the raw value (replayed from the
+                              // log); hash(value) must match the pinned digest
   chain::Address callback_contract = chain::kNullAddress;
   std::string callback_function;
   /// Identical requests in one batch share a single proof; the callback is
@@ -49,5 +60,46 @@ Result<ads::ScanProof> DecodeScanProof(chain::AbiReader& r);
 
 void EncodeDeliverEntry(chain::AbiWriter& w, const DeliverEntry& entry);
 Result<DeliverEntry> DecodeDeliverEntry(chain::AbiReader& r);
+
+// ---- update-calldata suffix helpers (shared by DoClient's encoders and
+// the contract's size accounting, unit-tested in tests/grub/codec_test) ----
+
+/// One log/calldata-tier update entry: the record rides the update tx under
+/// an explicit tier tag (kStorage entries ride the replication suffix
+/// instead, and kOffchain entries don't ride at all).
+struct TierEntry {
+  tier::StorageTier tier = tier::StorageTier::kLog;
+  ads::FeedRecord record;
+};
+
+/// Tier suffix of an update tx: tagged records plus digest unpins (keys
+/// leaving the log tier). An empty suffix appends NOTHING, which is what
+/// keeps pre-tier update calldata byte-identical.
+struct TierSuffix {
+  std::vector<TierEntry> entries;
+  std::vector<Bytes> unpins;
+
+  bool empty() const { return entries.empty() && unpins.empty(); }
+};
+
+/// Bytes one AbiWriter::Blob(record.Serialize()) occupies in calldata:
+/// the u64 blob length plus the record encoding. THE shared size unit —
+/// every update-path size estimate routes through it.
+uint64_t EncodedRecordBytes(const ads::FeedRecord& record);
+
+/// Appends the legacy replication suffix (replicated records + evicted
+/// keys) that every update tx carries.
+void AppendReplicationSuffix(chain::AbiWriter& w,
+                             const std::vector<ads::FeedRecord>& replicated,
+                             const std::vector<Bytes>& evictions);
+/// Calldata bytes AppendReplicationSuffix will produce — exact, asserted
+/// against the real encoding in unit tests.
+uint64_t ReplicationSuffixBytes(const std::vector<ads::FeedRecord>& replicated,
+                                const std::vector<Bytes>& evictions);
+
+/// Appends the tier suffix; appends nothing when `suffix.empty()`.
+void AppendTierSuffix(chain::AbiWriter& w, const TierSuffix& suffix);
+/// Calldata bytes AppendTierSuffix will produce (0 when empty) — exact.
+uint64_t TierSuffixBytes(const TierSuffix& suffix);
 
 }  // namespace grub::core

@@ -77,11 +77,16 @@ void DoClient::RecordFlipAudit(const Bytes& key, ads::ReplState before,
 
 void DoClient::BufferPut(Bytes key, Bytes value) {
   // The monitor observes local writes as they arrive (§3.2); the decision
-  // propagates to the SP as advisory state immediately (Gas-free), while
+  // propagates to the SP as an advisory tier immediately (Gas-free), while
   // the authenticated state bit syncs with the next update() transaction.
-  const ads::ReplState before = policy_->StateOf(key);
+  // Binary policies round-trip through the tier view losslessly
+  // (R ≡ storage, NR ≡ off-chain), so one TierOf pair covers both worlds.
+  const tier::StorageTier t_before = policy_->TierOf(key);
   policy_->Observe(workload::Operation::Write(key, {}));
-  const ads::ReplState after = policy_->StateOf(key);
+  const tier::StorageTier t_after = policy_->TierOf(key);
+  if (t_before != t_after) tier_flips_ += 1;
+  const ads::ReplState before = tier::ToReplState(t_before);
+  const ads::ReplState after = tier::ToReplState(t_after);
   NoteFlip(before, after);
 #if GRUB_TELEMETRY
   if (workload_ != nullptr) {
@@ -93,7 +98,7 @@ void DoClient::BufferPut(Bytes key, Bytes value) {
   // per-write event here would put an allocation on the feed's write path.
   if (tracer_ != nullptr) EnsureEpochSpan();
 #endif
-  sp_.SetAdvisoryState(key, after);
+  sp_.SetAdvisoryTier(key, t_after);
   touched_.insert(key);
   pending_writes_.push_back(BufferedWrite{std::move(key), std::move(value)});
 }
@@ -102,9 +107,12 @@ void DoClient::NoteRead(const Bytes& key) {
   // Reads are federated from the chain's call history; NoteRead models the
   // continuous, timestamp-merged view of that monitor (the history remains
   // the integrity source — see MonitorChainHistory).
-  const ads::ReplState before = policy_->StateOf(key);
+  const tier::StorageTier t_before = policy_->TierOf(key);
   policy_->Observe(workload::Operation::Read(key));
-  const ads::ReplState after = policy_->StateOf(key);
+  const tier::StorageTier t_after = policy_->TierOf(key);
+  if (t_before != t_after) tier_flips_ += 1;
+  const ads::ReplState before = tier::ToReplState(t_before);
+  const ads::ReplState after = tier::ToReplState(t_after);
   NoteFlip(before, after);
 #if GRUB_TELEMETRY
   if (workload_ != nullptr) {
@@ -112,7 +120,7 @@ void DoClient::NoteRead(const Bytes& key) {
   }
   RecordFlipAudit(key, before, after, "read");
 #endif
-  sp_.SetAdvisoryState(key, after);
+  sp_.SetAdvisoryTier(key, t_after);
   touched_.insert(key);
 }
 
@@ -254,19 +262,49 @@ chain::Receipt DoClient::EndEpoch() {
     }
   }
 
-  // 3. Build the update() transaction. Written records whose decided state
-  // is R ride with full values ("KV records with replicated state (R) are
-  // included in the update() call") — the contract inserts or refreshes the
-  // replica. Writes decided NR ship nothing (digest only). R->NR
-  // transitions evict. Read-promoted records not written this epoch
-  // materialize lazily through the next deliver (replicate instruction).
+  // 3. Build the update() transaction. Written records route by their
+  // decided tier: storage-tier records ride with full values ("KV records
+  // with replicated state (R) are included in the update() call") — the
+  // contract inserts or refreshes the replica; log-tier records ride the
+  // tier suffix (digest pin + `grub_data` receipt, the cheap write path);
+  // calldata-tier records ride the suffix for availability only.
+  // Off-chain writes ship nothing (digest only). R->NR transitions evict.
+  // Read-promoted records not written this epoch materialize lazily through
+  // the next deliver (replicate instruction).
   std::vector<ads::FeedRecord> replicated_updates;
   std::vector<Bytes> evictions;
+  TierSuffix tiered;
   for (auto& write : pending_writes_) {
-    if (policy_->StateOf(write.key) != ads::ReplState::kR) continue;
-    replicated_updates.push_back(
-        ads::FeedRecord{write.key, write.value, ads::ReplState::kR});
-    replicas_on_chain_.insert(write.key);
+    switch (policy_->TierOf(write.key)) {
+      case tier::StorageTier::kStorage:
+        replicated_updates.push_back(
+            ads::FeedRecord{write.key, write.value, ads::ReplState::kR});
+        replicas_on_chain_.insert(write.key);
+        break;
+      case tier::StorageTier::kLog:
+        tiered.entries.push_back(TierEntry{
+            tier::StorageTier::kLog,
+            ads::FeedRecord{write.key, write.value, ads::ReplState::kNR}});
+        log_pins_on_chain_.insert(write.key);
+        log_pins_ += 1;
+        break;
+      case tier::StorageTier::kCalldata:
+        tiered.entries.push_back(TierEntry{
+            tier::StorageTier::kCalldata,
+            ads::FeedRecord{write.key, write.value, ads::ReplState::kNR}});
+        break;
+      case tier::StorageTier::kOffchain:
+        break;
+    }
+  }
+  // Keys whose pin is live but whose placement left the log tier: drop the
+  // pin (and tell replaying SPs) with this epoch's update.
+  for (const auto& key : touched) {
+    if (!log_pins_on_chain_.count(key)) continue;
+    if (policy_->TierOf(key) == tier::StorageTier::kLog) continue;
+    tiered.unpins.push_back(key);
+    log_pins_on_chain_.erase(key);
+    log_unpins_ += 1;
   }
   for (const auto& key : touched) {
     if (!replicas_on_chain_.count(key)) continue;
@@ -297,16 +335,12 @@ chain::Receipt DoClient::EndEpoch() {
   last_epoch_touched_shards_ = tree_touched.size();
   chain::Receipt receipt;
   if (shard_count == 1) {
-    receipt = SubmitUpdate(
-        StorageManagerContract::EncodeUpdate(ads_do_.RootOfRoots(), epoch_,
-                                             replicated_updates, evictions),
-        telemetry::GasCause::kUpdateRoot, epoch_span_);
-    if (receipt.ok() || chain::IsDelayedReceipt(receipt)) {
-      per_shard_update_gas_[0] += receipt.gas_used;
-    }
+    receipt = SubmitUpdateChunked(ads_do_.RootOfRoots(), {}, /*sharded=*/false,
+                                  replicated_updates, evictions, tiered,
+                                  /*gas_shard=*/0);
   } else {
     receipt = SubmitShardedEpochUpdates(std::move(pre_roots), tree_touched,
-                                        replicated_updates, evictions);
+                                        replicated_updates, evictions, tiered);
   }
 #if GRUB_TELEMETRY
   if (tracer_ != nullptr) {
@@ -322,9 +356,9 @@ chain::Receipt DoClient::EndEpoch() {
 chain::Receipt DoClient::SubmitShardedEpochUpdates(
     std::vector<Hash256> pre_roots, const std::vector<uint32_t>& tree_touched,
     const std::vector<ads::FeedRecord>& replicated,
-    const std::vector<Bytes>& evictions) {
+    const std::vector<Bytes>& evictions, const TierSuffix& tiered) {
   const size_t shard_count = sp_.ShardCount();
-  // Partition the replica/eviction suffixes by shard (arrival order is
+  // Partition the replica/eviction/tier suffixes by shard (arrival order is
   // preserved within each shard, matching the legacy single-tx ordering).
   std::vector<std::vector<ads::FeedRecord>> rep_by_shard(shard_count);
   for (const auto& record : replicated) {
@@ -334,13 +368,21 @@ chain::Receipt DoClient::SubmitShardedEpochUpdates(
   for (const auto& key : evictions) {
     evict_by_shard[sp_.Map().ShardOf(key)].push_back(key);
   }
+  std::vector<TierSuffix> tier_by_shard(shard_count);
+  for (const auto& entry : tiered.entries) {
+    tier_by_shard[sp_.Map().ShardOf(entry.record.key)].entries.push_back(entry);
+  }
+  for (const auto& key : tiered.unpins) {
+    tier_by_shard[sp_.Map().ShardOf(key)].unpins.push_back(key);
+  }
 
   // A shard is involved if its tree changed or it carries replica traffic.
   std::vector<bool> has_root(shard_count, false);
   for (uint32_t s : tree_touched) has_root[s] = true;
   std::vector<uint32_t> involved;
   for (uint32_t s = 0; s < shard_count; ++s) {
-    if (has_root[s] || !rep_by_shard[s].empty() || !evict_by_shard[s].empty()) {
+    if (has_root[s] || !rep_by_shard[s].empty() ||
+        !evict_by_shard[s].empty() || !tier_by_shard[s].empty()) {
       involved.push_back(s);
     }
   }
@@ -368,15 +410,96 @@ chain::Receipt DoClient::SubmitShardedEpochUpdates(
       roots.emplace_back(s, chain_roots[s]);
     }
     const Hash256 digest = shard::ComputeRootOfRoots(chain_roots);
-    receipt = SubmitUpdate(
-        StorageManagerContract::EncodeUpdateSharded(
-            digest, epoch_, roots, rep_by_shard[s], evict_by_shard[s]),
-        telemetry::GasCause::kUpdateRoot, epoch_span_);
+    receipt = SubmitUpdateChunked(digest, roots, /*sharded=*/true,
+                                  rep_by_shard[s], evict_by_shard[s],
+                                  tier_by_shard[s], /*gas_shard=*/s);
+  }
+  return receipt;
+}
+
+chain::Receipt DoClient::SubmitUpdateChunked(
+    const Hash256& digest,
+    const std::vector<std::pair<uint64_t, Hash256>>& shard_roots, bool sharded,
+    const std::vector<ads::FeedRecord>& replicated,
+    const std::vector<Bytes>& evictions, const TierSuffix& tiered,
+    uint32_t gas_shard) {
+  // Greedy packing against the Ctx(X) validity bound. Sizes are the exact
+  // codec arithmetic (EncodedRecordBytes & co., unit-tested against the real
+  // encodings), accumulated incrementally so chunking stays O(items).
+  struct Chunk {
+    std::vector<ads::FeedRecord> replicated;
+    std::vector<Bytes> evictions;
+    TierSuffix tiered;
+    bool empty() const {
+      return replicated.empty() && evictions.empty() && tiered.empty();
+    }
+  };
+  const uint64_t limit = chain::GasSchedule::kMaxCalldataBytes;
+  const auto base_bytes = [&](bool first) -> uint64_t {
+    uint64_t bytes = 32 + 8 + 8 + 8;  // digest, epoch, replication counts
+    if (sharded) bytes += 8 + (first ? 40 * shard_roots.size() : 0);
+    return bytes;
+  };
+  std::vector<Chunk> chunks(1);
+  uint64_t used = base_bytes(true);
+  bool tier_counted = false;  // the tier suffix's two count words, once
+  // Flushes when `item_bytes` more would cross the bound. A single item too
+  // large for an empty chunk is unsplittable: it ships alone, and TxCost
+  // aborts loudly instead of pricing an invalid formula.
+  const auto make_room = [&](uint64_t item_bytes, bool tier_item) {
+    uint64_t need = item_bytes + (tier_item && !tier_counted ? 8 + 8 : 0);
+    if (used + need >= limit && !chunks.back().empty()) {
+      chunks.emplace_back();
+      used = base_bytes(false);
+      tier_counted = false;
+      need = item_bytes + (tier_item ? 8 + 8 : 0);
+    }
+    used += need;
+    if (tier_item) tier_counted = true;
+  };
+  for (const auto& record : replicated) {
+    make_room(EncodedRecordBytes(record), /*tier_item=*/false);
+    chunks.back().replicated.push_back(record);
+  }
+  for (const auto& key : evictions) {
+    make_room(8 + key.size(), /*tier_item=*/false);
+    chunks.back().evictions.push_back(key);
+  }
+  for (const auto& entry : tiered.entries) {
+    make_room(8 + EncodedRecordBytes(entry.record), /*tier_item=*/true);
+    chunks.back().tiered.entries.push_back(entry);
+  }
+  for (const auto& key : tiered.unpins) {
+    make_room(8 + key.size(), /*tier_item=*/true);
+    chunks.back().tiered.unpins.push_back(key);
+  }
+
+  chain::Receipt receipt;
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    const Chunk& chunk = chunks[c];
+    const std::vector<std::pair<uint64_t, Hash256>> no_roots;
+    Bytes calldata =
+        sharded ? StorageManagerContract::EncodeUpdateSharded(
+                      digest, epoch_, c == 0 ? shard_roots : no_roots,
+                      chunk.replicated, chunk.evictions, chunk.tiered)
+                : StorageManagerContract::EncodeUpdate(
+                      digest, epoch_, chunk.replicated, chunk.evictions,
+                      chunk.tiered);
+    receipt = SubmitUpdate(std::move(calldata), telemetry::GasCause::kUpdateRoot,
+                           epoch_span_);
     if (receipt.ok() || chain::IsDelayedReceipt(receipt)) {
-      per_shard_update_gas_[s] += receipt.gas_used;
+      per_shard_update_gas_[gas_shard] += receipt.gas_used;
     }
   }
   return receipt;
+}
+
+std::array<size_t, tier::kNumStorageTiers> DoClient::TierCensus() const {
+  std::array<size_t, tier::kNumStorageTiers> census{};
+  for (const auto& key : known_keys_) {
+    census[static_cast<size_t>(policy_->TierOf(key))] += 1;
+  }
+  return census;
 }
 
 chain::Receipt DoClient::SubmitUpdate(Bytes calldata,

@@ -18,6 +18,7 @@
 //     on-chain.
 #pragma once
 
+#include <array>
 #include <set>
 #include <vector>
 
@@ -94,6 +95,17 @@ class DoClient {
   /// the monitor).
   const std::set<Bytes>& OnChainReplicas() const { return replicas_on_chain_; }
 
+  /// Keys whose log-tier digest pin is currently live on chain.
+  const std::set<Bytes>& LogPinsOnChain() const { return log_pins_on_chain_; }
+
+  /// Per-tier key counts over every key the DO knows, by the policy's
+  /// CURRENT placement (the `placement` census grubctl surfaces).
+  std::array<size_t, tier::kNumStorageTiers> TierCensus() const;
+
+  uint64_t tier_flips() const { return tier_flips_; }
+  uint64_t log_pins() const { return log_pins_; }
+  uint64_t log_unpins() const { return log_unpins_; }
+
   /// The DO's ADS digest (what the next update() will publish): the shard
   /// root itself in a single-shard deployment, else the root-of-roots.
   Hash256 Root() const { return ads_do_.RootOfRoots(); }
@@ -150,10 +162,12 @@ class DoClient {
   }
 
   /// Streams each observed read/write (and every policy flip) into the
-  /// workload observatory. Observation-only — the monitor never feeds back
-  /// into policy decisions or Gas. Null (the default) skips all recording.
+  /// workload observatory. Also hands the monitor to the policy: adaptive
+  /// tier placement prefers the observatory's live K̂ estimates over its own
+  /// counters when one is bound. Null (the default) detaches both.
   void SetWorkloadMonitor(telemetry::WorkloadMonitor* monitor) {
     workload_ = monitor;
+    policy_->BindWorkloadMonitor(monitor);
   }
 
  private:
@@ -178,7 +192,20 @@ class DoClient {
       std::vector<Hash256> pre_roots,
       const std::vector<uint32_t>& tree_touched,
       const std::vector<ads::FeedRecord>& replicated,
-      const std::vector<Bytes>& evictions);
+      const std::vector<Bytes>& evictions, const TierSuffix& tiered);
+  /// Splits one logical update into as many update() transactions as the
+  /// Ctx(X) calldata validity bound requires (X < 1000 words — see
+  /// GasSchedule::kMaxCalldataBytes). Every chunk carries the same digest
+  /// and epoch (re-storing the root is idempotent); only the first carries
+  /// the shard roots. The common small epoch stays one transaction with
+  /// byte-identical calldata to the unchunked encoding. Update Gas is
+  /// accumulated into per_shard_update_gas_[gas_shard].
+  chain::Receipt SubmitUpdateChunked(
+      const Hash256& digest,
+      const std::vector<std::pair<uint64_t, Hash256>>& shard_roots,
+      bool sharded, const std::vector<ads::FeedRecord>& replicated,
+      const std::vector<Bytes>& evictions, const TierSuffix& tiered,
+      uint32_t gas_shard);
   /// Force-replicates starved keys and flips into degraded mode.
   void Degrade(const std::vector<PendingRequest>& stale);
   /// Leaves degraded mode; forced keys return to policy control.
@@ -206,6 +233,7 @@ class DoClient {
   std::set<Bytes> touched_;  // keys observed since the last epoch close
 
   std::set<Bytes> replicas_on_chain_;
+  std::set<Bytes> log_pins_on_chain_;
   std::set<Bytes> known_keys_;
   size_t call_history_cursor_ = 0;
   uint64_t epoch_ = 0;
@@ -222,6 +250,9 @@ class DoClient {
   uint64_t stale_rounds_ = 0;        // consecutive rounds with stale reads
   uint64_t update_retries_ = 0;
   uint64_t watchdog_reemits_ = 0;
+  uint64_t tier_flips_ = 0;   // per-key placement changes (any tier pair)
+  uint64_t log_pins_ = 0;     // log-tier records ridden in update() txs
+  uint64_t log_unpins_ = 0;   // digest pins dropped (keys leaving the tier)
   size_t last_epoch_touched_shards_ = 0;
   std::vector<uint64_t> per_shard_update_gas_;  // indexed by shard
 

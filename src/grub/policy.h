@@ -30,7 +30,12 @@
 
 #include "ads/record.h"
 #include "shard/arena.h"
+#include "tier/tier.h"
 #include "workload/trace.h"
+
+namespace grub::telemetry {
+class WorkloadMonitor;
+}
 
 namespace grub::core {
 
@@ -44,6 +49,24 @@ class ReplicationPolicy {
 
   /// Desired replication state of `key` right now.
   virtual ads::ReplState StateOf(const Bytes& key) const = 0;
+
+  /// Desired storage tier of `key` right now. The binary policies are the
+  /// two-tier special case: R means a contract-storage replica, NR means
+  /// off-chain — which is exactly this default. Multi-tier placement
+  /// policies (src/tier/placement.h) override it; implementations must keep
+  /// StateOf consistent (kR iff TierOf is kStorage), because the record
+  /// state rides the authenticated leaves and the tier does not.
+  virtual tier::StorageTier TierOf(const Bytes& key) const {
+    return tier::FromReplState(StateOf(key));
+  }
+
+  /// Optional live-signal source for tier policies: when the workload
+  /// observatory is enabled, the system hands the monitor to the policy so
+  /// hot-key/K̂ signals can gate placement. Default: ignore (the binary
+  /// policies keep their own counters).
+  virtual void BindWorkloadMonitor(const telemetry::WorkloadMonitor* monitor) {
+    (void)monitor;
+  }
 
   /// Self-describing name: policy family plus the parameters that govern its
   /// decisions, so exported series and audit records need no side channel.

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "chain/abi.h"
+#include "chain/gas.h"
 #include "crypto/sha256.h"
 #include "telemetry/timer.h"
 
@@ -34,6 +35,29 @@ void SpDaemon::RecoverCursor() {
   tracker_.CatchUp(chain_);
   const auto& pending = tracker_.Pending();
   cursor_ = pending.empty() ? chain_.NextLogIndex() : pending.begin()->first;
+}
+
+void SpDaemon::FoldLogEvents() {
+  if (log_fold_cursor_ > chain_.NextLogIndex()) {
+    // A reorg rewound the log below the fold: folded values may be orphaned.
+    // The receipts are the storage — refold them all.
+    log_values_.clear();
+    log_fold_cursor_ = 0;
+  }
+  auto events = chain_.EventsSince(log_fold_cursor_);
+  if (!events.empty()) log_fold_cursor_ = events.back().log_index + 1;
+  for (const auto& event : events) {
+    if (event.contract != manager_) continue;
+    if (event.name == StorageManagerContract::kDataEvent) {
+      chain::AbiReader r(event.data);
+      Bytes key = r.Blob();
+      Bytes value = r.Blob();
+      log_values_[std::move(key)] = std::move(value);
+    } else if (event.name == StorageManagerContract::kUnpinEvent) {
+      chain::AbiReader r(event.data);
+      log_values_.erase(r.Blob());
+    }
+  }
 }
 
 namespace {
@@ -139,6 +163,11 @@ size_t SpDaemon::PollAndServe() {
   // than tailing indices that no longer exist.
   if (cursor_ > chain_.NextLogIndex()) RecoverCursor();
 
+  // Bring the receipt-replay store up to date first: a request in this very
+  // poll window may read a log-tier value whose `grub_data` receipt landed
+  // earlier in the same window.
+  FoldLogEvents();
+
   const uint64_t batch_start = cursor_;
   auto events = chain_.EventsSince(cursor_);
   if (!events.empty()) cursor_ = events.back().log_index + 1;
@@ -147,6 +176,16 @@ size_t SpDaemon::PollAndServe() {
   // a single proof; the callback fires once per original request.
   std::vector<DeliverEntry> entries;
   std::map<std::tuple<Bytes, chain::Address, std::string>, size_t> index_of;
+  // The batch must stay inside the Ctx(X) calldata validity bound. When the
+  // next entry would cross it, stop building and roll the request cursor
+  // back to that event: the remaining requests are still pending on chain
+  // and the next poll serves them — the cursor IS the chunking state.
+  uint64_t batch_bytes = 8;  // the entry-count word
+  const auto encoded_entry_bytes = [](const DeliverEntry& entry) -> uint64_t {
+    chain::AbiWriter w;
+    EncodeDeliverEntry(w, entry);
+    return w.Take().size();
+  };
 #if GRUB_TELEMETRY
   const auto prove_start = std::chrono::steady_clock::now();
 #endif
@@ -166,6 +205,7 @@ size_t SpDaemon::PollAndServe() {
       // get exactly one part covering the requested range.
       auto parts = sp_.ScanSharded(entry.key, entry.end_key);
       if (!parts.ok()) continue;
+      std::vector<DeliverEntry> part_entries;
       for (auto& part : parts.value()) {
         DeliverEntry part_entry;
         part_entry.kind = DeliverEntry::Kind::kScan;
@@ -174,8 +214,17 @@ size_t SpDaemon::PollAndServe() {
         part_entry.callback_contract = entry.callback_contract;
         part_entry.callback_function = entry.callback_function;
         part_entry.scan = std::move(part.proof);
-        entries.push_back(std::move(part_entry));
+        part_entries.push_back(std::move(part_entry));
       }
+      uint64_t add = 0;
+      for (const auto& pe : part_entries) add += encoded_entry_bytes(pe);
+      if (!entries.empty() &&
+          batch_bytes + add >= chain::GasSchedule::kMaxCalldataBytes) {
+        cursor_ = event.log_index;
+        break;
+      }
+      batch_bytes += add;
+      for (auto& pe : part_entries) entries.push_back(std::move(pe));
       continue;
     }
     if (event.name != StorageManagerContract::kRequestEvent) {
@@ -199,18 +248,37 @@ size_t SpDaemon::PollAndServe() {
     entry.callback_contract = callback_contract;
     entry.callback_function = callback_function;
 
-    auto proof = sp_.Get(key);
-    if (proof.ok()) {
-      entry.kind = DeliverEntry::Kind::kQuery;
-      entry.query = std::move(proof).value();
-      entry.replicate_hint =
-          sp_.EffectiveState(key) == ads::ReplState::kR;
+    const auto folded = sp_.EffectiveTier(key) == tier::StorageTier::kLog
+                            ? log_values_.find(key)
+                            : log_values_.end();
+    if (folded != log_values_.end()) {
+      // Log-tier serve: replay the receipt value; the contract verifies it
+      // against the digest pin (no Merkle path, no replicate hint — the
+      // value never materializes in contract storage).
+      entry.kind = DeliverEntry::Kind::kDigest;
+      entry.value = folded->second;
+      digest_entries_served_ += 1;
     } else {
-      entry.kind = DeliverEntry::Kind::kAbsence;
-      auto absence = sp_.ProveAbsent(key);
-      if (!absence.ok()) continue;  // cannot serve: neither present nor absent
-      entry.absence = std::move(absence).value();
+      auto proof = sp_.Get(key);
+      if (proof.ok()) {
+        entry.kind = DeliverEntry::Kind::kQuery;
+        entry.query = std::move(proof).value();
+        entry.replicate_hint =
+            sp_.EffectiveState(key) == ads::ReplState::kR;
+      } else {
+        entry.kind = DeliverEntry::Kind::kAbsence;
+        auto absence = sp_.ProveAbsent(key);
+        if (!absence.ok()) continue;  // cannot serve: not present, not absent
+        entry.absence = std::move(absence).value();
+      }
     }
+    const uint64_t add = encoded_entry_bytes(entry);
+    if (!entries.empty() &&
+        batch_bytes + add >= chain::GasSchedule::kMaxCalldataBytes) {
+      cursor_ = event.log_index;
+      break;
+    }
+    batch_bytes += add;
     if (dedup_batch_) index_of.emplace(std::move(dedup_key), entries.size());
     entries.push_back(std::move(entry));
   }

@@ -81,6 +81,9 @@ class SpDaemon {
   /// Delivers provably rejected by on-chain verification, including polls
   /// short-circuited by the no-resend guard. The quorum's blacklist signal.
   uint64_t deliver_rejections() const { return deliver_rejections_; }
+  /// Log-tier digest entries built into deliver batches: reads served by
+  /// replaying the `grub_data` receipt instead of proving a Merkle path.
+  uint64_t digest_entries_served() const { return digest_entries_served_; }
   /// Poll cycles since the last successful deliver that ended in failure
   /// (crash, exhausted retries, rejected deliver). Resets on success.
   uint64_t consecutive_failures() const { return consecutive_failures_; }
@@ -128,6 +131,13 @@ class SpDaemon {
   /// log tail. This is the crash-recovery path — and the constructor's.
   void RecoverCursor();
 
+  /// Folds new `grub_data`/`grub_unpin` receipts into the live log-value
+  /// map — the SP's receipt-replay store for log-tier keys. Runs on its own
+  /// cursor: the request cursor resumes from the pending set, but the value
+  /// fold must replay every data receipt since genesis exactly once (a
+  /// reorg below the fold cursor clears the map and refolds from scratch).
+  void FoldLogEvents();
+
 #if GRUB_FAULTS
   /// Applies the armed adversary's proof mutations (forge / truncate /
   /// stale-root / equivocate) to the outgoing batch.
@@ -143,6 +153,11 @@ class SpDaemon {
   chain::Address sp_account_;
   bool dedup_batch_ = false;
   uint64_t cursor_ = 0;  // next event log index to inspect
+  uint64_t log_fold_cursor_ = 0;  // next log index the value fold inspects
+  /// Live log-tier values reconstructed from `grub_data` receipts (erased on
+  /// `grub_unpin`). THE storage log-tier reads are served from.
+  std::map<Bytes, Bytes> log_values_;
+  uint64_t digest_entries_served_ = 0;
   uint64_t delivers_sent_ = 0;
   uint64_t deliver_retries_ = 0;
   uint64_t deliver_rejections_ = 0;

@@ -54,6 +54,10 @@ void StorageManagerContract::NotePendingRequest(
   backing.Store(slot, Word::FromU64(backing.Load(slot).ToU64() + 1));
 }
 
+Word StorageManagerContract::DigestSlot(ByteSpan key) {
+  return Sha256::Digest2(ToBytes("grub.digest"), key);
+}
+
 Word StorageManagerContract::ShardRootSlot(uint32_t s) {
   Bytes index(8);
   for (size_t b = 0; b < 8; ++b) {
@@ -94,14 +98,12 @@ void StorageManagerContract::PreloadReplica(chain::ContractStorage& storage,
 Bytes StorageManagerContract::EncodeUpdate(
     const Hash256& digest, uint64_t epoch,
     const std::vector<ads::FeedRecord>& replicated,
-    const std::vector<Bytes>& evictions) {
+    const std::vector<Bytes>& evictions, const TierSuffix& tiered) {
   AbiWriter w;
   w.Hash(digest);
   w.U64(epoch);
-  w.U64(replicated.size());
-  for (const auto& record : replicated) w.Blob(record.Serialize());
-  w.U64(evictions.size());
-  for (const auto& key : evictions) w.Blob(key);
+  AppendReplicationSuffix(w, replicated, evictions);
+  AppendTierSuffix(w, tiered);
   return w.Take();
 }
 
@@ -109,7 +111,7 @@ Bytes StorageManagerContract::EncodeUpdateSharded(
     const Hash256& digest, uint64_t epoch,
     const std::vector<std::pair<uint64_t, Hash256>>& shard_roots,
     const std::vector<ads::FeedRecord>& replicated,
-    const std::vector<Bytes>& evictions) {
+    const std::vector<Bytes>& evictions, const TierSuffix& tiered) {
   AbiWriter w;
   w.Hash(digest);
   w.U64(epoch);
@@ -118,11 +120,18 @@ Bytes StorageManagerContract::EncodeUpdateSharded(
     w.U64(shard);
     w.Hash(root);
   }
-  w.U64(replicated.size());
-  for (const auto& record : replicated) w.Blob(record.Serialize());
-  w.U64(evictions.size());
-  for (const auto& key : evictions) w.Blob(key);
+  AppendReplicationSuffix(w, replicated, evictions);
+  AppendTierSuffix(w, tiered);
   return w.Take();
+}
+
+uint64_t StorageManagerContract::UpdateCalldataBytes(
+    size_t shard_root_count, const std::vector<ads::FeedRecord>& replicated,
+    const std::vector<Bytes>& evictions, const TierSuffix& tiered) {
+  uint64_t bytes = 32 + 8;  // digest + epoch
+  if (shard_root_count > 0) bytes += 8 + 40 * shard_root_count;
+  return bytes + ReplicationSuffixBytes(replicated, evictions) +
+         TierSuffixBytes(tiered);
 }
 
 Bytes StorageManagerContract::EncodeGGet(ByteSpan key,
@@ -179,7 +188,9 @@ Status StorageManagerContract::HandleUpdate(chain::CallContext& ctx,
   (void)epoch;
 
   ctx.Storage().SStore(RootSlot(), digest);
-  return ApplyReplicationSuffix(ctx, r);
+  Status s = ApplyReplicationSuffix(ctx, r);
+  if (!s.ok()) return s;
+  return ApplyTierSuffix(ctx, r);
 }
 
 Status StorageManagerContract::HandleUpdateSharded(chain::CallContext& ctx,
@@ -229,7 +240,9 @@ Status StorageManagerContract::HandleUpdateSharded(chain::CallContext& ctx,
   for (const auto& [shard, root] : provided) {
     ctx.Storage().SStore(ShardRootSlot(static_cast<uint32_t>(shard)), root);
   }
-  return ApplyReplicationSuffix(ctx, r);
+  Status s = ApplyReplicationSuffix(ctx, r);
+  if (!s.ok()) return s;
+  return ApplyTierSuffix(ctx, r);
 }
 
 Status StorageManagerContract::ApplyReplicationSuffix(chain::CallContext& ctx,
@@ -267,6 +280,53 @@ Status StorageManagerContract::ApplyReplicationSuffix(chain::CallContext& ctx,
     const uint64_t len_tag = ctx.Storage().SLoad(len_slot).ToU64();
     if (len_tag == 0) continue;  // nothing replicated
     ctx.Storage().SStore(len_slot, Word{});
+  }
+  return Status::Ok();
+}
+
+Status StorageManagerContract::ApplyTierSuffix(chain::CallContext& ctx,
+                                               AbiReader& r) {
+  if (r.AtEnd()) return Status::Ok();  // pre-tier calldata layout
+  const uint64_t n_entries = r.U64();
+  for (uint64_t i = 0; i < n_entries; ++i) {
+    const uint64_t tier_tag = r.U64();
+    if (tier_tag >= tier::kNumStorageTiers) {
+      return Status::InvalidArgument("update: bad tier tag");
+    }
+    auto record = ads::FeedRecord::Deserialize(r.Blob());
+    if (!record.ok()) return record.status();
+    const auto t = static_cast<tier::StorageTier>(tier_tag);
+    if (t == tier::StorageTier::kLog) {
+      // Pin the content digest (Solidity mapping access + metered hash of
+      // the value), then emit the value as LOG data — the receipt is the
+      // read-path storage, at 8 gas/byte instead of sstore prices.
+      telemetry::Span span(telemetry::GasCause::kLogPin);
+      ctx.Meter().ChargeHash(WordsForBytes(record->key.size() + 32));
+      ctx.Meter().ChargeHash(WordsForBytes(record->value.size()));
+      ctx.Storage().SStore(DigestSlot(record->key),
+                           Sha256::Digest(record->value));
+      AbiWriter w;
+      w.Blob(record->key);
+      w.Blob(record->value);
+      ctx.EmitEvent(kDataEvent, w.Take());
+    }
+    // kCalldata: the record already rode (and was charged as) calldata —
+    // availability only, nothing stored. kStorage/kOffchain records never
+    // appear here; they ride the replication suffix / the root alone.
+  }
+
+  // Unpins: keys leaving the log tier. Zero the pin and tell replaying SPs.
+  const uint64_t n_unpins = r.U64();
+  for (uint64_t i = 0; i < n_unpins; ++i) {
+    Bytes key = r.Blob();
+    telemetry::Span span(telemetry::GasCause::kLogPin);
+    ctx.Meter().ChargeHash(WordsForBytes(key.size() + 32));
+    const Word slot = DigestSlot(key);
+    if (ctx.Storage().SLoad(slot) == Word{}) continue;  // no pin to drop
+    ctx.Storage().SStore(slot, Word{});
+    AbiWriter w;
+    w.Blob(key);
+    ctx.EmitEvent(kUnpinEvent, w.Take());
   }
   return Status::Ok();
 }
@@ -359,9 +419,10 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
   const auto buffered_cost = [&pending_hashes](size_t bytes_hashed) {
     pending_hashes.push_back(bytes_hashed);
   };
-  const auto settle_hashes = [&](ads::ProofReject verdict) {
+  const auto settle_hashes = [&](ads::ProofReject verdict,
+                                 telemetry::GasCause ok_cause) {
     telemetry::Span span(verdict == ads::ProofReject::kNone
-                             ? telemetry::GasCause::kDeliver
+                             ? ok_cause
                              : telemetry::GasCause::kProofReject);
     for (size_t bytes : pending_hashes) {
       ctx.Meter().ChargeHash(WordsForBytes(bytes));
@@ -411,7 +472,7 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
       const ads::ProofReject verdict =
           ads::CheckScan(root_for(entry->key), entry->key, entry->end_key,
                          entry->scan, buffered_cost);
-      settle_hashes(verdict);
+      settle_hashes(verdict, telemetry::GasCause::kDeliver);
       if (verdict != ads::ProofReject::kNone) {
         return ads::RejectStatus(verdict, "deliver: scan");
       }
@@ -425,6 +486,34 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
       }
       continue;
     }
+    if (entry->kind == DeliverEntry::Kind::kDigest) {
+      // Log-tier read: no Merkle path. The value replayed from the
+      // `grub_data` receipt verifies against its digest pin — one mapping
+      // hash, one sload, one value hash.
+      Word pinned;
+      {
+        telemetry::Span span(telemetry::GasCause::kLogDeliver);
+        ctx.Meter().ChargeHash(WordsForBytes(entry->key.size() + 32));
+        pinned = ctx.Storage().SLoad(DigestSlot(entry->key));
+      }
+      buffered_cost(entry->value.size());
+      const Hash256 digest = Sha256::Digest(entry->value);
+      const ads::ProofReject verdict =
+          (pinned != Word{} && pinned == digest)
+              ? ads::ProofReject::kNone
+              : ads::ProofReject::kDigestMismatch;
+      settle_hashes(verdict, telemetry::GasCause::kLogDeliver);
+      if (verdict != ads::ProofReject::kNone) {
+        return ads::RejectStatus(verdict, "deliver: digest");
+      }
+      for (uint64_t rep = 0; rep < entry->repeats; ++rep) {
+        Status s = InvokeCallback(ctx, entry->callback_contract,
+                                  entry->callback_function, entry->key,
+                                  entry->value, /*found=*/true);
+        if (!s.ok()) return s;
+      }
+      continue;
+    }
     if (entry->present()) {
       const ads::QueryProof& proof = entry->query;
       if (Compare(proof.record.key, entry->key) != 0) {
@@ -432,7 +521,7 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
       }
       const ads::ProofReject verdict =
           ads::CheckQuery(root_for(entry->key), proof, buffered_cost);
-      settle_hashes(verdict);
+      settle_hashes(verdict, telemetry::GasCause::kDeliver);
       if (verdict != ads::ProofReject::kNone) {
         return ads::RejectStatus(verdict, "deliver: query");
       }
@@ -469,7 +558,7 @@ Status StorageManagerContract::HandleDeliver(chain::CallContext& ctx,
     } else {
       const ads::ProofReject verdict = ads::CheckAbsence(
           root_for(entry->key), entry->key, entry->absence, buffered_cost);
-      settle_hashes(verdict);
+      settle_hashes(verdict, telemetry::GasCause::kDeliver);
       if (verdict != ads::ProofReject::kNone) {
         return ads::RejectStatus(verdict, "deliver: absence");
       }

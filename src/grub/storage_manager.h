@@ -5,14 +5,24 @@
 //   SHA256("grub.len"  || key)   -> value byte length + 1 (0 = no replica)
 //   SHA256("grub.kv"   || key)+i -> i-th value word of the replica
 //   SHA256("grub.cnt"  || key)   -> BL3-only on-chain trace counter
+//   SHA256("grub.digest" || key) -> log-tier content digest pin (0 = no pin)
 //
 // Functions:
-//   update(digest, epoch, replicated_updates[], evictions[])   [DO only]
+//   update(digest, epoch, replicated_updates[], evictions[],
+//          [tiered[], unpins[]])                              [DO only]
+//     — the optional tier suffix carries log-tier records (digest pin +
+//       `grub_data` event with the value as LOG data) and calldata-tier
+//       records (availability only); `unpins` zero digest pins of keys
+//       leaving the log tier and emit `grub_unpin` (so SPs replaying
+//       receipts track pin liveness). An absent suffix is the pre-tier
+//       calldata layout, byte for byte.
 //   gGet(key, callback)      — replica hit: sload + callback; miss: emit
 //                              `request` (the SP watchdog answers)
 //   deliver(entries[])       — verify proofs against the on-chain root;
 //                              insert replica when the record state is R;
-//                              invoke callbacks
+//                              invoke callbacks. kDigest entries skip the
+//                              Merkle path: hash(value) must equal the
+//                              pinned digest (one sload + one hash)
 //
 // BL3 flags charge on-chain trace maintenance (§5.1's dynamic-replication
 // baselines that keep the read / read+write trace on chain).
@@ -79,10 +89,13 @@ class StorageManagerContract : public chain::Contract {
   static void PreloadReplica(chain::ContractStorage& storage, ByteSpan key,
                              ByteSpan value, bool live);
 
-  // Calldata builders (used by the DO client and the SP daemon).
+  // Calldata builders (used by the DO client and the SP daemon). The tier
+  // suffix defaults to empty, which appends nothing — binary-policy
+  // deployments produce the pre-tier calldata byte for byte.
   static Bytes EncodeUpdate(const Hash256& digest, uint64_t epoch,
                             const std::vector<ads::FeedRecord>& replicated,
-                            const std::vector<Bytes>& evictions);
+                            const std::vector<Bytes>& evictions,
+                            const TierSuffix& tiered = {});
   /// Sharded update: `digest` is the root-of-roots; `shard_roots` carries
   /// the new root of every shard whose tree changed (untouched shards keep
   /// their stored roots). The replicated/evictions suffix is the legacy
@@ -91,7 +104,13 @@ class StorageManagerContract : public chain::Contract {
       const Hash256& digest, uint64_t epoch,
       const std::vector<std::pair<uint64_t, Hash256>>& shard_roots,
       const std::vector<ads::FeedRecord>& replicated,
-      const std::vector<Bytes>& evictions);
+      const std::vector<Bytes>& evictions, const TierSuffix& tiered = {});
+  /// Exact calldata size EncodeUpdate/EncodeUpdateSharded will produce
+  /// (`shard_root_count` = 0 selects the unsharded layout) — the DO's
+  /// chunker splits epochs against GasSchedule::kMaxCalldataBytes with this.
+  static uint64_t UpdateCalldataBytes(
+      size_t shard_root_count, const std::vector<ads::FeedRecord>& replicated,
+      const std::vector<Bytes>& evictions, const TierSuffix& tiered);
   static Bytes EncodeGGet(ByteSpan key, chain::Address callback_contract,
                           const std::string& callback_function);
   static Bytes EncodeGScan(ByteSpan start, ByteSpan end,
@@ -105,10 +124,18 @@ class StorageManagerContract : public chain::Contract {
   static constexpr const char* kDeliverFn = "deliver";
   static constexpr const char* kRequestEvent = "request";
   static constexpr const char* kRequestScanEvent = "request_scan";
+  /// Log-tier data event: Blob(key) + Blob(value) as LOG data. An SP can
+  /// reconstruct every live log-tier value by replaying these receipts.
+  static constexpr const char* kDataEvent = "grub_data";
+  /// Log-tier unpin event: Blob(key); the replayed pin is dead.
+  static constexpr const char* kUnpinEvent = "grub_unpin";
 
   /// Storage slot of shard `s`'s root (sharded deployments only; the
   /// single-shard layout keeps the legacy RootSlot). Exposed for tests.
   static Word ShardRootSlot(uint32_t s);
+
+  /// Storage slot of `key`'s log-tier digest pin. Exposed for tests.
+  static Word DigestSlot(ByteSpan key);
 
   /// Streams gGet replica hit/miss outcomes into the workload observatory.
   /// Observation-only — recorded after the Gas-metered serve/emit decision,
@@ -126,6 +153,9 @@ class StorageManagerContract : public chain::Contract {
 
   /// The replicated-values + evictions suffix shared by both update layouts.
   Status ApplyReplicationSuffix(chain::CallContext& ctx, chain::AbiReader& r);
+  /// The optional tier suffix after it: log-tier digest pins + data events,
+  /// and unpins. A reader at end-of-calldata is the legacy layout — no-op.
+  Status ApplyTierSuffix(chain::CallContext& ctx, chain::AbiReader& r);
 
   void ChargeTraceCounter(chain::CallContext& ctx, ByteSpan key);
   Status InvokeCallback(chain::CallContext& ctx, chain::Address contract,

@@ -138,6 +138,30 @@ std::vector<Bytes> GrubSystem::ExpandScan(const Bytes& start,
   return keys;
 }
 
+std::string GrubSystem::PlacementJson() const {
+  const auto census = do_client_->TierCensus();
+  uint64_t digest_delivers = 0;
+  for (size_t i = 0; i < quorum_->ReplicaCount(); ++i) {
+    digest_delivers += quorum_->Replica(i).digest_entries_served();
+  }
+  std::string json = "{";
+  json += "\"policy\":\"" + do_client_->Policy().Name() + "\"";
+  json += ",\"tiers\":{";
+  for (size_t t = 0; t < tier::kNumStorageTiers; ++t) {
+    if (t > 0) json += ',';
+    json += "\"" +
+            std::string(tier::Name(static_cast<tier::StorageTier>(t))) +
+            "\":" + std::to_string(census[t]);
+  }
+  json += "}";
+  json += ",\"tier_flips\":" + std::to_string(do_client_->tier_flips());
+  json += ",\"log_pins\":" + std::to_string(do_client_->log_pins());
+  json += ",\"log_unpins\":" + std::to_string(do_client_->log_unpins());
+  json += ",\"digest_delivers\":" + std::to_string(digest_delivers);
+  json += "}";
+  return json;
+}
+
 void GrubSystem::EnableWorkloadOracle(const workload::Trace& trace) {
   if (workload_ == nullptr) return;
   oracle_ = std::make_unique<OfflineOptimalPolicy>(
@@ -180,7 +204,12 @@ void GrubSystem::FlushReadGroup() {
   tx.cause = telemetry::GasCause::kGGetSync;
   tx.calldata = ConsumerContract::EncodeRun(consumer_->QueuedCount());
   chain_.SubmitAndMine(std::move(tx));
-  quorum_->PollAndServe();
+  // Drain, don't single-shot: a deliver batch that would cross the Ctx(X)
+  // calldata bound is split, so one poll may serve only a prefix of the
+  // group. Re-poll while the SP makes progress; a faulty/omitting SP serves
+  // nothing and exits the loop immediately, keeping the watchdog honest.
+  while (quorum_->PollAndServe() > 0) {
+  }
   // After the SP had its chance: re-emit starved reads, degrade/un-degrade.
   // Fault-free runs find nothing pending and spend no Gas here.
   do_client_->CheckReadLiveness();

@@ -160,6 +160,12 @@ class GrubSystem {
   chain::Address ManagerAddress() const { return manager_address_; }
   chain::Address ConsumerAddress() const { return consumer_address_; }
 
+  /// The multi-tier placement summary grubctl embeds verbatim under --json
+  /// "placement" (and the placement golden test pins): policy name, per-tier
+  /// key census, flip/pin/unpin counters, and log-tier serves across the
+  /// quorum's daemons.
+  std::string PlacementJson() const;
+
   /// The attached telemetry bundle, or null when `enable_telemetry` is off.
   /// (Capitalized to avoid shadowing the `telemetry` namespace in-class.)
   telemetry::Telemetry* Metrics() { return telemetry_.get(); }

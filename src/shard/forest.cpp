@@ -100,6 +100,14 @@ ads::ReplState ShardedAdsSp::EffectiveState(ByteSpan key) const {
   return shards_[map_.ShardOf(key)]->EffectiveState(key);
 }
 
+void ShardedAdsSp::SetAdvisoryTier(ByteSpan key, tier::StorageTier t) {
+  shards_[map_.ShardOf(key)]->SetAdvisoryTier(key, t);
+}
+
+tier::StorageTier ShardedAdsSp::EffectiveTier(ByteSpan key) const {
+  return shards_[map_.ShardOf(key)]->EffectiveTier(key);
+}
+
 Result<std::vector<ShardScanPart>> ShardedAdsSp::ScanSharded(
     ByteSpan start, ByteSpan end) const {
   if (!end.empty() && Compare(start, end) > 0) {

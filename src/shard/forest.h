@@ -80,6 +80,8 @@ class ShardedAdsSp {
   Result<ads::FeedRecord> Peek(ByteSpan key) const;
   void SetAdvisoryState(ByteSpan key, ads::ReplState state);
   ads::ReplState EffectiveState(ByteSpan key) const;
+  void SetAdvisoryTier(ByteSpan key, tier::StorageTier t);
+  tier::StorageTier EffectiveTier(ByteSpan key) const;
 
   /// Splits [start, end) at shard boundaries; one part per covered shard,
   /// each with its own completeness proof. A single-shard map returns

@@ -30,6 +30,8 @@ const char* Name(GasCause cause) {
     case GasCause::kRecovery: return "recovery";
     case GasCause::kRootRollup: return "root-rollup";
     case GasCause::kProofReject: return "proof-reject";
+    case GasCause::kLogPin: return "log-pin";
+    case GasCause::kLogDeliver: return "log-deliver";
   }
   return "?";
 }

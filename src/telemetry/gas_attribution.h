@@ -51,8 +51,12 @@ enum class GasCause : uint8_t {
                       // stored shard roots (sloads + hashing)
   kProofReject,       // hash work spent verifying a deliver proof the
                       // contract then rejected (Byzantine SP detection cost)
+  kLogPin,            // log-tier update path: digest pin sstore, value hash,
+                      // and the data/unpin event emissions
+  kLogDeliver,        // digest-verified deliver: pinned-digest sload + the
+                      // on-chain re-hash of the delivered value
 };
-inline constexpr size_t kNumGasCauses = 10;
+inline constexpr size_t kNumGasCauses = 12;
 
 const char* Name(GasComponent component);
 const char* Name(GasCause cause);

@@ -1,0 +1,88 @@
+#include "tier/cost.h"
+
+namespace grub::tier {
+namespace {
+
+/// AbiWriter-encoded FeedRecord blob: u64 blob length + (u8 state, u32 key
+/// length, key, u32 value length, value) — the unit the deliver and update
+/// paths actually ship.
+uint64_t EncodedRecordBytes(size_t key_bytes, size_t value_bytes) {
+  return 8 + 1 + 4 + key_bytes + 4 + value_bytes;
+}
+
+}  // namespace
+
+uint64_t TierCostModel::WriteGas(StorageTier t, size_t key_bytes,
+                                 size_t value_bytes) const {
+  const uint64_t value_words = WordsForBytes(value_bytes);
+  switch (t) {
+    case StorageTier::kOffchain:
+      // Nothing beyond the shared ADS root update.
+      return 0;
+    case StorageTier::kStorage:
+      // Converged replica refresh: slot update plus the mapping-access hash.
+      return schedule_.UpdateCost(value_words) +
+             schedule_.HashCost(WordsForBytes(key_bytes + 32));
+    case StorageTier::kLog:
+      // One 32-byte digest pin (slot update once warm), the metered hash of
+      // the value, and the LOG charge for the data event (1 topic, the
+      // Blob(key)+Blob(value) payload).
+      return schedule_.UpdateCost(1) + schedule_.HashCost(value_words) +
+             schedule_.HashCost(WordsForBytes(key_bytes + 32)) +
+             schedule_.LogCost(1, 16 + key_bytes + value_bytes) +
+             schedule_.tx_per_word * WordsForBytes(EncodedRecordBytes(
+                                         key_bytes, value_bytes));
+    case StorageTier::kCalldata:
+      // The record rides the update tx calldata for availability; no
+      // storage or log charge follows.
+      return schedule_.tx_per_word *
+             WordsForBytes(EncodedRecordBytes(key_bytes, value_bytes));
+  }
+  return 0;
+}
+
+uint64_t TierCostModel::ReadGas(StorageTier t, size_t key_bytes,
+                                size_t value_bytes) const {
+  const uint64_t value_words = WordsForBytes(value_bytes);
+  const uint64_t record_calldata =
+      schedule_.tx_per_word *
+      WordsForBytes(EncodedRecordBytes(key_bytes, value_bytes));
+  switch (t) {
+    case StorageTier::kStorage:
+      // Replica hit inside gGet: mapping hash + value sload.
+      return schedule_.HashCost(WordsForBytes(key_bytes + 32)) +
+             schedule_.ReadCost(value_words);
+    case StorageTier::kLog:
+      // Digest-verified deliver: the raw value in calldata, one digest-slot
+      // sload, and the on-chain re-hash — no Merkle path.
+      return record_calldata +
+             schedule_.HashCost(WordsForBytes(key_bytes + 32)) +
+             schedule_.ReadCost(1) + schedule_.HashCost(value_words);
+    case StorageTier::kOffchain:
+    case StorageTier::kCalldata:
+      // Merkle-proof deliver: the record blob, the sibling hashes, and the
+      // verification hash chain (65 gas per inner node, cf. ads/verify).
+      return record_calldata +
+             proof_siblings_ * (schedule_.tx_per_word + 65) +
+             schedule_.HashCost(
+                 WordsForBytes(EncodedRecordBytes(key_bytes, value_bytes)));
+  }
+  return 0;
+}
+
+StorageTier TierCostModel::Cheapest(double k_estimate, size_t key_bytes,
+                                    size_t value_bytes) const {
+  StorageTier best = StorageTier::kOffchain;
+  double best_gas = CycleGas(best, k_estimate, key_bytes, value_bytes);
+  for (size_t i = 1; i < kNumStorageTiers; ++i) {
+    const auto t = static_cast<StorageTier>(i);
+    const double gas = CycleGas(t, k_estimate, key_bytes, value_bytes);
+    if (gas < best_gas) {
+      best = t;
+      best_gas = gas;
+    }
+  }
+  return best;
+}
+
+}  // namespace grub::tier

@@ -1,0 +1,54 @@
+// Per-tier gas cost model: the decision arithmetic behind multi-tier
+// placement, generalizing Eq. 1's single break-even K to a 4-way argmin.
+//
+// The model prices one key's marginal write and read on each tier from the
+// real GasSchedule (Table 2 + Yellow Paper LOG costs). It is a decision
+// heuristic, not the meter: amortized per-epoch costs (tx base, root
+// publication) are shared across all keys in an update and excluded, so the
+// numbers are the per-key marginal terms a placement policy should compare.
+// bench_tiers measures the true end-to-end crossovers against this model.
+#pragma once
+
+#include <cstdint>
+
+#include "chain/gas.h"
+#include "tier/tier.h"
+
+namespace grub::tier {
+
+class TierCostModel {
+ public:
+  explicit TierCostModel(const chain::GasSchedule& schedule,
+                         uint64_t proof_siblings = 8)
+      : schedule_(schedule), proof_siblings_(proof_siblings) {}
+
+  /// Marginal Gas to write one `value_bytes` value under `key` on `t`,
+  /// beyond what every tier pays (the ADS update and root publication).
+  uint64_t WriteGas(StorageTier t, size_t key_bytes, size_t value_bytes) const;
+
+  /// Marginal Gas for one read of the key on `t`: replica sload for
+  /// storage, a digest-verified deliver for log, a Merkle-proof deliver for
+  /// the off-chain/calldata tiers.
+  uint64_t ReadGas(StorageTier t, size_t key_bytes, size_t value_bytes) const;
+
+  /// Expected per-write-cycle Gas at `k_estimate` reads per write.
+  double CycleGas(StorageTier t, double k_estimate, size_t key_bytes,
+                  size_t value_bytes) const {
+    return static_cast<double>(WriteGas(t, key_bytes, value_bytes)) +
+           k_estimate * static_cast<double>(ReadGas(t, key_bytes, value_bytes));
+  }
+
+  /// argmin over all four tiers of CycleGas; ties break toward the lower
+  /// tier number (off-chain first), so decisions are deterministic.
+  StorageTier Cheapest(double k_estimate, size_t key_bytes,
+                       size_t value_bytes) const;
+
+  const chain::GasSchedule& Schedule() const { return schedule_; }
+  uint64_t ProofSiblings() const { return proof_siblings_; }
+
+ private:
+  chain::GasSchedule schedule_;
+  uint64_t proof_siblings_;  // expected Merkle path length for proof reads
+};
+
+}  // namespace grub::tier

@@ -1,0 +1,69 @@
+#include "tier/placement.h"
+
+#include <cstdio>
+
+namespace grub::tier {
+
+AdaptiveTierPolicy::AdaptiveTierPolicy(const TierCostModel& cost,
+                                       Options options)
+    : cost_(cost),
+      options_(options),
+      sketch_(options.sketch_capacity == 0 ? 1 : options.sketch_capacity) {}
+
+double AdaptiveTierPolicy::KEstimate(const Bytes& key,
+                                     const Counts& counts) const {
+  if (monitor_ != nullptr) {
+    if (const auto* stats = monitor_->StatsOf(key)) {
+      return stats->KEstimate();
+    }
+  }
+  return counts.writes == 0 ? 0.0
+                            : static_cast<double>(counts.reads) /
+                                  static_cast<double>(counts.writes);
+}
+
+void AdaptiveTierPolicy::Observe(const workload::Operation& op) {
+  if (op.type == workload::OpType::kScan) return;  // expanded upstream
+  // Admit the key to the hot set; a displaced key loses its counters AND
+  // its tier — cold keys revert to the zero-holding-cost default.
+  if (auto evicted = sketch_.Touch(op.key)) {
+    counts_.erase(*evicted);
+  }
+  Counts& counts = counts_[op.key];
+  if (op.type == workload::OpType::kRead) {
+    counts.reads += 1;
+    return;  // tier decisions happen at writes, where they ride for free
+  }
+  counts.writes += 1;
+  if (!op.value.empty()) counts.value_bytes = op.value.size();
+  if (counts.writes < options_.min_writes) return;
+  const size_t value_bytes =
+      counts.value_bytes != 0 ? counts.value_bytes : options_.default_value_bytes;
+  counts.tier = cost_.Cheapest(KEstimate(op.key, counts), op.key.size(),
+                               value_bytes);
+}
+
+StorageTier AdaptiveTierPolicy::TierOf(const Bytes& key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? StorageTier::kOffchain : it->second.tier;
+}
+
+std::string AdaptiveTierPolicy::Name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "adaptive-tier(hot=%zu)",
+                sketch_.Capacity());
+  return buf;
+}
+
+std::string AdaptiveTierPolicy::CounterState(const Bytes& key) const {
+  const auto it = counts_.find(key);
+  if (it == counts_.end()) return "";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "r=%llu,w=%llu,tier=%s",
+                static_cast<unsigned long long>(it->second.reads),
+                static_cast<unsigned long long>(it->second.writes),
+                tier::Name(it->second.tier));
+  return buf;
+}
+
+}  // namespace grub::tier

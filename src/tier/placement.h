@@ -1,0 +1,93 @@
+// Multi-tier placement policies (the PlacementPolicy generalization of the
+// paper's binary replication policies).
+//
+//  * StaticTierPolicy — every key pinned to one tier. storage ≡ BL2 and
+//    offchain ≡ BL1 Gas-exactly (ci.sh diffs both identities); log and
+//    calldata are the new static baselines bench_tiers sweeps.
+//  * AdaptiveTierPolicy — per-key placement by 4-way cost argmin: observed
+//    reads-per-write K̂ feeds TierCostModel::Cheapest at every write (tier
+//    decisions ride the epoch update, so deciding at writes is free).
+//    Bounded state: a SpaceSaving hot-key sketch gates which keys may hold
+//    a non-default tier — an evicted (cold) key falls back to off-chain,
+//    the tier that costs nothing to hold. When the workload observatory is
+//    live, its per-key stats are the K̂ source (BindWorkloadMonitor);
+//    otherwise the policy keeps its own counters with identical math.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "grub/policy.h"
+#include "telemetry/sketch.h"
+#include "telemetry/workload_monitor.h"
+#include "tier/cost.h"
+#include "tier/tier.h"
+
+namespace grub::tier {
+
+class StaticTierPolicy : public core::ReplicationPolicy {
+ public:
+  explicit StaticTierPolicy(StorageTier t) : tier_(t) {}
+
+  void Observe(const workload::Operation&) override {}
+  ads::ReplState StateOf(const Bytes&) const override {
+    return ToReplState(tier_);
+  }
+  StorageTier TierOf(const Bytes&) const override { return tier_; }
+  std::string Name() const override {
+    return std::string("static-tier(") + tier::Name(tier_) + ")";
+  }
+
+ private:
+  StorageTier tier_;
+};
+
+class AdaptiveTierPolicy : public core::ReplicationPolicy {
+ public:
+  struct Options {
+    /// Fallback value size for the cost argmin before a key's first
+    /// observed write (reads carry no payload).
+    size_t default_value_bytes = 32;
+    /// Hot-key budget: only sketch-tracked keys may hold a non-default tier.
+    size_t sketch_capacity = 64;
+    /// Writes a key must accumulate before it may leave the default tier
+    /// (one write is enough to form a K̂ = reads/writes estimate).
+    uint64_t min_writes = 1;
+  };
+
+  explicit AdaptiveTierPolicy(const TierCostModel& cost)
+      : AdaptiveTierPolicy(cost, Options()) {}
+  AdaptiveTierPolicy(const TierCostModel& cost, Options options);
+
+  void Observe(const workload::Operation& op) override;
+  ads::ReplState StateOf(const Bytes& key) const override {
+    return ToReplState(TierOf(key));
+  }
+  StorageTier TierOf(const Bytes& key) const override;
+  std::string Name() const override;
+  std::string CounterState(const Bytes& key) const override;
+  void BindWorkloadMonitor(
+      const telemetry::WorkloadMonitor* monitor) override {
+    monitor_ = monitor;
+  }
+
+ private:
+  struct Counts {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    size_t value_bytes = 0;  // last observed write size
+    StorageTier tier = StorageTier::kOffchain;
+  };
+
+  /// K̂ for a key: the observatory's live estimate when bound and tracked
+  /// there, otherwise the policy's own reads/writes counters.
+  double KEstimate(const Bytes& key, const Counts& counts) const;
+
+  TierCostModel cost_;
+  Options options_;
+  telemetry::SpaceSavingSketch sketch_;
+  std::map<Bytes, Counts> counts_;  // sketch-tracked keys only
+  const telemetry::WorkloadMonitor* monitor_ = nullptr;
+};
+
+}  // namespace grub::tier

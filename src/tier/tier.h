@@ -1,0 +1,81 @@
+// Multi-tier replication backends (ROADMAP item 3): where a key's bytes
+// live, generalizing the paper's binary replicate/not-replicate decision.
+//
+// "Exploring Ethereum's Data Stores" (Kostamis et al.) catalogues four
+// practical placements with very different cost points; each becomes a
+// StorageTier here:
+//
+//   kOffchain  — the paper's NR arm. Only the ADS Merkle root is on chain;
+//                the root IS the content digest pinning the SP-served bytes
+//                (content-addressed off-chain storage in the IPFS sense),
+//                and the Merkle-proof deliver is the digest verification.
+//   kStorage   — the paper's R arm: a contract-storage replica, sstore on
+//                write, sload on read.
+//   kLog       — event-log placement: writes emit the value as LOG data
+//                (8 gas/byte instead of 625/byte for storage) plus one
+//                32-byte digest pin in storage; reads are served by the SP
+//                replaying receipts, verified on chain against the pinned
+//                digest (one sload + one hash — no Merkle path).
+//   kCalldata  — the value rides in the update tx calldata for availability
+//                and is never stored; reads always go off-chain through the
+//                legacy Merkle-proof deliver.
+//
+// This header is include-only (enum + inline helpers) so every layer —
+// ads advisory state, grub codecs, the contract — can name tiers without a
+// link-time dependency on the grub_tier library (cost model + policies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ads/record.h"
+
+namespace grub::tier {
+
+enum class StorageTier : uint8_t {
+  kOffchain = 0,
+  kStorage = 1,
+  kLog = 2,
+  kCalldata = 3,
+};
+
+inline constexpr size_t kNumStorageTiers = 4;
+
+inline const char* Name(StorageTier t) {
+  switch (t) {
+    case StorageTier::kOffchain: return "offchain";
+    case StorageTier::kStorage: return "storage";
+    case StorageTier::kLog: return "log";
+    case StorageTier::kCalldata: return "calldata";
+  }
+  return "?";
+}
+
+/// The two-tier special case: the paper's R/NR states map onto the
+/// storage/off-chain tiers exactly, which is what keeps every binary
+/// policy's Gas byte-identical under the tier generalization.
+inline StorageTier FromReplState(ads::ReplState state) {
+  return state == ads::ReplState::kR ? StorageTier::kStorage
+                                     : StorageTier::kOffchain;
+}
+
+/// Collapses a tier back to the binary record state: only kStorage keeps a
+/// live contract-storage replica; every other tier reads off-chain (or from
+/// the log) and is kNR as far as the authenticated record is concerned.
+inline ads::ReplState ToReplState(StorageTier t) {
+  return t == StorageTier::kStorage ? ads::ReplState::kR : ads::ReplState::kNR;
+}
+
+/// Parses the grubctl --tier spellings; returns false on an unknown name.
+inline bool ParseTier(const std::string& name, StorageTier* out) {
+  for (size_t i = 0; i < kNumStorageTiers; ++i) {
+    const auto t = static_cast<StorageTier>(i);
+    if (name == Name(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace grub::tier

@@ -42,6 +42,50 @@ TEST(GasSchedule, LogCostFollowsYellowPaper) {
   EXPECT_EQ(gas.LogCost(3, 10), 375u + 3 * 375u + 80u);
 }
 
+TEST(GasSchedule, ConstantsPinYellowPaperValues) {
+  // The default-constructed schedule IS Table 2 + Yellow Paper Appendix G;
+  // every measured figure downstream rests on these exact rates.
+  GasSchedule gas;
+  EXPECT_EQ(gas.tx_base, 21000u);               // Gtransaction
+  EXPECT_EQ(gas.tx_per_word, 2176u);            // 32 x Gtxdatanonzero (68)
+  EXPECT_EQ(gas.sstore_insert_per_word, 20000u);  // Gsset
+  EXPECT_EQ(gas.sstore_update_per_word, 5000u);   // Gsreset
+  EXPECT_EQ(gas.sload_per_word, 200u);            // Gsload
+  EXPECT_EQ(gas.hash_base, 30u);                  // Gsha3
+  EXPECT_EQ(gas.hash_per_word, 6u);               // Gsha3word
+  EXPECT_EQ(gas.log_base, 375u);                  // Glog
+  EXPECT_EQ(gas.log_per_topic, 375u);             // Glogtopic
+  EXPECT_EQ(gas.log_per_byte, 8u);                // Glogdata
+}
+
+TEST(GasSchedule, LogCostTopicAndDataByteEdges) {
+  GasSchedule gas;
+  // LOG0 with no data is the bare Glog; the EVM tops out at LOG4.
+  EXPECT_EQ(gas.LogCost(0, 0), 375u);
+  EXPECT_EQ(gas.LogCost(4, 0), 375u + 4 * 375u);
+  // LOG data is priced per BYTE (8 gas), never word-rounded — crossing a
+  // 32-byte boundary moves the cost by exactly 8, unlike calldata/sstore.
+  EXPECT_EQ(gas.LogCost(0, 31), 375u + 31 * 8u);
+  EXPECT_EQ(gas.LogCost(0, 32), 375u + 32 * 8u);
+  EXPECT_EQ(gas.LogCost(0, 33), 375u + 33 * 8u);
+  EXPECT_EQ(gas.LogCost(0, 33) - gas.LogCost(0, 32), 8u);
+  // Topics and data compose additively.
+  EXPECT_EQ(gas.LogCost(2, 1000), 375u + 2 * 375u + 8000u);
+}
+
+TEST(GasScheduleDeathTest, TxCostAbortsAtThousandWordBoundary) {
+  GasSchedule gas;
+  // Ctx(X) is documented for X < 1000 words only. The last covered size
+  // meters normally; one byte more crosses into the 1000th word and the
+  // schedule hard-aborts — chunkers must split, never extrapolate.
+  EXPECT_EQ(GasSchedule::kMaxCalldataBytes, 999u * 32u);
+  EXPECT_EQ(gas.TxCost(GasSchedule::kMaxCalldataBytes), 21000u + 999u * 2176u);
+  EXPECT_DEATH((void)gas.TxCost(GasSchedule::kMaxCalldataBytes + 1),
+               "chunk the transaction");
+  EXPECT_DEATH((void)gas.TxCost(1000u * 32u), "chunk the transaction");
+  EXPECT_DEATH((void)gas.TxCost(1u << 20), "chunk the transaction");
+}
+
 TEST(GasSchedule, OffchainReadPerWordIsCalldataRate) {
   // C_read_off in the algorithm analysis = marginal calldata word cost.
   GasSchedule gas;

@@ -148,5 +148,114 @@ TEST(Codec, UpdateCalldataIsCompact) {
   EXPECT_LE(calldata.size(), 64u);  // digest + epoch + two zero counts
 }
 
+TEST(Codec, DeliverEntryDigestRoundTrip) {
+  DeliverEntry entry;
+  entry.kind = DeliverEntry::Kind::kDigest;
+  entry.key = MakeKey(3);
+  entry.value = Bytes(100, 0xab);
+  entry.callback_contract = 9;
+  entry.callback_function = "onData";
+  entry.repeats = 2;
+
+  chain::AbiWriter w;
+  EncodeDeliverEntry(w, entry);
+  Bytes encoded = w.Take();
+  chain::AbiReader r(encoded);
+  auto decoded = DecodeDeliverEntry(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, DeliverEntry::Kind::kDigest);
+  EXPECT_FALSE(decoded->present());
+  EXPECT_EQ(decoded->key, entry.key);
+  EXPECT_EQ(decoded->value, entry.value);
+  EXPECT_EQ(decoded->callback_contract, 9u);
+  EXPECT_EQ(decoded->callback_function, "onData");
+  EXPECT_EQ(decoded->repeats, 2u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+// ---- the shared calldata-size helpers: every estimate is asserted against
+// the bytes the matching Append* encoder actually produces ----
+
+TEST(Codec, EncodedRecordBytesMatchesBlobEncoding) {
+  for (size_t value_bytes : {size_t{0}, size_t{1}, size_t{32}, size_t{257}}) {
+    ads::FeedRecord record{MakeKey(7), Bytes(value_bytes, 0x5a),
+                           ads::ReplState::kR};
+    chain::AbiWriter w;
+    w.Blob(record.Serialize());
+    EXPECT_EQ(w.Take().size(), EncodedRecordBytes(record))
+        << "value_bytes = " << value_bytes;
+  }
+}
+
+TEST(Codec, ReplicationSuffixBytesMatchesEncoding) {
+  std::vector<ads::FeedRecord> replicated = {
+      {MakeKey(1), Bytes(40, 0x01), ads::ReplState::kR},
+      {MakeKey(2), Bytes(3, 0x02), ads::ReplState::kR},
+  };
+  std::vector<Bytes> evictions = {MakeKey(3), ToBytes("longer-key-here")};
+  chain::AbiWriter w;
+  AppendReplicationSuffix(w, replicated, evictions);
+  EXPECT_EQ(w.Take().size(), ReplicationSuffixBytes(replicated, evictions));
+
+  chain::AbiWriter empty;
+  AppendReplicationSuffix(empty, {}, {});
+  EXPECT_EQ(empty.Take().size(), ReplicationSuffixBytes({}, {}));
+}
+
+TEST(Codec, TierSuffixBytesMatchesEncodingAndEmptyAppendsNothing) {
+  TierSuffix suffix;
+  suffix.entries.push_back(
+      {tier::StorageTier::kLog,
+       ads::FeedRecord{MakeKey(1), Bytes(64, 0x11), ads::ReplState::kNR}});
+  suffix.entries.push_back(
+      {tier::StorageTier::kCalldata,
+       ads::FeedRecord{MakeKey(2), Bytes(5, 0x22), ads::ReplState::kNR}});
+  suffix.unpins = {MakeKey(9)};
+
+  chain::AbiWriter w;
+  AppendTierSuffix(w, suffix);
+  EXPECT_EQ(w.Take().size(), TierSuffixBytes(suffix));
+
+  // The empty suffix is the byte-identity guarantee: nothing appended,
+  // nothing counted.
+  chain::AbiWriter empty;
+  AppendTierSuffix(empty, TierSuffix{});
+  EXPECT_TRUE(empty.Take().empty());
+  EXPECT_EQ(TierSuffixBytes(TierSuffix{}), 0u);
+}
+
+TEST(Codec, UpdateCalldataBytesMatchesBothEncoders) {
+  std::vector<ads::FeedRecord> replicated = {
+      {MakeKey(1), Bytes(33, 0x01), ads::ReplState::kR}};
+  std::vector<Bytes> evictions = {MakeKey(4)};
+  TierSuffix tiered;
+  tiered.entries.push_back(
+      {tier::StorageTier::kLog,
+       ads::FeedRecord{MakeKey(5), Bytes(80, 0x33), ads::ReplState::kNR}});
+  tiered.unpins = {MakeKey(6)};
+
+  // Unsharded layout, with and without a tier suffix.
+  EXPECT_EQ(StorageManagerContract::EncodeUpdate(Hash256::FromU64(1), 3,
+                                                 replicated, evictions)
+                .size(),
+            StorageManagerContract::UpdateCalldataBytes(0, replicated,
+                                                        evictions, {}));
+  EXPECT_EQ(StorageManagerContract::EncodeUpdate(Hash256::FromU64(1), 3,
+                                                 replicated, evictions, tiered)
+                .size(),
+            StorageManagerContract::UpdateCalldataBytes(0, replicated,
+                                                        evictions, tiered));
+
+  // Sharded layout: the shard-root list adds 8 + 40 per root.
+  std::vector<std::pair<uint64_t, Hash256>> roots = {
+      {0, Hash256::FromU64(7)}, {3, Hash256::FromU64(8)}};
+  EXPECT_EQ(StorageManagerContract::EncodeUpdateSharded(
+                Hash256::FromU64(2), 4, roots, replicated, evictions, tiered)
+                .size(),
+            StorageManagerContract::UpdateCalldataBytes(roots.size(),
+                                                        replicated, evictions,
+                                                        tiered));
+}
+
 }  // namespace
 }  // namespace grub::core

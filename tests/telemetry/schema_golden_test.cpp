@@ -18,6 +18,7 @@
 
 #include "grub/system.h"
 #include "telemetry/epoch_series.h"
+#include "tier/placement.h"
 #include "telemetry/report.h"
 #include "telemetry/workload_monitor.h"
 #include "workload/trace.h"
@@ -200,6 +201,21 @@ TEST(SchemaGolden, QuorumJson) {
   system.ReadNow(workload::MakeKey(0));
   system.ReadNow(workload::MakeKey(1));
   CheckAgainstGolden("quorum.json", system.Quorum().ToJson());
+}
+
+TEST(SchemaGolden, PlacementJson) {
+  // The placement summary grubctl embeds verbatim under --json "placement":
+  // per-tier key census plus the log-tier pin/deliver activity counters.
+  // A log-tier write/read pair exercises every counter deterministically.
+  core::GrubSystem system(
+      core::SystemOptions{},
+      std::make_unique<tier::StaticTierPolicy>(tier::StorageTier::kLog));
+  system.Preload({{workload::MakeKey(0), Bytes(32, 0x01)},
+                  {workload::MakeKey(1), Bytes(32, 0x02)}});
+  system.Write(workload::MakeKey(0), Bytes(32, 0x03));
+  system.EndEpoch();
+  system.ReadNow(workload::MakeKey(0));
+  CheckAgainstGolden("placement.json", system.PlacementJson());
 }
 
 }  // namespace

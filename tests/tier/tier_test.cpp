@@ -1,0 +1,205 @@
+// Tier subsystem units: the enum helpers, the 4-way cost model's crossover
+// arithmetic, and the placement policies (static pins + the adaptive
+// argmin), including the binary-policy round-trip that underwrites the
+// storage-only Gas identity gate.
+#include <gtest/gtest.h>
+
+#include "grub/policy.h"
+#include "tier/cost.h"
+#include "tier/placement.h"
+#include "tier/tier.h"
+#include "workload/trace.h"
+
+namespace grub::tier {
+namespace {
+
+using workload::MakeKey;
+using workload::Operation;
+
+TEST(Tier, NameParseRoundTrip) {
+  for (size_t i = 0; i < kNumStorageTiers; ++i) {
+    const auto t = static_cast<StorageTier>(i);
+    StorageTier parsed;
+    ASSERT_TRUE(ParseTier(Name(t), &parsed)) << Name(t);
+    EXPECT_EQ(parsed, t);
+  }
+  StorageTier out;
+  EXPECT_FALSE(ParseTier("ssd", &out));
+  EXPECT_FALSE(ParseTier("", &out));
+  EXPECT_FALSE(ParseTier("Storage", &out));  // spellings are exact
+}
+
+TEST(Tier, ReplStateMapsOntoTwoTierSpecialCase) {
+  EXPECT_EQ(FromReplState(ads::ReplState::kR), StorageTier::kStorage);
+  EXPECT_EQ(FromReplState(ads::ReplState::kNR), StorageTier::kOffchain);
+  EXPECT_EQ(ToReplState(StorageTier::kStorage), ads::ReplState::kR);
+  EXPECT_EQ(ToReplState(StorageTier::kOffchain), ads::ReplState::kNR);
+  // The new tiers read off-chain (or from the log): kNR records.
+  EXPECT_EQ(ToReplState(StorageTier::kLog), ads::ReplState::kNR);
+  EXPECT_EQ(ToReplState(StorageTier::kCalldata), ads::ReplState::kNR);
+}
+
+TEST(TierCostModel, WriteCostOrderingMatchesBackends) {
+  chain::GasSchedule gas;
+  TierCostModel model(gas);
+  const size_t key = 16;
+  for (size_t bytes : {size_t{32}, size_t{256}, size_t{1024}}) {
+    // Off-chain writes nothing; calldata only ships bytes; the log adds the
+    // pin + event; storage pays 5000/word — the most per marginal byte.
+    EXPECT_EQ(model.WriteGas(StorageTier::kOffchain, key, bytes), 0u);
+    EXPECT_LT(model.WriteGas(StorageTier::kCalldata, key, bytes),
+              model.WriteGas(StorageTier::kLog, key, bytes));
+    if (bytes >= 256) {
+      EXPECT_LT(model.WriteGas(StorageTier::kLog, key, bytes),
+                model.WriteGas(StorageTier::kStorage, key, bytes))
+          << "bytes = " << bytes;
+    }
+  }
+}
+
+TEST(TierCostModel, ReadCostOrderingMatchesBackends) {
+  chain::GasSchedule gas;
+  TierCostModel model(gas);
+  // A 200-gas sload can't be beaten; a digest deliver (no Merkle path)
+  // undercuts the proof-carrying deliver the off-chain tiers pay.
+  EXPECT_LT(model.ReadGas(StorageTier::kStorage, 16, 32),
+            model.ReadGas(StorageTier::kLog, 16, 32));
+  EXPECT_LT(model.ReadGas(StorageTier::kLog, 16, 32),
+            model.ReadGas(StorageTier::kOffchain, 16, 32));
+  EXPECT_EQ(model.ReadGas(StorageTier::kOffchain, 16, 32),
+            model.ReadGas(StorageTier::kCalldata, 16, 32));
+}
+
+TEST(TierCostModel, CheapestCrossesFromOffchainToStorageWithK) {
+  chain::GasSchedule gas;
+  TierCostModel model(gas);
+  // Write-only: nothing beats a tier that writes (and holds) nothing.
+  EXPECT_EQ(model.Cheapest(0.0, 16, 32), StorageTier::kOffchain);
+  // Read-dominated: the sload floor wins regardless of record size.
+  EXPECT_EQ(model.Cheapest(1000.0, 16, 32), StorageTier::kStorage);
+  EXPECT_EQ(model.Cheapest(1000.0, 16, 4096), StorageTier::kStorage);
+  // CycleGas is what Cheapest minimizes — spot-check the argmin claim.
+  for (double k : {0.0, 0.5, 2.0, 30.0}) {
+    const StorageTier best = model.Cheapest(k, 16, 256);
+    for (size_t i = 0; i < kNumStorageTiers; ++i) {
+      EXPECT_LE(model.CycleGas(best, k, 16, 256),
+                model.CycleGas(static_cast<StorageTier>(i), k, 16, 256))
+          << "k = " << k;
+    }
+  }
+}
+
+TEST(TierCostModel, CheapestBreaksTiesTowardLowerTierNumber) {
+  // A degenerate schedule prices every tier identically; the argmin must
+  // still be deterministic: the lowest tier number (off-chain) wins.
+  chain::GasSchedule zero{};
+  zero.tx_base = 0;
+  zero.tx_per_word = 0;
+  zero.sstore_insert_per_word = 0;
+  zero.sstore_update_per_word = 0;
+  zero.sload_per_word = 0;
+  zero.hash_base = 0;
+  zero.hash_per_word = 0;
+  zero.log_base = 0;
+  zero.log_per_topic = 0;
+  zero.log_per_byte = 0;
+  TierCostModel model(zero, /*proof_siblings=*/0);
+  EXPECT_EQ(model.Cheapest(3.0, 16, 32), StorageTier::kOffchain);
+}
+
+TEST(StaticTierPolicy, PinsEveryKeyAndRoundTripsBinaryView) {
+  for (size_t i = 0; i < kNumStorageTiers; ++i) {
+    const auto t = static_cast<StorageTier>(i);
+    StaticTierPolicy policy(t);
+    policy.Observe(Operation::Write(MakeKey(1), Bytes(8, 0x1)));
+    EXPECT_EQ(policy.TierOf(MakeKey(1)), t);
+    EXPECT_EQ(policy.TierOf(MakeKey(999)), t);
+    // The binary view every legacy consumer sees must agree with the tier.
+    EXPECT_EQ(policy.StateOf(MakeKey(1)), ToReplState(t));
+    EXPECT_NE(policy.Name().find(Name(t)), std::string::npos);
+  }
+}
+
+TEST(BinaryPolicies, DefaultTierOfRoundTripsStateOf) {
+  // Every pre-tier policy answers TierOf through the two-tier special case:
+  // ToReplState(TierOf(k)) == StateOf(k), unconditionally.
+  auto check = [](core::ReplicationPolicy& policy) {
+    for (uint64_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(ToReplState(policy.TierOf(MakeKey(i))),
+                policy.StateOf(MakeKey(i)))
+          << policy.Name();
+    }
+  };
+  auto bl1 = core::MakeBL1();
+  auto bl2 = core::MakeBL2();
+  core::MemorylessPolicy memoryless(2);
+  // Mixed traffic so dynamic policies hold both states across keys.
+  for (uint64_t i = 0; i < 4; ++i) {
+    memoryless.Observe(Operation::Write(MakeKey(i), Bytes(8, 0x1)));
+  }
+  for (int r = 0; r < 5; ++r) {
+    memoryless.Observe(Operation::Read(MakeKey(0)));
+  }
+  check(*bl1);
+  check(*bl2);
+  check(memoryless);
+}
+
+TEST(AdaptiveTierPolicy, UnknownKeysDefaultToOffchain) {
+  chain::GasSchedule gas;
+  AdaptiveTierPolicy policy{TierCostModel(gas)};
+  EXPECT_EQ(policy.TierOf(MakeKey(0)), StorageTier::kOffchain);
+  EXPECT_EQ(policy.StateOf(MakeKey(0)), ads::ReplState::kNR);
+  EXPECT_EQ(policy.CounterState(MakeKey(0)), "");
+}
+
+TEST(AdaptiveTierPolicy, ReadHeavyKeyClimbsToStorage) {
+  chain::GasSchedule gas;
+  AdaptiveTierPolicy policy{TierCostModel(gas)};
+  const Bytes key = MakeKey(7);
+  policy.Observe(Operation::Write(key, Bytes(32, 0x1)));
+  for (int i = 0; i < 64; ++i) policy.Observe(Operation::Read(key));
+  // Decisions ride writes: the next write sees K̂ = 64 and flips the key.
+  policy.Observe(Operation::Write(key, Bytes(32, 0x1)));
+  EXPECT_EQ(policy.TierOf(key), StorageTier::kStorage);
+  EXPECT_EQ(policy.StateOf(key), ads::ReplState::kR);
+}
+
+TEST(AdaptiveTierPolicy, WriteOnlyKeyStaysOffTheExpensiveTiers) {
+  chain::GasSchedule gas;
+  AdaptiveTierPolicy policy{TierCostModel(gas)};
+  const Bytes key = MakeKey(8);
+  for (int i = 0; i < 16; ++i) {
+    policy.Observe(Operation::Write(key, Bytes(256, 0x1)));
+  }
+  EXPECT_NE(policy.TierOf(key), StorageTier::kStorage);
+}
+
+TEST(AdaptiveTierPolicy, SketchEvictionDropsKeyBackToDefault) {
+  chain::GasSchedule gas;
+  AdaptiveTierPolicy::Options opts;
+  opts.sketch_capacity = 2;
+  AdaptiveTierPolicy policy(TierCostModel(gas), opts);
+  const Bytes hot = MakeKey(1);
+  policy.Observe(Operation::Write(hot, Bytes(32, 0x1)));
+  for (int i = 0; i < 32; ++i) policy.Observe(Operation::Read(hot));
+  policy.Observe(Operation::Write(hot, Bytes(32, 0x1)));
+  ASSERT_EQ(policy.TierOf(hot), StorageTier::kStorage);
+
+  // Flood the 2-slot sketch until the hot key is displaced; a cold key may
+  // not hold a non-default tier (bounded policy state).
+  for (uint64_t i = 100; i < 200; ++i) {
+    policy.Observe(Operation::Write(MakeKey(i), Bytes(32, 0x2)));
+  }
+  EXPECT_EQ(policy.TierOf(hot), StorageTier::kOffchain);
+}
+
+TEST(AdaptiveTierPolicy, ScansAreIgnored) {
+  chain::GasSchedule gas;
+  AdaptiveTierPolicy policy{TierCostModel(gas)};
+  policy.Observe(Operation::Scan(MakeKey(0), 8));
+  EXPECT_EQ(policy.CounterState(MakeKey(0)), "");
+}
+
+}  // namespace
+}  // namespace grub::tier

@@ -22,6 +22,9 @@
 #include "grub/multi_feed.h"
 #include "grub/system.h"
 #include "telemetry/json.h"
+#include "tier/cost.h"
+#include "tier/placement.h"
+#include "tier/tier.h"
 #include "telemetry/profile.h"
 #include "telemetry/report.h"
 #include "telemetry/table.h"
@@ -35,6 +38,7 @@ using namespace grub;
 
 struct Args {
   std::string policy = "memoryless:2";
+  std::string tier;  // empty = the binary --policy path
   std::string workload = "ratio:4";
   size_t records = 1024;
   size_t record_bytes = 32;
@@ -68,6 +72,12 @@ void PrintUsage() {
       "  --policy P      bl1 | bl2 | memoryless:K | memorizing:K,D |\n"
       "                  adaptive-k1 | adaptive-k2 | offline\n"
       "                                                   (default memoryless:2)\n"
+      "  --tier T        pin every key to one storage tier, or adapt:\n"
+      "                  storage | log | calldata | offchain | adaptive —\n"
+      "                  overrides --policy (storage ≡ bl2, offchain ≡ bl1\n"
+      "                  Gas-exactly; adaptive picks per key by the 4-way\n"
+      "                  cost argmin) and appends a placement: summary line.\n"
+      "                  Incompatible with --feeds\n"
       "  --workload [W]  ratio:R | ycsb:X | ycsb:X,Y | oracle | btcrelay\n"
       "                  (default ratio:4); BARE --workload (no value) keeps\n"
       "                  the default spec and appends the workload-observatory\n"
@@ -149,6 +159,8 @@ bool ParseArgs(int argc, char** argv, Args& args) {
     };
     if (!std::strcmp(argv[i], "--policy")) {
       args.policy = next("--policy");
+    } else if (!std::strcmp(argv[i], "--tier")) {
+      args.tier = next("--tier");
     } else if (!std::strcmp(argv[i], "--workload")) {
       // Bare `--workload` (no value, or the next token is another flag)
       // requests the workload-observatory table; with a value it stays the
@@ -248,6 +260,25 @@ std::unique_ptr<core::ReplicationPolicy> MakePolicy(
   }
   std::fprintf(stderr, "unknown policy: %s\n", spec.c_str());
   std::exit(2);
+}
+
+// --tier: placement policies over the four storage tiers. `adaptive` prices
+// tiers with the real gas schedule and the run's record size; anything else
+// pins all keys statically (storage ≡ bl2, offchain ≡ bl1, Gas-exactly).
+std::unique_ptr<core::ReplicationPolicy> MakeTierPolicy(
+    const Args& args, const chain::GasSchedule& gas) {
+  if (args.tier == "adaptive") {
+    tier::AdaptiveTierPolicy::Options opts;
+    opts.default_value_bytes = args.record_bytes;
+    return std::make_unique<tier::AdaptiveTierPolicy>(tier::TierCostModel(gas),
+                                                      opts);
+  }
+  tier::StorageTier t;
+  if (!tier::ParseTier(args.tier, &t)) {
+    std::fprintf(stderr, "unknown tier: %s\n", args.tier.c_str());
+    std::exit(2);
+  }
+  return std::make_unique<tier::StaticTierPolicy>(t);
 }
 
 workload::Trace MakeWorkloadSpec(const Args& args, const std::string& spec) {
@@ -425,10 +456,10 @@ int main(int argc, char** argv) {
   }
   if (!args.feeds.empty()) {
     if (!args.faults.empty() || !args.trace_out.empty() || args.converged ||
-        !args.adversary.empty() || args.watch > 0) {
+        !args.adversary.empty() || args.watch > 0 || !args.tier.empty()) {
       std::fprintf(stderr,
                    "--feeds is incompatible with --faults/--trace-out/"
-                   "--converged/--adversary/--watch\n");
+                   "--converged/--adversary/--watch/--tier\n");
       return 2;
     }
     return RunMultiFeed(args);
@@ -481,7 +512,10 @@ int main(int argc, char** argv) {
   std::unique_ptr<core::GrubSystem> system_ptr;
   try {
     system_ptr = std::make_unique<core::GrubSystem>(
-        options, MakePolicy(args.policy, trace, options.chain_params.gas));
+        options,
+        args.tier.empty()
+            ? MakePolicy(args.policy, trace, options.chain_params.gas)
+            : MakeTierPolicy(args, options.chain_params.gas));
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
@@ -559,6 +593,22 @@ int main(int argc, char** argv) {
                     system.Consumer().values_received()),
                 static_cast<unsigned long long>(
                     system.Consumer().misses_received()));
+  }
+
+  if (text && !args.tier.empty()) {
+    const auto census = system.Do().TierCensus();
+    uint64_t digest_delivers = 0;
+    for (size_t i = 0; i < system.Quorum().ReplicaCount(); ++i) {
+      digest_delivers += system.Quorum().Replica(i).digest_entries_served();
+    }
+    std::printf("placement: offchain %zu / storage %zu / log %zu / "
+                "calldata %zu keys; %llu tier flips, %llu pins / %llu "
+                "unpins, %llu digest delivers\n",
+                census[0], census[1], census[2], census[3],
+                static_cast<unsigned long long>(system.Do().tier_flips()),
+                static_cast<unsigned long long>(system.Do().log_pins()),
+                static_cast<unsigned long long>(system.Do().log_unpins()),
+                static_cast<unsigned long long>(digest_delivers));
   }
 
   if (text && (args.sps > 1 || !args.adversary.empty())) {
@@ -710,6 +760,12 @@ int main(int argc, char** argv) {
       // one serializer (field order preserved — the golden test pins it).
       auto quorum = telemetry::ParseJson(system.Quorum().ToJson());
       if (quorum.ok()) root.Set("quorum", std::move(quorum).value());
+    }
+    {
+      // Same parse-and-embed as the quorum section; the placement golden
+      // test pins GrubSystem::PlacementJson's field order.
+      auto placement = telemetry::ParseJson(system.PlacementJson());
+      if (placement.ok()) root.Set("placement", std::move(placement).value());
     }
     std::printf("%s\n", root.ToString().c_str());
   }
