@@ -1,0 +1,100 @@
+// Scenario lab leaderboard: every registered replication policy crossed with
+// every registered scenario (static, paper traces, YCSB, write-heavy
+// accounts, dynamic-price shapes, adversarial SP), each cell scored by total
+// Gas and signed regret against the price-aware clairvoyant optimal for the
+// SAME scenario (lab::RunLeaderboard).
+//
+// Self-checking: the reprice scenario's adaptive-strictly-wins gate must
+// hold — the best price-tracking policy (windowed-k / price-ewma) spends
+// strictly less Gas than the best static-K policy across the mid-run
+// storage repricing. A leaderboard where online re-estimation cannot beat a
+// fixed K under a regime change is evidence the price plumbing broke.
+//
+// Artifact shape: one series per scenario; one row per policy with
+// x = signed regret, ops/gas_total/gas_per_op the real run numbers, and the
+// flip + quorum counters folded into the row label so the quick baseline
+// pins them exactly.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_registry.h"
+#include "lab/leaderboard.h"
+
+namespace {
+
+using namespace grub;
+using namespace grub::bench;
+
+std::string CellLabel(const lab::LeaderboardCell& cell) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s flips=%llu oracle=%llu rej=%llu fo=%llu",
+                cell.policy.c_str(),
+                static_cast<unsigned long long>(cell.flips),
+                static_cast<unsigned long long>(cell.oracle_flips),
+                static_cast<unsigned long long>(cell.deliver_rejections),
+                static_cast<unsigned long long>(cell.sp_failovers));
+  return buf;
+}
+
+telemetry::BenchReport Run(const BenchOptions& opts) {
+  lab::LeaderboardOptions options;
+  if (!opts.quick) {
+    options.scale.records = 512;
+    options.scale.ops = 2048;
+  }
+
+  telemetry::BenchReport report;
+  report.title = "Policy x scenario leaderboard (Gas + regret vs priced oracle)";
+  report.SetConfig("records", static_cast<uint64_t>(options.scale.records));
+  report.SetConfig("ops", static_cast<uint64_t>(options.scale.ops));
+  report.SetConfig("value_bytes",
+                   static_cast<uint64_t>(options.scale.value_bytes));
+  report.SetConfig("policies",
+                   std::to_string(lab::LeaderboardPolicies().size()));
+  report.SetConfig("scenarios", std::to_string(lab::AllScenarios().size()));
+
+  const lab::Leaderboard board = lab::RunLeaderboard(options);
+  lab::PrintLeaderboardTable(board, std::cout);
+
+  const lab::Scenario* scenario = nullptr;
+  telemetry::BenchSeries* series = nullptr;
+  size_t row_index = 0;
+  for (const auto& cell : board.cells) {
+    if (scenario == nullptr || scenario->name != cell.scenario) {
+      scenario = lab::FindScenario(cell.scenario);
+      series = &report.AddSeries(cell.scenario + ": " + scenario->title);
+      row_index = 0;
+    }
+    series->Add(CellLabel(cell), static_cast<double>(cell.regret))
+        .Ops(cell.ops, cell.gas);
+    (void)row_index;
+    row_index += 1;
+  }
+
+  if (!board.adaptive_gate_checked) {
+    std::printf("FAIL: reprice gate never evaluated (scenario or camps "
+                "missing from the matrix)\n");
+    report.failed = true;
+    report.notes.push_back("FAIL: reprice adaptive-vs-static gate not run");
+  } else if (!board.adaptive_wins) {
+    std::printf("FAIL: best adaptive policy (%llu gas) did not strictly beat "
+                "the best static-K policy (%llu gas) on reprice\n",
+                static_cast<unsigned long long>(board.best_adaptive_gas),
+                static_cast<unsigned long long>(board.best_static_gas));
+    report.failed = true;
+    report.notes.push_back(
+        "FAIL: online re-estimation lost to static K under repricing");
+  } else {
+    report.notes.push_back(
+        "reprice gate: best adaptive " +
+        std::to_string(board.best_adaptive_gas) + " gas strictly beats best "
+        "static " + std::to_string(board.best_static_gas) + " gas");
+  }
+  return report;
+}
+
+[[maybe_unused]] const int kRegistered = RegisterBench(
+    "leaderboard", "Scenario lab: policy x scenario Gas/regret matrix", Run);
+
+}  // namespace

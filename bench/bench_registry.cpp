@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 namespace grub::bench {
 
@@ -95,6 +97,10 @@ telemetry::BenchReport RunBench(const BenchInfo& info,
 std::string WriteReportFile(
     const std::string& dir, const std::string& stem,
     const std::vector<telemetry::BenchReport>& reports) {
+  if (!dir.empty() && dir != ".") {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best-effort; open reports
+  }
   const std::string path =
       (dir.empty() || dir == "." ? std::string() : dir + "/") + "BENCH_" +
       stem + ".json";

@@ -50,6 +50,19 @@ diff /tmp/grub_gas_default.txt /tmp/grub_gas_nofaults.txt
   > /tmp/grub_gas_dormant.txt
 diff /tmp/grub_gas_default.txt /tmp/grub_gas_dormant.txt
 
+# Price-schedule identity: the unit (constant 1.0x) schedule must be
+# byte-identical to running with no schedule at all — the chain skips the
+# surcharge branch entirely, and the report prints no price: line. Text AND
+# JSON documents are compared whole.
+echo "=== gas identity: --price constant vs no schedule ==="
+./build/tools/grubctl "${BENCH_ARGS[@]}" --price constant \
+  > /tmp/grub_gas_price_const.txt
+diff /tmp/grub_gas_default.txt /tmp/grub_gas_price_const.txt
+./build/tools/grubctl "${BENCH_ARGS[@]}" --json > /tmp/grub_gas_default.json
+./build/tools/grubctl "${BENCH_ARGS[@]}" --price constant --json \
+  > /tmp/grub_gas_price_const.json
+cmp /tmp/grub_gas_default.json /tmp/grub_gas_price_const.json
+
 # Quorum identity: an honest multi-SP deployment must not move a single Gas
 # number relative to the classic single-SP feed, in the default AND the
 # GRUB_FAULTS=OFF build — standby replicas cost nothing until a failover
@@ -152,6 +165,32 @@ sed 's/"gas_total":\([0-9]*\)/"gas_total":9\1/' \
 if ./build/bench/grub-bench --compare bench/baselines/BENCH_quick.json \
     /tmp/grub_quick_bench/tampered.json > /dev/null; then
   echo "quick-bench self-check FAILED: comparator accepted a tampered report"
+  exit 1
+fi
+
+# Leaderboard gate: the policy x scenario matrix at the pinned quick scale.
+# The bench itself asserts the adaptive strict win (a price-tracking policy
+# must beat every static-K policy on the reprice scenario) and exits non-zero
+# otherwise; on top of that the artifact must be byte-identical across
+# repeated runs and Gas-exact against the checked-in baseline. Refresh with:
+#   ./build/bench/grub-bench --only leaderboard --quick --no-timing \
+#       --out-dir bench/baselines
+echo "=== leaderboard gate: quick matrix + adaptive strict win ==="
+rm -rf /tmp/grub_leaderboard /tmp/grub_leaderboard2
+./build/bench/grub-bench --only leaderboard --quick --no-timing \
+  --out-dir /tmp/grub_leaderboard > /tmp/grub_leaderboard_run.log
+echo "=== leaderboard gate: byte-identical across repeated runs ==="
+./build/bench/grub-bench --only leaderboard --quick --no-timing \
+  --out-dir /tmp/grub_leaderboard2 > /dev/null
+cmp /tmp/grub_leaderboard/BENCH_leaderboard.json \
+  /tmp/grub_leaderboard2/BENCH_leaderboard.json
+echo "=== leaderboard gate: Gas-exact compare vs bench/baselines ==="
+if ! ./build/bench/grub-bench --compare bench/baselines/BENCH_leaderboard.json \
+    /tmp/grub_leaderboard/BENCH_leaderboard.json; then
+  echo "leaderboard gate FAILED: Gas moved vs bench/baselines/BENCH_leaderboard.json."
+  echo "If the change is intentional, refresh the baseline:"
+  echo "  ./build/bench/grub-bench --only leaderboard --quick --no-timing --out-dir bench/baselines"
+  echo "and commit it together with the change that moved the numbers."
   exit 1
 fi
 

@@ -218,6 +218,29 @@ Receipt Blockchain::ExecuteTransaction(Transaction& tx,
   }
 
   call_history_[call_record_index].ok = receipt.status.ok();
+
+  // Dynamic pricing: the block's schedule charges a non-negative surcharge on
+  // top of the Table 2 meter. sstore insert/update take the storage
+  // multiplier; everything else (tx base, calldata, sload, hash, LOG, other)
+  // takes the exec multiplier. The unit schedule skips the branch entirely,
+  // keeping legacy runs byte-identical. Metered via ChargeOther so the
+  // surcharge flows through receipts, per-contract totals, and reorg rollback
+  // exactly like any other charge, and attributed to kPriceShift so the
+  // matrix still provably sums.
+  const PricePoint price = params_.price.At(block_number);
+  if (!price.IsUnit()) {
+    const GasBreakdown& base = meter.Breakdown();
+    const uint64_t storage_gas = base.storage_insert + base.storage_update;
+    const uint64_t exec_gas = meter.Used() - storage_gas;
+    const uint64_t surcharge =
+        exec_gas * (price.exec_milli - 1000) / 1000 +
+        storage_gas * (price.storage_milli - 1000) / 1000;
+    if (surcharge != 0) {
+      telemetry::Span price_span(telemetry::GasCause::kPriceShift);
+      meter.ChargeOther(surcharge);
+    }
+  }
+
   receipt.gas_used = meter.Used();
   receipt.breakdown = meter.Breakdown();
   total_breakdown_ += meter.Breakdown();

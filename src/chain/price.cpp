@@ -1,0 +1,230 @@
+#include "chain/price.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace grub::chain {
+namespace {
+
+// splitmix64: deterministic per-window mixer for the regime kind. Chosen for
+// strong avalanche on sequential inputs with zero state — At(block) stays a
+// pure function.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Splits "a,b,c" into decimal uint64 fields. Returns false on any
+// non-numeric or empty field.
+bool SplitU64(const std::string& body, std::vector<uint64_t>* out) {
+  out->clear();
+  std::stringstream ss(body);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    if (field.empty()) return false;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return false;
+    out->push_back(static_cast<uint64_t>(v));
+  }
+  return !out->empty();
+}
+
+Status BadSpec(const std::string& spec, const std::string& why) {
+  return Status::InvalidArgument("bad price spec '" + spec + "': " + why);
+}
+
+}  // namespace
+
+GasPriceSchedule GasPriceSchedule::Constant(uint64_t exec_milli,
+                                            uint64_t storage_milli) {
+  GasPriceSchedule s;
+  s.kind_ = Kind::kConstant;
+  s.exec_milli_ = exec_milli;
+  s.storage_milli_ = storage_milli;
+  return s;
+}
+
+GasPriceSchedule GasPriceSchedule::Step(uint64_t start_block, uint64_t length,
+                                        uint64_t exec_milli,
+                                        uint64_t storage_milli) {
+  GasPriceSchedule s;
+  s.kind_ = Kind::kStep;
+  s.start_block_ = start_block;
+  s.length_ = length;
+  s.exec_milli_ = exec_milli;
+  s.storage_milli_ = storage_milli;
+  return s;
+}
+
+GasPriceSchedule GasPriceSchedule::Ramp(uint64_t start_block, uint64_t length,
+                                        uint64_t exec_milli,
+                                        uint64_t storage_milli) {
+  GasPriceSchedule s;
+  s.kind_ = Kind::kRamp;
+  s.start_block_ = start_block;
+  s.length_ = length == 0 ? 1 : length;
+  s.exec_milli_ = exec_milli;
+  s.storage_milli_ = storage_milli;
+  return s;
+}
+
+GasPriceSchedule GasPriceSchedule::Square(uint64_t period, uint64_t exec_milli,
+                                          uint64_t storage_milli) {
+  GasPriceSchedule s;
+  s.kind_ = Kind::kSquare;
+  s.period_ = period == 0 ? 1 : period;
+  s.exec_milli_ = exec_milli;
+  s.storage_milli_ = storage_milli;
+  return s;
+}
+
+GasPriceSchedule GasPriceSchedule::Regime(uint64_t seed, uint64_t period,
+                                          uint64_t exec_milli,
+                                          uint64_t storage_milli) {
+  GasPriceSchedule s;
+  s.kind_ = Kind::kRegime;
+  s.seed_ = seed;
+  s.period_ = period == 0 ? 1 : period;
+  s.exec_milli_ = exec_milli;
+  s.storage_milli_ = storage_milli;
+  return s;
+}
+
+Result<GasPriceSchedule> GasPriceSchedule::Parse(const std::string& spec) {
+  std::string kind = spec;
+  std::string body;
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    kind = spec.substr(0, colon);
+    body = spec.substr(colon + 1);
+  }
+
+  std::vector<uint64_t> f;
+  if (!body.empty() && !SplitU64(body, &f)) {
+    return BadSpec(spec, "fields must be comma-separated decimal integers");
+  }
+
+  GasPriceSchedule out;
+  if (kind == "constant") {
+    if (f.size() > 2) return BadSpec(spec, "constant takes at most E,S");
+    out = Constant(f.size() >= 1 ? f[0] : 1000, f.size() >= 2 ? f[1] : 1000);
+  } else if (kind == "step") {
+    if (f.size() != 4) return BadSpec(spec, "step needs START,LEN,E,S");
+    out = Step(f[0], f[1], f[2], f[3]);
+  } else if (kind == "ramp") {
+    if (f.size() != 4) return BadSpec(spec, "ramp needs START,LEN,E,S");
+    if (f[1] == 0) return BadSpec(spec, "ramp LEN must be positive");
+    out = Ramp(f[0], f[1], f[2], f[3]);
+  } else if (kind == "square") {
+    if (f.size() != 3) return BadSpec(spec, "square needs PERIOD,E,S");
+    if (f[0] == 0) return BadSpec(spec, "square PERIOD must be positive");
+    out = Square(f[0], f[1], f[2]);
+  } else if (kind == "regime") {
+    if (f.size() != 4) return BadSpec(spec, "regime needs SEED,PERIOD,E,S");
+    if (f[1] == 0) return BadSpec(spec, "regime PERIOD must be positive");
+    out = Regime(f[0], f[1], f[2], f[3]);
+  } else {
+    return BadSpec(spec, "unknown kind '" + kind + "'");
+  }
+
+  if (out.exec_milli_ < 1000 || out.storage_milli_ < 1000) {
+    return BadSpec(spec,
+                   "multipliers are normalized to the trough: milli >= 1000");
+  }
+  return out;
+}
+
+PricePoint GasPriceSchedule::At(uint64_t block) const {
+  PricePoint p;
+  switch (kind_) {
+    case Kind::kConstant:
+      p.exec_milli = exec_milli_;
+      p.storage_milli = storage_milli_;
+      break;
+    case Kind::kStep: {
+      const bool inside =
+          block >= start_block_ &&
+          (length_ == 0 || block < start_block_ + length_);
+      if (inside) {
+        p.exec_milli = exec_milli_;
+        p.storage_milli = storage_milli_;
+      }
+      break;
+    }
+    case Kind::kRamp: {
+      if (block >= start_block_) {
+        const uint64_t into = block - start_block_;
+        if (into >= length_) {
+          p.exec_milli = exec_milli_;
+          p.storage_milli = storage_milli_;
+        } else {
+          // Linear interpolation 1000 -> target across [0, length_).
+          p.exec_milli = 1000 + (exec_milli_ - 1000) * into / length_;
+          p.storage_milli = 1000 + (storage_milli_ - 1000) * into / length_;
+        }
+      }
+      break;
+    }
+    case Kind::kSquare: {
+      if ((block / period_) % 2 == 1) {
+        p.exec_milli = exec_milli_;
+        p.storage_milli = storage_milli_;
+      }
+      break;
+    }
+    case Kind::kRegime: {
+      const uint64_t window = block / period_;
+      if (Mix64(seed_ ^ window) & 1) {
+        p.exec_milli = exec_milli_;
+        p.storage_milli = storage_milli_;
+      }
+      break;
+    }
+  }
+  return p;
+}
+
+std::string GasPriceSchedule::Describe() const {
+  char buf[128];
+  switch (kind_) {
+    case Kind::kConstant:
+      std::snprintf(buf, sizeof(buf), "constant:%llu,%llu",
+                    static_cast<unsigned long long>(exec_milli_),
+                    static_cast<unsigned long long>(storage_milli_));
+      break;
+    case Kind::kStep:
+      std::snprintf(buf, sizeof(buf), "step:%llu,%llu,%llu,%llu",
+                    static_cast<unsigned long long>(start_block_),
+                    static_cast<unsigned long long>(length_),
+                    static_cast<unsigned long long>(exec_milli_),
+                    static_cast<unsigned long long>(storage_milli_));
+      break;
+    case Kind::kRamp:
+      std::snprintf(buf, sizeof(buf), "ramp:%llu,%llu,%llu,%llu",
+                    static_cast<unsigned long long>(start_block_),
+                    static_cast<unsigned long long>(length_),
+                    static_cast<unsigned long long>(exec_milli_),
+                    static_cast<unsigned long long>(storage_milli_));
+      break;
+    case Kind::kSquare:
+      std::snprintf(buf, sizeof(buf), "square:%llu,%llu,%llu",
+                    static_cast<unsigned long long>(period_),
+                    static_cast<unsigned long long>(exec_milli_),
+                    static_cast<unsigned long long>(storage_milli_));
+      break;
+    case Kind::kRegime:
+      std::snprintf(buf, sizeof(buf), "regime:%llu,%llu,%llu,%llu",
+                    static_cast<unsigned long long>(seed_),
+                    static_cast<unsigned long long>(period_),
+                    static_cast<unsigned long long>(exec_milli_),
+                    static_cast<unsigned long long>(storage_milli_));
+      break;
+  }
+  return buf;
+}
+
+}  // namespace grub::chain

@@ -1,0 +1,103 @@
+// Time-varying gas pricing: the scenario lab's non-stationary cost model.
+//
+// The paper's analysis (and everything in src/tier and src/grub/policy)
+// assumes the Table 2 gas costs are constants. Real chains reprice: fee
+// spikes, storage repricing hard forks, congestion regimes. A
+// GasPriceSchedule maps a block number to a pair of multipliers, in milli
+// (1000 = 1.0x):
+//
+//   * exec_milli    — scales every non-storage-write charge (tx base,
+//                     calldata, sload, hash, LOG): the "gas price" part that
+//                     moves C_read_off;
+//   * storage_milli — scales sstore insert/update: the storage-repricing
+//                     part that moves C_update.
+//
+// Splitting the two is what makes the optimal replication threshold
+// K = C_update / C_read_off genuinely time-varying — a uniform multiplier
+// would leave every break-even ratio untouched.
+//
+// Normalized-trough invariant: every multiplier is >= 1000. The base
+// schedule is the schedule's cheapest point, so the chain applies the
+// schedule as a non-negative SURCHARGE on top of the Table 2 meter (attributed
+// to GasCause::kPriceShift) and the attribution matrix still provably sums.
+// Parse() rejects specs below 1000.
+//
+// Determinism: At(block) is a pure function of (spec, block) — the regime
+// kind derives its per-window choice from a seeded integer hash, never from
+// wall clock or global RNG state — so same spec + same trace reproduces the
+// identical gas sequence byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace grub::chain {
+
+/// Effective price multipliers at one block, in milli (1000 = 1.0x).
+struct PricePoint {
+  uint64_t exec_milli = 1000;
+  uint64_t storage_milli = 1000;
+
+  bool IsUnit() const { return exec_milli == 1000 && storage_milli == 1000; }
+};
+
+class GasPriceSchedule {
+ public:
+  enum class Kind : uint8_t {
+    kConstant,  // constant[:E[,S]]          fixed multipliers
+    kStep,      // step:START,LEN,E,S        spike window [START, START+LEN)
+                //                           (LEN 0 = until the end of time)
+    kRamp,      // ramp:START,LEN,E,S        linear 1000 -> target over LEN
+                //                           blocks from START, then holds
+    kSquare,    // square:PERIOD,E,S         alternate base/target each PERIOD
+    kRegime,    // regime:SEED,PERIOD,E,S    seeded hash picks base or target
+                //                           per PERIOD-block window
+  };
+
+  /// The identity schedule: constant 1.0x, byte-identical gas to a build
+  /// without any schedule (the chain takes no surcharge branch).
+  GasPriceSchedule() = default;
+
+  static GasPriceSchedule Constant(uint64_t exec_milli = 1000,
+                                   uint64_t storage_milli = 1000);
+  static GasPriceSchedule Step(uint64_t start_block, uint64_t length,
+                               uint64_t exec_milli, uint64_t storage_milli);
+  static GasPriceSchedule Ramp(uint64_t start_block, uint64_t length,
+                               uint64_t exec_milli, uint64_t storage_milli);
+  static GasPriceSchedule Square(uint64_t period, uint64_t exec_milli,
+                                 uint64_t storage_milli);
+  static GasPriceSchedule Regime(uint64_t seed, uint64_t period,
+                                 uint64_t exec_milli, uint64_t storage_milli);
+
+  /// Parses the spec grammar above. Every multiplier must be >= 1000
+  /// (normalized trough) and PERIOD/LEN fields positive where required.
+  static Result<GasPriceSchedule> Parse(const std::string& spec);
+
+  /// Effective multipliers at `block` — pure and O(1).
+  PricePoint At(uint64_t block) const;
+
+  /// True iff this is the identity schedule (constant 1.0x/1.0x): the chain
+  /// skips the surcharge path entirely, keeping legacy runs byte-identical.
+  bool IsUnit() const {
+    return kind_ == Kind::kConstant && exec_milli_ == 1000 &&
+           storage_milli_ == 1000;
+  }
+
+  Kind kind() const { return kind_; }
+
+  /// Canonical spec string (round-trips through Parse).
+  std::string Describe() const;
+
+ private:
+  Kind kind_ = Kind::kConstant;
+  uint64_t exec_milli_ = 1000;     // target/peak exec multiplier
+  uint64_t storage_milli_ = 1000;  // target/peak storage multiplier
+  uint64_t start_block_ = 0;       // step/ramp
+  uint64_t length_ = 0;            // step (0 = open-ended) / ramp
+  uint64_t period_ = 0;            // square/regime
+  uint64_t seed_ = 0;              // regime
+};
+
+}  // namespace grub::chain

@@ -9,6 +9,7 @@
 #include "common/hash256.h"
 #include "common/status.h"
 #include "chain/gas.h"
+#include "chain/price.h"
 
 namespace grub::chain {
 
@@ -104,6 +105,11 @@ struct ChainParams {
   /// meaningful with a fault injector attached.
   uint64_t reorg_depth = 1;
   GasSchedule gas;
+  /// Block-granular price multipliers applied on top of `gas` as a
+  /// non-negative surcharge (GasCause::kPriceShift). The default is the unit
+  /// schedule, which the chain detects and skips — Gas stays byte-identical
+  /// to a build that predates dynamic pricing.
+  GasPriceSchedule price;
 };
 
 // --- fault-injection receipt markers ---

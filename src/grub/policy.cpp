@@ -176,38 +176,200 @@ std::string AdaptiveKPolicy::CounterState(const Bytes& key) const {
   return RenderAdaptiveState(s->recent_read_runs, s->reads_since_write);
 }
 
+// --- WindowedKPolicy / PriceEwmaPolicy shared chassis ---
+
+namespace {
+
+/// One Algorithm-2 step with the threshold re-read per decision: cumulative
+/// counters, hysteresis D=1, and the §3.1 counter resets on each flip so a
+/// price regime costs one flip per key at its boundary, not per write.
+/// Returns true when the key's state flipped.
+template <typename State>
+bool PricedMemorizingStep(State& s, OpType type, double k_eff) {
+  const ads::ReplState old_state = s.state;
+  if (type == OpType::kWrite) {
+    s.w_count += 1;
+  } else {
+    s.r_count += 1;
+  }
+  if (s.state == ads::ReplState::kNR &&
+      s.w_count * k_eff + 1.0 <= s.r_count) {
+    s.state = ads::ReplState::kR;
+    s.w_count = 0;
+    s.r_count = 1.0;
+  } else if (s.state == ads::ReplState::kR &&
+             s.w_count * k_eff - 1.0 >= s.r_count) {
+    s.state = ads::ReplState::kNR;
+    s.r_count = 0;
+    s.w_count = k_eff > 0 ? 1.0 / k_eff : 0;
+  }
+  return s.state != old_state;
+}
+
+template <typename State>
+std::string RenderPricedCounters(const State& s, double k_eff) {
+  return "r=" + FormatParam(s.r_count) + ",w=" + FormatParam(s.w_count) +
+         ",K_eff=" + FormatParam(k_eff);
+}
+
+}  // namespace
+
+// --- WindowedKPolicy ---
+
+double WindowedKPolicy::CurrentK() const {
+  if (recent_ratios_.empty()) return base_k_;
+  double sum = 0;
+  for (double r : recent_ratios_) sum += r;
+  return base_k_ * (sum / static_cast<double>(recent_ratios_.size()));
+}
+
+void WindowedKPolicy::ObservePrice(uint64_t exec_milli, uint64_t storage_milli,
+                                   uint64_t block) {
+  (void)block;
+  recent_ratios_.push_back(static_cast<double>(storage_milli) /
+                           static_cast<double>(exec_milli));
+  if (recent_ratios_.size() > window_) recent_ratios_.pop_front();
+}
+
+void WindowedKPolicy::Observe(const workload::Operation& op) {
+  State& s = states_.At(op.key);
+  const State before = s;
+  const double k_eff = CurrentK();
+  if (PricedMemorizingStep(s, op.type, k_eff) && audit_) {
+    audit_before_ = RenderPricedCounters(before, k_eff);
+    audit_after_ = RenderPricedCounters(s, k_eff);
+  }
+}
+
+ads::ReplState WindowedKPolicy::StateOf(const Bytes& key) const {
+  const State* s = states_.Find(key);
+  return s == nullptr ? ads::ReplState::kNR : s->state;
+}
+
+std::string WindowedKPolicy::Name() const {
+  return "windowed-K(K0=" + FormatParam(base_k_) +
+         ",window=" + std::to_string(window_) + ")";
+}
+
+std::string WindowedKPolicy::CounterState(const Bytes& key) const {
+  const State* s = states_.Find(key);
+  return RenderPricedCounters(s == nullptr ? State{} : *s, CurrentK());
+}
+
+// --- PriceEwmaPolicy ---
+
+double PriceEwmaPolicy::CurrentK() const {
+  if (detector_.Samples() == 0) return base_k_;
+  return base_k_ * detector_.Ewma();
+}
+
+void PriceEwmaPolicy::ObservePrice(uint64_t exec_milli, uint64_t storage_milli,
+                                   uint64_t block) {
+  (void)block;
+  detector_.Update(static_cast<double>(storage_milli) /
+                   static_cast<double>(exec_milli));
+}
+
+void PriceEwmaPolicy::Observe(const workload::Operation& op) {
+  State& s = states_.At(op.key);
+  const State before = s;
+  const double k_eff = CurrentK();
+  if (PricedMemorizingStep(s, op.type, k_eff) && audit_) {
+    audit_before_ = RenderPricedCounters(before, k_eff);
+    audit_after_ = RenderPricedCounters(s, k_eff);
+  }
+}
+
+ads::ReplState PriceEwmaPolicy::StateOf(const Bytes& key) const {
+  const State* s = states_.Find(key);
+  return s == nullptr ? ads::ReplState::kNR : s->state;
+}
+
+std::string PriceEwmaPolicy::Name() const {
+  return "price-ewma(K0=" + FormatParam(base_k_) +
+         ",alpha=" + FormatParam(alpha_) + ")";
+}
+
+std::string PriceEwmaPolicy::CounterState(const Bytes& key) const {
+  const State* s = states_.Find(key);
+  return RenderPricedCounters(s == nullptr ? State{} : *s, CurrentK());
+}
+
 // --- OfflineOptimalPolicy ---
 
 OfflineOptimalPolicy::OfflineOptimalPolicy(const workload::Trace& trace,
-                                           double break_even_reads) {
-  // First pass: reads following each write, per key.
-  KeyMap<std::vector<uint64_t>> read_runs;
-  KeyMap<uint64_t> open_run;  // reads since the last write, per key
+                                           double break_even_reads)
+    : OfflineOptimalPolicy(trace, break_even_reads, PriceReplayModel{}) {}
+
+OfflineOptimalPolicy::OfflineOptimalPolicy(const workload::Trace& trace,
+                                           double break_even_reads,
+                                           const PriceReplayModel& model) {
+  priced_ = model.Active();
+
+  // First pass: per key, the reads following each write — as a count AND as
+  // an exec-price-weighted sum (each read weighted by exec_milli/1000 at its
+  // replayed block), plus the write's own op index so the decision can price
+  // its replication cost at the write block's storage multiplier. With an
+  // inactive model weight == count and every storage ratio is 1, so the
+  // priced decision degenerates to `reads >= break_even_reads` exactly.
+  struct OpenRun {
+    uint64_t reads = 0;
+    double exec_weight = 0.0;
+  };
+  struct WriteRun {
+    uint64_t reads = 0;
+    double exec_weight = 0.0;
+    size_t write_index = 0;
+  };
+  KeyMap<std::vector<WriteRun>> read_runs;
+  KeyMap<OpenRun> open_run;  // reads since the last write, per key
   KeyMap<bool> has_open_write;
 
-  for (const auto& op : trace) {
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const auto& op = trace[i];
     if (op.type == OpType::kWrite) {
       if (has_open_write[op.key]) {
-        read_runs[op.key].push_back(open_run[op.key]);
+        auto& runs = read_runs[op.key];
+        runs.back().reads = open_run[op.key].reads;
+        runs.back().exec_weight = open_run[op.key].exec_weight;
       }
       has_open_write[op.key] = true;
-      open_run[op.key] = 0;
+      open_run[op.key] = OpenRun{};
+      read_runs[op.key].push_back(WriteRun{.write_index = i});
     } else {
-      open_run[op.key] += 1;
+      OpenRun& run = open_run[op.key];
+      run.reads += 1;
+      run.exec_weight +=
+          priced_ ? static_cast<double>(
+                        model.schedule->At(model.BlockOf(i)).exec_milli) /
+                        1000.0
+                  : 1.0;
     }
   }
   for (auto& [key, open] : has_open_write) {
-    if (open) read_runs[key].push_back(open_run[key]);
+    if (open) {
+      auto& runs = read_runs[key];
+      runs.back().reads = open_run[key].reads;
+      runs.back().exec_weight = open_run[key].exec_weight;
+    }
   }
 
-  // Decision per write: replicate iff the following reads repay it.
+  // Decision per write: replicate iff the following reads (at their prices)
+  // repay the replication cost (at the write's price).
   for (auto& [key, runs] : read_runs) {
     State s;
     s.decisions.reserve(runs.size());
-    for (uint64_t reads : runs) {
-      s.decisions.push_back(static_cast<double>(reads) >= break_even_reads
-                                ? ads::ReplState::kR
-                                : ads::ReplState::kNR);
+    for (const WriteRun& run : runs) {
+      const double storage_ratio =
+          priced_ ? static_cast<double>(
+                        model.schedule->At(model.BlockOf(run.write_index))
+                            .storage_milli) /
+                        1000.0
+                  : 1.0;
+      s.decisions.push_back(
+          run.exec_weight >= break_even_reads * storage_ratio
+              ? ads::ReplState::kR
+              : ads::ReplState::kNR);
     }
     states_.At(key) = std::move(s);
   }

@@ -23,13 +23,16 @@
 //    degenerate policies, so every feed variant shares one mechanism.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "ads/record.h"
+#include "chain/price.h"
 #include "shard/arena.h"
+#include "telemetry/sketch.h"
 #include "tier/tier.h"
 #include "workload/trace.h"
 
@@ -66,6 +69,19 @@ class ReplicationPolicy {
   /// policies keep their own counters).
   virtual void BindWorkloadMonitor(const telemetry::WorkloadMonitor* monitor) {
     (void)monitor;
+  }
+
+  /// Observes the chain's effective gas-price multipliers (milli, >= 1000).
+  /// The control plane feeds this between read groups ONLY when a non-unit
+  /// GasPriceSchedule is active, so constant-price runs never take the call
+  /// and stay byte-identical. Online re-estimating policies (WindowedKPolicy,
+  /// PriceEwmaPolicy) track the storage/exec ratio here; everyone else
+  /// ignores it.
+  virtual void ObservePrice(uint64_t exec_milli, uint64_t storage_milli,
+                            uint64_t block) {
+    (void)exec_milli;
+    (void)storage_milli;
+    (void)block;
   }
 
   /// Self-describing name: policy family plus the parameters that govern its
@@ -214,15 +230,125 @@ class AdaptiveK2Policy : public AdaptiveKPolicy {
       : AdaptiveKPolicy(threshold, window, /*repeat_hypothesis=*/false) {}
 };
 
+/// Online re-estimating policy #1: memorizing structure (Algorithm 2's
+/// cumulative per-key read/write counters, hysteresis D=1) with a
+/// price-scaled threshold re-derived on every decision as
+///   K_eff = K0 * mean(storage_milli / exec_milli)
+/// over the last `window` price observations — the windowed estimate of the
+/// CURRENT Eq. 1 break-even under a time-varying schedule. The memorizing
+/// chassis matters: replicas survive writes, so a price regime only costs
+/// one flip per key at its boundary instead of an insert/evict round-trip
+/// per write cycle. Under a constant (unit) schedule the control plane never
+/// feeds ObservePrice, so the policy is exactly memorizing(K'=K0, D=1).
+class WindowedKPolicy : public ReplicationPolicy {
+ public:
+  explicit WindowedKPolicy(double base_k, size_t window = 8)
+      : base_k_(base_k), window_(window == 0 ? 1 : window) {}
+
+  void Observe(const workload::Operation& op) override;
+  void ObservePrice(uint64_t exec_milli, uint64_t storage_milli,
+                    uint64_t block) override;
+  ads::ReplState StateOf(const Bytes& key) const override;
+  std::string Name() const override;
+  std::string CounterState(const Bytes& key) const override;
+  void BindShards(const shard::ShardMap* map) override { states_.Bind(map); }
+  std::vector<size_t> ArenaSizes() const override {
+    return ArenaSizesOf(states_);
+  }
+
+  /// The threshold currently in force (K0 until the first observation).
+  double CurrentK() const;
+
+ private:
+  struct State {
+    double r_count = 0;
+    double w_count = 0;
+    ads::ReplState state = ads::ReplState::kNR;
+  };
+  double base_k_;
+  size_t window_;
+  std::deque<double> recent_ratios_;  // storage_milli / exec_milli
+  shard::ShardedArena<State> states_;
+};
+
+/// Online re-estimating policy #2: the same memorizing structure, but the
+/// break-even ratio is tracked by the PR-7 observatory's EWMA drift detector
+/// (telemetry::EwmaDriftDetector) instead of a sliding window —
+///   K_eff = K0 * Ewma(storage_milli / exec_milli).
+/// Smoother than WindowedKPolicy on noisy regime schedules, slower to turn on
+/// sharp steps; the leaderboard scores both. Behaves as memorizing(K'=K0,
+/// D=1) until the first price observation.
+class PriceEwmaPolicy : public ReplicationPolicy {
+ public:
+  explicit PriceEwmaPolicy(double base_k, double alpha = 0.25)
+      : base_k_(base_k), alpha_(alpha), detector_(alpha) {}
+
+  void Observe(const workload::Operation& op) override;
+  void ObservePrice(uint64_t exec_milli, uint64_t storage_milli,
+                    uint64_t block) override;
+  ads::ReplState StateOf(const Bytes& key) const override;
+  std::string Name() const override;
+  std::string CounterState(const Bytes& key) const override;
+  void BindShards(const shard::ShardMap* map) override { states_.Bind(map); }
+  std::vector<size_t> ArenaSizes() const override {
+    return ArenaSizesOf(states_);
+  }
+
+  double CurrentK() const;
+  /// Drift events flagged by the underlying detector (regime-shift count).
+  uint64_t DriftCount() const { return detector_.DriftCount(); }
+
+ private:
+  struct State {
+    double r_count = 0;
+    double w_count = 0;
+    ads::ReplState state = ads::ReplState::kNR;
+  };
+  double base_k_;
+  double alpha_;
+  telemetry::EwmaDriftDetector detector_;
+  shard::ShardedArena<State> states_;
+};
+
+/// Maps trace op index -> block number so the clairvoyant oracle can replay
+/// a GasPriceSchedule: block(i) = start_block + i * blocks_per_op. The
+/// control plane drives ~ops_per_tx ops per transaction and a read group
+/// costs a request + deliver + callback round, so the driver supplies the
+/// observed blocks-per-op slope of its own loop. Approximate by construction
+/// (ops within one transaction share a block) — documented in DESIGN.md §10.
+struct PriceReplayModel {
+  const chain::GasPriceSchedule* schedule = nullptr;
+  uint64_t start_block = 0;
+  double blocks_per_op = 0.0;
+
+  bool Active() const {
+    return schedule != nullptr && !schedule->IsUnit() && blocks_per_op > 0.0;
+  }
+  uint64_t BlockOf(size_t op_index) const {
+    return start_block +
+           static_cast<uint64_t>(static_cast<double>(op_index) * blocks_per_op);
+  }
+};
+
 class OfflineOptimalPolicy : public ReplicationPolicy {
  public:
   /// Inspects the whole trace up front. `break_even_reads` is the number of
   /// off-chain reads whose cost equals one on-chain replication (Eq. 1's K).
   OfflineOptimalPolicy(const workload::Trace& trace, double break_even_reads);
 
+  /// Price-aware variant: replays `model`'s schedule over the trace so each
+  /// write's decision weighs its reads at THEIR blocks' exec price against
+  /// the replication cost at the WRITE's block's storage price:
+  ///   replicate iff  sum_j exec(b_j)/1000  >=  K * storage(b_w)/1000.
+  /// With an inactive model this is exactly the static constructor.
+  OfflineOptimalPolicy(const workload::Trace& trace, double break_even_reads,
+                       const PriceReplayModel& model);
+
   void Observe(const workload::Operation& op) override;
   ads::ReplState StateOf(const Bytes& key) const override;
-  std::string Name() const override { return "offline-optimal"; }
+  std::string Name() const override {
+    return priced_ ? "offline-optimal(priced)" : "offline-optimal";
+  }
   std::string CounterState(const Bytes& key) const override;
   void BindShards(const shard::ShardMap* map) override { states_.Bind(map); }
   std::vector<size_t> ArenaSizes() const override {
@@ -235,6 +361,7 @@ class OfflineOptimalPolicy : public ReplicationPolicy {
     size_t next_write = 0;
     ads::ReplState state = ads::ReplState::kNR;
   };
+  bool priced_ = false;
   shard::ShardedArena<State> states_;
 };
 

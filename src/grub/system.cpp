@@ -162,10 +162,22 @@ std::string GrubSystem::PlacementJson() const {
   return json;
 }
 
+PriceReplayModel GrubSystem::OracleReplayModel() const {
+  PriceReplayModel model;
+  model.schedule = &options_.chain_params.price;
+  model.start_block = chain_.CurrentBlockNumber();
+  // ~3 mined blocks per driven group: consumer run + deliver + the epoch
+  // update amortized over its groups.
+  model.blocks_per_op =
+      3.0 / static_cast<double>(options_.ops_per_tx == 0 ? 1
+                                                         : options_.ops_per_tx);
+  return model;
+}
+
 void GrubSystem::EnableWorkloadOracle(const workload::Trace& trace) {
   if (workload_ == nullptr) return;
   oracle_ = std::make_unique<OfflineOptimalPolicy>(
-      trace, BreakEvenK(options_.chain_params.gas));
+      trace, BreakEvenK(options_.chain_params.gas), OracleReplayModel());
 }
 
 void GrubSystem::SetWatch(uint64_t every_blocks, std::ostream* out) {
@@ -240,8 +252,19 @@ std::vector<EpochGas> GrubSystem::Drive(const workload::Trace& trace) {
   size_t groups_in_epoch = 0;
   size_t ops_in_epoch = 0;
 
+  // Under a non-unit schedule the policy hears the going price once per read
+  // group (its online view of the chain's fee market). Constant-price runs
+  // never take this branch — byte-identical to the pre-scenario driver.
+  const bool dynamic_price = !options_.chain_params.price.IsUnit();
+
   auto close_group = [&] {
     FlushReadGroup();
+    if (dynamic_price) {
+      const uint64_t block = chain_.CurrentBlockNumber();
+      const chain::PricePoint p = options_.chain_params.price.At(block);
+      do_client_->MutablePolicy().ObservePrice(p.exec_milli, p.storage_milli,
+                                               block);
+    }
     ops_in_group = 0;
     groups_in_epoch += 1;
   };
@@ -278,8 +301,16 @@ std::vector<EpochGas> GrubSystem::Drive(const workload::Trace& trace) {
       shard_heat = workload_->ShardHeat(block);
     }
     if (telemetry_ != nullptr) {
+      telemetry::EpochPrice price;
+      if (dynamic_price) {
+        const chain::PricePoint p =
+            options_.chain_params.price.At(chain_.CurrentBlockNumber());
+        price.valid = true;
+        price.exec_milli = p.exec_milli;
+        price.storage_milli = p.storage_milli;
+      }
       telemetry_->CloseEpoch(ops_in_epoch, do_client_->LastEpochTouchedShards(),
-                             std::move(shard_heat));
+                             std::move(shard_heat), price);
     }
     epoch_start_gas = chain_.TotalGasUsed();
     epoch_start_breakdown = chain_.TotalBreakdown();

@@ -193,8 +193,17 @@ class GrubSystem {
   /// oracle would pay feeds WorkloadMonitor::OnOracleFlip (scans are skipped,
   /// matching the trace-summary regret baseline — the oracle only flips at
   /// point observations). Call before each Drive pass over the same trace;
-  /// no-op when the monitor is off.
+  /// no-op when the monitor is off. Under a non-unit GasPriceSchedule the
+  /// oracle replay is price-aware (see OracleReplayModel), so streamed regret
+  /// stays correct under non-stationary prices.
   void EnableWorkloadOracle(const workload::Trace& trace);
+
+  /// The op -> block model price-aware oracles replay the schedule with,
+  /// anchored at the chain's current block. blocks_per_op is the driving
+  /// loop's approximate slope: ~3 mined blocks per `ops_per_tx`-op group
+  /// (consumer run + deliver + amortized epoch update) — approximate by
+  /// construction, documented in DESIGN.md §10.
+  PriceReplayModel OracleReplayModel() const;
 
   /// Streams one WorkloadMonitor JSONL snapshot to `out` every
   /// `every_blocks` blocks during Drive (the grubctl --watch stream). Pass

@@ -1,0 +1,251 @@
+#include "lab/leaderboard.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+#include "telemetry/workload_monitor.h"
+#include "workload/trace.h"
+
+namespace grub::lab {
+namespace {
+
+constexpr const char* kStaticCamp[] = {"bl1", "bl2", "memoryless-2",
+                                       "memoryless-8"};
+constexpr const char* kAdaptiveCamp[] = {"windowed-k", "price-ewma"};
+
+bool InCamp(const std::string& id, const char* const* camp, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (id == camp[i]) return true;
+  }
+  return false;
+}
+
+/// One full system run of `policy_id` under `plan`; fills every cell column.
+LeaderboardCell RunCell(const ScenarioPlan& plan, const std::string& policy_id) {
+  LeaderboardCell cell;
+  cell.scenario = plan.scenario->name;
+  cell.policy = policy_id;
+
+  auto policy = MakeLeaderboardPolicy(policy_id, plan);
+  cell.policy_name = policy->Name();
+
+  core::SystemOptions options = plan.MakeOptions();
+  options.enable_telemetry = true;
+  options.enable_workload_monitor = true;
+  core::GrubSystem sys(std::move(options), std::move(policy));
+
+  std::vector<std::pair<Bytes, Bytes>> preload;
+  preload.reserve(plan.scale.records);
+  for (uint64_t i = 0; i < plan.scale.records; ++i) {
+    preload.emplace_back(workload::MakeKey(i),
+                         Bytes(plan.scale.value_bytes, 0x11));
+  }
+  sys.Preload(preload);
+  sys.EnableWorkloadOracle(plan.trace);
+
+  for (const auto& epoch : sys.Drive(plan.trace)) cell.ops += epoch.ops;
+  cell.gas = sys.TotalGas();
+
+  if (const auto* monitor = sys.Workload()) {
+    cell.flips = monitor->ActualFlips();
+    cell.oracle_flips = monitor->OracleFlips();
+  }
+  const auto& quorum = sys.Quorum();
+  for (size_t i = 0; i < quorum.ReplicaCount(); ++i) {
+    cell.deliver_rejections += quorum.RejectionsOf(i);
+  }
+  cell.sp_failovers = quorum.Failovers();
+  return cell;
+}
+
+void FinishRegret(LeaderboardCell& cell, uint64_t offline_gas) {
+  cell.regret = static_cast<int64_t>(cell.gas) -
+                static_cast<int64_t>(offline_gas);
+  cell.regret_per_op =
+      cell.ops == 0 ? 0.0
+                    : static_cast<double>(cell.regret) /
+                          static_cast<double>(cell.ops);
+}
+
+}  // namespace
+
+const std::vector<std::string>& LeaderboardPolicies() {
+  static const std::vector<std::string> kPool = {
+      "bl1",         "bl2",        "memoryless-2", "memoryless-8",
+      "adaptive-k2", "windowed-k", "price-ewma",   "offline"};
+  return kPool;
+}
+
+std::unique_ptr<core::ReplicationPolicy> MakeLeaderboardPolicy(
+    const std::string& id, const ScenarioPlan& plan) {
+  const double k = core::BreakEvenK(plan.MakeOptions().chain_params.gas);
+  if (id == "bl1") return core::MakeBL1();
+  if (id == "bl2") return core::MakeBL2();
+  if (id == "memoryless-2") return std::make_unique<core::MemorylessPolicy>(2);
+  if (id == "memoryless-8") return std::make_unique<core::MemorylessPolicy>(8);
+  if (id == "adaptive-k2") return std::make_unique<core::AdaptiveK2Policy>(k);
+  if (id == "windowed-k") return std::make_unique<core::WindowedKPolicy>(k);
+  if (id == "price-ewma") return std::make_unique<core::PriceEwmaPolicy>(k);
+  if (id == "offline") {
+    return std::make_unique<core::OfflineOptimalPolicy>(plan.trace, k,
+                                                        plan.ReplayModel());
+  }
+  return nullptr;
+}
+
+Leaderboard RunLeaderboard(const LeaderboardOptions& options) {
+  Leaderboard board;
+  board.scale = options.scale;
+
+  std::vector<std::string> scenario_names = options.scenarios;
+  if (scenario_names.empty()) {
+    for (const auto& s : AllScenarios()) scenario_names.push_back(s.name);
+  }
+  std::vector<std::string> pool =
+      options.policies.empty() ? LeaderboardPolicies() : options.policies;
+
+  for (const auto& name : scenario_names) {
+    const Scenario* scenario = FindScenario(name);
+    if (scenario == nullptr) {
+      throw std::invalid_argument("unknown scenario: " + name);
+    }
+    const ScenarioPlan plan = PlanScenario(*scenario, options.scale);
+
+    // The clairvoyant baseline runs first: every other cell's regret is
+    // relative to its Gas under the identical scenario.
+    LeaderboardCell offline = RunCell(plan, "offline");
+    const uint64_t offline_gas = offline.gas;
+    FinishRegret(offline, offline_gas);
+
+    uint64_t best_static = 0, best_adaptive = 0;
+    bool saw_static = false, saw_adaptive = false;
+    for (const auto& id : pool) {
+      if (id == "offline") continue;
+      if (MakeLeaderboardPolicy(id, plan) == nullptr) {
+        throw std::invalid_argument("unknown leaderboard policy: " + id);
+      }
+      LeaderboardCell cell = RunCell(plan, id);
+      FinishRegret(cell, offline_gas);
+      if (name == "reprice") {
+        if (InCamp(id, kStaticCamp, std::size(kStaticCamp))) {
+          best_static = saw_static ? std::min(best_static, cell.gas) : cell.gas;
+          saw_static = true;
+        } else if (InCamp(id, kAdaptiveCamp, std::size(kAdaptiveCamp))) {
+          best_adaptive =
+              saw_adaptive ? std::min(best_adaptive, cell.gas) : cell.gas;
+          saw_adaptive = true;
+        }
+      }
+      board.cells.push_back(std::move(cell));
+    }
+    board.cells.push_back(std::move(offline));
+
+    if (name == "reprice" && saw_static && saw_adaptive) {
+      board.adaptive_gate_checked = true;
+      board.best_static_gas = best_static;
+      board.best_adaptive_gas = best_adaptive;
+      board.adaptive_wins = best_adaptive < best_static;
+    }
+  }
+  return board;
+}
+
+telemetry::JsonValue LeaderboardJson(const Leaderboard& board) {
+  using telemetry::JsonValue;
+  JsonValue doc = JsonValue::Object();
+  doc.Set("version", JsonValue::NumberU64(1));
+
+  JsonValue scale = JsonValue::Object();
+  scale.Set("records", JsonValue::NumberU64(board.scale.records));
+  scale.Set("ops", JsonValue::NumberU64(board.scale.ops));
+  scale.Set("value_bytes", JsonValue::NumberU64(board.scale.value_bytes));
+  scale.Set("ops_per_tx", JsonValue::NumberU64(board.scale.ops_per_tx));
+  scale.Set("txs_per_epoch", JsonValue::NumberU64(board.scale.txs_per_epoch));
+  doc.Set("scale", std::move(scale));
+
+  JsonValue scenarios = JsonValue::Array();
+  std::string current;
+  JsonValue* entry = nullptr;
+  for (const auto& cell : board.cells) {
+    if (cell.scenario != current) {
+      current = cell.scenario;
+      JsonValue s = JsonValue::Object();
+      const Scenario* scenario = FindScenario(cell.scenario);
+      s.Set("name", JsonValue::String(cell.scenario));
+      if (scenario != nullptr) {
+        s.Set("title", JsonValue::String(scenario->title));
+      }
+      s.Set("cells", JsonValue::Array());
+      scenarios.Append(std::move(s));
+      entry = &scenarios.Items().back();
+    }
+    JsonValue c = JsonValue::Object();
+    c.Set("policy", JsonValue::String(cell.policy));
+    c.Set("name", JsonValue::String(cell.policy_name));
+    c.Set("gas", JsonValue::NumberU64(cell.gas));
+    c.Set("ops", JsonValue::NumberU64(cell.ops));
+    c.Set("gas_per_op", JsonValue::NumberDouble(cell.PerOp()));
+    c.Set("regret", JsonValue::Number(std::to_string(cell.regret)));
+    c.Set("regret_per_op", JsonValue::NumberDouble(cell.regret_per_op));
+    c.Set("flips", JsonValue::NumberU64(cell.flips));
+    c.Set("oracle_flips", JsonValue::NumberU64(cell.oracle_flips));
+    c.Set("deliver_rejections",
+          JsonValue::NumberU64(cell.deliver_rejections));
+    c.Set("sp_failovers", JsonValue::NumberU64(cell.sp_failovers));
+    // entry is always set: the first cell of the loop opens a scenario.
+    entry->Members().back().second.Append(std::move(c));
+  }
+  doc.Set("scenarios", std::move(scenarios));
+
+  JsonValue gate = JsonValue::Object();
+  gate.Set("checked", JsonValue::Bool(board.adaptive_gate_checked));
+  gate.Set("adaptive_wins", JsonValue::Bool(board.adaptive_wins));
+  gate.Set("best_adaptive_gas", JsonValue::NumberU64(board.best_adaptive_gas));
+  gate.Set("best_static_gas", JsonValue::NumberU64(board.best_static_gas));
+  doc.Set("reprice_gate", std::move(gate));
+  return doc;
+}
+
+void PrintLeaderboardTable(const Leaderboard& board, std::ostream& out) {
+  std::string current;
+  char line[256];
+  for (const auto& cell : board.cells) {
+    if (cell.scenario != current) {
+      current = cell.scenario;
+      const Scenario* scenario = FindScenario(cell.scenario);
+      out << "\nscenario " << cell.scenario;
+      if (scenario != nullptr) out << " — " << scenario->title;
+      out << "\n";
+      std::snprintf(line, sizeof(line), "  %-14s %12s %10s %12s %7s %7s\n",
+                    "policy", "gas", "gas/op", "regret", "flips", "orcl");
+      out << line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  %-14s %12llu %10.1f %12lld %7llu %7llu\n",
+                  cell.policy.c_str(),
+                  static_cast<unsigned long long>(cell.gas), cell.PerOp(),
+                  static_cast<long long>(cell.regret),
+                  static_cast<unsigned long long>(cell.flips),
+                  static_cast<unsigned long long>(cell.oracle_flips));
+    out << line;
+    if (cell.deliver_rejections != 0 || cell.sp_failovers != 0) {
+      std::snprintf(line, sizeof(line),
+                    "  %-14s   rejections=%llu failovers=%llu\n", "",
+                    static_cast<unsigned long long>(cell.deliver_rejections),
+                    static_cast<unsigned long long>(cell.sp_failovers));
+      out << line;
+    }
+  }
+  if (board.adaptive_gate_checked) {
+    std::snprintf(line, sizeof(line),
+                  "\nreprice gate: adaptive %llu vs static %llu -> %s\n",
+                  static_cast<unsigned long long>(board.best_adaptive_gas),
+                  static_cast<unsigned long long>(board.best_static_gas),
+                  board.adaptive_wins ? "adaptive wins" : "ADAPTIVE LOSES");
+    out << line;
+  }
+}
+
+}  // namespace grub::lab

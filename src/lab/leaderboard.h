@@ -1,0 +1,89 @@
+// The policy × scenario leaderboard (ROADMAP item 5): every registered
+// replication policy crossed with every registered scenario, each cell
+// scored by total Gas and by REGRET against the price-aware clairvoyant
+// optimal run under the same scenario.
+//
+// Regret accounting: per scenario the offline-optimal policy (replaying the
+// scenario's calibrated GasPriceSchedule, see ScenarioPlan::ReplayModel) is
+// run first; cell.regret = cell.gas - offline.gas as a SIGNED value. A
+// negative regret is possible — the oracle's replay model is approximate by
+// construction (DESIGN.md §10) — and is reported, not clamped.
+//
+// The reprice scenario carries the adaptive-strictly-wins gate: the best
+// price-tracking policy (windowed-k / price-ewma) must spend strictly less
+// Gas than the best static-K policy (bl1 / bl2 / memoryless). bench_leaderboard
+// fails and ci.sh gates on it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lab/scenario.h"
+#include "telemetry/json.h"
+
+namespace grub::lab {
+
+/// One (scenario, policy) cell of the matrix.
+struct LeaderboardCell {
+  std::string scenario;     // Scenario::name
+  std::string policy;       // pool id ("windowed-k", "bl1", ...)
+  std::string policy_name;  // the policy's self-description
+  uint64_t gas = 0;
+  size_t ops = 0;
+  int64_t regret = 0;        // gas - offline gas, signed
+  double regret_per_op = 0;  // regret / ops
+  uint64_t flips = 0;         // monitor: actual placement flips
+  uint64_t oracle_flips = 0;  // monitor: streamed clairvoyant flips
+  uint64_t deliver_rejections = 0;  // quorum: forged delivers detected
+  uint64_t sp_failovers = 0;        // quorum: active-replica switches
+
+  double PerOp() const {
+    return ops == 0 ? 0.0 : static_cast<double>(gas) / static_cast<double>(ops);
+  }
+};
+
+struct LeaderboardOptions {
+  ScenarioScale scale;
+  /// Scenario names to run; empty = the whole registry.
+  std::vector<std::string> scenarios;
+  /// Policy pool ids to run; empty = LeaderboardPolicies().
+  std::vector<std::string> policies;
+};
+
+struct Leaderboard {
+  ScenarioScale scale;
+  /// Scenario-major, pool order inside each scenario. The offline row is
+  /// always present per scenario (it is the regret baseline).
+  std::vector<LeaderboardCell> cells;
+  /// The reprice gate (set when the "reprice" scenario ran with both camps).
+  bool adaptive_gate_checked = false;
+  bool adaptive_wins = false;       // best adaptive < best static, strictly
+  uint64_t best_adaptive_gas = 0;
+  uint64_t best_static_gas = 0;
+};
+
+/// The default pool, in column order: bl1, bl2, memoryless-2, memoryless-8,
+/// adaptive-k2, windowed-k, price-ewma, offline.
+const std::vector<std::string>& LeaderboardPolicies();
+
+/// Instantiates one pool policy for a plan. The offline id gets the plan's
+/// probe-calibrated PriceReplayModel (price-aware under non-unit schedules);
+/// windowed-k / price-ewma start at the schedule's Eq. 1 break-even. Returns
+/// null for an unknown id. The plan must outlive the returned policy.
+std::unique_ptr<core::ReplicationPolicy> MakeLeaderboardPolicy(
+    const std::string& id, const ScenarioPlan& plan);
+
+/// Runs the matrix. Deterministic: same options -> byte-identical
+/// LeaderboardJson output.
+Leaderboard RunLeaderboard(const LeaderboardOptions& options = {});
+
+/// The versioned BENCH_leaderboard.json document body.
+telemetry::JsonValue LeaderboardJson(const Leaderboard& board);
+
+/// The grubctl --leaderboard text table (one block per scenario).
+void PrintLeaderboardTable(const Leaderboard& board, std::ostream& out);
+
+}  // namespace grub::lab

@@ -1,0 +1,95 @@
+// Scenario lab: the registry of named end-to-end conditions every policy is
+// scored under (ROADMAP item 5).
+//
+// A Scenario bundles a workload trace generator with the environment knobs
+// that make it interesting: a (possibly non-stationary) GasPriceSchedule,
+// Byzantine SP replicas, quorum size. The registry covers the paper's traces
+// (fig5 oracle, fig6 btcrelay), the synthetic ratio and YCSB mixes, the
+// write-intensive account dual, the dynamic-pricing shapes (spike, ramp,
+// regime, mid-run repricing), and the adversarial-SP replay — the axis set
+// the bench_leaderboard matrix crosses with every policy.
+//
+// Price schedules with mid-run transitions are calibrated per scale: a cheap
+// constant-price probe run measures the scenario's block span so "midpoint"
+// means the actual middle of the driven run, not a guess (PlanScenario).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chain/price.h"
+#include "grub/policy.h"
+#include "grub/system.h"
+#include "telemetry/json.h"
+#include "workload/trace.h"
+
+namespace grub::lab {
+
+/// The size knobs a scenario's trace is generated at (quick CI scale by
+/// default; bench --quick and grubctl --scenario map their flags here).
+struct ScenarioScale {
+  size_t records = 256;      // preloaded store size
+  size_t ops = 512;          // operations to drive (generators approximate)
+  size_t value_bytes = 32;   // record value size
+  size_t ops_per_tx = 32;
+  size_t txs_per_epoch = 1;
+};
+
+struct Scenario {
+  std::string name;   // stable id ("reprice", "fig5-oracle", ...)
+  std::string title;  // one-line description for reports
+  /// Trace generator at the requested scale. Deterministic per scale.
+  std::function<workload::Trace(const ScenarioScale&)> make_trace;
+  /// Price-schedule factory, called with the calibrated block span
+  /// [preload_end, drive_end) of a constant-price probe run so transitions
+  /// land where intended at any scale. Null = constant (unit) prices.
+  std::function<chain::GasPriceSchedule(uint64_t preload_end,
+                                        uint64_t drive_end)>
+      make_price;
+  /// Per-replica Byzantine spec (fault::ParseMulti grammar); empty = honest.
+  std::string adversary_spec;
+  size_t sp_replicas = 1;
+};
+
+/// The full registry, in leaderboard row order.
+const std::vector<Scenario>& AllScenarios();
+
+/// Lookup by name; null when unknown.
+const Scenario* FindScenario(const std::string& name);
+
+/// A scenario instantiated at a scale: the trace, the calibrated price
+/// schedule, and the probe measurements price-aware oracles replay with.
+struct ScenarioPlan {
+  const Scenario* scenario = nullptr;
+  ScenarioScale scale;
+  workload::Trace trace;
+  chain::GasPriceSchedule price;      // unit when make_price is null
+  uint64_t preload_end_block = 0;     // probe: block after Preload
+  uint64_t drive_end_block = 0;       // probe: block after Drive
+  size_t driven_ops = 0;              // probe: ops actually driven
+
+  /// SystemOptions for one run of this plan (telemetry/monitor left to the
+  /// caller). Carries the price schedule, adversary spec and quorum size.
+  core::SystemOptions MakeOptions() const;
+
+  /// The probe-calibrated op->block model for the price-aware offline
+  /// oracle: anchored at the probe's preload end, with the probe's measured
+  /// blocks-per-op slope. Inactive (unit/constant price) plans yield an
+  /// inactive model. The returned model points into this plan's `price` —
+  /// keep the plan alive while constructing policies from it.
+  core::PriceReplayModel ReplayModel() const;
+};
+
+/// Instantiates `scenario` at `scale`. When the scenario has a price factory
+/// this runs one cheap constant-price probe (memoryless:2) to measure the
+/// block span; deterministic, so every caller gets the identical plan.
+ScenarioPlan PlanScenario(const Scenario& scenario, const ScenarioScale& scale);
+
+/// The grubctl --json "scenario" section: scenario identity plus the
+/// probe-calibrated plan facts. Field order is pinned by the schema golden
+/// test; `plan.scenario` must be non-null.
+telemetry::JsonValue ScenarioPlanJson(const ScenarioPlan& plan);
+
+}  // namespace grub::lab

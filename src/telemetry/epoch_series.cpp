@@ -25,7 +25,8 @@ const EpochRow& EpochSeries::Close(uint64_t ops,
                                    const GasAttribution& attribution,
                                    const RobustnessTotals& robustness,
                                    uint64_t touched_shards,
-                                   std::vector<double> shard_heat) {
+                                   std::vector<double> shard_heat,
+                                   EpochPrice price) {
   const GasMatrix now = attribution.Snapshot();
   EpochRow row;
   row.epoch = rows_.size();
@@ -43,6 +44,7 @@ const EpochRow& EpochSeries::Close(uint64_t ops,
                                  robustness_baseline_.sp_failovers);
   row.touched_shards = touched_shards;
   row.shard_heat = std::move(shard_heat);
+  row.price = price;
   baseline_ = now;
   robustness_baseline_ = robustness;
   rows_.push_back(row);
@@ -63,8 +65,10 @@ void EpochSeries::WriteCsv(std::ostream& os) const {
   // Heat columns appear only when a row carries heat, so pre-observatory
   // exports (and monitor-off runs) keep the golden-pinned schema unchanged.
   size_t heat_shards = 0;
+  bool any_price = false;
   for (const auto& row : rows_) {
     heat_shards = std::max(heat_shards, row.shard_heat.size());
+    any_price = any_price || row.price.valid;
   }
 
   std::vector<std::string> header = {"epoch", "ops", "gas_total", "gas_per_op"};
@@ -80,6 +84,12 @@ void EpochSeries::WriteCsv(std::ostream& os) const {
                  "deliver_rejections", "sp_failovers", "touched_shards"});
   for (size_t s = 0; s < heat_shards; ++s) {
     header.push_back("heat_shard" + std::to_string(s));
+  }
+  // Price columns are conditional, like the heat columns: only scenario-lab
+  // runs (non-unit schedule) widen the schema.
+  if (any_price) {
+    header.push_back("price_exec_milli");
+    header.push_back("price_storage_milli");
   }
   WriteCsvRow(os, header);
 
@@ -106,6 +116,10 @@ void EpochSeries::WriteCsv(std::ostream& os) const {
       fields.push_back(s < row.shard_heat.size()
                            ? FormatJsonDouble(row.shard_heat[s])
                            : "0");
+    }
+    if (any_price) {
+      fields.push_back(std::to_string(row.price.exec_milli));
+      fields.push_back(std::to_string(row.price.storage_milli));
     }
     WriteCsvRow(os, fields);
   }
@@ -140,6 +154,10 @@ void EpochSeries::WriteJsonLines(std::ostream& os) const {
         os << FormatJsonDouble(row.shard_heat[s]);
       }
       os << ']';
+    }
+    if (row.price.valid) {
+      os << ",\"price\":{\"exec_milli\":" << row.price.exec_milli
+         << ",\"storage_milli\":" << row.price.storage_milli << '}';
     }
     os << "}\n";
   }

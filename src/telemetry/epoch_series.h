@@ -28,6 +28,18 @@ struct RobustnessTotals {
   uint64_t sp_failovers = 0;        // quorum switched the active SP replica
 };
 
+/// Effective gas-price multipliers sampled at epoch close. Lives here (not in
+/// src/chain) because telemetry must not depend on the chain layer; the
+/// driver copies the chain's PricePoint in. `valid` is false when the run has
+/// no non-unit schedule, and exports add price columns only when some row is
+/// valid — so constant-price output stays byte-identical to the pre-scenario
+/// schema.
+struct EpochPrice {
+  bool valid = false;
+  uint64_t exec_milli = 1000;
+  uint64_t storage_milli = 1000;
+};
+
 struct EpochRow {
   uint64_t epoch = 0;  // 0-based, in close order
   uint64_t ops = 0;
@@ -48,6 +60,9 @@ struct EpochRow {
   // heat_shard<i> columns only when some row carries heat, so monitor-off
   // output stays byte-identical to the pre-observatory schema.
   std::vector<double> shard_heat;
+  // Effective price multipliers at epoch close (scenario-lab runs only; see
+  // EpochPrice — columns are conditional on some row being valid).
+  EpochPrice price;
 
   uint64_t GasTotal() const { return gas.Total(); }
   double GasPerOp() const {
@@ -68,7 +83,8 @@ class EpochSeries {
   const EpochRow& Close(uint64_t ops, const GasAttribution& attribution,
                         const RobustnessTotals& robustness,
                         uint64_t touched_shards = 0,
-                        std::vector<double> shard_heat = {});
+                        std::vector<double> shard_heat = {},
+                        EpochPrice price = {});
 
   /// Re-baselines after a Gas-counter reset so the next row does not absorb
   /// pre-reset Gas. Clears nothing already recorded.

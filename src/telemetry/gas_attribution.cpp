@@ -32,6 +32,7 @@ const char* Name(GasCause cause) {
     case GasCause::kProofReject: return "proof-reject";
     case GasCause::kLogPin: return "log-pin";
     case GasCause::kLogDeliver: return "log-deliver";
+    case GasCause::kPriceShift: return "price-shift";
   }
   return "?";
 }

@@ -55,8 +55,10 @@ enum class GasCause : uint8_t {
                       // and the data/unpin event emissions
   kLogDeliver,        // digest-verified deliver: pinned-digest sload + the
                       // on-chain re-hash of the delivered value
+  kPriceShift,        // dynamic-pricing surcharge: the amount the block's
+                      // GasPriceSchedule charged above the base schedule
 };
-inline constexpr size_t kNumGasCauses = 12;
+inline constexpr size_t kNumGasCauses = 13;
 
 const char* Name(GasComponent component);
 const char* Name(GasCause cause);

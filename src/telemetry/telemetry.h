@@ -70,9 +70,10 @@ class Telemetry {
   /// monitor's per-shard heat snapshot at close (empty when the monitor is
   /// off — the exports then keep their pre-observatory schema).
   const EpochRow& CloseEpoch(uint64_t ops, uint64_t touched_shards = 0,
-                             std::vector<double> shard_heat = {}) {
+                             std::vector<double> shard_heat = {},
+                             EpochPrice price = {}) {
     return epochs_.Close(ops, gas_, GatherRobustness(), touched_shards,
-                         std::move(shard_heat));
+                         std::move(shard_heat), price);
   }
 
   /// Cumulative robustness counters, read from the handles cached at

@@ -70,6 +70,57 @@ uint64_t TierCostModel::ReadGas(StorageTier t, size_t key_bytes,
   return 0;
 }
 
+uint64_t TierCostModel::WriteGasPriced(StorageTier t, size_t key_bytes,
+                                       size_t value_bytes, uint64_t exec_milli,
+                                       uint64_t storage_milli) const {
+  // The storage-priced slice of each tier's write: the UpdateCost terms
+  // (replica slot refresh on kStorage, the digest pin on kLog). Everything
+  // else in WriteGas is exec-priced.
+  uint64_t storage_part = 0;
+  switch (t) {
+    case StorageTier::kStorage:
+      storage_part = schedule_.UpdateCost(WordsForBytes(value_bytes));
+      break;
+    case StorageTier::kLog:
+      storage_part = schedule_.UpdateCost(1);
+      break;
+    case StorageTier::kOffchain:
+    case StorageTier::kCalldata:
+      break;
+  }
+  const uint64_t total = WriteGas(t, key_bytes, value_bytes);
+  const uint64_t exec_part = total - storage_part;
+  return exec_part * exec_milli / 1000 + storage_part * storage_milli / 1000;
+}
+
+uint64_t TierCostModel::ReadGasPriced(StorageTier t, size_t key_bytes,
+                                      size_t value_bytes, uint64_t exec_milli,
+                                      uint64_t storage_milli) const {
+  (void)storage_milli;  // no tier's read path writes storage
+  return ReadGas(t, key_bytes, value_bytes) * exec_milli / 1000;
+}
+
+StorageTier TierCostModel::CheapestPriced(double k_estimate, size_t key_bytes,
+                                          size_t value_bytes,
+                                          uint64_t exec_milli,
+                                          uint64_t storage_milli) const {
+  StorageTier best = StorageTier::kOffchain;
+  double best_gas = CycleGasPriced(best, k_estimate, key_bytes, value_bytes,
+                                   exec_milli, storage_milli);
+  for (size_t i = 1; i < kNumStorageTiers; ++i) {
+    const auto t = static_cast<StorageTier>(i);
+    const double gas = CycleGasPriced(t, k_estimate, key_bytes, value_bytes,
+                                      exec_milli, storage_milli);
+    // Strict < keeps the tie-break toward the lower tier number, exactly as
+    // Cheapest does — decisions stay deterministic under repricing.
+    if (gas < best_gas) {
+      best = t;
+      best_gas = gas;
+    }
+  }
+  return best;
+}
+
 StorageTier TierCostModel::Cheapest(double k_estimate, size_t key_bytes,
                                     size_t value_bytes) const {
   StorageTier best = StorageTier::kOffchain;

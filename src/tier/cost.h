@@ -43,6 +43,42 @@ class TierCostModel {
   StorageTier Cheapest(double k_estimate, size_t key_bytes,
                        size_t value_bytes) const;
 
+  // --- price-aware variants (scenario lab) ---
+  //
+  // Under a non-unit GasPriceSchedule the chain surcharges sstore
+  // insert/update by storage_milli and everything else by exec_milli
+  // (milli, >= 1000; see chain/price.h). These variants price the same
+  // marginal terms under those multipliers, splitting each tier's cost into
+  // its storage part (the UpdateCost terms: the storage replica refresh, the
+  // log tier's digest pin) and its exec part (calldata, hashes, LOG, sload).
+  // With 1000/1000 they equal the unpriced methods exactly.
+
+  /// WriteGas under the given multipliers (integer-truncating, like the
+  /// chain's surcharge arithmetic).
+  uint64_t WriteGasPriced(StorageTier t, size_t key_bytes, size_t value_bytes,
+                          uint64_t exec_milli, uint64_t storage_milli) const;
+
+  /// ReadGas under the given multipliers. No tier's read path writes
+  /// storage, so the whole term scales by exec_milli.
+  uint64_t ReadGasPriced(StorageTier t, size_t key_bytes, size_t value_bytes,
+                         uint64_t exec_milli, uint64_t storage_milli) const;
+
+  double CycleGasPriced(StorageTier t, double k_estimate, size_t key_bytes,
+                        size_t value_bytes, uint64_t exec_milli,
+                        uint64_t storage_milli) const {
+    return static_cast<double>(WriteGasPriced(t, key_bytes, value_bytes,
+                                              exec_milli, storage_milli)) +
+           k_estimate * static_cast<double>(ReadGasPriced(
+                            t, key_bytes, value_bytes, exec_milli,
+                            storage_milli));
+  }
+
+  /// argmin over all four tiers of CycleGasPriced, with the SAME
+  /// deterministic lower-tier-number tie-break as Cheapest.
+  StorageTier CheapestPriced(double k_estimate, size_t key_bytes,
+                             size_t value_bytes, uint64_t exec_milli,
+                             uint64_t storage_milli) const;
+
   const chain::GasSchedule& Schedule() const { return schedule_; }
   uint64_t ProofSiblings() const { return proof_siblings_; }
 

@@ -39,8 +39,15 @@ void AdaptiveTierPolicy::Observe(const workload::Operation& op) {
   if (counts.writes < options_.min_writes) return;
   const size_t value_bytes =
       counts.value_bytes != 0 ? counts.value_bytes : options_.default_value_bytes;
-  counts.tier = cost_.Cheapest(KEstimate(op.key, counts), op.key.size(),
-                               value_bytes);
+  counts.tier = cost_.CheapestPriced(KEstimate(op.key, counts), op.key.size(),
+                                     value_bytes, exec_milli_, storage_milli_);
+}
+
+void AdaptiveTierPolicy::ObservePrice(uint64_t exec_milli,
+                                      uint64_t storage_milli, uint64_t block) {
+  (void)block;
+  exec_milli_ = exec_milli;
+  storage_milli_ = storage_milli;
 }
 
 StorageTier AdaptiveTierPolicy::TierOf(const Bytes& key) const {

@@ -60,6 +60,12 @@ class AdaptiveTierPolicy : public core::ReplicationPolicy {
   AdaptiveTierPolicy(const TierCostModel& cost, Options options);
 
   void Observe(const workload::Operation& op) override;
+  /// Under a non-unit GasPriceSchedule the control plane feeds the current
+  /// multipliers here; subsequent write decisions argmin CheapestPriced at
+  /// them. Never called on constant-price runs, and 1000/1000 is the exact
+  /// unpriced argmin, so legacy placement is byte-identical.
+  void ObservePrice(uint64_t exec_milli, uint64_t storage_milli,
+                    uint64_t block) override;
   ads::ReplState StateOf(const Bytes& key) const override {
     return ToReplState(TierOf(key));
   }
@@ -85,6 +91,8 @@ class AdaptiveTierPolicy : public core::ReplicationPolicy {
 
   TierCostModel cost_;
   Options options_;
+  uint64_t exec_milli_ = 1000;     // effective multipliers; unit until the
+  uint64_t storage_milli_ = 1000;  // first ObservePrice
   telemetry::SpaceSavingSketch sketch_;
   std::map<Bytes, Counts> counts_;  // sketch-tracked keys only
   const telemetry::WorkloadMonitor* monitor_ = nullptr;

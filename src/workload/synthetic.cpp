@@ -1,5 +1,6 @@
 #include "workload/synthetic.h"
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
 
@@ -146,6 +147,49 @@ Trace BtcRelayBenchmarkTrace(const BtcRelayBenchmarkOptions& options) {
         for (size_t c = 0; c < options.confirmations; ++c) {
           out.push_back(Operation::Read(MakeKey(start + c)));
         }
+      }
+    }
+  }
+  return out;
+}
+
+Trace AccountActivityTrace(const AccountActivityOptions& options) {
+  if (options.accounts == 0) {
+    throw std::invalid_argument("AccountActivityTrace: zero accounts");
+  }
+  Rng rng(options.seed);
+  const size_t hot = std::min(
+      options.hot_accounts == 0 ? 1 : options.hot_accounts, options.accounts);
+
+  Trace out;
+  out.reserve(options.total_ops);
+  std::vector<bool> written(options.accounts, false);
+  std::vector<uint64_t> written_list;  // accounts eligible for reads
+  while (out.size() < options.total_ops) {
+    // Pick the account: hot head with probability hot_traffic, cold tail
+    // otherwise (uniform within each set).
+    uint64_t account;
+    if (hot < options.accounts && !rng.NextBool(options.hot_traffic)) {
+      account = hot + rng.NextBounded(options.accounts - hot);
+    } else {
+      account = rng.NextBounded(hot);
+    }
+
+    const bool want_read =
+        !written_list.empty() && rng.NextBool(options.read_fraction);
+    if (want_read) {
+      // Reads follow the same heat skew via the written list's head bias.
+      const uint64_t target =
+          written[account]
+              ? account
+              : written_list[rng.NextBounded(written_list.size())];
+      out.push_back(Operation::Read(MakeKey(target)));
+    } else {
+      out.push_back(Operation::Write(MakeKey(account),
+                                     RandomValue(rng, options.value_bytes)));
+      if (!written[account]) {
+        written[account] = true;
+        written_list.push_back(account);
       }
     }
   }

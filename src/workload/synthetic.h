@@ -63,4 +63,24 @@ struct BtcRelayBenchmarkOptions {
 
 Trace BtcRelayBenchmarkTrace(const BtcRelayBenchmarkOptions& options = {});
 
+/// Write-intensive account workload (after Wang & Tang's workload-adaptive
+/// transaction execution, PAPERS.md): the dual of the read-driven oracle
+/// traces. A small hot set of accounts absorbs most of the traffic as
+/// balance WRITES (transfers landing every few blocks) with only occasional
+/// balance reads, while a cold tail is touched rarely. Reads target only
+/// accounts the trace has already written, so no proof-of-absence paths are
+/// exercised. With reads this scarce the rational placement is mostly NR —
+/// the scenario that punishes replicate-eager policies (BL2, low-K).
+struct AccountActivityOptions {
+  size_t accounts = 64;      // distinct account records
+  size_t total_ops = 4096;
+  size_t value_bytes = 32;   // one word: the balance
+  uint64_t seed = 11;
+  double read_fraction = 0.2;  // expected reads per op (writes fill the rest)
+  size_t hot_accounts = 8;     // the busy head of the account set
+  double hot_traffic = 0.8;    // share of ops landing on the hot set
+};
+
+Trace AccountActivityTrace(const AccountActivityOptions& options = {});
+
 }  // namespace grub::workload

@@ -1,0 +1,184 @@
+// Price-aware decision-making (scenario lab): the clairvoyant oracle's
+// schedule replay, and the online re-estimating policies' exact reduction
+// to memorizing(K0, D=1) under a constant price.
+#include <gtest/gtest.h>
+
+#include "chain/price.h"
+#include "grub/policy.h"
+#include "workload/trace.h"
+
+namespace grub::core {
+namespace {
+
+using ads::ReplState;
+using chain::GasPriceSchedule;
+using workload::MakeKey;
+using workload::Operation;
+using workload::Trace;
+
+Operation R(uint64_t k) { return Operation::Read(MakeKey(k)); }
+Operation W(uint64_t k) { return Operation::Write(MakeKey(k), {}); }
+
+// Single-key fixture trace, op index == replayed block (blocks_per_op = 1):
+//   idx:  0  1  2  3  4  5  6  7
+//         W  R  R  W  R  W  R  R
+// At break-even K = 2 the unpriced oracle replicates a write iff >= 2 reads
+// follow it: decisions R, NR, R.
+Trace StepSpikeTrace() {
+  return {W(1), R(1), R(1), W(1), R(1), W(1), R(1), R(1)};
+}
+
+/// Replays the whole trace through `policy` and returns the key's state
+/// after each WRITE (where the oracle takes its decisions).
+std::vector<ReplState> StatesAfterWrites(ReplicationPolicy& policy,
+                                         const Trace& trace, uint64_t key) {
+  std::vector<ReplState> states;
+  for (const auto& op : trace) {
+    policy.Observe(op);
+    if (op.type == workload::OpType::kWrite) {
+      states.push_back(policy.StateOf(MakeKey(key)));
+    }
+  }
+  return states;
+}
+
+TEST(PricedOffline, UnpricedBaselineDecisions) {
+  const Trace trace = StepSpikeTrace();
+  OfflineOptimalPolicy policy(trace, 2.0);
+  EXPECT_EQ(policy.Name(), "offline-optimal");
+  const auto states = StatesAfterWrites(policy, trace, 1);
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0], ReplState::kR);   // 2 reads follow >= K=2
+  EXPECT_EQ(states[1], ReplState::kNR);  // 1 read  follows <  K=2
+  EXPECT_EQ(states[2], ReplState::kR);   // 2 reads follow >= K=2
+}
+
+TEST(PricedOffline, StorageSpikeRaisesTheWriteSideBar) {
+  // Storage x4 from block 5 on. The write at op index 5 lands inside the
+  // spike, so its replication costs 4x: threshold 2 * 4 = 8 exec-weight,
+  // and its 2 trailing unit-price reads no longer repay it. Decisions at
+  // the earlier (pre-spike) writes are untouched.
+  const Trace trace = StepSpikeTrace();
+  GasPriceSchedule spike = GasPriceSchedule::Step(5, 0, 1000, 4000);
+  PriceReplayModel model{&spike, /*start_block=*/0, /*blocks_per_op=*/1.0};
+  ASSERT_TRUE(model.Active());
+  OfflineOptimalPolicy policy(trace, 2.0, model);
+  EXPECT_EQ(policy.Name(), "offline-optimal(priced)");
+  const auto states = StatesAfterWrites(policy, trace, 1);
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0], ReplState::kR);
+  EXPECT_EQ(states[1], ReplState::kNR);
+  EXPECT_EQ(states[2], ReplState::kNR);  // flipped by the storage spike
+}
+
+TEST(PricedOffline, ExecSpikeWeighsReadsAtTheirBlocks) {
+  // Exec x3 at block 4 only. The single read after the second write sits
+  // exactly there, so it weighs 3.0 >= K=2 and the previously-unprofitable
+  // middle write becomes worth replicating.
+  const Trace trace = StepSpikeTrace();
+  GasPriceSchedule spike = GasPriceSchedule::Step(4, 1, 3000, 1000);
+  PriceReplayModel model{&spike, 0, 1.0};
+  OfflineOptimalPolicy policy(trace, 2.0, model);
+  const auto states = StatesAfterWrites(policy, trace, 1);
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0], ReplState::kR);
+  EXPECT_EQ(states[1], ReplState::kR);  // flipped by the exec spike
+  EXPECT_EQ(states[2], ReplState::kR);
+}
+
+TEST(PricedOffline, InactiveModelEqualsStaticConstructor) {
+  // A unit schedule (or zero blocks_per_op) must degenerate to the static
+  // oracle bit-for-bit: same decisions, same unpriced name.
+  const Trace trace = StepSpikeTrace();
+  GasPriceSchedule unit;  // IsUnit
+  PriceReplayModel model{&unit, 0, 1.0};
+  ASSERT_FALSE(model.Active());
+  OfflineOptimalPolicy priced(trace, 2.0, model);
+  OfflineOptimalPolicy plain(trace, 2.0);
+  EXPECT_EQ(priced.Name(), plain.Name());
+  for (const auto& op : trace) {
+    priced.Observe(op);
+    plain.Observe(op);
+    EXPECT_EQ(priced.StateOf(MakeKey(1)), plain.StateOf(MakeKey(1)));
+  }
+}
+
+// --- online re-estimating policies ---
+
+// Mixed two-key sequence exercising promotion, demotion, and interleaving.
+Trace MixedTrace() {
+  return {W(1), R(1), R(1), R(1), W(2), R(2), W(1), R(1),
+          W(2), W(2), R(2), R(1), R(1), W(1), R(2), R(2)};
+}
+
+TEST(PriceTracking, NoPriceSignalReducesToMemorizing) {
+  // Without a single ObservePrice call both re-estimators must track
+  // memorizing(K' = K0, D = 1) state-for-state: constant-price runs are
+  // byte-identical to the pre-scenario baseline by construction.
+  const double k0 = 2.5;
+  WindowedKPolicy windowed(k0);
+  PriceEwmaPolicy ewma(k0);
+  MemorizingPolicy reference(k0, 1.0);
+  EXPECT_EQ(windowed.CurrentK(), k0);
+  EXPECT_EQ(ewma.CurrentK(), k0);
+  for (const auto& op : MixedTrace()) {
+    windowed.Observe(op);
+    ewma.Observe(op);
+    reference.Observe(op);
+    for (uint64_t key : {1, 2}) {
+      EXPECT_EQ(windowed.StateOf(MakeKey(key)),
+                reference.StateOf(MakeKey(key)));
+      EXPECT_EQ(ewma.StateOf(MakeKey(key)), reference.StateOf(MakeKey(key)));
+    }
+  }
+}
+
+TEST(PriceTracking, StorageRepricingScalesTheThreshold) {
+  // One price observation at storage x4 must scale K_eff to 4*K0 in both
+  // estimators (window mean of one ratio; EWMA seeded by its first sample).
+  WindowedKPolicy windowed(2.0);
+  PriceEwmaPolicy ewma(2.0);
+  windowed.ObservePrice(1000, 4000, 10);
+  ewma.ObservePrice(1000, 4000, 10);
+  EXPECT_DOUBLE_EQ(windowed.CurrentK(), 8.0);
+  EXPECT_DOUBLE_EQ(ewma.CurrentK(), 8.0);
+
+  // Behaviour check: after one write (w=1), promotion needs K_eff + 1
+  // cumulative reads. 3 reads clear K0=2's bar but not K_eff=8's, so a key
+  // that would promote at the base price now stays NR...
+  WindowedKPolicy base(2.0);
+  base.Observe(W(1));
+  windowed.Observe(W(1));
+  for (int i = 0; i < 3; ++i) {
+    base.Observe(R(1));
+    windowed.Observe(R(1));
+  }
+  EXPECT_EQ(base.StateOf(MakeKey(1)), ReplState::kR);
+  EXPECT_EQ(windowed.StateOf(MakeKey(1)), ReplState::kNR);
+  // ...until the read side accumulates past the repriced threshold.
+  for (int i = 0; i < 6; ++i) windowed.Observe(R(1));
+  EXPECT_EQ(windowed.StateOf(MakeKey(1)), ReplState::kR);
+}
+
+TEST(PriceTracking, WindowForgetsOldRatios) {
+  // window=2: two unit observations after the spike fully evict the x4
+  // ratio, restoring K_eff to K0.
+  WindowedKPolicy windowed(2.0, 2);
+  windowed.ObservePrice(1000, 4000, 1);
+  EXPECT_DOUBLE_EQ(windowed.CurrentK(), 8.0);
+  windowed.ObservePrice(1000, 1000, 2);
+  windowed.ObservePrice(1000, 1000, 3);
+  EXPECT_DOUBLE_EQ(windowed.CurrentK(), 2.0);
+}
+
+TEST(PriceTracking, NamesCarryTheGoverningParameters) {
+  WindowedKPolicy windowed(2.5, 4);
+  PriceEwmaPolicy ewma(2.5, 0.5);
+  EXPECT_NE(windowed.Name().find("windowed-K"), std::string::npos);
+  EXPECT_NE(windowed.Name().find("window=4"), std::string::npos);
+  EXPECT_NE(ewma.Name().find("price-ewma"), std::string::npos);
+  EXPECT_NE(ewma.Name().find("alpha=0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grub::core

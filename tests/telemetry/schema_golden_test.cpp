@@ -17,6 +17,8 @@
 #include <sstream>
 
 #include "grub/system.h"
+#include "lab/leaderboard.h"
+#include "lab/scenario.h"
 #include "telemetry/epoch_series.h"
 #include "tier/placement.h"
 #include "telemetry/report.h"
@@ -201,6 +203,33 @@ TEST(SchemaGolden, QuorumJson) {
   system.ReadNow(workload::MakeKey(0));
   system.ReadNow(workload::MakeKey(1));
   CheckAgainstGolden("quorum.json", system.Quorum().ToJson());
+}
+
+TEST(SchemaGolden, ScenarioPlanJson) {
+  // The "scenario" section grubctl embeds under --json for --scenario runs:
+  // scenario identity + the probe-calibrated plan facts. A tiny spike plan
+  // keeps the probe cheap while pinning a non-unit schedule string.
+  lab::ScenarioScale scale;
+  scale.records = 16;
+  scale.ops = 64;
+  const lab::Scenario* spike = lab::FindScenario("spike");
+  ASSERT_NE(spike, nullptr);
+  const lab::ScenarioPlan plan = lab::PlanScenario(*spike, scale);
+  CheckAgainstGolden("scenario.json", lab::ScenarioPlanJson(plan).ToString());
+}
+
+TEST(SchemaGolden, LeaderboardJson) {
+  // The BENCH_leaderboard.json / grubctl --leaderboard --json document body,
+  // shrunk to one scenario x two policies so the pin is about shape. Gas
+  // numbers are deterministic; a legitimate cost change refreshes this
+  // golden alongside bench/baselines/.
+  lab::LeaderboardOptions options;
+  options.scale.records = 16;
+  options.scale.ops = 64;
+  options.scenarios = {"spike"};
+  options.policies = {"bl1", "windowed-k"};
+  const lab::Leaderboard board = lab::RunLeaderboard(options);
+  CheckAgainstGolden("leaderboard.json", lab::LeaderboardJson(board).ToString());
 }
 
 TEST(SchemaGolden, PlacementJson) {

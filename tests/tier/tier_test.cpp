@@ -107,6 +107,97 @@ TEST(TierCostModel, CheapestBreaksTiesTowardLowerTierNumber) {
   EXPECT_EQ(model.Cheapest(3.0, 16, 32), StorageTier::kOffchain);
 }
 
+TEST(TierCostModel, PricedAtUnitMultipliersEqualsUnpriced) {
+  // 1000/1000 is the identity: every priced term must equal its unpriced
+  // twin exactly, so constant-price placement is byte-identical.
+  chain::GasSchedule gas;
+  TierCostModel model(gas);
+  for (double k : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    EXPECT_EQ(model.CheapestPriced(k, 16, 32, 1000, 1000),
+              model.Cheapest(k, 16, 32))
+        << k;
+  }
+  for (size_t i = 0; i < kNumStorageTiers; ++i) {
+    const auto t = static_cast<StorageTier>(i);
+    EXPECT_EQ(model.WriteGasPriced(t, 16, 32, 1000, 1000),
+              model.WriteGas(t, 16, 32));
+    EXPECT_EQ(model.ReadGasPriced(t, 16, 32, 1000, 1000),
+              model.ReadGas(t, 16, 32));
+  }
+}
+
+TEST(TierCostModel, CheapestPricedMatchesManualArgmin) {
+  // Under any multiplier pair the argmin must agree with a by-hand sweep
+  // that prefers the LOWER tier number on exact ties — the same contract as
+  // the unpriced Cheapest, so a mid-run price change can reorder costs but
+  // never introduces nondeterminism.
+  chain::GasSchedule gas;
+  TierCostModel model(gas);
+  const std::pair<uint64_t, uint64_t> prices[] = {
+      {1000, 1000}, {1000, 4000}, {1000, 16000}, {3000, 1000}, {2500, 6000}};
+  for (const auto& [exec, storage] : prices) {
+    for (double k : {0.0, 1.0, 3.0, 9.0, 27.0}) {
+      StorageTier best = StorageTier::kOffchain;
+      double best_cost = model.CycleGasPriced(best, k, 16, 32, exec, storage);
+      for (size_t i = 1; i < kNumStorageTiers; ++i) {
+        const auto t = static_cast<StorageTier>(i);
+        const double cost = model.CycleGasPriced(t, k, 16, 32, exec, storage);
+        if (cost < best_cost) {  // strict: ties keep the lower tier number
+          best = t;
+          best_cost = cost;
+        }
+      }
+      const StorageTier got = model.CheapestPriced(k, 16, 32, exec, storage);
+      EXPECT_EQ(got, best) << "k=" << k << " exec=" << exec
+                           << " storage=" << storage;
+      // Deterministic: the same question twice gives the same answer.
+      EXPECT_EQ(model.CheapestPriced(k, 16, 32, exec, storage), got);
+    }
+  }
+}
+
+TEST(TierCostModel, PricedTieStillBreaksTowardLowerTierNumber) {
+  // The all-zero schedule prices every tier at 0 under ANY multipliers, so
+  // the surcharge cannot manufacture a winner: off-chain still wins.
+  chain::GasSchedule zero{};
+  zero.tx_base = 0;
+  zero.tx_per_word = 0;
+  zero.sstore_insert_per_word = 0;
+  zero.sstore_update_per_word = 0;
+  zero.sload_per_word = 0;
+  zero.hash_base = 0;
+  zero.hash_per_word = 0;
+  zero.log_base = 0;
+  zero.log_per_topic = 0;
+  zero.log_per_byte = 0;
+  TierCostModel model(zero, /*proof_siblings=*/0);
+  EXPECT_EQ(model.CheapestPriced(3.0, 16, 32, 1000, 16000),
+            StorageTier::kOffchain);
+  EXPECT_EQ(model.CheapestPriced(3.0, 16, 32, 5000, 1000),
+            StorageTier::kOffchain);
+}
+
+TEST(TierCostModel, StorageSurchargeShiftsTheCrossoverUp) {
+  // Raising only the storage multiplier makes the replica tier's refresh
+  // costlier while proof reads scale with exec: the k at which storage
+  // first wins must be (weakly) higher than at unit prices.
+  chain::GasSchedule gas;
+  TierCostModel model(gas);
+  auto crossover = [&](uint64_t exec, uint64_t storage) {
+    for (double k = 0; k < 4096; k += 0.25) {
+      if (model.CheapestPriced(k, 16, 32, exec, storage) ==
+          StorageTier::kStorage) {
+        return k;
+      }
+    }
+    return 4096.0;
+  };
+  const double unit_k = crossover(1000, 1000);
+  const double spiked_k = crossover(1000, 8000);
+  ASSERT_LT(unit_k, 4096.0);  // storage does win eventually at unit prices
+  EXPECT_GT(spiked_k, unit_k);
+}
+
 TEST(StaticTierPolicy, PinsEveryKeyAndRoundTripsBinaryView) {
   for (size_t i = 0; i < kNumStorageTiers; ++i) {
     const auto t = static_cast<StorageTier>(i);
@@ -192,6 +283,23 @@ TEST(AdaptiveTierPolicy, SketchEvictionDropsKeyBackToDefault) {
     policy.Observe(Operation::Write(MakeKey(i), Bytes(32, 0x2)));
   }
   EXPECT_EQ(policy.TierOf(hot), StorageTier::kOffchain);
+}
+
+TEST(AdaptiveTierPolicy, StorageRepricingDemotesTheReplica) {
+  chain::GasSchedule gas;
+  AdaptiveTierPolicy policy{TierCostModel(gas)};
+  const Bytes hot = MakeKey(1);
+  policy.Observe(Operation::Write(hot, Bytes(32, 0x1)));
+  for (int i = 0; i < 32; ++i) policy.Observe(Operation::Read(hot));
+  policy.Observe(Operation::Write(hot, Bytes(32, 0x1)));
+  ASSERT_EQ(policy.TierOf(hot), StorageTier::kStorage);
+
+  // A 64x storage repricing makes the replica refresh untenable at this
+  // K-hat while proof reads scale only with exec: the next write re-decides
+  // away from contract storage.
+  policy.ObservePrice(1000, 64000, 100);
+  policy.Observe(Operation::Write(hot, Bytes(32, 0x1)));
+  EXPECT_NE(policy.TierOf(hot), StorageTier::kStorage);
 }
 
 TEST(AdaptiveTierPolicy, ScansAreIgnored) {

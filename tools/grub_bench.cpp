@@ -40,7 +40,8 @@ int Usage(std::FILE* out) {
       "options:\n"
       "  --quick                pinned small deterministic configs (CI gate)\n"
       "  --no-timing            omit wall-clock fields -> byte-identical JSON\n"
-      "  --out-dir DIR          where BENCH_*.json go (default: .)\n"
+      "  --out-dir DIR          where BENCH_*.json go (default: bench_out/,\n"
+      "                         created on demand; '.' writes into the cwd)\n"
       "  --combined STEM        also write one BENCH_<STEM>.json holding all\n"
       "                         selected reports (the quick gate's format)\n"
       "  --no-json              text tables only, write no artifacts\n"
@@ -75,7 +76,9 @@ int RunCompare(const std::string& baseline_path, const std::string& current_path
 int main(int argc, char** argv) {
   bool list = false, all = false, json = true, run_requested = false;
   BenchOptions options;
-  std::string out_dir = ".";
+  // One consolidated artifact directory by default: repeated runs overwrite
+  // in place instead of scattering BENCH_*.json through the cwd.
+  std::string out_dir = "bench_out";
   std::string combined_stem;
   std::vector<std::string> globs;
   std::string compare_old, compare_new;

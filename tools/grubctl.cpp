@@ -19,8 +19,11 @@
 #include <stdexcept>
 #include <string>
 
+#include "chain/price.h"
 #include "grub/multi_feed.h"
 #include "grub/system.h"
+#include "lab/leaderboard.h"
+#include "lab/scenario.h"
 #include "telemetry/json.h"
 #include "tier/cost.h"
 #include "tier/placement.h"
@@ -38,8 +41,13 @@ using namespace grub;
 
 struct Args {
   std::string policy = "memoryless:2";
+  bool policy_set = false;  // --policy given explicitly (leaderboard filter)
   std::string tier;  // empty = the binary --policy path
   std::string workload = "ratio:4";
+  std::string price;     // GasPriceSchedule spec; empty = unit (constant)
+  std::string scenario;  // scenario-lab condition; overrides workload/price
+  bool leaderboard = false;  // run the policy x scenario matrix and exit
+  bool scale_set = false;    // any scale flag given (leaderboard scale)
   size_t records = 1024;
   size_t record_bytes = 32;
   size_t key_space = 0;  // 0 = records
@@ -70,7 +78,8 @@ void PrintUsage() {
   std::puts(
       "usage: grubctl [options]\n"
       "  --policy P      bl1 | bl2 | memoryless:K | memorizing:K,D |\n"
-      "                  adaptive-k1 | adaptive-k2 | offline\n"
+      "                  adaptive-k1 | adaptive-k2 | windowed-k[:K0[,W]] |\n"
+      "                  price-ewma[:K0[,A]] | offline\n"
       "                                                   (default memoryless:2)\n"
       "  --tier T        pin every key to one storage tier, or adapt:\n"
       "                  storage | log | calldata | offchain | adaptive —\n"
@@ -83,6 +92,26 @@ void PrintUsage() {
       "                  the default spec and appends the workload-observatory\n"
       "                  table (per-shard heat, hot keys, K estimates, flip\n"
       "                  regret, gas drift) to the text report\n"
+      "  --price S       time-varying gas-price schedule applied at block\n"
+      "                  granularity: constant[:E[,S]] | step:START,LEN,E,S |\n"
+      "                  ramp:START,LEN,E,S | square:PERIOD,E,S |\n"
+      "                  regime:SEED,PERIOD,E,S — E/S are exec/storage\n"
+      "                  multipliers in milli (>= 1000; 1000 = 1.0x). The\n"
+      "                  surcharge is attributed to cause price-shift; a\n"
+      "                  unit schedule ('constant') is byte-identical to no\n"
+      "                  --price at all. 'offline' under a non-unit schedule\n"
+      "                  replays it price-aware (probe-calibrated)\n"
+      "  --scenario N    run a registered scenario-lab condition: its trace,\n"
+      "                  calibrated price schedule, adversary and quorum\n"
+      "                  replace --workload/--price/--adversary/--sps; the\n"
+      "                  scale flags below still size the run. With\n"
+      "                  --leaderboard: restrict the matrix to scenario N\n"
+      "  --leaderboard   run the policy x scenario leaderboard (gas + regret\n"
+      "                  vs the price-aware offline optimal per cell) and\n"
+      "                  exit; --scenario / an explicit --policy filter the\n"
+      "                  matrix. Bench quick scale (256 records / 512 ops)\n"
+      "                  unless any scale flag is given. Text table, or a\n"
+      "                  'leaderboard' JSON document under --json\n"
       "  --records N     preloaded store size              (default 1024)\n"
       "  --record-bytes N value size                       (default 32)\n"
       "  --key-space N   hot working subset for YCSB       (default = records)\n"
@@ -159,6 +188,13 @@ bool ParseArgs(int argc, char** argv, Args& args) {
     };
     if (!std::strcmp(argv[i], "--policy")) {
       args.policy = next("--policy");
+      args.policy_set = true;
+    } else if (!std::strcmp(argv[i], "--price")) {
+      args.price = next("--price");
+    } else if (!std::strcmp(argv[i], "--scenario")) {
+      args.scenario = next("--scenario");
+    } else if (!std::strcmp(argv[i], "--leaderboard")) {
+      args.leaderboard = true;
     } else if (!std::strcmp(argv[i], "--tier")) {
       args.tier = next("--tier");
     } else if (!std::strcmp(argv[i], "--workload")) {
@@ -172,16 +208,21 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       }
     } else if (!std::strcmp(argv[i], "--records")) {
       args.records = std::strtoull(next("--records"), nullptr, 10);
+      args.scale_set = true;
     } else if (!std::strcmp(argv[i], "--record-bytes")) {
       args.record_bytes = std::strtoull(next("--record-bytes"), nullptr, 10);
+      args.scale_set = true;
     } else if (!std::strcmp(argv[i], "--key-space")) {
       args.key_space = std::strtoull(next("--key-space"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--ops")) {
       args.ops = std::strtoull(next("--ops"), nullptr, 10);
+      args.scale_set = true;
     } else if (!std::strcmp(argv[i], "--ops-per-tx")) {
       args.ops_per_tx = std::strtoull(next("--ops-per-tx"), nullptr, 10);
+      args.scale_set = true;
     } else if (!std::strcmp(argv[i], "--epoch-txs")) {
       args.txs_per_epoch = std::strtoull(next("--epoch-txs"), nullptr, 10);
+      args.scale_set = true;
     } else if (!std::strcmp(argv[i], "--range-scans")) {
       args.range_scans = true;
     } else if (!std::strcmp(argv[i], "--converged")) {
@@ -226,9 +267,13 @@ bool ParseArgs(int argc, char** argv, Args& args) {
   return true;
 }
 
+// `replay` is consulted by price-tracking specs only: an active model makes
+// `offline` replay the schedule clairvoyantly; windowed-k / price-ewma get
+// their price feed live from the control plane, so they only take K0 here.
 std::unique_ptr<core::ReplicationPolicy> MakePolicy(
     const std::string& spec, const workload::Trace& trace,
-    const chain::GasSchedule& gas) {
+    const chain::GasSchedule& gas,
+    const core::PriceReplayModel& replay = core::PriceReplayModel()) {
   auto colon = spec.find(':');
   const std::string name = spec.substr(0, colon);
   const std::string params =
@@ -254,9 +299,28 @@ std::unique_ptr<core::ReplicationPolicy> MakePolicy(
   if (name == "adaptive-k2") {
     return std::make_unique<core::AdaptiveK2Policy>(core::BreakEvenK(gas));
   }
+  if (name == "windowed-k") {
+    double k = core::BreakEvenK(gas);
+    size_t window = 8;
+    if (!params.empty()) {
+      char* rest = nullptr;
+      k = std::strtod(params.c_str(), &rest);
+      if (rest && *rest == ',') window = std::strtoull(rest + 1, nullptr, 10);
+    }
+    return std::make_unique<core::WindowedKPolicy>(k, window);
+  }
+  if (name == "price-ewma") {
+    double k = core::BreakEvenK(gas), alpha = 0.25;
+    if (!params.empty()) {
+      char* rest = nullptr;
+      k = std::strtod(params.c_str(), &rest);
+      if (rest && *rest == ',') alpha = std::strtod(rest + 1, nullptr);
+    }
+    return std::make_unique<core::PriceEwmaPolicy>(k, alpha);
+  }
   if (name == "offline") {
-    return std::make_unique<core::OfflineOptimalPolicy>(trace,
-                                                        core::BreakEvenK(gas));
+    return std::make_unique<core::OfflineOptimalPolicy>(
+        trace, core::BreakEvenK(gas), replay);
   }
   std::fprintf(stderr, "unknown policy: %s\n", spec.c_str());
   std::exit(2);
@@ -321,10 +385,12 @@ workload::Trace MakeWorkload(const Args& args) {
 
 // Per-key flips a clairvoyant policy would pay on the same trace — the
 // baseline for the summary's regret column. Scans are skipped: the oracle
-// only flips at writes, and scan expansion needs the live key set.
+// only flips at writes, and scan expansion needs the live key set. An active
+// `replay` makes the baseline price-aware (same model the leaderboard uses).
 std::map<std::string, uint64_t> OracleFlips(const workload::Trace& trace,
-                                            const chain::GasSchedule& gas) {
-  core::OfflineOptimalPolicy oracle(trace, core::BreakEvenK(gas));
+                                            const chain::GasSchedule& gas,
+                                            const core::PriceReplayModel& replay) {
+  core::OfflineOptimalPolicy oracle(trace, core::BreakEvenK(gas), replay);
   std::map<std::string, uint64_t> flips;
   for (const auto& op : trace) {
     if (op.type == workload::OpType::kScan) continue;
@@ -335,6 +401,52 @@ std::map<std::string, uint64_t> OracleFlips(const workload::Trace& trace,
     }
   }
   return flips;
+}
+
+lab::ScenarioScale ScaleFromArgs(const Args& args) {
+  lab::ScenarioScale scale;
+  scale.records = args.records;
+  scale.ops = args.ops;
+  scale.value_bytes = args.record_bytes;
+  scale.ops_per_tx = args.ops_per_tx;
+  scale.txs_per_epoch = args.txs_per_epoch;
+  return scale;
+}
+
+// --leaderboard: the full policy x scenario matrix (bench_leaderboard's
+// runner) with optional --scenario / --policy filters, then exit.
+int RunLeaderboardCmd(const Args& args) {
+  lab::LeaderboardOptions options;
+  if (args.scale_set) options.scale = ScaleFromArgs(args);
+  if (!args.scenario.empty()) options.scenarios = {args.scenario};
+  if (args.policy_set) options.policies = {args.policy};
+
+  lab::Leaderboard board;
+  try {
+    board = lab::RunLeaderboard(options);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::fprintf(stderr, "scenarios:");
+    for (const auto& s : lab::AllScenarios()) {
+      std::fprintf(stderr, " %s", s.name.c_str());
+    }
+    std::fprintf(stderr, "\npolicies: ");
+    for (const auto& p : lab::LeaderboardPolicies()) {
+      std::fprintf(stderr, " %s", p.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  if (args.json) {
+    using telemetry::JsonValue;
+    JsonValue root = JsonValue::Object();
+    root.Set("leaderboard", lab::LeaderboardJson(board));
+    std::printf("%s\n", root.ToString().c_str());
+    return 0;
+  }
+  lab::PrintLeaderboardTable(board, std::cout);
+  return 0;
 }
 
 // --feeds: several isolated feeds on one shared chain, per-feed Gas exact.
@@ -454,6 +566,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--watch is incompatible with --json\n");
     return 2;
   }
+  if (args.leaderboard) {
+    if (!args.feeds.empty() || !args.tier.empty() || !args.faults.empty() ||
+        !args.adversary.empty() || args.watch > 0) {
+      std::fprintf(stderr,
+                   "--leaderboard is incompatible with --feeds/--tier/"
+                   "--faults/--adversary/--watch\n");
+      return 2;
+    }
+    return RunLeaderboardCmd(args);
+  }
+  if (!args.scenario.empty() && !args.feeds.empty()) {
+    std::fprintf(stderr, "--scenario is incompatible with --feeds\n");
+    return 2;
+  }
   if (!args.feeds.empty()) {
     if (!args.faults.empty() || !args.trace_out.empty() || args.converged ||
         !args.adversary.empty() || args.watch > 0 || !args.tier.empty()) {
@@ -471,6 +597,34 @@ int main(int argc, char** argv) {
   // With --json, stdout carries exactly one JSON document; the usual text
   // report is suppressed (auxiliary file writes still happen).
   const bool text = !args.json;
+
+  // --scenario / --price: resolve the effective price schedule up front.
+  // A scenario plan replaces the workload, schedule, adversary and quorum
+  // (the scale flags still size it); a bare --price only sets the schedule.
+  const lab::Scenario* scenario = nullptr;
+  lab::ScenarioPlan plan;  // outlives the run: the replay model points into it
+  chain::GasPriceSchedule price;
+  if (!args.scenario.empty()) {
+    scenario = lab::FindScenario(args.scenario);
+    if (scenario == nullptr) {
+      std::fprintf(stderr, "unknown scenario: %s\nscenarios:",
+                   args.scenario.c_str());
+      for (const auto& s : lab::AllScenarios()) {
+        std::fprintf(stderr, " %s", s.name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    plan = lab::PlanScenario(*scenario, ScaleFromArgs(args));
+    price = plan.price;
+  } else if (!args.price.empty()) {
+    auto parsed = chain::GasPriceSchedule::Parse(args.price);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--price: %s\n", parsed.status().message().c_str());
+      return 2;
+    }
+    price = std::move(parsed).value();
+  }
 
   core::SystemOptions options;
   options.ops_per_tx = args.ops_per_tx;
@@ -496,17 +650,54 @@ int main(int argc, char** argv) {
     options.shard_boundaries =
         core::IndexedKeyBoundaries(args.records, args.shards);
   }
+  options.chain_params.price = price;
+  if (scenario != nullptr) {
+    // Explicit --adversary/--sps flags still win over the scenario's.
+    if (args.adversary.empty()) options.adversary_spec = scenario->adversary_spec;
+    if (args.sps == 1) options.sp_replicas = scenario->sp_replicas;
+  }
 
-  auto trace = MakeWorkload(args);
+  auto trace = scenario != nullptr ? plan.trace : MakeWorkload(args);
   auto stats = workload::ComputeStats(trace);
+  const std::string workload_desc =
+      scenario != nullptr ? "scenario:" + scenario->name : args.workload;
   if (text) {
     std::printf("workload: %s  (%llu writes, %llu reads, %llu scans; "
                 "%.2f reads/write)\n",
-                args.workload.c_str(),
+                workload_desc.c_str(),
                 static_cast<unsigned long long>(stats.writes),
                 static_cast<unsigned long long>(stats.reads),
                 static_cast<unsigned long long>(stats.scans),
                 stats.ReadWriteRatio());
+    if (scenario != nullptr) {
+      std::printf("scenario: %s — %s\n", scenario->name.c_str(),
+                  scenario->title.c_str());
+    }
+    // Unit schedules stay silent: a `--price constant` run's report is
+    // byte-identical to a run with no --price at all (ci.sh gates on it).
+    if (!options.chain_params.price.IsUnit()) {
+      std::printf("price:    %s\n",
+                  options.chain_params.price.Describe().c_str());
+    }
+  }
+
+  // Replay model for the price-aware clairvoyant baseline: scenario plans
+  // are probe-calibrated already; a bare non-unit --price run probes one
+  // here, but only when something consumes it (offline / --trace-summary).
+  core::PriceReplayModel replay;
+  lab::ScenarioPlan adhoc_plan;
+  if (scenario != nullptr) {
+    replay = plan.ReplayModel();
+  } else if (!price.IsUnit() &&
+             (args.policy.rfind("offline", 0) == 0 || args.trace_summary)) {
+    lab::Scenario adhoc;
+    adhoc.name = "price";
+    adhoc.make_trace = [&trace](const lab::ScenarioScale&) { return trace; };
+    adhoc.make_price = [&price](uint64_t, uint64_t) { return price; };
+    adhoc.adversary_spec = args.adversary;
+    adhoc.sp_replicas = args.sps;
+    adhoc_plan = lab::PlanScenario(adhoc, ScaleFromArgs(args));
+    replay = adhoc_plan.ReplayModel();
   }
 
   std::unique_ptr<core::GrubSystem> system_ptr;
@@ -514,7 +705,7 @@ int main(int argc, char** argv) {
     system_ptr = std::make_unique<core::GrubSystem>(
         options,
         args.tier.empty()
-            ? MakePolicy(args.policy, trace, options.chain_params.gas)
+            ? MakePolicy(args.policy, trace, options.chain_params.gas, replay)
             : MakeTierPolicy(args, options.chain_params.gas));
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
@@ -655,7 +846,7 @@ int main(int argc, char** argv) {
     JsonValue root = JsonValue::Object();
     {
       JsonValue workload = JsonValue::Object();
-      workload.Set("spec", JsonValue::String(args.workload));
+      workload.Set("spec", JsonValue::String(workload_desc));
       workload.Set("writes", JsonValue::NumberU64(stats.writes));
       workload.Set("reads", JsonValue::NumberU64(stats.reads));
       workload.Set("scans", JsonValue::NumberU64(stats.scans));
@@ -667,6 +858,15 @@ int main(int argc, char** argv) {
                          system.Chain().CurrentBlockNumber()));
       }
       root.Set("workload", std::move(workload));
+    }
+    // New sections are appended conditionally so legacy (no --scenario, unit
+    // price) documents stay byte-identical; the schema golden test pins the
+    // field order of both.
+    if (scenario != nullptr) {
+      root.Set("scenario", lab::ScenarioPlanJson(plan));
+    } else if (!options.chain_params.price.IsUnit()) {
+      root.Set("price",
+               JsonValue::String(options.chain_params.price.Describe()));
     }
     root.Set("policy", JsonValue::String(system.Do().Policy().Name()));
     root.Set("shards",
@@ -821,8 +1021,8 @@ int main(int argc, char** argv) {
     std::printf("\n");
     const auto summary = telemetry::Summarize(*system.Tracing());
     telemetry::PrintSummary(summary);
-    telemetry::PrintFlipRegret(summary,
-                               OracleFlips(trace, options.chain_params.gas));
+    telemetry::PrintFlipRegret(
+        summary, OracleFlips(trace, options.chain_params.gas, replay));
   }
 #if GRUB_TELEMETRY
   if (args.profile && text) {
